@@ -1,0 +1,85 @@
+//! Ablation benches: the window-length tradeoff (§4), the quantum sweep
+//! (§5), and the fitness-vs-oblivious-gang comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use busbw_bench::bench_rc;
+use busbw_experiments::runner::{run_spec, PolicyKind};
+use busbw_experiments::Fig2Set;
+use busbw_metrics::MovingWindow;
+use busbw_sim::DemandModel;
+use busbw_workloads::burst::TwoStateBurst;
+use busbw_workloads::paper::PaperApp;
+
+fn bench_window_ablation(c: &mut Criterion) {
+    let rc = bench_rc();
+    let mut g = c.benchmark_group("ablation_window");
+    g.sample_size(10);
+    // Analytic criterion on a bursty trace.
+    let mut burst = TwoStateBurst::raytrace(10.65, 0.82, 42);
+    let trace: Vec<f64> = (0..600)
+        .map(|i| burst.demand_at(0.0, i * 100_000).rate)
+        .collect();
+    for w in [1usize, 5, 15] {
+        g.bench_function(format!("distance_criterion/W{w}"), |b| {
+            b.iter(|| black_box(MovingWindow::mean_relative_distance(w, &trace)))
+        });
+    }
+    // End-to-end Raytrace set-B cell per window length.
+    for w in [1usize, 5, 15] {
+        g.bench_function(format!("raytrace_setB/W{w}"), |b| {
+            b.iter(|| {
+                black_box(run_spec(
+                    &Fig2Set::B.spec(PaperApp::Raytrace),
+                    PolicyKind::WindowN(w),
+                    &rc,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_quantum_ablation(c: &mut Criterion) {
+    let rc = bench_rc();
+    let mut g = c.benchmark_group("ablation_quantum");
+    g.sample_size(10);
+    for q in [100_000u64, 200_000, 400_000] {
+        g.bench_function(format!("latest_setC_CG/{}ms", q / 1000), |b| {
+            b.iter(|| {
+                black_box(run_spec(
+                    &Fig2Set::C.spec(PaperApp::Cg),
+                    PolicyKind::LatestWithQuantum(q),
+                    &rc,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fitness_ablation(c: &mut Criterion) {
+    let rc = bench_rc();
+    let mut g = c.benchmark_group("ablation_fitness");
+    g.sample_size(10);
+    for p in [
+        PolicyKind::Window,
+        PolicyKind::RoundRobinGang,
+        PolicyKind::RandomGang(42),
+        PolicyKind::GreedyPack,
+    ] {
+        g.bench_function(format!("setC_MG/{}", p.label()), |b| {
+            b.iter(|| black_box(run_spec(&Fig2Set::C.spec(PaperApp::Mg), p, &rc)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window_ablation,
+    bench_quantum_ablation,
+    bench_fitness_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 1 benches: regenerate the §3 motivation cells.
+//!
+//! `fig1a/*` measures the four bus-rate configurations; `fig1b/*` the
+//! slowdown measurements — each for a light (Volrend) and a heavy (CG)
+//! application, which bound the behaviour of the other nine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use busbw_bench::bench_rc;
+use busbw_experiments::runner::{run_spec, solo_turnaround_us, PolicyKind};
+use busbw_workloads::mix;
+use busbw_workloads::paper::PaperApp;
+
+fn bench_fig1a(c: &mut Criterion) {
+    let rc = bench_rc();
+    let mut g = c.benchmark_group("fig1a");
+    g.sample_size(10);
+    for app in [PaperApp::Volrend, PaperApp::Cg] {
+        g.bench_function(format!("solo/{}", app.name()), |b| {
+            b.iter(|| black_box(run_spec(&mix::fig1_solo(app), PolicyKind::Linux, &rc)))
+        });
+        g.bench_function(format!("two_instances/{}", app.name()), |b| {
+            b.iter(|| {
+                black_box(run_spec(
+                    &mix::fig1_two_instances(app),
+                    PolicyKind::Linux,
+                    &rc,
+                ))
+            })
+        });
+        g.bench_function(format!("with_bbma/{}", app.name()), |b| {
+            b.iter(|| black_box(run_spec(&mix::fig1_with_bbma(app), PolicyKind::Linux, &rc)))
+        });
+        g.bench_function(format!("with_nbbma/{}", app.name()), |b| {
+            b.iter(|| black_box(run_spec(&mix::fig1_with_nbbma(app), PolicyKind::Linux, &rc)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig1b(c: &mut Criterion) {
+    let rc = bench_rc();
+    let mut g = c.benchmark_group("fig1b");
+    g.sample_size(10);
+    for app in [PaperApp::Volrend, PaperApp::Cg] {
+        g.bench_function(format!("slowdown_pipeline/{}", app.name()), |b| {
+            b.iter(|| {
+                let solo = solo_turnaround_us(app, &rc);
+                let multi = run_spec(&mix::fig1_with_bbma(app), PolicyKind::Linux, &rc);
+                black_box(multi.mean_turnaround_us / solo)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1a, bench_fig1b);
+criterion_main!(benches);

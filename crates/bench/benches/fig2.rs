@@ -1,0 +1,28 @@
+//! Figure 2 benches: regenerate the §5 evaluation cells — one workload
+//! set × policy per bench, for a representative heavy application (CG,
+//! the paper's largest-effect case).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use busbw_bench::bench_rc;
+use busbw_experiments::runner::{run_spec, PolicyKind};
+use busbw_experiments::Fig2Set;
+use busbw_workloads::paper::PaperApp;
+
+fn bench_fig2(c: &mut Criterion) {
+    let rc = bench_rc();
+    for set in [Fig2Set::A, Fig2Set::B, Fig2Set::C] {
+        let mut g = c.benchmark_group(set.id());
+        g.sample_size(10);
+        for policy in [PolicyKind::Linux, PolicyKind::Latest, PolicyKind::Window] {
+            g.bench_function(format!("CG/{}", policy.label()), |b| {
+                b.iter(|| black_box(run_spec(&set.spec(PaperApp::Cg), policy, &rc)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

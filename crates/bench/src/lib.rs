@@ -1,0 +1,20 @@
+//! Shared helpers for the Criterion benches (see `benches/`).
+//!
+//! Each paper figure has a bench that regenerates a representative cell at
+//! reduced scale — `cargo bench` therefore exercises every experiment
+//! path — and `benches/micro.rs` covers the hot kernels (bus arbitration,
+//! gang selection, cache dynamics, estimators).
+
+#![forbid(unsafe_code)]
+
+use busbw_experiments::runner::RunnerConfig;
+
+/// Runner configuration for benches: small enough to keep `cargo bench`
+/// minutes-scale, big enough to span many quanta (1/20 of the paper's
+/// 6-second solo work = 60+ ticks per quantum, ~6 quanta per solo run).
+pub fn bench_rc() -> RunnerConfig {
+    RunnerConfig {
+        scale: 0.05,
+        ..RunnerConfig::default()
+    }
+}

@@ -1,0 +1,64 @@
+//! Bus-bandwidth-aware scheduling for SMPs — the primary contribution of
+//! the ICPP 2003 paper, plus its baseline and supporting machinery.
+//!
+//! Two policies (§4):
+//!
+//! * **Latest Quantum** ([`LatestQuantumEstimator`]) — drives scheduling
+//!   with each job's bus-transaction rate per thread measured over the
+//!   most recent quantum it ran.
+//! * **Quanta Window** ([`QuantaWindowEstimator`]) — the same, but over a
+//!   moving window of the last 5 counter samples, trading responsiveness
+//!   for robustness to bursts.
+//!
+//! Both run inside [`BusAwareScheduler`], a gang-like quantum scheduler:
+//! an application is given processors only if all of its threads fit; the
+//! job at the head of a circular list is always admitted (no starvation);
+//! remaining processors are filled by repeatedly picking the job with the
+//! highest [`fitness`] — the proximity between the job's bandwidth/thread
+//! and the still-available bus bandwidth per unallocated processor.
+//!
+//! The baseline is [`LinuxLikeScheduler`], a time-sharing scheduler with
+//! dynamic time slices, epochs, and cache-affinity bias modeled on the
+//! Linux 2.4 scheduler the paper compares against. [`oracle`] has further
+//! comparators (random gang, round-robin gang, greedy) for ablations.
+//!
+//! [`manager`] reproduces the paper's **user-level CPU manager** as real
+//! concurrent code: connection protocol, shared arena, block/unblock
+//! signals with the inversion-tolerant counting rule — usable with real OS
+//! threads, and unit-tested including signal reordering.
+//!
+//! [`fitness`]: fitness::fitness
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod fitness;
+pub mod linux;
+pub mod linux26;
+pub mod manager;
+pub mod model;
+pub mod oracle;
+pub mod reconstruct;
+pub mod sched;
+pub mod selection;
+
+pub use estimator::{BandwidthEstimator, EwmaEstimator, LatestQuantumEstimator, QuantaWindowEstimator};
+pub use fitness::{available_bbw_per_proc, fitness};
+pub use linux::{LinuxConfig, LinuxLikeScheduler};
+pub use linux26::{LinuxO1Scheduler, O1Config};
+pub use model::{predict_set_value, ModelDrivenScheduler};
+pub use sched::{BusAwareScheduler, PolicyConfig};
+pub use reconstruct::DemandTracker;
+pub use selection::{select_gangs, Candidate};
+
+/// Convenience: the 'Latest Quantum' policy as a ready-to-run scheduler.
+pub fn latest_quantum() -> BusAwareScheduler {
+    BusAwareScheduler::new(Box::new(LatestQuantumEstimator::new()))
+}
+
+/// Convenience: the 'Quanta Window' policy (5-sample window) as a
+/// ready-to-run scheduler.
+pub fn quanta_window() -> BusAwareScheduler {
+    BusAwareScheduler::new(Box::new(QuantaWindowEstimator::new()))
+}

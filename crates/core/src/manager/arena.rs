@@ -1,0 +1,226 @@
+//! The shared arena: the manager's primary communication medium with each
+//! application (§4).
+//!
+//! On the paper's system this is a shared memory page. Here it is a
+//! fixed-layout 4 KiB buffer (`bytes`) behind a `parking_lot` lock, shared
+//! by `Arc` — same information flow, same page discipline (a writer can
+//! only publish what fits the layout), safely usable from real threads.
+//!
+//! Layout (little endian):
+//!
+//! | offset | field                 | type |
+//! |-------:|-----------------------|------|
+//! | 0      | magic `0xB05A_RE4A`-ish | u32 |
+//! | 4      | layout version        | u32  |
+//! | 8      | sequence number       | u64  |
+//! | 16     | thread count          | u32  |
+//! | 20     | (pad)                 | u32  |
+//! | 24     | cumulative bus transactions | f64 |
+//! | 32     | rate over last update interval (tx/µs, whole app) | f64 |
+//! | 40     | timestamp of last update (µs)  | u64 |
+
+use bytes::{Buf, BufMut};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Size of the arena page in bytes (one page, as in the paper).
+pub const ARENA_PAGE_SIZE: usize = 4096;
+
+const MAGIC: u32 = 0xB05A_0A4E;
+const VERSION: u32 = 1;
+
+/// A decoded view of the arena contents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArenaSnapshot {
+    /// Publication sequence number (increments per update).
+    pub seq: u64,
+    /// Number of live threads the application has registered.
+    pub threads: u32,
+    /// Cumulative bus transactions counted by the application.
+    pub total_transactions: f64,
+    /// Whole-application transaction rate over the last update interval,
+    /// tx/µs.
+    pub rate_tx_per_us: f64,
+    /// Timestamp of the last update, µs (application clock).
+    pub updated_at_us: u64,
+}
+
+impl ArenaSnapshot {
+    /// Per-thread rate: the application's rate equipartitioned among its
+    /// threads, which is exactly the `BBW/thread` the policies consume.
+    pub fn rate_per_thread(&self) -> f64 {
+        if self.threads == 0 {
+            0.0
+        } else {
+            self.rate_tx_per_us / self.threads as f64
+        }
+    }
+}
+
+/// The shared arena page.
+#[derive(Debug, Clone)]
+pub struct SharedArena {
+    page: Arc<Mutex<[u8; ARENA_PAGE_SIZE]>>,
+}
+
+impl SharedArena {
+    /// A freshly mapped (zeroed, then initialized) arena.
+    pub fn new() -> Self {
+        let arena = Self {
+            page: Arc::new(Mutex::new([0u8; ARENA_PAGE_SIZE])),
+        };
+        arena.publish(ArenaSnapshot {
+            seq: 0,
+            threads: 0,
+            total_transactions: 0.0,
+            rate_tx_per_us: 0.0,
+            updated_at_us: 0,
+        });
+        arena
+    }
+
+    /// Write a snapshot into the page (application side).
+    pub fn publish(&self, s: ArenaSnapshot) {
+        let mut page = self.page.lock();
+        let mut buf = &mut page[..];
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(s.seq);
+        buf.put_u32_le(s.threads);
+        buf.put_u32_le(0); // pad
+        buf.put_f64_le(s.total_transactions);
+        buf.put_f64_le(s.rate_tx_per_us);
+        buf.put_u64_le(s.updated_at_us);
+    }
+
+    /// Read the page (manager side).
+    ///
+    /// Returns `None` if the page does not carry a valid arena layout —
+    /// the manager treats a corrupt page as "no data" rather than
+    /// crashing on a misbehaving client.
+    pub fn read(&self) -> Option<ArenaSnapshot> {
+        let page = self.page.lock();
+        let mut buf = &page[..];
+        if buf.get_u32_le() != MAGIC || buf.get_u32_le() != VERSION {
+            return None;
+        }
+        let seq = buf.get_u64_le();
+        let threads = buf.get_u32_le();
+        let _pad = buf.get_u32_le();
+        let total_transactions = buf.get_f64_le();
+        let rate_tx_per_us = buf.get_f64_le();
+        let updated_at_us = buf.get_u64_le();
+        Some(ArenaSnapshot {
+            seq,
+            threads,
+            total_transactions,
+            rate_tx_per_us,
+            updated_at_us,
+        })
+    }
+
+    /// Number of `SharedArena` handles alive (diagnostics).
+    pub fn handles(&self) -> usize {
+        Arc::strong_count(&self.page)
+    }
+}
+
+impl Default for SharedArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let a = SharedArena::new();
+        let snap = ArenaSnapshot {
+            seq: 42,
+            threads: 3,
+            total_transactions: 123456.75,
+            rate_tx_per_us: 11.65,
+            updated_at_us: 999_999,
+        };
+        a.publish(snap);
+        assert_eq!(a.read().unwrap(), snap);
+    }
+
+    #[test]
+    fn fresh_arena_reads_as_zeroed_snapshot() {
+        let a = SharedArena::new();
+        let s = a.read().unwrap();
+        assert_eq!(s.seq, 0);
+        assert_eq!(s.threads, 0);
+        assert_eq!(s.rate_per_thread(), 0.0);
+    }
+
+    #[test]
+    fn corrupt_page_reads_none() {
+        let a = SharedArena::new();
+        {
+            let mut page = a.page.lock();
+            page[0] = 0xFF; // clobber magic
+        }
+        assert!(a.read().is_none());
+    }
+
+    #[test]
+    fn rate_per_thread_equipartitions() {
+        let s = ArenaSnapshot {
+            seq: 1,
+            threads: 2,
+            total_transactions: 0.0,
+            rate_tx_per_us: 23.3,
+            updated_at_us: 0,
+        };
+        assert!((s.rate_per_thread() - 11.65).abs() < 1e-12);
+        let z = ArenaSnapshot { threads: 0, ..s };
+        assert_eq!(z.rate_per_thread(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_the_same_page() {
+        let a = SharedArena::new();
+        let b = a.clone();
+        a.publish(ArenaSnapshot {
+            seq: 7,
+            threads: 1,
+            total_transactions: 1.0,
+            rate_tx_per_us: 2.0,
+            updated_at_us: 3,
+        });
+        assert_eq!(b.read().unwrap().seq, 7);
+        assert!(a.handles() >= 2);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_do_not_tear() {
+        // Writers always publish self-consistent snapshots where
+        // rate == seq as f64; a torn read would break that equality.
+        let a = SharedArena::new();
+        let w = a.clone();
+        let writer = std::thread::spawn(move || {
+            for i in 1..=2000u64 {
+                w.publish(ArenaSnapshot {
+                    seq: i,
+                    threads: 2,
+                    total_transactions: i as f64,
+                    rate_tx_per_us: i as f64,
+                    updated_at_us: i,
+                });
+            }
+        });
+        let mut last_seq = 0;
+        for _ in 0..2000 {
+            let s = a.read().unwrap();
+            assert_eq!(s.rate_tx_per_us, s.seq as f64, "torn read");
+            assert!(s.seq >= last_seq, "sequence went backwards");
+            last_seq = s.seq;
+        }
+        writer.join().unwrap();
+    }
+}

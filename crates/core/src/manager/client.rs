@@ -1,0 +1,337 @@
+//! The application-side run-time library (§4).
+//!
+//! The paper: *"A run-time library which accompanies the CPU manager
+//! offers all the necessary functionality for the cooperation between the
+//! CPU manager and applications. The modifications required to the source
+//! code of applications are limited to the addition of calls for
+//! connection and disconnection and to the interception of thread creation
+//! and destruction."*
+//!
+//! [`AppRuntime`] is that library: `connect` performs the handshake,
+//! [`AppRuntime::register_thread`] intercepts thread creation and hands
+//! the worker a [`ThreadHandle`], through which the worker
+//!
+//! * counts its own bus transactions ([`ThreadHandle::count_transactions`]
+//!   — the software stand-in for the hardware counter), and
+//! * periodically reaches a **checkpoint** ([`ThreadHandle::checkpoint`])
+//!   where a pending block signal takes effect (the user-level analogue of
+//!   signal delivery interrupting execution).
+//!
+//! [`AppRuntime::publish_sample`] aggregates all thread counters and
+//! writes the application's transaction rate to the shared arena — the
+//! paper does this twice per scheduling quantum.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use super::arena::{ArenaSnapshot, SharedArena};
+use super::protocol::{ClientId, ToManager};
+use super::server::ManagerHandle;
+use super::signals::{Signal, SignalGate};
+
+/// Per-thread state handed to a worker thread.
+#[derive(Clone)]
+pub struct ThreadHandle {
+    gate: Arc<SignalGate>,
+    transactions: Arc<AtomicU64>,
+}
+
+impl ThreadHandle {
+    /// Count `n` bus transactions performed by this thread since the last
+    /// call (software performance counter).
+    pub fn count_transactions(&self, n: u64) {
+        self.transactions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A scheduling checkpoint: parks the thread while its job is blocked.
+    pub fn checkpoint(&self) {
+        self.gate.wait_while_blocked();
+    }
+
+    /// Whether the thread would park at a checkpoint right now.
+    pub fn is_blocked(&self) -> bool {
+        self.gate.should_block()
+    }
+
+    /// The thread's gate (for the manager or forwarding siblings).
+    pub fn gate(&self) -> Arc<SignalGate> {
+        self.gate.clone()
+    }
+}
+
+/// A connection awaiting the manager's acknowledgement.
+pub struct PendingConnect {
+    rx: crossbeam::channel::Receiver<super::protocol::ConnectAck>,
+    to_manager: crossbeam::channel::Sender<ToManager>,
+}
+
+impl PendingConnect {
+    /// Phase 2: receive the acknowledgement (the manager must have pumped
+    /// since [`AppRuntime::request_connect`]).
+    pub fn complete(self) -> AppRuntime {
+        let ack = self.rx.recv().expect("manager dropped the connection");
+        AppRuntime {
+            id: ack.app,
+            arena: ack.arena,
+            to_manager: self.to_manager,
+            threads: Vec::new(),
+            update_period_us: ack.update_period_us,
+            seq: 0,
+            last_total: 0.0,
+            last_publish_us: 0,
+        }
+    }
+}
+
+/// The per-application runtime.
+pub struct AppRuntime {
+    id: ClientId,
+    arena: SharedArena,
+    to_manager: crossbeam::channel::Sender<ToManager>,
+    threads: Vec<ThreadHandle>,
+    update_period_us: u64,
+    seq: u64,
+    last_total: f64,
+    last_publish_us: u64,
+}
+
+impl AppRuntime {
+    /// Connect to the manager (the paper's `connection` call). Blocks
+    /// until the manager acknowledges with the shared arena — so the
+    /// manager must be pumping on another thread (as in
+    /// `examples/cpu_manager_demo.rs`). Single-threaded callers should use
+    /// [`AppRuntime::request_connect`] and pump between the two phases.
+    pub fn connect(handle: &ManagerHandle, name: impl Into<String>) -> Self {
+        Self::request_connect(handle, name).complete()
+    }
+
+    /// Phase 1 of a connection: send the handshake without waiting.
+    pub fn request_connect(handle: &ManagerHandle, name: impl Into<String>) -> PendingConnect {
+        let (tx, rx) = unbounded();
+        handle
+            .sender()
+            .send(ToManager::Connect {
+                name: name.into(),
+                reply: tx,
+            })
+            .expect("manager is gone");
+        PendingConnect {
+            rx,
+            to_manager: handle.sender(),
+        }
+    }
+
+    /// This application's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// How often (µs) the manager expects arena updates.
+    pub fn update_period_us(&self) -> u64 {
+        self.update_period_us
+    }
+
+    /// Intercept a thread creation: registers a gate with the manager and
+    /// returns the worker's handle.
+    pub fn register_thread(&mut self) -> ThreadHandle {
+        let h = ThreadHandle {
+            gate: Arc::new(SignalGate::new()),
+            transactions: Arc::new(AtomicU64::new(0)),
+        };
+        self.to_manager
+            .send(ToManager::ThreadCreated {
+                app: self.id,
+                gate: h.gate.clone(),
+            })
+            .expect("manager is gone");
+        self.threads.push(h.clone());
+        h
+    }
+
+    /// Intercept a thread destruction.
+    pub fn thread_exited(&mut self) {
+        self.threads.pop();
+        let _ = self.to_manager.send(ToManager::ThreadExited { app: self.id });
+    }
+
+    /// The paper's signal forwarding: the manager signals one thread; that
+    /// thread forwards the signal to every sibling. Calling this with the
+    /// received signal reproduces the fan-out.
+    pub fn forward(&self, sig: Signal, skip_first: bool) {
+        for (i, t) in self.threads.iter().enumerate() {
+            if skip_first && i == 0 {
+                continue;
+            }
+            t.gate.deliver(sig);
+        }
+    }
+
+    /// Poll all thread counters, accumulate, and publish the application's
+    /// transaction rate to the shared arena (the twice-per-quantum update).
+    /// `now_us` is the application's clock.
+    pub fn publish_sample(&mut self, now_us: u64) -> ArenaSnapshot {
+        let total: f64 = self
+            .threads
+            .iter()
+            .map(|t| t.transactions.load(Ordering::Relaxed) as f64)
+            .sum();
+        let dt = now_us.saturating_sub(self.last_publish_us);
+        let rate = if dt == 0 {
+            0.0
+        } else {
+            (total - self.last_total).max(0.0) / dt as f64
+        };
+        self.seq += 1;
+        let snap = ArenaSnapshot {
+            seq: self.seq,
+            threads: self.threads.len() as u32,
+            total_transactions: total,
+            rate_tx_per_us: rate,
+            updated_at_us: now_us,
+        };
+        self.arena.publish(snap);
+        self.last_total = total;
+        self.last_publish_us = now_us;
+        snap
+    }
+
+    /// Disconnect from the manager (the paper's `disconnection` call).
+    pub fn disconnect(self) {
+        let _ = self.to_manager.send(ToManager::Disconnect { app: self.id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::LatestQuantumEstimator;
+    use crate::manager::server::{CpuManager, ManagerConfig};
+
+    fn pair() -> (CpuManager, ManagerHandle) {
+        CpuManager::new(
+            ManagerConfig::default(),
+            Box::new(LatestQuantumEstimator::new()),
+        )
+    }
+
+    /// Single-threaded connect: request, pump the manager, complete.
+    fn connect(m: &mut CpuManager, h: &ManagerHandle, name: &str) -> AppRuntime {
+        let p = AppRuntime::request_connect(h, name);
+        m.pump();
+        p.complete()
+    }
+
+    #[test]
+    fn connect_and_register_threads() {
+        let (mut m, h) = pair();
+        let mut app = connect(&mut m, &h, "demo");
+        assert_eq!(app.update_period_us(), 100_000);
+        let _t1 = app.register_thread();
+        let _t2 = app.register_thread();
+        m.pump();
+        assert_eq!(m.job_names(), vec!["demo".to_string()]);
+    }
+
+    #[test]
+    fn publish_sample_computes_rate_from_counter_deltas() {
+        let (mut m, h) = pair();
+        let mut app = connect(&mut m, &h, "demo");
+        let t1 = app.register_thread();
+        let t2 = app.register_thread();
+        m.pump();
+        t1.count_transactions(600_000);
+        t2.count_transactions(600_000);
+        let s = app.publish_sample(100_000);
+        // 1.2 M tx over 100 ms = 12 tx/µs for the app, 6 per thread.
+        assert!((s.rate_tx_per_us - 12.0).abs() < 1e-9);
+        assert!((s.rate_per_thread() - 6.0).abs() < 1e-9);
+        // Second interval with no traffic → rate 0.
+        let s2 = app.publish_sample(200_000);
+        assert_eq!(s2.rate_tx_per_us, 0.0);
+        assert_eq!(s2.seq, 2);
+    }
+
+    #[test]
+    fn forward_reaches_siblings() {
+        let (mut m, h) = pair();
+        let mut app = connect(&mut m, &h, "demo");
+        let t1 = app.register_thread();
+        let t2 = app.register_thread();
+        let t3 = app.register_thread();
+        // Manager signals thread 1; it forwards to siblings only.
+        t1.gate().deliver(Signal::Block);
+        app.forward(Signal::Block, true);
+        assert!(t1.is_blocked() && t2.is_blocked() && t3.is_blocked());
+        t1.gate().deliver(Signal::Unblock);
+        app.forward(Signal::Unblock, true);
+        assert!(!t1.is_blocked() && !t2.is_blocked() && !t3.is_blocked());
+    }
+
+    #[test]
+    fn end_to_end_real_threads_obey_the_manager() {
+        use std::sync::atomic::AtomicBool;
+        use std::time::Duration;
+
+        let (mut m, h) = pair();
+        // Two 2-thread apps + one more so someone must be blocked.
+        let mut apps: Vec<AppRuntime> = (0..3)
+            .map(|i| connect(&mut m, &h, &format!("app{i}")))
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut workers = Vec::new();
+        let progress: Vec<Arc<AtomicU64>> =
+            (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        for (i, app) in apps.iter_mut().enumerate() {
+            for _ in 0..2 {
+                let th = app.register_thread();
+                let stop = stop.clone();
+                let prog = progress[i].clone();
+                workers.push(std::thread::spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        th.count_transactions(10);
+                        prog.fetch_add(1, Ordering::SeqCst);
+                        th.checkpoint();
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }));
+            }
+        }
+        m.pump();
+        let sel = m.quantum();
+        assert_eq!(sel.len(), 2);
+        let blocked_idx = (0..3)
+            .find(|i| !sel.contains(&apps[*i].id()))
+            .expect("one app blocked");
+        // Give workers time to hit their checkpoints.
+        std::thread::sleep(Duration::from_millis(80));
+        let before = progress[blocked_idx].load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(80));
+        let after = progress[blocked_idx].load(Ordering::SeqCst);
+        assert!(
+            after - before <= 2,
+            "blocked app kept running: {before} -> {after}"
+        );
+        // Running apps kept making progress.
+        let run_idx = (0..3).find(|i| sel.contains(&apps[*i].id())).unwrap();
+        let r_before = progress[run_idx].load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(80));
+        let r_after = progress[run_idx].load(Ordering::SeqCst);
+        assert!(r_after > r_before, "running app made no progress");
+
+        stop.store(true, Ordering::SeqCst);
+        // Unblock everyone so workers can observe stop.
+        for app in &apps {
+            let _ = app;
+        }
+        for app in &apps {
+            if !sel.contains(&app.id()) {
+                app.forward(Signal::Unblock, false);
+            }
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+}

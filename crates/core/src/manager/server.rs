@@ -1,0 +1,549 @@
+//! The CPU manager server.
+//!
+//! Owns the circular applications list, polls every running application's
+//! arena at each sampling point (twice per quantum), runs the shared
+//! selection algorithm at quantum boundaries, and steers applications with
+//! block/unblock signals.
+//!
+//! The manager is written to be driven two ways:
+//!
+//! * **explicitly** — tests and deterministic harnesses call
+//!   [`CpuManager::pump`], [`CpuManager::sample`] and
+//!   [`CpuManager::quantum`] with their own clock;
+//! * **in real time** — [`CpuManager::run_realtime`] loops with the
+//!   configured quantum against the OS clock (see
+//!   `examples/cpu_manager_demo.rs`).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::estimator::BandwidthEstimator;
+use crate::reconstruct::DemandTracker;
+use crate::selection::{select_gangs, Candidate};
+
+use super::arena::SharedArena;
+use super::protocol::{ClientId, ConnectAck, ToManager};
+use super::signals::{Signal, SignalGate};
+
+/// Manager configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerConfig {
+    /// Processors the manager allocates.
+    pub num_cpus: usize,
+    /// Total bus bandwidth (tx/µs) used in `ABBW/proc`.
+    pub bus_total_tx_per_us: f64,
+    /// Scheduling quantum, µs (paper: 200 ms).
+    pub quantum_us: u64,
+    /// Arena samples per quantum (paper: 2).
+    pub samples_per_quantum: u32,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            num_cpus: 4,
+            bus_total_tx_per_us: 29.5,
+            quantum_us: 200_000,
+            samples_per_quantum: 2,
+        }
+    }
+}
+
+/// What applications use to reach the manager.
+#[derive(Clone)]
+pub struct ManagerHandle {
+    tx: Sender<ToManager>,
+}
+
+impl ManagerHandle {
+    /// The raw message channel (used by the client run-time library).
+    pub fn sender(&self) -> Sender<ToManager> {
+        self.tx.clone()
+    }
+}
+
+struct Job {
+    id: ClientId,
+    name: String,
+    arena: SharedArena,
+    gates: Vec<Arc<SignalGate>>,
+    blocked: bool,
+}
+
+/// The user-level CPU manager.
+pub struct CpuManager {
+    cfg: ManagerConfig,
+    rx: Receiver<ToManager>,
+    estimator: Box<dyn BandwidthEstimator>,
+    /// Circular applications list (head = next guaranteed job).
+    jobs: Vec<Job>,
+    running: Vec<ClientId>,
+    next_id: u64,
+    /// Reconstructs bandwidth requirements from arena consumption reports
+    /// (see [`crate::reconstruct`]).
+    demand: DemandTracker,
+    /// Average bus dilation Λ̄ for the current interval, as measured by
+    /// the operator's IOQ-occupancy counter (1.0 = uncontended). Updated
+    /// through [`CpuManager::note_dilation`].
+    dilation: f64,
+}
+
+impl CpuManager {
+    /// Create a manager; returns it plus the handle applications connect
+    /// through.
+    pub fn new(cfg: ManagerConfig, estimator: Box<dyn BandwidthEstimator>) -> (Self, ManagerHandle) {
+        assert!(cfg.num_cpus > 0 && cfg.quantum_us > 0 && cfg.samples_per_quantum > 0);
+        let (tx, rx) = unbounded();
+        (
+            Self {
+                cfg,
+                rx,
+                estimator,
+                jobs: Vec::new(),
+                running: Vec::new(),
+                next_id: 0,
+                demand: DemandTracker::new(),
+                dilation: 1.0,
+            },
+            ManagerHandle { tx },
+        )
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> ManagerConfig {
+        self.cfg
+    }
+
+    /// Names of currently connected jobs, in list order (diagnostics).
+    pub fn job_names(&self) -> Vec<String> {
+        self.jobs.iter().map(|j| j.name.clone()).collect()
+    }
+
+    /// Ids of jobs unblocked in the current quantum.
+    pub fn running(&self) -> &[ClientId] {
+        &self.running
+    }
+
+    /// Drain pending protocol messages (connections, thread lifecycle).
+    pub fn pump(&mut self) {
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                ToManager::Connect { name, reply } => {
+                    let id = ClientId(self.next_id);
+                    self.next_id += 1;
+                    let arena = SharedArena::new();
+                    // New jobs join the end of the circular list, blocked
+                    // until the next quantum admits them: the manager owns
+                    // all scheduling from the moment of connection.
+                    self.jobs.push(Job {
+                        id,
+                        name,
+                        arena: arena.clone(),
+                        gates: Vec::new(),
+                        blocked: false,
+                    });
+                    let _ = reply.send(ConnectAck {
+                        app: id,
+                        arena,
+                        update_period_us: self.cfg.quantum_us
+                            / self.cfg.samples_per_quantum as u64,
+                    });
+                }
+                ToManager::ThreadCreated { app, gate } => {
+                    if let Some(j) = self.jobs.iter_mut().find(|j| j.id == app) {
+                        if j.blocked {
+                            // A thread born into a blocked job must not run.
+                            gate.deliver(Signal::Block);
+                        }
+                        j.gates.push(gate);
+                    }
+                }
+                ToManager::ThreadExited { app } => {
+                    if let Some(j) = self.jobs.iter_mut().find(|j| j.id == app) {
+                        j.gates.pop();
+                    }
+                }
+                ToManager::Disconnect { app } => {
+                    if let Some(pos) = self.jobs.iter().position(|j| j.id == app) {
+                        let j = self.jobs.remove(pos);
+                        // Leave no thread parked forever.
+                        if j.blocked {
+                            for g in &j.gates {
+                                g.deliver(Signal::Unblock);
+                            }
+                        }
+                        self.estimator.forget(busbw_sim::AppId(app.0));
+                        self.demand.forget(busbw_sim::AppId(app.0));
+                        self.running.retain(|&r| r != app);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Report the bus dilation Λ̄ measured over the current interval (from
+    /// an IOQ-occupancy PMU reading on real hardware). Used to reconstruct
+    /// bandwidth requirements from the consumption the arenas report.
+    pub fn note_dilation(&mut self, lambda: f64) {
+        self.dilation = lambda.max(1.0);
+    }
+
+    /// A sampling point: poll the arena of every *running* job and feed
+    /// the estimator (the paper polls twice per quantum; blocked jobs are
+    /// not measured because they are not executing).
+    pub fn sample(&mut self) {
+        let mut observed = Vec::new();
+        for j in &self.jobs {
+            if !self.running.contains(&j.id) {
+                continue;
+            }
+            if let Some(snap) = j.arena.read() {
+                observed.push((j.id, snap.rate_per_thread()));
+            }
+        }
+        for (id, per_thread) in observed {
+            let demand = self
+                .demand
+                .observe(busbw_sim::AppId(id.0), per_thread, self.dilation);
+            self.estimator.record_sample(busbw_sim::AppId(id.0), demand);
+        }
+    }
+
+    /// A quantum boundary: settle measurements, rotate the list, select the
+    /// next gang set, and send block/unblock signals. Returns the ids
+    /// selected to run.
+    pub fn quantum(&mut self) -> Vec<ClientId> {
+        self.pump();
+
+        // Settle: the latest arena rate of each job that ran becomes its
+        // latest-quantum measurement.
+        let running = self.running.clone();
+        let mut observed = Vec::new();
+        for j in &self.jobs {
+            if running.contains(&j.id) {
+                if let Some(snap) = j.arena.read() {
+                    observed.push((j.id, snap.rate_per_thread()));
+                }
+            }
+        }
+        for (id, per_thread) in observed {
+            let demand = self
+                .demand
+                .observe(busbw_sim::AppId(id.0), per_thread, self.dilation);
+            self.estimator.record_quantum(busbw_sim::AppId(id.0), demand);
+        }
+
+        // Rotate jobs that ran to the end of the circular list.
+        let (ran, waiting): (Vec<Job>, Vec<Job>) = {
+            let mut ran = Vec::new();
+            let mut waiting = Vec::new();
+            for j in self.jobs.drain(..) {
+                if running.contains(&j.id) {
+                    ran.push(j);
+                } else {
+                    waiting.push(j);
+                }
+            }
+            (ran, waiting)
+        };
+        self.jobs = waiting;
+        self.jobs.extend(ran);
+
+        // Select.
+        let candidates: Vec<Candidate<ClientId>> = self
+            .jobs
+            .iter()
+            .map(|j| Candidate {
+                key: j.id,
+                width: j.gates.len(),
+                bbw_per_thread: self.estimator.estimate(busbw_sim::AppId(j.id.0)),
+            })
+            .collect();
+        let selected = select_gangs(&candidates, self.cfg.num_cpus, self.cfg.bus_total_tx_per_us);
+
+        // Signal transitions. The manager signals every gate directly;
+        // the client library's `forward` covers the paper's
+        // one-thread-forwards-to-siblings variant.
+        let selected_set: BTreeMap<ClientId, ()> =
+            selected.iter().map(|&s| (s, ())).collect();
+        for j in &mut self.jobs {
+            let should_run = selected_set.contains_key(&j.id);
+            match (j.blocked, should_run) {
+                // Transition running → blocked: one Block per gate.
+                (false, false) => {
+                    for g in &j.gates {
+                        g.deliver(Signal::Block);
+                    }
+                    j.blocked = true;
+                }
+                // Transition blocked → running: one Unblock per gate.
+                (true, true) => {
+                    for g in &j.gates {
+                        g.deliver(Signal::Unblock);
+                    }
+                    j.blocked = false;
+                }
+                // No transition: no signal — the counting gate relies on
+                // blocks and unblocks arriving strictly in matched pairs.
+                (false, true) | (true, false) => {}
+            }
+        }
+
+        self.running = selected.clone();
+        selected
+    }
+
+    /// Drive the manager against the OS clock until `stop` is set.
+    /// Sampling happens `samples_per_quantum` times per quantum; the last
+    /// sample coincides with the quantum boundary, as in the paper.
+    pub fn run_realtime(mut self, stop: Arc<AtomicBool>) {
+        let sample_period =
+            Duration::from_micros(self.cfg.quantum_us / self.cfg.samples_per_quantum as u64);
+        let mut next_quantum = Instant::now();
+        while !stop.load(Ordering::SeqCst) {
+            self.pump();
+            self.quantum();
+            next_quantum += Duration::from_micros(self.cfg.quantum_us);
+            for _ in 0..self.cfg.samples_per_quantum {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(sample_period.min(next_quantum.saturating_duration_since(Instant::now())));
+                self.pump();
+                self.sample();
+            }
+        }
+        // Shutdown: release everyone.
+        for j in &mut self.jobs {
+            if j.blocked {
+                for g in &j.gates {
+                    g.deliver(Signal::Unblock);
+                }
+                j.blocked = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::LatestQuantumEstimator;
+    use crate::manager::arena::ArenaSnapshot;
+    use crossbeam::channel::unbounded as chan;
+
+    fn connect(m: &mut CpuManager, h: &ManagerHandle, name: &str) -> ConnectAck {
+        let (tx, rx) = chan();
+        h.sender()
+            .send(ToManager::Connect {
+                name: name.into(),
+                reply: tx,
+            })
+            .unwrap();
+        // Single-threaded tests: the manager must pump to answer.
+        m.pump();
+        rx.recv_timeout(Duration::from_secs(1)).expect("ack")
+    }
+
+    fn add_threads(h: &ManagerHandle, app: ClientId, n: usize) -> Vec<Arc<SignalGate>> {
+        (0..n)
+            .map(|_| {
+                let g = Arc::new(SignalGate::new());
+                h.sender()
+                    .send(ToManager::ThreadCreated {
+                        app,
+                        gate: g.clone(),
+                    })
+                    .unwrap();
+                g
+            })
+            .collect()
+    }
+
+    fn mgr() -> (CpuManager, ManagerHandle) {
+        CpuManager::new(
+            ManagerConfig::default(),
+            Box::new(LatestQuantumEstimator::new()),
+        )
+    }
+
+    fn publish(arena: &SharedArena, seq: u64, threads: u32, rate: f64) {
+        arena.publish(ArenaSnapshot {
+            seq,
+            threads,
+            total_transactions: 0.0,
+            rate_tx_per_us: rate,
+            updated_at_us: seq * 100_000,
+        });
+    }
+
+    #[test]
+    fn connect_assigns_ids_and_update_period() {
+        let (mut m, h) = mgr();
+        let a = connect(&mut m, &h, "one");
+        let b = connect(&mut m, &h, "two");
+        assert_ne!(a.app, b.app);
+        // 200 ms quantum, 2 samples → 100 ms period.
+        assert_eq!(a.update_period_us, 100_000);
+        m.pump();
+        assert_eq!(m.job_names(), vec!["one".to_string(), "two".to_string()]);
+    }
+
+    #[test]
+    fn quantum_runs_everything_that_fits() {
+        let (mut m, h) = mgr();
+        let a = connect(&mut m, &h, "a");
+        let b = connect(&mut m, &h, "b");
+        add_threads(&h, a.app, 2);
+        add_threads(&h, b.app, 2);
+        m.pump();
+        let sel = m.quantum();
+        assert_eq!(sel.len(), 2, "4 threads fit 4 cpus");
+    }
+
+    #[test]
+    fn gang_exclusion_blocks_the_odd_job_out() {
+        let (mut m, h) = mgr();
+        let ids: Vec<ClientId> = (0..3)
+            .map(|i| {
+                let ack = connect(&mut m, &h, &format!("j{i}"));
+                add_threads(&h, ack.app, 2);
+                ack.app
+            })
+            .collect();
+        m.pump();
+        let sel = m.quantum();
+        assert_eq!(sel.len(), 2, "only two 2-wide gangs fit");
+        let left_out: Vec<ClientId> = ids
+            .iter()
+            .copied()
+            .filter(|i| !sel.contains(i))
+            .collect();
+        assert_eq!(left_out.len(), 1);
+    }
+
+    #[test]
+    fn rotation_gives_every_job_a_turn() {
+        let (mut m, h) = mgr();
+        let mut gates = BTreeMap::new();
+        for i in 0..3 {
+            let ack = connect(&mut m, &h, &format!("j{i}"));
+            gates.insert(ack.app, add_threads(&h, ack.app, 2));
+        }
+        m.pump();
+        let mut ran: std::collections::BTreeSet<ClientId> = Default::default();
+        for _ in 0..3 {
+            ran.extend(m.quantum());
+        }
+        assert_eq!(ran.len(), 3, "head-of-list rule must cycle all jobs");
+    }
+
+    #[test]
+    fn signals_follow_selection_transitions() {
+        let (mut m, h) = mgr();
+        let a = connect(&mut m, &h, "a");
+        let b = connect(&mut m, &h, "b");
+        let c = connect(&mut m, &h, "c");
+        let ga = add_threads(&h, a.app, 2);
+        let gb = add_threads(&h, b.app, 2);
+        let gc = add_threads(&h, c.app, 2);
+        m.pump();
+        let sel = m.quantum();
+        // The job left out must be blocked; selected jobs runnable.
+        for (id, gates) in [(a.app, &ga), (b.app, &gb), (c.app, &gc)] {
+            let blocked = !sel.contains(&id);
+            for g in gates {
+                assert_eq!(g.should_block(), blocked, "{id} gate state wrong");
+            }
+        }
+        // Run several quanta: gates always exactly track selection.
+        for _ in 0..5 {
+            let sel = m.quantum();
+            for (id, gates) in [(a.app, &ga), (b.app, &gb), (c.app, &gc)] {
+                let blocked = !sel.contains(&id);
+                for g in gates {
+                    assert_eq!(g.should_block(), blocked);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_estimates_steer_selection() {
+        let (mut m, h) = mgr();
+        // Three 2-wide jobs: two heavy, one idle. After measurements land,
+        // a heavy head should be paired with the idle job.
+        let heavy1 = connect(&mut m, &h, "heavy1");
+        let heavy2 = connect(&mut m, &h, "heavy2");
+        let idle = connect(&mut m, &h, "idle");
+        add_threads(&h, heavy1.app, 2);
+        add_threads(&h, heavy2.app, 2);
+        add_threads(&h, idle.app, 2);
+        m.pump();
+        // Feed arenas continuously; run a few quanta so every job gets
+        // measured while running.
+        let mut heavy_pair = 0;
+        for q in 1..=9u64 {
+            publish(&heavy1.arena, q, 2, 22.0);
+            publish(&heavy2.arena, q, 2, 22.0);
+            publish(&idle.arena, q, 2, 0.01);
+            m.sample();
+            let sel = m.quantum();
+            if q > 3 && sel.contains(&heavy1.app) && sel.contains(&heavy2.app) {
+                heavy_pair += 1;
+            }
+        }
+        assert_eq!(heavy_pair, 0, "heavy jobs were co-scheduled after warmup");
+    }
+
+    #[test]
+    fn disconnect_releases_blocked_threads() {
+        let (mut m, h) = mgr();
+        let ids: Vec<_> = (0..3)
+            .map(|i| {
+                let ack = connect(&mut m, &h, &format!("j{i}"));
+                (ack.app, add_threads(&h, ack.app, 2))
+            })
+            .collect();
+        m.pump();
+        let sel = m.quantum();
+        let (blocked_id, blocked_gates) = ids
+            .iter()
+            .find(|(id, _)| !sel.contains(id))
+            .expect("one job blocked");
+        assert!(blocked_gates[0].should_block());
+        h.sender()
+            .send(ToManager::Disconnect { app: *blocked_id })
+            .unwrap();
+        m.pump();
+        assert!(
+            !blocked_gates[0].should_block(),
+            "disconnect must unblock parked threads"
+        );
+        assert_eq!(m.job_names().len(), 2);
+    }
+
+    #[test]
+    fn thread_born_into_blocked_job_starts_blocked() {
+        let (mut m, h) = mgr();
+        for i in 0..3 {
+            let ack = connect(&mut m, &h, &format!("j{i}"));
+            add_threads(&h, ack.app, 2);
+        }
+        m.pump();
+        let sel = m.quantum();
+        // Find the blocked job and give it a new thread.
+        let blocked = m
+            .jobs
+            .iter()
+            .find(|j| !sel.contains(&j.id))
+            .map(|j| j.id)
+            .unwrap();
+        let late = add_threads(&h, blocked, 1).pop().unwrap();
+        m.pump();
+        assert!(late.should_block(), "late thread must inherit the block");
+    }
+}

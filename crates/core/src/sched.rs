@@ -1,0 +1,473 @@
+//! The bus-bandwidth-aware gang scheduler (§4 of the paper).
+//!
+//! One scheduler implementation hosts both policies; they differ only in
+//! the [`BandwidthEstimator`] plugged in. Per scheduling quantum:
+//!
+//! 1. **Measure.** Counter samples are taken twice per quantum
+//!    ([`busbw_sim::Scheduler::on_sample`]); at the quantum boundary each
+//!    job that ran gets its per-thread transaction rate recorded
+//!    (equipartitioned over its threads, as in the paper).
+//! 2. **Rotate.** Jobs that just ran move to the end of the (conceptually
+//!    circular) applications list.
+//! 3. **Select.** The head job is admitted unconditionally — this is the
+//!    paper's starvation-freedom guarantee. While free processors remain,
+//!    the list is re-traversed and the job maximizing
+//!    `fitness(ABBW/proc, BBW/thread)` among those that *fit* (gang
+//!    semantics: all threads or nothing) is admitted; `ABBW/proc` is
+//!    recomputed after every admission.
+//! 4. **Place.** Admitted gangs are placed with affinity: each thread
+//!    prefers its previous cpu, then its warmest cache, then any free cpu.
+
+use std::collections::BTreeMap;
+
+use busbw_perfmon::EventKind;
+use busbw_sim::{AppId, Assignment, CpuId, Decision, MachineView, Scheduler, SimTime};
+
+use crate::estimator::BandwidthEstimator;
+use crate::reconstruct::DemandTracker;
+use crate::selection::{select_gangs, Candidate};
+
+/// Configuration shared by both paper policies.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyConfig {
+    /// Scheduling quantum, µs. The paper uses 200 ms — twice the Linux
+    /// quantum, after finding that 100 ms caused conflicting user/kernel
+    /// scheduling decisions and excessive context switches (§5).
+    pub quantum_us: u64,
+    /// Counter samples per quantum (the paper: 2).
+    pub samples_per_quantum: u32,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self {
+            quantum_us: 200_000,
+            samples_per_quantum: 2,
+        }
+    }
+}
+
+/// The gang-like, bandwidth-aware scheduler hosting a policy's estimator.
+pub struct BusAwareScheduler {
+    cfg: PolicyConfig,
+    estimator: Box<dyn BandwidthEstimator>,
+    /// The applications list (head = next guaranteed job).
+    order: Vec<AppId>,
+    /// Jobs scheduled in the current quantum.
+    running: Vec<AppId>,
+    /// Per-app cumulative transaction totals at the last quantum boundary.
+    quantum_snapshot: BTreeMap<AppId, f64>,
+    /// Per-app cumulative transaction totals at the last counter sample.
+    sample_snapshot: BTreeMap<AppId, f64>,
+    last_boundary_us: SimTime,
+    last_sample_us: SimTime,
+    /// IOQ-dilation integral at the last quantum boundary / sample.
+    dilation_at_boundary: f64,
+    dilation_at_sample: f64,
+    /// Reconstructs bandwidth *requirements* from the consumption the
+    /// counters report (see [`crate::reconstruct`]).
+    demand: DemandTracker,
+    display_name: String,
+}
+
+impl BusAwareScheduler {
+    /// Build a scheduler around an estimator with the default (paper)
+    /// configuration.
+    pub fn new(estimator: Box<dyn BandwidthEstimator>) -> Self {
+        Self::with_config(estimator, PolicyConfig::default())
+    }
+
+    /// Build with a custom configuration (quantum ablations).
+    pub fn with_config(estimator: Box<dyn BandwidthEstimator>, cfg: PolicyConfig) -> Self {
+        assert!(cfg.quantum_us > 0, "quantum must be positive");
+        assert!(cfg.samples_per_quantum >= 1, "need at least one sample per quantum");
+        let display_name = estimator.label().to_string();
+        Self {
+            cfg,
+            estimator,
+            order: Vec::new(),
+            running: Vec::new(),
+            quantum_snapshot: BTreeMap::new(),
+            sample_snapshot: BTreeMap::new(),
+            last_boundary_us: 0,
+            last_sample_us: 0,
+            dilation_at_boundary: 0.0,
+            dilation_at_sample: 0.0,
+            demand: DemandTracker::new(),
+            display_name,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PolicyConfig {
+        self.cfg
+    }
+
+    /// Current `BBW/thread` estimate for a job (for tests and reports).
+    pub fn estimate(&self, app: AppId) -> f64 {
+        self.estimator.estimate(app)
+    }
+
+    /// Total transactions issued so far by `app`'s threads.
+    fn app_tx(view: &MachineView<'_>, app: AppId) -> f64 {
+        view.app(app)
+            .map(|a| {
+                a.threads
+                    .iter()
+                    .map(|t| view.registry.total(t.key(), EventKind::BusTransactions))
+                    .sum()
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Keep `order` in sync with the machine's live applications: drop
+    /// finished jobs, append newly arrived ones.
+    fn refresh_job_list(&mut self, view: &MachineView<'_>) {
+        let live = view.live_apps();
+        let mut present: std::collections::BTreeSet<AppId> = live.iter().copied().collect();
+        self.order.retain(|a| present.contains(a));
+        for a in &self.order {
+            present.remove(a);
+        }
+        // Newly connected jobs go to the end of the circular list.
+        self.order.extend(present);
+        // Forget estimator state for dead jobs.
+        let live_set: std::collections::BTreeSet<AppId> = live.into_iter().collect();
+        let dead: Vec<AppId> = self
+            .quantum_snapshot
+            .keys()
+            .filter(|a| !live_set.contains(a))
+            .copied()
+            .collect();
+        for a in dead {
+            self.quantum_snapshot.remove(&a);
+            self.sample_snapshot.remove(&a);
+            self.estimator.forget(a);
+            self.demand.forget(a);
+        }
+    }
+
+    /// Record the finished quantum's bandwidth for every job that ran.
+    ///
+    /// Measurements are first passed through demand reconstruction: the
+    /// manager can tell from the workload's total transaction rate whether
+    /// the interval was saturated, and under saturation a measurement is
+    /// only a lower bound on the job's requirement.
+    fn settle_quantum(&mut self, view: &MachineView<'_>) {
+        let dt = view.now.saturating_sub(self.last_boundary_us);
+        if dt == 0 {
+            return;
+        }
+        let lambda = (view.dilation_integral - self.dilation_at_boundary) / dt as f64;
+        for &app in &self.running {
+            let Some(info) = view.app(app) else { continue };
+            let total = Self::app_tx(view, app);
+            let before = self.quantum_snapshot.get(&app).copied().unwrap_or(0.0);
+            let width = info.threads.len().max(1);
+            let per_thread = (total - before).max(0.0) / dt as f64 / width as f64;
+            let demand = self.demand.observe(app, per_thread, lambda);
+            self.estimator.record_quantum(app, demand);
+        }
+    }
+
+    /// §4 selection: head admitted by default, then fitness-driven fill
+    /// (shared with the real-thread CPU manager via [`crate::selection`]).
+    fn select(&self, view: &MachineView<'_>) -> Vec<AppId> {
+        let candidates: Vec<Candidate<AppId>> = self
+            .order
+            .iter()
+            .filter_map(|&app| {
+                view.app(app).map(|info| Candidate {
+                    key: app,
+                    width: info.width(),
+                    bbw_per_thread: self.estimator.estimate(app),
+                })
+            })
+            .collect();
+        select_gangs(&candidates, view.num_cpus, view.bus_capacity)
+    }
+
+    /// Affinity-preserving placement of whole gangs.
+    pub(crate) fn place(view: &MachineView<'_>, admitted: &[AppId]) -> Vec<Assignment> {
+        let mut free: Vec<bool> = vec![true; view.num_cpus];
+        let mut assignments = Vec::new();
+        let mut pending = Vec::new();
+
+        // Pass 1: honor last-cpu affinity.
+        for &app in admitted {
+            let Some(info) = view.app(app) else { continue };
+            for &tid in info.threads {
+                let Some(t) = view.thread(tid) else { continue };
+                if !t.is_runnable() {
+                    continue;
+                }
+                match t.last_cpu {
+                    Some(c) if free[c.0] => {
+                        free[c.0] = false;
+                        assignments.push(Assignment { thread: tid, cpu: c });
+                    }
+                    _ => pending.push(tid),
+                }
+            }
+        }
+        // Pass 2: warmest cache, then lowest free cpu.
+        for tid in pending {
+            let warm = view
+                .warmest_cpu(tid)
+                .map(|(c, _)| c)
+                .filter(|c| free[c.0]);
+            let cpu = warm.or_else(|| {
+                free.iter()
+                    .position(|&f| f)
+                    .map(CpuId)
+            });
+            if let Some(c) = cpu {
+                free[c.0] = false;
+                assignments.push(Assignment { thread: tid, cpu: c });
+            }
+        }
+        assignments
+    }
+}
+
+impl Scheduler for BusAwareScheduler {
+    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+        // 1. Measure the quantum that just ended.
+        self.settle_quantum(view);
+
+        // 2. Maintain the circular list: rotate jobs that ran to the end.
+        self.refresh_job_list(view);
+        let ran: Vec<AppId> = self
+            .order
+            .iter()
+            .copied()
+            .filter(|a| self.running.contains(a))
+            .collect();
+        self.order.retain(|a| !ran.contains(a));
+        self.order.extend(ran);
+
+        // 3. Select and 4. place.
+        let admitted = self.select(view);
+        let assignments = Self::place(view, &admitted);
+
+        // Snapshot counters for the jobs about to run.
+        for &app in &admitted {
+            let t = Self::app_tx(view, app);
+            self.quantum_snapshot.insert(app, t);
+            self.sample_snapshot.insert(app, t);
+        }
+        self.running = admitted;
+        self.last_boundary_us = view.now;
+        self.last_sample_us = view.now;
+        self.dilation_at_boundary = view.dilation_integral;
+        self.dilation_at_sample = view.dilation_integral;
+
+        Decision {
+            assignments,
+            next_resched_in_us: self.cfg.quantum_us,
+            sample_period_us: Some(self.cfg.quantum_us / self.cfg.samples_per_quantum as u64),
+        }
+    }
+
+    fn on_sample(&mut self, view: &MachineView<'_>) {
+        let dt = view.now.saturating_sub(self.last_sample_us);
+        if dt == 0 {
+            return;
+        }
+        let lambda = (view.dilation_integral - self.dilation_at_sample) / dt as f64;
+        for &app in &self.running {
+            let Some(info) = view.app(app) else { continue };
+            let total = Self::app_tx(view, app);
+            let before = self.sample_snapshot.get(&app).copied().unwrap_or(0.0);
+            let width = info.threads.len().max(1);
+            let per_thread = (total - before).max(0.0) / dt as f64 / width as f64;
+            let demand = self.demand.observe(app, per_thread, lambda);
+            self.estimator.record_sample(app, demand);
+            self.sample_snapshot.insert(app, total);
+        }
+        self.dilation_at_sample = view.dilation_integral;
+        self.last_sample_us = view.now;
+    }
+
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{LatestQuantumEstimator, QuantaWindowEstimator};
+    use busbw_sim::{
+        AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY,
+    };
+
+    fn app(m: &mut Machine, name: &str, nthreads: usize, rate: f64, mu: f64, work: f64) -> AppId {
+        let threads = (0..nthreads)
+            .map(|_| ThreadSpec::new(work, Box::new(ConstantDemand::new(rate, mu))))
+            .collect();
+        m.add_app(AppDescriptor::new(name, threads))
+    }
+
+    fn latest() -> BusAwareScheduler {
+        BusAwareScheduler::new(Box::new(LatestQuantumEstimator::new()))
+    }
+
+    fn window() -> BusAwareScheduler {
+        BusAwareScheduler::new(Box::new(QuantaWindowEstimator::new()))
+    }
+
+    #[test]
+    fn everything_fits_everything_runs() {
+        let mut m = Machine::new(XEON_4WAY);
+        let a = app(&mut m, "a", 2, 1.0, 0.2, 400_000.0);
+        let b = app(&mut m, "b", 2, 1.0, 0.2, 400_000.0);
+        let mut s = latest();
+        let out = m.run(&mut s, StopCondition::AppsFinished(vec![a, b]));
+        assert!(out.condition_met);
+        // Both fit on 4 cpus: finish in ~solo time.
+        for id in [a, b] {
+            let t = m.turnaround_us(id).unwrap();
+            assert!(t < 500_000, "{t}");
+        }
+    }
+
+    #[test]
+    fn gang_semantics_all_threads_or_none() {
+        let mut m = Machine::new(XEON_4WAY);
+        // Three 2-thread apps on 4 cpus: exactly two run per quantum.
+        for i in 0..3 {
+            app(&mut m, &format!("a{i}"), 2, 1.0, 0.2, f64::INFINITY);
+        }
+        let mut s = latest();
+        // Drive a few quanta manually.
+        for _ in 0..5 {
+            let d = s.schedule(&m.view());
+            // Count threads per app among assignments.
+            let mut per_app: BTreeMap<AppId, usize> = BTreeMap::new();
+            for a in &d.assignments {
+                let info = m.view().thread(a.thread).unwrap();
+                *per_app.entry(info.app).or_default() += 1;
+            }
+            assert_eq!(d.assignments.len(), 4, "all cpus used");
+            for (_, n) in per_app {
+                assert_eq!(n, 2, "gangs are indivisible");
+            }
+            // Advance a quantum so rotation matters.
+            let _ = m.run(
+                &mut busbw_sim::testkit::Replay::new(d),
+                StopCondition::At(m.now() + 200_000),
+            );
+        }
+    }
+
+    #[test]
+    fn no_starvation_under_rotation() {
+        let mut m = Machine::new(XEON_4WAY);
+        let ids: Vec<AppId> = (0..4)
+            .map(|i| app(&mut m, &format!("a{i}"), 2, 8.0, 0.8, f64::INFINITY))
+            .collect();
+        let mut s = window();
+        let mut ran_ever: BTreeMap<AppId, bool> = ids.iter().map(|&i| (i, false)).collect();
+        // Drive quanta manually; every app must run (head-of-list rule).
+        for _ in 0..12 {
+            let d = s.schedule(&m.view());
+            for a in &d.assignments {
+                let info = m.view().thread(a.thread).unwrap();
+                ran_ever.insert(info.app, true);
+            }
+            let _ = m.run(
+                &mut busbw_sim::testkit::Replay::new(d),
+                StopCondition::At(m.now() + 200_000),
+            );
+        }
+        assert!(ran_ever.values().all(|&r| r), "{ran_ever:?}");
+    }
+
+    #[test]
+    fn pairs_heavy_with_light_when_bus_is_tight() {
+        let mut m = Machine::new(XEON_4WAY);
+        // Two heavy 2-thread jobs (each alone nearly fills the bus) and two
+        // light 2-thread jobs. The fitness rule should co-schedule
+        // heavy+light, not heavy+heavy.
+        let h1 = app(&mut m, "h1", 2, 11.0, 0.9, f64::INFINITY);
+        let h2 = app(&mut m, "h2", 2, 11.0, 0.9, f64::INFINITY);
+        let l1 = app(&mut m, "l1", 2, 0.1, 0.05, f64::INFINITY);
+        let l2 = app(&mut m, "l2", 2, 0.1, 0.05, f64::INFINITY);
+        let mut s = latest();
+        // Warm up estimates over a few quanta.
+        let mut paired_heavy_heavy = 0;
+        let mut quanta = 0;
+        for _ in 0..20 {
+            let d = s.schedule(&m.view());
+            let mut apps: Vec<AppId> = d
+                .assignments
+                .iter()
+                .map(|a| m.view().thread(a.thread).unwrap().app)
+                .collect();
+            apps.sort();
+            apps.dedup();
+            if apps.contains(&h1) && apps.contains(&h2) {
+                paired_heavy_heavy += 1;
+            }
+            let _ = (apps.contains(&l1), apps.contains(&l2));
+            quanta += 1;
+            let _ = m.run(
+                &mut busbw_sim::testkit::Replay::new(d),
+                StopCondition::At(m.now() + 200_000),
+            );
+        }
+        // The first quantum has no estimates (heavy+heavy is unavoidable),
+        // and because the counters measure *achieved* bandwidth, heavy jobs
+        // that co-ran look lighter than they are — so occasional
+        // heavy+heavy pairings recur (the paper's policy measures the same
+        // way). The claim to verify is that the fitness rule makes
+        // heavy+light the dominant pairing, where a bandwidth-oblivious
+        // round-robin over this 4-job list would pair heavy+heavy half the
+        // time and Linux would do so arbitrarily.
+        assert!(quanta >= 20);
+        assert!(
+            paired_heavy_heavy * 2 < quanta,
+            "heavy jobs co-scheduled {paired_heavy_heavy}/{quanta} quanta"
+        );
+    }
+
+    #[test]
+    fn estimates_converge_to_solo_rates() {
+        let mut m = Machine::new(XEON_4WAY);
+        let a = app(&mut m, "a", 2, 5.0, 0.5, f64::INFINITY);
+        let mut s = latest();
+        for _ in 0..6 {
+            let d = s.schedule(&m.view());
+            let _ = m.run(
+                &mut busbw_sim::testkit::Replay::new(d),
+                StopCondition::At(m.now() + 200_000),
+            );
+        }
+        // settle_quantum happens on the *next* schedule call.
+        let _ = s.schedule(&m.view());
+        let est = s.estimate(a);
+        assert!(
+            (4.0..7.0).contains(&est),
+            "estimate {est}, expected ~5 tx/µs/thread"
+        );
+    }
+
+    #[test]
+    fn placement_preserves_affinity_across_quanta() {
+        let mut m = Machine::new(XEON_4WAY);
+        let _a = app(&mut m, "a", 2, 2.0, 0.3, f64::INFINITY);
+        let _b = app(&mut m, "b", 2, 2.0, 0.3, f64::INFINITY);
+        let mut s = window();
+        let d1 = s.schedule(&m.view());
+        let placement1: BTreeMap<_, _> = d1.assignments.iter().map(|a| (a.thread, a.cpu)).collect();
+        let _ = m.run(
+            &mut busbw_sim::testkit::Replay::new(d1),
+            StopCondition::At(m.now() + 200_000),
+        );
+        let d2 = s.schedule(&m.view());
+        for a in &d2.assignments {
+            assert_eq!(placement1[&a.thread], a.cpu, "thread migrated needlessly");
+        }
+    }
+}

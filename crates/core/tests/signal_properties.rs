@@ -1,0 +1,60 @@
+//! Property tests for the block/unblock counting gate: the §4 inversion
+//! rule must hold for *any* delivery order, sequential or concurrent.
+
+use std::sync::Arc;
+
+use busbw_core::manager::{Signal, SignalGate};
+use proptest::prelude::*;
+
+proptest! {
+    /// Sequential deliveries in any order: the gate state is a pure
+    /// function of the counts, never of the order.
+    #[test]
+    fn gate_state_is_order_independent(signals in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let gate = SignalGate::new();
+        let mut blocks = 0u64;
+        let mut unblocks = 0u64;
+        for &is_block in &signals {
+            if is_block {
+                gate.deliver(Signal::Block);
+                blocks += 1;
+            } else {
+                gate.deliver(Signal::Unblock);
+                unblocks += 1;
+            }
+            prop_assert_eq!(gate.should_block(), blocks > unblocks);
+        }
+        prop_assert_eq!(gate.counts(), (blocks, unblocks));
+    }
+
+    /// Concurrent delivery of a balanced multiset from several threads
+    /// always leaves the gate open, and an unbalanced one leaves it in
+    /// the state the counts dictate.
+    #[test]
+    fn concurrent_deliveries_settle_to_the_count_rule(
+        pairs_per_thread in 1usize..40,
+        extra_blocks in 0u64..3,
+    ) {
+        let gate = Arc::new(SignalGate::new());
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let gate = gate.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..pairs_per_thread {
+                    gate.deliver(Signal::Block);
+                    gate.deliver(Signal::Unblock);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for _ in 0..extra_blocks {
+            gate.deliver(Signal::Block);
+        }
+        prop_assert_eq!(gate.should_block(), extra_blocks > 0);
+        let (b, u) = gate.counts();
+        prop_assert_eq!(b, 3 * pairs_per_thread as u64 + extra_blocks);
+        prop_assert_eq!(u, 3 * pairs_per_thread as u64);
+    }
+}

@@ -1,0 +1,175 @@
+//! Ablations of the design choices the paper motivates but does not plot.
+//!
+//! * **Window length** (§4): the 5-sample window "limits the average
+//!   distance between the observed transactions pattern and the moving
+//!   window average to 5 % for applications with irregular bus bandwidth
+//!   requirements". [`ablate_window`] reproduces both halves of the
+//!   tradeoff: the analytic distance criterion on a bursty trace, and the
+//!   end-to-end improvement on the Raytrace set-B workload where Latest
+//!   Quantum misbehaves (−19 % in the paper).
+//! * **Quantum length** (§5): the paper moved from 100 ms to 200 ms
+//!   because of user/kernel scheduling conflicts. The simulator has no
+//!   such conflict, so [`ablate_quantum`] reports the pure policy-side
+//!   sensitivity.
+//! * **Fitness rule** (§4): [`ablate_fitness`] compares the fitness-driven
+//!   fill against round-robin, random, and greedy-max-bandwidth gang
+//!   fills on set C.
+
+use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary, MovingWindow};
+use busbw_sim::{DemandModel, XEON_4WAY_HT};
+use busbw_workloads::burst::TwoStateBurst;
+use busbw_workloads::paper::PaperApp;
+
+use crate::fig2::{fig2_with_policies, Fig2Set};
+use crate::runner::{run_spec, PolicyKind, RunnerConfig};
+
+/// Window lengths swept by [`ablate_window`].
+pub const WINDOW_SWEEP: [usize; 5] = [1, 3, 5, 9, 15];
+
+/// Window-length ablation.
+///
+/// Rows: one per window length. Columns: the §4 distance criterion on a
+/// Raytrace-like burst trace (%), and the end-to-end improvement over
+/// Linux on the Raytrace and CG set-B workloads.
+pub fn ablate_window(rc: &RunnerConfig) -> FigureSummary {
+    // The analytic half: sample a Raytrace-like burst process at the
+    // manager's sampling period (100 ms), compute the §4 criterion.
+    let mut burst = TwoStateBurst::raytrace(10.65, 0.82, rc.seed);
+    let trace: Vec<f64> = (0..600)
+        .map(|i| burst.demand_at(0.0, i * 100_000).rate)
+        .collect();
+
+    let mut rows = Vec::new();
+    for w in WINDOW_SWEEP {
+        let dist = MovingWindow::mean_relative_distance(w, &trace) * 100.0;
+        let mut values = vec![("distance %".to_string(), dist)];
+        for app in [PaperApp::Raytrace, PaperApp::Cg] {
+            let spec = Fig2Set::B.spec(app);
+            let linux = run_spec(&spec, PolicyKind::Linux, rc);
+            let win = run_spec(&spec, PolicyKind::WindowN(w), rc);
+            values.push((
+                format!("{} impr %", app.name()),
+                improvement_pct(linux.mean_turnaround_us, win.mean_turnaround_us),
+            ));
+        }
+        rows.push(ExperimentRow {
+            app: format!("W={w}"),
+            values,
+        });
+    }
+    FigureSummary {
+        id: "ablate-window".into(),
+        title: "Window length: §4 distance criterion and set-B improvement".into(),
+        rows,
+    }
+}
+
+/// Quantum lengths swept by [`ablate_quantum`] (µs).
+pub const QUANTUM_SWEEP: [u64; 4] = [50_000, 100_000, 200_000, 400_000];
+
+/// Quantum-length ablation for the Latest Quantum policy on set C.
+pub fn ablate_quantum(rc: &RunnerConfig) -> FigureSummary {
+    let mut rows = Vec::new();
+    for q in QUANTUM_SWEEP {
+        let mut values = Vec::new();
+        for app in [PaperApp::Volrend, PaperApp::Sp, PaperApp::Cg] {
+            let spec = Fig2Set::C.spec(app);
+            let linux = run_spec(&spec, PolicyKind::Linux, rc);
+            let pol = run_spec(&spec, PolicyKind::LatestWithQuantum(q), rc);
+            values.push((
+                format!("{} impr %", app.name()),
+                improvement_pct(linux.mean_turnaround_us, pol.mean_turnaround_us),
+            ));
+        }
+        rows.push(ExperimentRow {
+            app: format!("{}ms", q / 1000),
+            values,
+        });
+    }
+    FigureSummary {
+        id: "ablate-quantum".into(),
+        title: "Latest Quantum: scheduling quantum sweep on set C".into(),
+        rows,
+    }
+}
+
+/// Fitness-rule ablation on set C: the paper's policies vs gang
+/// scheduling with round-robin, random, and greedy-max-bandwidth fills.
+pub fn ablate_fitness(rc: &RunnerConfig) -> FigureSummary {
+    let mut fig = fig2_with_policies(
+        Fig2Set::C,
+        &[
+            PolicyKind::Latest,
+            PolicyKind::Window,
+            PolicyKind::RoundRobinGang,
+            PolicyKind::RandomGang(rc.seed),
+            PolicyKind::GreedyPack,
+        ],
+        rc,
+    );
+    fig.id = "ablate-fitness".into();
+    fig.title = "Set C improvement %: fitness vs oblivious gang fills".into();
+    fig
+}
+
+/// Hyperthreading extension (§6 future work; the paper disabled HT
+/// because perfctr could not virtualize counters across siblings).
+///
+/// Reruns set C on the same machine with SMT enabled (8 logical cpus on
+/// 4 cores, 1.25× aggregate core speedup) and reports the policies'
+/// improvement over Linux on both configurations. With HT, all 8 threads
+/// of the workload fit simultaneously, so the baseline stops paying the
+/// gang-splitting cost — but the bus is pressured by more concurrent
+/// streams, which is exactly the regime the bandwidth-aware policies
+/// target.
+pub fn ablate_smt(rc: &RunnerConfig) -> FigureSummary {
+    let mut rows = Vec::new();
+    let ht_rc = RunnerConfig {
+        machine: XEON_4WAY_HT,
+        ..*rc
+    };
+    for app in [PaperApp::Volrend, PaperApp::Mg, PaperApp::Cg] {
+        let spec = Fig2Set::C.spec(app);
+        let mut values = Vec::new();
+        for (label, cfg) in [("4-way", rc), ("4-way+HT", &ht_rc)] {
+            let linux = run_spec(&spec, PolicyKind::Linux, cfg);
+            for p in [PolicyKind::Latest, PolicyKind::Window] {
+                let r = run_spec(&spec, p, cfg);
+                values.push((
+                    format!("{} {}", p.label(), label),
+                    improvement_pct(linux.mean_turnaround_us, r.mean_turnaround_us),
+                ));
+            }
+        }
+        rows.push(ExperimentRow {
+            app: app.name().to_string(),
+            values,
+        });
+    }
+    FigureSummary {
+        id: "ablate-smt".into(),
+        title: "Set C improvement % with and without Hyperthreading".into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_distance_criterion_grows_with_width() {
+        // Pure analytic part (fast): the §4 tradeoff direction.
+        let mut burst = TwoStateBurst::raytrace(10.65, 0.82, 3);
+        let trace: Vec<f64> = (0..600)
+            .map(|i| burst.demand_at(0.0, i * 100_000).rate)
+            .collect();
+        let d1 = MovingWindow::mean_relative_distance(1, &trace);
+        let d5 = MovingWindow::mean_relative_distance(5, &trace);
+        let d15 = MovingWindow::mean_relative_distance(15, &trace);
+        assert!(d1 <= d5 && d5 <= d15, "{d1} {d5} {d15}");
+        // The paper's 5-sample choice keeps the distance moderate (the
+        // text cites ~5 %; our synthetic bursts are of the same order).
+        assert!(d5 < 0.60, "5-sample distance {d5}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Baseline comparison: does the paper's win survive a stronger baseline?
+//!
+//! The paper compares only against the Linux 2.4 scheduler. This
+//! experiment reruns set C against the 2.6-class O(1) baseline (per-cpu
+//! runqueues, load balancing) and against the §6 model-driven comparator,
+//! all normalized to the 2.4-like baseline's turnaround.
+
+use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary};
+use busbw_workloads::paper::PaperApp;
+
+use crate::fig2::Fig2Set;
+use crate::runner::{run_spec, PolicyKind, RunnerConfig};
+
+/// Improvement % over the 2.4-like baseline, on set C, for the O(1)
+/// baseline, both paper policies, and the model-driven comparator.
+pub fn baselines(rc: &RunnerConfig) -> FigureSummary {
+    let policies = [
+        PolicyKind::LinuxO1,
+        PolicyKind::Latest,
+        PolicyKind::Window,
+        PolicyKind::ModelDriven,
+    ];
+    let mut rows = Vec::new();
+    for app in [PaperApp::Volrend, PaperApp::Bt, PaperApp::Mg, PaperApp::Cg] {
+        let spec = Fig2Set::C.spec(app);
+        let linux24 = run_spec(&spec, PolicyKind::Linux, rc);
+        let mut values = Vec::new();
+        for &p in &policies {
+            let r = run_spec(&spec, p, rc);
+            values.push((
+                p.label(),
+                improvement_pct(linux24.mean_turnaround_us, r.mean_turnaround_us),
+            ));
+        }
+        rows.push(ExperimentRow {
+            app: app.name().to_string(),
+            values,
+        });
+    }
+    FigureSummary {
+        id: "baselines".into(),
+        title: "Set C improvement % over the 2.4-like baseline".into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_comparison_produces_all_series() {
+        let rc = RunnerConfig::quick();
+        let fig = baselines(&rc);
+        assert_eq!(fig.rows.len(), 4);
+        assert_eq!(
+            fig.series(),
+            vec!["LinuxO1", "Latest", "Window", "ModelDriven"]
+        );
+        for row in &fig.rows {
+            for (_, v) in &row.values {
+                assert!(v.is_finite(), "{}: {v}", row.app);
+            }
+        }
+    }
+
+    #[test]
+    fn policies_also_beat_the_o1_baseline_on_heavy_apps() {
+        // The paper's win must not be an artifact of the 2.4 baseline:
+        // compare Window directly against O(1) for CG.
+        let rc = RunnerConfig::quick();
+        let spec = Fig2Set::C.spec(PaperApp::Cg);
+        let o1 = run_spec(&spec, PolicyKind::LinuxO1, &rc);
+        let window = run_spec(&spec, PolicyKind::Window, &rc);
+        assert!(
+            window.mean_turnaround_us < o1.mean_turnaround_us * 1.02,
+            "Window {} vs O(1) {}",
+            window.mean_turnaround_us,
+            o1.mean_turnaround_us
+        );
+    }
+}

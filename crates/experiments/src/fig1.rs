@@ -1,0 +1,105 @@
+//! Figure 1: the motivation experiments of §3.
+//!
+//! Four configurations per application (each application instance uses two
+//! processors; there is never processor sharing in these runs):
+//!
+//! * **1 Appl** — the instance alone (black bars);
+//! * **2 Apps** — two instances (dark gray);
+//! * **1 Appl + 2 BBMA** — one instance + two saturating microbenchmarks
+//!   (light gray);
+//! * **1 Appl + 2 nBBMA** — one instance + two bus-idle microbenchmarks
+//!   (white/striped).
+//!
+//! Figure 1A reports cumulative bus transaction rates; Figure 1B the
+//! slowdown relative to the solo run (arithmetic mean over instances).
+
+use busbw_metrics::{ExperimentRow, FigureSummary};
+use busbw_workloads::mix::{fig1_solo, fig1_two_instances, fig1_with_bbma, fig1_with_nbbma};
+use busbw_workloads::paper::PaperApp;
+
+use crate::runner::{run_spec, solo_turnaround_us, PolicyKind, RunnerConfig};
+
+/// Regenerate Figure 1A (cumulative bus transaction rates).
+///
+/// Series match the paper's legend: for the application-only
+/// configurations the series is the applications' own cumulative rate; for
+/// the microbenchmark mixes it is the whole workload's rate (what the
+/// paper plots — e.g. the BBMA workloads average 28.34 tx/µs, "very close
+/// to the limit of saturation").
+pub fn fig1a(rc: &RunnerConfig) -> FigureSummary {
+    let mut rows = Vec::new();
+    for app in PaperApp::ALL {
+        let solo = run_spec(&fig1_solo(app), PolicyKind::Linux, rc);
+        let two = run_spec(&fig1_two_instances(app), PolicyKind::Linux, rc);
+        let bbma = run_spec(&fig1_with_bbma(app), PolicyKind::Linux, rc);
+        let nbbma = run_spec(&fig1_with_nbbma(app), PolicyKind::Linux, rc);
+        rows.push(ExperimentRow {
+            app: app.name().to_string(),
+            values: vec![
+                ("1 Appl".into(), solo.measured_apps_rate),
+                ("2 Apps".into(), two.measured_apps_rate),
+                ("1 Appl + 2 BBMA".into(), bbma.workload_rate),
+                ("1 Appl + 2 nBBMA".into(), nbbma.workload_rate),
+            ],
+        });
+    }
+    FigureSummary {
+        id: "fig1a".into(),
+        title: "Cumulative bus transactions rate (tx/µs)".into(),
+        rows,
+    }
+}
+
+/// Regenerate Figure 1B (slowdowns of the three multiprogrammed
+/// configurations relative to solo execution).
+pub fn fig1b(rc: &RunnerConfig) -> FigureSummary {
+    let mut rows = Vec::new();
+    for app in PaperApp::ALL {
+        let solo = solo_turnaround_us(app, rc);
+        let two = run_spec(&fig1_two_instances(app), PolicyKind::Linux, rc);
+        let bbma = run_spec(&fig1_with_bbma(app), PolicyKind::Linux, rc);
+        let nbbma = run_spec(&fig1_with_nbbma(app), PolicyKind::Linux, rc);
+        rows.push(ExperimentRow {
+            app: app.name().to_string(),
+            values: vec![
+                ("2 Apps".into(), two.mean_turnaround_us / solo),
+                ("1 Appl + 2 BBMA".into(), bbma.mean_turnaround_us / solo),
+                ("1 Appl + 2 nBBMA".into(), nbbma.mean_turnaround_us / solo),
+            ],
+        });
+    }
+    FigureSummary {
+        id: "fig1b".into(),
+        title: "Slowdown vs. solo execution".into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One reduced-size end-to-end check of the Figure 1 shapes. The full
+    /// figure is exercised by the `experiments` binary and the benches.
+    #[test]
+    fn fig1_shapes_hold_for_representative_apps() {
+        let rc = RunnerConfig::quick();
+        // Light app: BBMA hurts a little, nBBMA not at all.
+        let solo_l = solo_turnaround_us(PaperApp::Volrend, &rc);
+        let l_bbma = run_spec(&fig1_with_bbma(PaperApp::Volrend), PolicyKind::Linux, &rc);
+        let l_nbbma = run_spec(&fig1_with_nbbma(PaperApp::Volrend), PolicyKind::Linux, &rc);
+        let s_bbma = l_bbma.mean_turnaround_us / solo_l;
+        let s_nbbma = l_nbbma.mean_turnaround_us / solo_l;
+        assert!((1.0..1.6).contains(&s_bbma), "Volrend+BBMA slowdown {s_bbma}");
+        assert!(
+            (0.97..1.1).contains(&s_nbbma),
+            "Volrend+nBBMA slowdown {s_nbbma}"
+        );
+
+        // Heavy app: BBMA causes a 2–3× slowdown (the paper's headline).
+        let solo_h = solo_turnaround_us(PaperApp::Cg, &rc);
+        let h_bbma = run_spec(&fig1_with_bbma(PaperApp::Cg), PolicyKind::Linux, &rc);
+        let s_h = h_bbma.mean_turnaround_us / solo_h;
+        assert!((1.8..3.2).contains(&s_h), "CG+BBMA slowdown {s_h}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 2: the evaluation of §5.
+//!
+//! Multiprogramming degree 2 (8 threads on 4 processors). For every
+//! application and every workload set, the workload runs under the Linux
+//! baseline and under each new policy; the figure reports the percentage
+//! improvement of the *mean turnaround time of the two application
+//! instances* relative to Linux.
+
+use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary};
+use busbw_workloads::mix::{fig2_set_a, fig2_set_b, fig2_set_c, WorkloadSpec};
+use busbw_workloads::paper::PaperApp;
+
+use crate::runner::{run_spec, PolicyKind, RunnerConfig};
+
+/// The three workload families of §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig2Set {
+    /// 2 × app + 4 × BBMA (saturated background).
+    A,
+    /// 2 × app + 4 × nBBMA (idle-bus background).
+    B,
+    /// 2 × app + 2 × BBMA + 2 × nBBMA (mixed background).
+    C,
+}
+
+impl Fig2Set {
+    /// The workload for one application.
+    pub fn spec(self, app: PaperApp) -> WorkloadSpec {
+        match self {
+            Fig2Set::A => fig2_set_a(app),
+            Fig2Set::B => fig2_set_b(app),
+            Fig2Set::C => fig2_set_c(app),
+        }
+    }
+
+    /// Figure id ("fig2a"…).
+    pub fn id(self) -> &'static str {
+        match self {
+            Fig2Set::A => "fig2a",
+            Fig2Set::B => "fig2b",
+            Fig2Set::C => "fig2c",
+        }
+    }
+
+    /// Paper subtitle.
+    pub fn title(self) -> &'static str {
+        match self {
+            Fig2Set::A => "2 Apps (2 Threads each) + 4 BBMA — Avg. turnaround improvement (%)",
+            Fig2Set::B => "2 Apps (2 Threads each) + 4 nBBMA — Avg. turnaround improvement (%)",
+            Fig2Set::C => {
+                "2 Apps (2 Threads each) + 2 BBMA + 2 nBBMA — Avg. turnaround improvement (%)"
+            }
+        }
+    }
+}
+
+/// Regenerate one Figure 2 panel: improvement % of `policies` (default:
+/// Latest and Window) over the Linux baseline, per application.
+pub fn fig2(set: Fig2Set, rc: &RunnerConfig) -> FigureSummary {
+    fig2_with_policies(set, &[PolicyKind::Latest, PolicyKind::Window], rc)
+}
+
+/// Figure 2 panel with an arbitrary policy list (used by ablations).
+pub fn fig2_with_policies(
+    set: Fig2Set,
+    policies: &[PolicyKind],
+    rc: &RunnerConfig,
+) -> FigureSummary {
+    let mut rows = Vec::new();
+    for app in PaperApp::ALL {
+        let spec = set.spec(app);
+        let linux = run_spec(&spec, PolicyKind::Linux, rc);
+        let mut values = Vec::new();
+        for &p in policies {
+            let r = run_spec(&spec, p, rc);
+            values.push((
+                p.label(),
+                improvement_pct(linux.mean_turnaround_us, r.mean_turnaround_us),
+            ));
+        }
+        rows.push(ExperimentRow {
+            app: app.name().to_string(),
+            values,
+        });
+    }
+    FigureSummary {
+        id: set.id().into(),
+        title: set.title().into(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reduced-size shape check for one heavy application on set A — the
+    /// configuration with the paper's largest wins. Full panels are
+    /// produced by the binary and benches.
+    #[test]
+    fn heavy_app_set_a_improves_substantially() {
+        let rc = RunnerConfig::quick();
+        let spec = Fig2Set::A.spec(PaperApp::Mg);
+        let linux = run_spec(&spec, PolicyKind::Linux, &rc);
+        let latest = run_spec(&spec, PolicyKind::Latest, &rc);
+        let window = run_spec(&spec, PolicyKind::Window, &rc);
+        let imp_l = improvement_pct(linux.mean_turnaround_us, latest.mean_turnaround_us);
+        let imp_w = improvement_pct(linux.mean_turnaround_us, window.mean_turnaround_us);
+        assert!(imp_l > 10.0, "Latest improvement on MG set A: {imp_l}%");
+        assert!(imp_w > 10.0, "Window improvement on MG set A: {imp_w}%");
+    }
+
+    #[test]
+    fn set_enum_roundtrips() {
+        assert_eq!(Fig2Set::A.id(), "fig2a");
+        assert_eq!(Fig2Set::B.id(), "fig2b");
+        assert_eq!(Fig2Set::C.id(), "fig2c");
+        for s in [Fig2Set::A, Fig2Set::B, Fig2Set::C] {
+            assert_eq!(s.spec(PaperApp::Cg).total_threads(), 8);
+            assert!(!s.title().is_empty());
+        }
+    }
+}

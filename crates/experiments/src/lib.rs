@@ -1,0 +1,45 @@
+//! Experiment harness: regenerates every figure of the paper.
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | `fig1a` | Fig. 1A — cumulative bus transaction rates, 4 configurations × 11 apps |
+//! | `fig1b` | Fig. 1B — slowdowns under multiprogrammed bus pressure |
+//! | `fig2a` | Fig. 2A — turnaround improvement %, set A (2×app + 4×BBMA) |
+//! | `fig2b` | Fig. 2B — set B (2×app + 4×nBBMA) |
+//! | `fig2c` | Fig. 2C — set C (2×app + 2×BBMA + 2×nBBMA) |
+//! | `summary` | §5 — per-set max/average improvements |
+//! | `ablate-window` | §4 — window-length tradeoff behind the 5-sample choice |
+//! | `ablate-quantum` | §5 — quantum-length sensitivity (100 vs 200 ms and beyond) |
+//! | `ablate-fitness` | design ablation — fitness vs round-robin/random/greedy gangs |
+//! | `ablate-smt` | §6 future work — the same policies with Hyperthreading enabled |
+//! | `dynamic` | open-system extension — staggered job arrivals |
+//! | `robustness` | random job populations — win-rate of each policy over Linux |
+//! | `baselines` | Linux 2.4-like vs O(1)-like vs the policies vs model-driven |
+//! | `validate` | the reproduction gate: every EXPERIMENTS.md claim, PASS/FAIL |
+//! | `variance` | seed-sensitivity of Fig. 2B (the error bars the paper lacks) |
+//!
+//! Each function returns a [`busbw_metrics::FigureSummary`]; the
+//! `experiments` binary renders them as aligned text + CSV.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod baselines;
+pub mod dynamic;
+pub mod fig1;
+pub mod fig2;
+pub mod robustness;
+pub mod runner;
+pub mod validate;
+pub mod variance;
+
+pub use ablate::{ablate_fitness, ablate_quantum, ablate_smt, ablate_window};
+pub use dynamic::{dynamic_arrivals, staggered_turnaround};
+pub use baselines::baselines;
+pub use robustness::robustness;
+pub use fig1::{fig1a, fig1b};
+pub use fig2::{fig2, Fig2Set};
+pub use runner::{PolicyKind, RunnerConfig};
+pub use validate::{render as render_validation, validate, Claim};
+pub use variance::fig2b_variance;

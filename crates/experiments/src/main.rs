@@ -1,0 +1,166 @@
+//! The figure-regeneration binary.
+//!
+//! ```text
+//! experiments <command> [--scale X] [--seed N] [--out DIR]
+//!
+//! commands:
+//!   fig1a | fig1b | fig2a | fig2b | fig2c   one figure
+//!   summary                                  §5 max/avg table (needs fig2 runs)
+//!   ablate-window | ablate-quantum | ablate-fitness
+//!   all                                      everything above
+//! ```
+//!
+//! Output goes to stdout and, per figure, to `<out>/<id>.txt` and
+//! `<out>/<id>.csv` (default `results/`).
+
+use std::path::PathBuf;
+
+use busbw_experiments::{
+    ablate_fitness, ablate_quantum, ablate_smt, ablate_window, baselines, dynamic_arrivals,
+    fig1a, fig1b, fig2, fig2b_variance, render_validation, robustness, validate, Fig2Set,
+    RunnerConfig,
+};
+use busbw_experiments::PolicyKind;
+use busbw_metrics::{FigureSummary, Table};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|dynamic|baselines|robustness|validate|variance|all> [--scale X] [--seed N] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    command: String,
+    rc: RunnerConfig,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| usage());
+    let mut rc = RunnerConfig::default();
+    let mut out = PathBuf::from("results");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                rc.scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                rc.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    Args { command, rc, out }
+}
+
+fn emit(fig: &FigureSummary, out: &PathBuf) {
+    let table = Table::from_figure(fig);
+    println!("== {} — {}\n", fig.id, fig.title);
+    println!("{}", table.render());
+    for s in fig.series() {
+        let (mean, max, min) = (
+            fig.series_mean(&s).unwrap_or(f64::NAN),
+            fig.series_max(&s).unwrap_or(f64::NAN),
+            fig.series_min(&s).unwrap_or(f64::NAN),
+        );
+        println!("   {s}: mean {mean:.1}, max {max:.1}, min {min:.1}");
+    }
+    println!();
+    std::fs::create_dir_all(out).expect("create output dir");
+    std::fs::write(out.join(format!("{}.txt", fig.id)), table.render()).expect("write txt");
+    std::fs::write(out.join(format!("{}.csv", fig.id)), table.to_csv()).expect("write csv");
+}
+
+fn summary_table(figs: &[FigureSummary], out: &PathBuf) {
+    let mut t = Table::new(&["Set", "Policy", "Max impr %", "Avg impr %", "Min impr %"]);
+    for fig in figs {
+        for s in fig.series() {
+            t.row(vec![
+                fig.id.clone(),
+                s.clone(),
+                format!("{:.1}", fig.series_max(&s).unwrap_or(f64::NAN)),
+                format!("{:.1}", fig.series_mean(&s).unwrap_or(f64::NAN)),
+                format!("{:.1}", fig.series_min(&s).unwrap_or(f64::NAN)),
+            ]);
+        }
+    }
+    println!("== summary — §5 headline numbers\n");
+    println!("{}", t.render());
+    std::fs::create_dir_all(out).expect("create output dir");
+    std::fs::write(out.join("summary.txt"), t.render()).expect("write txt");
+    std::fs::write(out.join("summary.csv"), t.to_csv()).expect("write csv");
+}
+
+fn main() {
+    let args = parse_args();
+    let rc = args.rc;
+    match args.command.as_str() {
+        "fig1a" => emit(&fig1a(&rc), &args.out),
+        "fig1b" => emit(&fig1b(&rc), &args.out),
+        "fig2a" => emit(&fig2(Fig2Set::A, &rc), &args.out),
+        "fig2b" => emit(&fig2(Fig2Set::B, &rc), &args.out),
+        "fig2c" => emit(&fig2(Fig2Set::C, &rc), &args.out),
+        "summary" => {
+            let figs: Vec<FigureSummary> = [Fig2Set::A, Fig2Set::B, Fig2Set::C]
+                .into_iter()
+                .map(|s| fig2(s, &rc))
+                .collect();
+            summary_table(&figs, &args.out);
+        }
+        "ablate-window" => emit(&ablate_window(&rc), &args.out),
+        "ablate-quantum" => emit(&ablate_quantum(&rc), &args.out),
+        "ablate-fitness" => emit(&ablate_fitness(&rc), &args.out),
+        "ablate-smt" => emit(&ablate_smt(&rc), &args.out),
+        "dynamic" => emit(&dynamic_arrivals(&rc), &args.out),
+        "baselines" => emit(&baselines(&rc), &args.out),
+        "validate" => {
+            let claims = validate(&rc);
+            let (report, all) = render_validation(&claims);
+            println!("== validate — reproduction gate\n");
+            print!("{report}");
+            std::fs::create_dir_all(&args.out).expect("create output dir");
+            std::fs::write(args.out.join("validate.txt"), &report).expect("write report");
+            if !all {
+                std::process::exit(1);
+            }
+        }
+        "robustness" => emit(&robustness(10, 5, &rc), &args.out),
+        "variance" => {
+            for p in [PolicyKind::Latest, PolicyKind::Window] {
+                let mut fig = fig2b_variance(p, 5, &rc);
+                fig.id = format!("variance-{}", p.label().to_lowercase());
+                emit(&fig, &args.out);
+            }
+        }
+        "all" => {
+            emit(&fig1a(&rc), &args.out);
+            emit(&fig1b(&rc), &args.out);
+            let mut figs = Vec::new();
+            for s in [Fig2Set::A, Fig2Set::B, Fig2Set::C] {
+                let f = fig2(s, &rc);
+                emit(&f, &args.out);
+                figs.push(f);
+            }
+            summary_table(&figs, &args.out);
+            emit(&ablate_window(&rc), &args.out);
+            emit(&ablate_quantum(&rc), &args.out);
+            emit(&ablate_fitness(&rc), &args.out);
+            emit(&ablate_smt(&rc), &args.out);
+            emit(&dynamic_arrivals(&rc), &args.out);
+            emit(&baselines(&rc), &args.out);
+            emit(&robustness(10, 5, &rc), &args.out);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,132 @@
+//! Robustness over random job populations.
+//!
+//! §1 claims the scheduler "is effective with applications of varying
+//! bandwidth requirements, from very low to close to the limit of
+//! saturation". This experiment stress-tests that claim beyond the
+//! hand-picked §5 mixes: draw many random workloads (random rates,
+//! widths, burstiness — see [`busbw_workloads::synth`]), run each under
+//! every scheduler, and report the distribution of improvements over
+//! Linux.
+
+use busbw_metrics::{improvement_pct, mean, ExperimentRow, FigureSummary};
+use busbw_sim::StopCondition;
+use busbw_workloads::mix::{build_machine, WorkloadSpec};
+use busbw_workloads::synth::{generate, SynthConfig};
+
+use crate::runner::{PolicyKind, RunnerConfig};
+
+/// Mean turnaround (µs) of all finite jobs of `spec` under `policy`.
+fn run_random(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> f64 {
+    let built = build_machine(spec, rc.machine, rc.seed);
+    let mut machine = built.machine;
+    machine.set_hard_cap_us(
+        (busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 200.0) as u64,
+    );
+    let mut sched = policy.build();
+    let out = machine.run(
+        &mut *sched,
+        StopCondition::AppsFinished(built.measured_ids.clone()),
+    );
+    assert!(out.condition_met, "random workload hit the hard cap");
+    let ts: Vec<f64> = built
+        .measured_ids
+        .iter()
+        .map(|&id| machine.turnaround_us(id).unwrap() as f64)
+        .collect();
+    mean(&ts)
+}
+
+/// Build a measured workload from a random population.
+fn random_spec(trial: u64, jobs: usize, rc: &RunnerConfig) -> WorkloadSpec {
+    let cfg = SynthConfig {
+        jobs,
+        work_us: busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale,
+        ..SynthConfig::default()
+    };
+    let apps = generate(&cfg, rc.seed.wrapping_add(trial * 1009));
+    let measured = (0..apps.len()).collect();
+    WorkloadSpec {
+        name: format!("random#{trial}"),
+        apps,
+        measured,
+    }
+}
+
+/// The robustness figure: per trial, improvement % of each policy over
+/// Linux; plus an aggregate row.
+pub fn robustness(trials: u64, jobs: usize, rc: &RunnerConfig) -> FigureSummary {
+    assert!(trials >= 1);
+    let policies = [
+        PolicyKind::Latest,
+        PolicyKind::Window,
+        PolicyKind::ModelDriven,
+    ];
+    let mut rows = Vec::new();
+    let mut sums: Vec<f64> = vec![0.0; policies.len()];
+    let mut wins: Vec<u32> = vec![0; policies.len()];
+    for trial in 0..trials {
+        let spec = random_spec(trial, jobs, rc);
+        let linux = run_random(&spec, PolicyKind::Linux, rc);
+        let mut values = Vec::new();
+        for (i, &p) in policies.iter().enumerate() {
+            let t = run_random(&spec, p, rc);
+            let imp = improvement_pct(linux, t);
+            sums[i] += imp;
+            if imp > 0.0 {
+                wins[i] += 1;
+            }
+            values.push((p.label(), imp));
+        }
+        rows.push(ExperimentRow {
+            app: format!("trial {trial}"),
+            values,
+        });
+    }
+    rows.push(ExperimentRow {
+        app: "WIN RATE %".into(),
+        values: policies
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.label(), 100.0 * wins[i] as f64 / trials as f64))
+            .collect(),
+    });
+    FigureSummary {
+        id: "robustness".into(),
+        title: format!("{trials} random {jobs}-job workloads — improvement % over Linux"),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_workloads_complete_under_all_policies() {
+        let rc = RunnerConfig::quick();
+        let fig = robustness(2, 4, &rc);
+        // 2 trials + the win-rate row.
+        assert_eq!(fig.rows.len(), 3);
+        for row in &fig.rows {
+            for (_, v) in &row.values {
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn policies_win_most_random_workloads() {
+        let rc = RunnerConfig::quick();
+        let fig = robustness(5, 5, &rc);
+        let win_rate = fig
+            .rows
+            .last()
+            .unwrap()
+            .get("Window")
+            .expect("win-rate row");
+        assert!(
+            win_rate >= 60.0,
+            "Window should beat Linux on most random workloads: {win_rate}%"
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Shared experiment mechanics: build a workload, pick a policy, run it,
+//! and collect the turnarounds of the measured application instances.
+
+use busbw_core::estimator::{LatestQuantumEstimator, QuantaWindowEstimator};
+use busbw_core::model::ModelDrivenScheduler;
+use busbw_core::oracle::{GreedyPackGang, RandomGang, RoundRobinGang};
+use busbw_core::sched::{BusAwareScheduler, PolicyConfig};
+use busbw_core::{LinuxLikeScheduler, LinuxO1Scheduler};
+use busbw_sim::{MachineConfig, Scheduler, StopCondition, XEON_4WAY};
+use busbw_workloads::mix::{build_machine, fig1_solo, WorkloadSpec};
+use busbw_workloads::paper::PaperApp;
+
+/// Which scheduler drives a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// The Linux 2.4-like baseline (100 ms time sharing with affinity).
+    Linux,
+    /// The paper's 'Latest Quantum' policy.
+    Latest,
+    /// The paper's 'Quanta Window' policy (5-sample window).
+    Window,
+    /// Quanta Window with a custom window length (ablation).
+    WindowN(usize),
+    /// Latest Quantum with a custom quantum length in µs (ablation).
+    LatestWithQuantum(u64),
+    /// Gang + rotation, no fitness (ablation).
+    RoundRobinGang,
+    /// Gang + random fill (ablation; seeded).
+    RandomGang(u64),
+    /// Gang + "maximize measured bandwidth" fill (ablation strawman).
+    GreedyPack,
+    /// The Linux 2.6 O(1)-class baseline (per-cpu runqueues,
+    /// active/expired arrays, load balancing).
+    LinuxO1,
+    /// The §6 future-work comparator: model-driven quantum optimization.
+    ModelDriven,
+}
+
+impl PolicyKind {
+    /// Display label used in figure series.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::Linux => "Linux".into(),
+            PolicyKind::Latest => "Latest".into(),
+            PolicyKind::Window => "Window".into(),
+            PolicyKind::WindowN(n) => format!("Window{n}"),
+            PolicyKind::LatestWithQuantum(q) => format!("Latest@{}ms", q / 1000),
+            PolicyKind::RoundRobinGang => "RRGang".into(),
+            PolicyKind::RandomGang(_) => "RandGang".into(),
+            PolicyKind::GreedyPack => "Greedy".into(),
+            PolicyKind::LinuxO1 => "LinuxO1".into(),
+            PolicyKind::ModelDriven => "ModelDriven".into(),
+        }
+    }
+
+    /// Instantiate the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            PolicyKind::Linux => Box::new(LinuxLikeScheduler::new()),
+            PolicyKind::Latest => {
+                Box::new(BusAwareScheduler::new(Box::new(LatestQuantumEstimator::new())))
+            }
+            PolicyKind::Window => {
+                Box::new(BusAwareScheduler::new(Box::new(QuantaWindowEstimator::new())))
+            }
+            PolicyKind::WindowN(n) => Box::new(BusAwareScheduler::new(Box::new(
+                QuantaWindowEstimator::with_window(n),
+            ))),
+            PolicyKind::LatestWithQuantum(q) => Box::new(BusAwareScheduler::with_config(
+                Box::new(LatestQuantumEstimator::new()),
+                PolicyConfig {
+                    quantum_us: q,
+                    samples_per_quantum: 2,
+                },
+            )),
+            PolicyKind::RoundRobinGang => Box::new(RoundRobinGang::new()),
+            PolicyKind::RandomGang(seed) => Box::new(RandomGang::new(seed)),
+            PolicyKind::GreedyPack => Box::new(GreedyPackGang::new()),
+            PolicyKind::LinuxO1 => Box::new(LinuxO1Scheduler::new()),
+            PolicyKind::ModelDriven => Box::new(ModelDrivenScheduler::new()),
+        }
+    }
+}
+
+/// Experiment-wide knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// The simulated machine (defaults to the paper's 4-way Xeon).
+    pub machine: MachineConfig,
+    /// Work-volume scale: 1.0 = the default 6 simulated seconds of solo
+    /// work per application; smaller runs faster with the same shape.
+    pub scale: f64,
+    /// Seed for bursty demand models and randomized comparators.
+    pub seed: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            machine: XEON_4WAY,
+            scale: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// A configuration scaled for fast test runs.
+    pub fn quick() -> Self {
+        Self {
+            scale: 0.1,
+            ..Self::default()
+        }
+    }
+}
+
+/// The result of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Turnaround (µs) of each measured application instance, spec order.
+    pub turnarounds_us: Vec<f64>,
+    /// Mean turnaround over the measured instances — the quantity whose
+    /// improvement Fig. 2 reports.
+    pub mean_turnaround_us: f64,
+    /// Cumulative bus transaction rate over the run, tx/µs (whole
+    /// workload) — Fig. 1A's quantity for the microbenchmark mixes.
+    pub workload_rate: f64,
+    /// Sum over measured apps of their individual transaction rates —
+    /// Fig. 1A's quantity for the application-only configurations.
+    pub measured_apps_rate: f64,
+    /// Fraction of wall time the bus was saturated.
+    pub saturated_fraction: f64,
+}
+
+/// Run `spec` under `policy` and measure the marked instances.
+///
+/// The run stops when all measured instances finish (background
+/// microbenchmarks run forever); a generous hard cap protects against
+/// pathological schedules.
+pub fn run_spec(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> RunResult {
+    let scaled = spec.clone().scaled(rc.scale);
+    let built = build_machine(&scaled, rc.machine, rc.seed);
+    let mut machine = built.machine;
+    // Cap: 100× the solo work volume — far beyond any plausible schedule.
+    machine.set_hard_cap_us(
+        (busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 100.0) as u64,
+    );
+    let mut sched = policy.build();
+    let out = machine.run(
+        &mut *sched,
+        StopCondition::AppsFinished(built.measured_ids.clone()),
+    );
+    assert!(
+        out.condition_met,
+        "workload '{}' under {} hit the hard cap",
+        spec.name,
+        policy.label()
+    );
+    let turnarounds: Vec<f64> = built
+        .measured_ids
+        .iter()
+        .map(|&id| machine.turnaround_us(id).expect("measured app finished") as f64)
+        .collect();
+    let measured_apps_rate = built
+        .measured_ids
+        .iter()
+        .map(|&id| {
+            let tx = machine.app_transactions(id);
+            let t = machine.turnaround_us(id).expect("finished") as f64;
+            tx / t
+        })
+        .sum();
+    let mean = turnarounds.iter().sum::<f64>() / turnarounds.len() as f64;
+    RunResult {
+        mean_turnaround_us: mean,
+        turnarounds_us: turnarounds,
+        workload_rate: out.stats.mean_bus_rate(),
+        measured_apps_rate,
+        saturated_fraction: out.stats.saturated_fraction(),
+    }
+}
+
+/// Solo turnaround of one paper application (2 threads, machine otherwise
+/// idle) — the Fig. 1B denominator.
+pub fn solo_turnaround_us(app: PaperApp, rc: &RunnerConfig) -> f64 {
+    run_spec(&fig1_solo(app), PolicyKind::Linux, rc).mean_turnaround_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busbw_workloads::mix::{fig1_two_instances, fig2_set_b};
+
+    fn rc() -> RunnerConfig {
+        RunnerConfig::quick()
+    }
+
+    #[test]
+    fn solo_run_finishes_in_scaled_work_time() {
+        let t = solo_turnaround_us(PaperApp::Radiosity, &rc());
+        // 600 ms scaled work ± cache warmup effects.
+        assert!((590_000.0..680_000.0).contains(&t), "solo {t}");
+    }
+
+    #[test]
+    fn heavy_pair_slows_down_under_linux() {
+        let solo = solo_turnaround_us(PaperApp::Cg, &rc());
+        let double = run_spec(&fig1_two_instances(PaperApp::Cg), PolicyKind::Linux, &rc());
+        let slowdown = double.mean_turnaround_us / solo;
+        assert!(
+            slowdown > 1.3,
+            "two CG instances should contend: slowdown {slowdown}"
+        );
+        assert!(double.saturated_fraction > 0.5);
+    }
+
+    #[test]
+    fn policies_beat_linux_on_set_b_for_heavy_apps() {
+        let spec = fig2_set_b(PaperApp::Cg);
+        let linux = run_spec(&spec, PolicyKind::Linux, &rc());
+        let window = run_spec(&spec, PolicyKind::Window, &rc());
+        assert!(
+            window.mean_turnaround_us < linux.mean_turnaround_us,
+            "Window {} vs Linux {}",
+            window.mean_turnaround_us,
+            linux.mean_turnaround_us
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = fig2_set_b(PaperApp::Raytrace);
+        let a = run_spec(&spec, PolicyKind::Window, &rc());
+        let b = run_spec(&spec, PolicyKind::Window, &rc());
+        assert_eq!(a.turnarounds_us, b.turnarounds_us);
+        assert_eq!(a.workload_rate, b.workload_rate);
+    }
+
+    #[test]
+    fn all_policy_kinds_build() {
+        for p in [
+            PolicyKind::Linux,
+            PolicyKind::Latest,
+            PolicyKind::Window,
+            PolicyKind::WindowN(3),
+            PolicyKind::LatestWithQuantum(100_000),
+            PolicyKind::RoundRobinGang,
+            PolicyKind::RandomGang(1),
+            PolicyKind::GreedyPack,
+            PolicyKind::LinuxO1,
+            PolicyKind::ModelDriven,
+        ] {
+            let s = p.build();
+            assert!(!s.name().is_empty());
+            assert!(!p.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Seed-sensitivity of the headline numbers.
+//!
+//! Two stochastic ingredients exist in the reproduction: the Raytrace
+//! burst process and the baseline's selection noise (standing in for
+//! kernel timer/balancer nondeterminism — see DESIGN.md §6). The paper
+//! reports single measurements; this experiment reruns Figure 2B (the set
+//! with the strongest stochastic effects) across seeds and reports
+//! mean / min / max improvement per application — the error bars the
+//! paper did not have.
+
+use busbw_metrics::{improvement_pct, mean, ExperimentRow, FigureSummary};
+use busbw_workloads::paper::PaperApp;
+
+use crate::fig2::Fig2Set;
+use crate::runner::{run_spec, PolicyKind, RunnerConfig};
+
+/// Multi-seed Figure 2B for one policy: per app, mean[min..max] over
+/// `seeds` runs (seed `rc.seed + k`).
+pub fn fig2b_variance(policy: PolicyKind, seeds: u64, rc: &RunnerConfig) -> FigureSummary {
+    assert!(seeds >= 1, "need at least one seed");
+    let mut rows = Vec::new();
+    for app in PaperApp::ALL {
+        let spec = Fig2Set::B.spec(app);
+        let mut imps = Vec::new();
+        for k in 0..seeds {
+            let rck = RunnerConfig {
+                seed: rc.seed + k,
+                ..*rc
+            };
+            let linux = run_spec(&spec, PolicyKind::Linux, &rck);
+            let r = run_spec(&spec, policy, &rck);
+            imps.push(improvement_pct(
+                linux.mean_turnaround_us,
+                r.mean_turnaround_us,
+            ));
+        }
+        let lo = imps.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = imps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        rows.push(ExperimentRow {
+            app: app.name().to_string(),
+            values: vec![
+                ("mean".into(), mean(&imps)),
+                ("min".into(), lo),
+                ("max".into(), hi),
+            ],
+        });
+    }
+    FigureSummary {
+        id: "variance".into(),
+        title: format!(
+            "Fig. 2B improvement % for {} across {seeds} seeds (mean/min/max)",
+            policy.label()
+        ),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_rows_are_ordered_and_finite() {
+        let rc = RunnerConfig::quick();
+        let fig = fig2b_variance(PolicyKind::Window, 2, &rc);
+        assert_eq!(fig.rows.len(), 11);
+        for row in &fig.rows {
+            let (mean, lo, hi) = (
+                row.get("mean").unwrap(),
+                row.get("min").unwrap(),
+                row.get("max").unwrap(),
+            );
+            assert!(lo <= mean && mean <= hi, "{}: {lo} {mean} {hi}", row.app);
+            assert!(mean.is_finite());
+        }
+    }
+
+    #[test]
+    fn different_seeds_actually_vary_the_stochastic_apps() {
+        let rc = RunnerConfig::quick();
+        let fig = fig2b_variance(PolicyKind::Latest, 3, &rc);
+        let rt = fig
+            .rows
+            .iter()
+            .find(|r| r.app == "Raytrace")
+            .expect("raytrace row");
+        assert!(
+            rt.get("max").unwrap() - rt.get("min").unwrap() > 1e-9,
+            "bursty app should vary across seeds"
+        );
+    }
+}

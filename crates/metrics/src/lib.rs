@@ -1,0 +1,22 @@
+//! Statistics and reporting for the reproduction.
+//!
+//! Small, dependency-light building blocks used by the experiment harness
+//! and benches:
+//!
+//! * [`window`] — moving-window averages (the analytical companion to the
+//!   Quanta Window policy, incl. the paper's window-distance criterion);
+//! * [`summary`] — slowdown, turnaround, improvement-% aggregation exactly
+//!   as the paper reports them (arithmetic mean over instances, improvement
+//!   relative to the Linux baseline);
+//! * [`table`] — fixed-width text and CSV rendering for figure tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod summary;
+pub mod table;
+pub mod window;
+
+pub use summary::{improvement_pct, mean, slowdown, ExperimentRow, FigureSummary};
+pub use table::Table;
+pub use window::MovingWindow;

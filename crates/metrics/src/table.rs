@@ -1,0 +1,179 @@
+//! Plain-text and CSV table rendering for the experiment harness.
+
+use crate::summary::FigureSummary;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let cell = &cells[i];
+                // Right-align numbers, left-align text.
+                if cell.parse::<f64>().is_ok() {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting needed for our content, but commas in
+    /// cells are escaped by quoting anyway).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Build a table from a [`FigureSummary`]: app column plus one column
+    /// per series, one decimal place.
+    pub fn from_figure(fig: &FigureSummary) -> Self {
+        let series = fig.series();
+        let mut header = vec!["App"];
+        let series_refs: Vec<&str> = series.iter().map(|s| s.as_str()).collect();
+        header.extend(series_refs.iter());
+        let mut t = Table::new(&header);
+        for row in &fig.rows {
+            let mut cells = vec![row.app.clone()];
+            for s in &series {
+                cells.push(
+                    row.get(s)
+                        .map(|v| format!("{v:.1}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            t.row(cells);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::ExperimentRow;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["App", "Latest"]);
+        t.row(vec!["Radiosity".into(), "4.0".into()]);
+        t.row(vec!["CG".into(), "68.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("App"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("Radiosity"));
+        assert!(lines[3].contains("68.0"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x,y".into(), "1".into()]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",1\n");
+    }
+
+    #[test]
+    fn from_figure_builds_all_columns() {
+        let fig = FigureSummary {
+            id: "f".into(),
+            title: "f".into(),
+            rows: vec![ExperimentRow {
+                app: "CG".into(),
+                values: vec![("Latest".into(), 68.0), ("Window".into(), 53.0)],
+            }],
+        };
+        let t = Table::from_figure(&fig);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        assert!(csv.contains("App,Latest,Window"));
+        assert!(csv.contains("CG,68.0,53.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,160 @@
+//! The machine-wide counter registry.
+//!
+//! The simulator owns a [`Registry`] and accumulates events into it every
+//! tick; schedulers and the CPU manager read from it at sampling points.
+//! Threads are identified by an opaque [`ThreadKey`] so this crate does not
+//! depend on the simulator's thread type.
+
+use std::collections::BTreeMap;
+
+use crate::counter::{CounterSet, EventKind};
+
+/// Opaque thread identifier. The simulator guarantees uniqueness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadKey(pub u64);
+
+/// All per-thread counter sets on the machine.
+///
+/// A `BTreeMap` keeps iteration deterministic, which matters because the
+/// scheduling policies and every experiment in the reproduction must be
+/// bit-for-bit repeatable across runs.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    sets: BTreeMap<ThreadKey, CounterSet>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a thread, creating zeroed counters for it. Registering an
+    /// existing thread is a no-op (its counts are preserved), mirroring how
+    /// opening an already-open perfctr file does not reset it.
+    pub fn register(&mut self, t: ThreadKey) {
+        self.sets.entry(t).or_default();
+    }
+
+    /// Remove a thread's counters (thread exit). Returns the final set so
+    /// accounting can archive totals.
+    pub fn unregister(&mut self, t: ThreadKey) -> Option<CounterSet> {
+        self.sets.remove(&t)
+    }
+
+    /// Whether `t` has registered counters.
+    pub fn contains(&self, t: ThreadKey) -> bool {
+        self.sets.contains_key(&t)
+    }
+
+    /// Number of registered threads.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if no thread is registered.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Accumulate `amount` events of `kind` for thread `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is not registered — producers must register threads
+    /// before counting against them; silently dropping events would corrupt
+    /// rate estimates.
+    pub fn add(&mut self, t: ThreadKey, kind: EventKind, amount: f64) {
+        self.sets
+            .get_mut(&t)
+            .unwrap_or_else(|| panic!("thread {t:?} not registered with perfmon"))
+            .add(kind, amount);
+    }
+
+    /// Shared access to one thread's counters.
+    pub fn counters(&self, t: ThreadKey) -> Option<&CounterSet> {
+        self.sets.get(&t)
+    }
+
+    /// Mutable access to one thread's counters (for destructive sampling).
+    pub fn counters_mut(&mut self, t: ThreadKey) -> Option<&mut CounterSet> {
+        self.sets.get_mut(&t)
+    }
+
+    /// Total of `kind` for thread `t`, or 0 if unregistered.
+    pub fn total(&self, t: ThreadKey, kind: EventKind) -> f64 {
+        self.sets.get(&t).map_or(0.0, |s| s.get(kind).total())
+    }
+
+    /// Sum of `kind` across a group of threads — how the CPU manager
+    /// accumulates per-application bandwidth from per-thread counters.
+    pub fn group_total(&self, threads: &[ThreadKey], kind: EventKind) -> f64 {
+        threads.iter().map(|&t| self.total(t, kind)).sum()
+    }
+
+    /// Deterministic iteration over all `(thread, counters)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadKey, &CounterSet)> {
+        self.sets.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Sum of `kind` over every registered thread (machine-wide rate
+    /// numerator, e.g. for utilization reports).
+    pub fn machine_total(&self, kind: EventKind) -> f64 {
+        self.sets.values().map(|s| s.get(kind).total()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_and_preserves_counts() {
+        let mut r = Registry::new();
+        let t = ThreadKey(1);
+        r.register(t);
+        r.add(t, EventKind::BusTransactions, 42.0);
+        r.register(t);
+        assert_eq!(r.total(t, EventKind::BusTransactions), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn counting_against_unregistered_thread_panics() {
+        let mut r = Registry::new();
+        r.add(ThreadKey(9), EventKind::BusTransactions, 1.0);
+    }
+
+    #[test]
+    fn group_total_sums_only_named_threads() {
+        let mut r = Registry::new();
+        for i in 0..4 {
+            r.register(ThreadKey(i));
+            r.add(ThreadKey(i), EventKind::BusTransactions, 10.0 * (i + 1) as f64);
+        }
+        let g = r.group_total(&[ThreadKey(0), ThreadKey(2)], EventKind::BusTransactions);
+        assert_eq!(g, 10.0 + 30.0);
+        assert_eq!(r.machine_total(EventKind::BusTransactions), 100.0);
+    }
+
+    #[test]
+    fn unregister_returns_final_counts() {
+        let mut r = Registry::new();
+        let t = ThreadKey(3);
+        r.register(t);
+        r.add(t, EventKind::ColdStarts, 2.0);
+        let set = r.unregister(t).expect("was registered");
+        assert_eq!(set.get(EventKind::ColdStarts).total(), 2.0);
+        assert!(!r.contains(t));
+        assert!(r.unregister(t).is_none());
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_sorted() {
+        let mut r = Registry::new();
+        for id in [5u64, 1, 9, 3] {
+            r.register(ThreadKey(id));
+        }
+        let order: Vec<u64> = r.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Periodic rate estimation from raw counters.
+//!
+//! The paper's CPU manager polls every thread's bus-transaction counter
+//! **twice per scheduling quantum**, accumulates the deltas, and publishes a
+//! transactions/µs rate into the application's shared arena. [`Sampler`]
+//! packages that logic: it remembers, per thread, the counter value and
+//! timestamp of the previous sample and converts deltas into rates, with an
+//! optional smoothing window (the raw material for the Quanta Window
+//! policy — although the policy layer keeps its own window over *per-quantum*
+//! aggregates, having window support here lets tests cross-validate both).
+
+use std::collections::BTreeMap;
+
+use crate::counter::EventKind;
+use crate::registry::{Registry, ThreadKey};
+
+/// Configuration for a [`Sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Nominal sampling period in µs (information only; the sampler uses
+    /// actual timestamps, so jittered or late samples still produce correct
+    /// rates).
+    pub period_us: u64,
+    /// Number of most recent samples averaged by [`Sampler::windowed_rate`].
+    /// `1` reproduces latest-sample behaviour.
+    pub window: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        // The paper uses a 200 ms quantum sampled twice -> 100 ms period,
+        // and a 5-sample window for the Quanta Window policy.
+        Self {
+            period_us: 100_000,
+            window: 5,
+        }
+    }
+}
+
+/// One rate observation for one thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateSample {
+    /// Timestamp (simulated µs) at which the sample was taken.
+    pub at_us: u64,
+    /// Interval covered by the sample, µs.
+    pub interval_us: u64,
+    /// Bus transactions observed in the interval.
+    pub transactions: f64,
+    /// Estimated rate over the interval, tx/µs.
+    pub rate_tx_per_us: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct PerThread {
+    last_total: f64,
+    last_at_us: u64,
+    history: Vec<RateSample>, // ring-ish: we truncate from the front
+}
+
+/// Converts monotone counters into per-thread bus-transaction rates.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    cfg: SamplerConfig,
+    threads: BTreeMap<ThreadKey, PerThread>,
+}
+
+impl Sampler {
+    /// Create a sampler with the given configuration.
+    pub fn new(cfg: SamplerConfig) -> Self {
+        assert!(cfg.window >= 1, "window must be at least 1 sample");
+        Self {
+            cfg,
+            threads: BTreeMap::new(),
+        }
+    }
+
+    /// The sampler's configuration.
+    pub fn config(&self) -> SamplerConfig {
+        self.cfg
+    }
+
+    /// Forget a thread (thread exit).
+    pub fn forget(&mut self, t: ThreadKey) {
+        self.threads.remove(&t);
+    }
+
+    /// Take a sample for `t` at simulated time `now_us`.
+    ///
+    /// The first sample for a thread covers the interval since time 0 (or
+    /// since registration if the caller primes with [`Sampler::prime`]).
+    /// A zero-length interval yields a zero rate rather than dividing by
+    /// zero — the paper's manager can legitimately sample twice at the same
+    /// scheduling point when quanta are cut short by job arrival.
+    pub fn sample(&mut self, reg: &Registry, t: ThreadKey, now_us: u64) -> RateSample {
+        let total = reg.total(t, EventKind::BusTransactions);
+        let st = self.threads.entry(t).or_default();
+        let interval_us = now_us.saturating_sub(st.last_at_us);
+        let transactions = (total - st.last_total).max(0.0);
+        let rate = if interval_us == 0 {
+            0.0
+        } else {
+            transactions / interval_us as f64
+        };
+        let s = RateSample {
+            at_us: now_us,
+            interval_us,
+            transactions,
+            rate_tx_per_us: rate,
+        };
+        st.last_total = total;
+        st.last_at_us = now_us;
+        st.history.push(s);
+        let extra = st.history.len().saturating_sub(self.cfg.window.max(1));
+        if extra > 0 {
+            st.history.drain(..extra);
+        }
+        s
+    }
+
+    /// Prime a thread's baseline at `now_us` without recording a sample —
+    /// used when a thread connects to the CPU manager mid-run so its first
+    /// real sample does not cover pre-connection history.
+    pub fn prime(&mut self, reg: &Registry, t: ThreadKey, now_us: u64) {
+        let total = reg.total(t, EventKind::BusTransactions);
+        let st = self.threads.entry(t).or_default();
+        st.last_total = total;
+        st.last_at_us = now_us;
+    }
+
+    /// Most recent sample for `t`, if any.
+    pub fn latest(&self, t: ThreadKey) -> Option<RateSample> {
+        self.threads.get(&t).and_then(|s| s.history.last().copied())
+    }
+
+    /// Mean rate over the last `window` samples (fewer if the thread is
+    /// young). Returns `None` if no samples exist. The mean is weighted by
+    /// each sample's interval so uneven sampling does not bias the estimate.
+    pub fn windowed_rate(&self, t: ThreadKey) -> Option<f64> {
+        let st = self.threads.get(&t)?;
+        if st.history.is_empty() {
+            return None;
+        }
+        let (tx, us) = st
+            .history
+            .iter()
+            .fold((0.0f64, 0u64), |(tx, us), s| (tx + s.transactions, us + s.interval_us));
+        if us == 0 {
+            Some(0.0)
+        } else {
+            Some(tx / us as f64)
+        }
+    }
+
+    /// Number of samples currently held for `t`.
+    pub fn history_len(&self, t: ThreadKey) -> usize {
+        self.threads.get(&t).map_or(0, |s| s.history.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with(t: ThreadKey) -> Registry {
+        let mut r = Registry::new();
+        r.register(t);
+        r
+    }
+
+    #[test]
+    fn rate_is_delta_over_interval() {
+        let t = ThreadKey(1);
+        let mut r = reg_with(t);
+        let mut s = Sampler::new(SamplerConfig { period_us: 100, window: 3 });
+        r.add(t, EventKind::BusTransactions, 200.0);
+        let a = s.sample(&r, t, 100);
+        assert_eq!(a.rate_tx_per_us, 2.0);
+        r.add(t, EventKind::BusTransactions, 50.0);
+        let b = s.sample(&r, t, 200);
+        assert_eq!(b.rate_tx_per_us, 0.5);
+    }
+
+    #[test]
+    fn zero_interval_gives_zero_rate_not_nan() {
+        let t = ThreadKey(1);
+        let mut r = reg_with(t);
+        let mut s = Sampler::new(SamplerConfig::default());
+        r.add(t, EventKind::BusTransactions, 10.0);
+        let a = s.sample(&r, t, 0);
+        assert_eq!(a.rate_tx_per_us, 0.0);
+        assert!(a.rate_tx_per_us.is_finite());
+    }
+
+    #[test]
+    fn windowed_rate_is_interval_weighted() {
+        let t = ThreadKey(1);
+        let mut r = reg_with(t);
+        let mut s = Sampler::new(SamplerConfig { period_us: 100, window: 5 });
+        // 100 µs at 10 tx/µs, then 900 µs at 0 tx/µs => 1000 tx / 1000 µs = 1.0
+        r.add(t, EventKind::BusTransactions, 1000.0);
+        s.sample(&r, t, 100);
+        s.sample(&r, t, 1000);
+        let w = s.windowed_rate(t).unwrap();
+        assert!((w - 1.0).abs() < 1e-12, "got {w}");
+    }
+
+    #[test]
+    fn window_truncates_history() {
+        let t = ThreadKey(1);
+        let mut r = reg_with(t);
+        let mut s = Sampler::new(SamplerConfig { period_us: 10, window: 2 });
+        for i in 1..=5u64 {
+            r.add(t, EventKind::BusTransactions, 10.0);
+            s.sample(&r, t, i * 10);
+        }
+        assert_eq!(s.history_len(t), 2);
+    }
+
+    #[test]
+    fn prime_discards_preconnection_history() {
+        let t = ThreadKey(1);
+        let mut r = reg_with(t);
+        let mut s = Sampler::new(SamplerConfig::default());
+        r.add(t, EventKind::BusTransactions, 1_000_000.0); // before connecting
+        s.prime(&r, t, 500);
+        r.add(t, EventKind::BusTransactions, 100.0);
+        let a = s.sample(&r, t, 600);
+        assert_eq!(a.transactions, 100.0);
+        assert_eq!(a.rate_tx_per_us, 1.0);
+    }
+
+    #[test]
+    fn forget_clears_state() {
+        let t = ThreadKey(1);
+        let mut r = reg_with(t);
+        let mut s = Sampler::new(SamplerConfig::default());
+        r.add(t, EventKind::BusTransactions, 10.0);
+        s.sample(&r, t, 10);
+        s.forget(t);
+        assert!(s.latest(t).is_none());
+        assert_eq!(s.history_len(t), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = Sampler::new(SamplerConfig { period_us: 1, window: 0 });
+    }
+}

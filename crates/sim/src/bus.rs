@@ -1,0 +1,646 @@
+//! The shared front-side bus.
+//!
+//! All results in the paper flow from one physical fact: the bus serves at
+//! most ~29.5 transactions/µs, and threads that collectively demand more
+//! stall each other. This module turns a set of per-thread demands into
+//! per-thread *speeds* and *issue rates* for one simulation tick.
+//!
+//! The default model, [`FsbBus`], works in terms of a **uniform memory
+//! dilation factor Λ**: every thread's memory phases take Λ× longer than
+//! solo. Given demands `d_i` and memory-boundness `µ_i`, a thread's speed is
+//!
+//! ```text
+//! s_i = 1 / ((1 − µ_i) + µ_i·Λ)          (Amdahl-style dilation)
+//! issue_i = d_i · s_i                     (traffic tracks progress)
+//! ```
+//!
+//! * Below saturation Λ = 1 + κ·ρ^p — a mild convex queueing penalty in the
+//!   bus-utilization ρ (the paper's Fig. 1B shows moderate applications
+//!   losing a few percent when sharing an unsaturated bus).
+//! * At saturation Λ is the root of `Σ d_i / ((1−µ_i) + µ_i·Λ) = C_eff`,
+//!   so aggregate issued traffic exactly equals effective capacity: the
+//!   bus is conserved, and bandwidth is shared in proportion to demand —
+//!   the behaviour of a round-robin arbiter among continuously-stalled
+//!   masters, and the regime in which the paper measures 2–3× slowdowns
+//!   for memory-intensive applications running against BBMA.
+//! * `C_eff` shrinks slightly per active master (arbitration overhead),
+//!   see [`crate::BusConfig::effective_capacity`].
+//!
+//! Two alternative arbiters ([`MaxMinFairBus`], [`ProportionalBus`]) and a
+//! null model ([`UnlimitedBus`]) exist for ablations and testing.
+
+use crate::config::BusConfig;
+use crate::ids::ThreadId;
+
+/// One thread's demand presented to the bus for a tick.
+#[derive(Debug, Clone, Copy)]
+pub struct BusRequest {
+    /// The requesting thread.
+    pub thread: ThreadId,
+    /// Effective solo demand for this tick, tx/µs (cache-cold boosts
+    /// already applied by the machine).
+    pub rate: f64,
+    /// Memory-boundness in `[0, 1]`.
+    pub mu: f64,
+}
+
+/// The bus's answer for one thread.
+#[derive(Debug, Clone, Copy)]
+pub struct BusShare {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Speed factor in `(0, 1]` relative to solo execution.
+    pub speed: f64,
+    /// Transactions/µs actually issued (`rate × speed`).
+    pub issue_rate: f64,
+}
+
+/// The bus's answer for a whole tick.
+#[derive(Debug, Clone)]
+pub struct BusOutcome {
+    /// Per-thread shares, in the order of the requests.
+    pub shares: Vec<BusShare>,
+    /// Σ demands, tx/µs.
+    pub total_demand: f64,
+    /// Σ issued, tx/µs.
+    pub total_issued: f64,
+    /// Effective capacity after arbitration derating, tx/µs.
+    pub effective_capacity: f64,
+    /// The uniform memory-dilation factor Λ applied (1 = uncontended).
+    pub dilation: f64,
+    /// Utilization ρ = min(total_demand / effective_capacity, 1).
+    pub utilization: f64,
+    /// Whether demand exceeded effective capacity.
+    pub saturated: bool,
+}
+
+impl BusOutcome {
+    fn empty(capacity: f64) -> Self {
+        Self {
+            shares: Vec::new(),
+            total_demand: 0.0,
+            total_issued: 0.0,
+            effective_capacity: capacity,
+            dilation: 1.0,
+            utilization: 0.0,
+            saturated: false,
+        }
+    }
+}
+
+/// A bus arbitration model.
+pub trait BusModel: Send {
+    /// Resolve one tick's demands into speeds and issue rates.
+    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome;
+    /// Nominal (single-master) sustained capacity, tx/µs.
+    fn nominal_capacity(&self) -> f64;
+}
+
+/// Amdahl-style dilation speed at dilation Λ.
+#[inline]
+fn dilated_speed(mu: f64, lambda: f64) -> f64 {
+    1.0 / ((1.0 - mu) + mu * lambda)
+}
+
+/// The default front-side-bus model described in the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct FsbBus {
+    cfg: BusConfig,
+}
+
+impl FsbBus {
+    /// A bus with the given configuration.
+    pub fn new(cfg: BusConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BusConfig {
+        &self.cfg
+    }
+
+    /// Solve `Σ d_i/((1−µ_i)+µ_i·λ) = cap` for λ ≥ 1 by bisection.
+    ///
+    /// The left side is strictly decreasing in λ for any thread with
+    /// µ > 0; threads with µ = 0 contribute a constant. If even λ → ∞
+    /// cannot bring the sum under `cap` (only possible when µ=0 threads
+    /// alone exceed capacity, which is physically inconsistent input),
+    /// the maximum dilation is returned and conservation is best-effort.
+    fn solve_lambda(reqs: &[BusRequest], cap: f64) -> f64 {
+        const LAMBDA_MAX: f64 = 1e9;
+        let issued_at = |lambda: f64| -> f64 {
+            reqs.iter()
+                .map(|r| r.rate * dilated_speed(r.mu, lambda))
+                .sum()
+        };
+        if issued_at(1.0) <= cap {
+            return 1.0;
+        }
+        let (mut lo, mut hi) = (1.0f64, 2.0f64);
+        while issued_at(hi) > cap {
+            hi *= 2.0;
+            if hi > LAMBDA_MAX {
+                return LAMBDA_MAX;
+            }
+        }
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if issued_at(mid) > cap {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+impl BusModel for FsbBus {
+    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome {
+        if reqs.is_empty() {
+            return BusOutcome::empty(self.cfg.capacity_tx_per_us);
+        }
+        let n_masters = reqs
+            .iter()
+            .filter(|r| r.rate > self.cfg.active_master_threshold)
+            .count();
+        let cap = self.cfg.effective_capacity(n_masters);
+        let total_demand: f64 = reqs.iter().map(|r| r.rate).sum();
+        let utilization = (total_demand / cap).min(1.0);
+        let saturated = total_demand > cap;
+
+        let lambda_sat = if saturated {
+            Self::solve_lambda(reqs, cap)
+        } else {
+            1.0
+        };
+        // Below saturation the queueing term provides the (small, convex)
+        // contention penalty; at deep saturation λ_sat dominates and taking
+        // the max keeps aggregate issued traffic exactly at capacity
+        // instead of wasting it.
+        let queueing = self.cfg.queueing_coeff * utilization.powf(self.cfg.queueing_exponent);
+        let lambda = lambda_sat.max(1.0 + queueing);
+
+        let shares: Vec<BusShare> = reqs
+            .iter()
+            .map(|r| {
+                let speed = dilated_speed(r.mu, lambda);
+                BusShare {
+                    thread: r.thread,
+                    speed,
+                    issue_rate: r.rate * speed,
+                }
+            })
+            .collect();
+        let total_issued = shares.iter().map(|s| s.issue_rate).sum();
+        BusOutcome {
+            shares,
+            total_demand,
+            total_issued,
+            effective_capacity: cap,
+            dilation: lambda,
+            utilization,
+            saturated,
+        }
+    }
+
+    fn nominal_capacity(&self) -> f64 {
+        self.cfg.capacity_tx_per_us
+    }
+}
+
+/// Classic max-min fair arbitration (ablation alternative).
+///
+/// Small demands are fully satisfied; the surplus is split equally among
+/// larger ones. Compared with [`FsbBus`], this under-penalizes heavy
+/// streamers (they keep an equal absolute share rather than a
+/// demand-proportional one), which is why the paper-calibrated default is
+/// the proportional model — but a max-min arbiter is what an idealized
+/// per-request round-robin with single outstanding misses would give, so it
+/// is worth keeping for sensitivity studies.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxMinFairBus {
+    cfg: BusConfig,
+}
+
+impl MaxMinFairBus {
+    /// A max-min bus with the given configuration.
+    pub fn new(cfg: BusConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Max-min allocation of `cap` over `demands`. Returns grants.
+    pub fn max_min(demands: &[f64], cap: f64) -> Vec<f64> {
+        let mut grants = vec![0.0f64; demands.len()];
+        let mut remaining_cap = cap;
+        let mut unsatisfied: Vec<usize> = (0..demands.len()).collect();
+        // Iteratively give everyone the fair share or their demand,
+        // whichever is smaller; redistribute the slack.
+        while !unsatisfied.is_empty() && remaining_cap > 1e-12 {
+            let fair = remaining_cap / unsatisfied.len() as f64;
+            let mut satisfied_any = false;
+            let mut still = Vec::with_capacity(unsatisfied.len());
+            for &i in &unsatisfied {
+                let want = demands[i] - grants[i];
+                if want <= fair {
+                    grants[i] = demands[i];
+                    remaining_cap -= want;
+                    satisfied_any = true;
+                } else {
+                    still.push(i);
+                }
+            }
+            if !satisfied_any {
+                // Nobody can be fully satisfied: split equally and stop.
+                let fair = remaining_cap / still.len() as f64;
+                for &i in &still {
+                    grants[i] += fair;
+                }
+                remaining_cap = 0.0;
+                still.clear();
+            }
+            unsatisfied = still;
+        }
+        grants
+    }
+}
+
+impl BusModel for MaxMinFairBus {
+    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome {
+        if reqs.is_empty() {
+            return BusOutcome::empty(self.cfg.capacity_tx_per_us);
+        }
+        let n_masters = reqs
+            .iter()
+            .filter(|r| r.rate > self.cfg.active_master_threshold)
+            .count();
+        let cap = self.cfg.effective_capacity(n_masters);
+        let demands: Vec<f64> = reqs.iter().map(|r| r.rate).collect();
+        let total_demand: f64 = demands.iter().sum();
+        let grants = Self::max_min(&demands, cap);
+        let saturated = total_demand > cap;
+        let shares: Vec<BusShare> = reqs
+            .iter()
+            .zip(&grants)
+            .map(|(r, &g)| {
+                let lambda_i = if g >= r.rate || r.rate <= 0.0 {
+                    1.0
+                } else {
+                    r.rate / g.max(1e-12)
+                };
+                let speed = dilated_speed(r.mu, lambda_i);
+                BusShare {
+                    thread: r.thread,
+                    speed,
+                    // Traffic tracks progress but can never exceed the grant.
+                    issue_rate: (r.rate * speed).min(g.max(r.rate.min(g))),
+                }
+            })
+            .collect();
+        let total_issued = shares.iter().map(|s| s.issue_rate).sum();
+        BusOutcome {
+            shares,
+            total_demand,
+            total_issued,
+            effective_capacity: cap,
+            dilation: if saturated { total_demand / cap } else { 1.0 },
+            utilization: (total_demand / cap).min(1.0),
+            saturated,
+        }
+    }
+
+    fn nominal_capacity(&self) -> f64 {
+        self.cfg.capacity_tx_per_us
+    }
+}
+
+/// Pure proportional sharing with no arbitration derate and no queueing —
+/// the textbook version of [`FsbBus`] (equivalent to Λ = max(1, ΣD/C) with
+/// every µ = 1). Useful as an analytical reference in tests.
+#[derive(Debug, Clone, Copy)]
+pub struct ProportionalBus {
+    /// Capacity in tx/µs.
+    pub capacity: f64,
+}
+
+impl BusModel for ProportionalBus {
+    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome {
+        if reqs.is_empty() {
+            return BusOutcome::empty(self.capacity);
+        }
+        let total_demand: f64 = reqs.iter().map(|r| r.rate).sum();
+        let lambda = (total_demand / self.capacity).max(1.0);
+        let shares: Vec<BusShare> = reqs
+            .iter()
+            .map(|r| {
+                let speed = dilated_speed(r.mu, lambda);
+                BusShare {
+                    thread: r.thread,
+                    speed,
+                    issue_rate: r.rate * speed,
+                }
+            })
+            .collect();
+        let total_issued = shares.iter().map(|s| s.issue_rate).sum();
+        BusOutcome {
+            shares,
+            total_demand,
+            total_issued,
+            effective_capacity: self.capacity,
+            dilation: lambda,
+            utilization: (total_demand / self.capacity).min(1.0),
+            saturated: total_demand > self.capacity,
+        }
+    }
+
+    fn nominal_capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+/// A bus with infinite capacity: every thread runs at solo speed.
+/// For unit-testing schedulers in isolation from contention.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnlimitedBus;
+
+impl BusModel for UnlimitedBus {
+    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome {
+        let shares: Vec<BusShare> = reqs
+            .iter()
+            .map(|r| BusShare {
+                thread: r.thread,
+                speed: 1.0,
+                issue_rate: r.rate,
+            })
+            .collect();
+        let total: f64 = reqs.iter().map(|r| r.rate).sum();
+        BusOutcome {
+            shares,
+            total_demand: total,
+            total_issued: total,
+            effective_capacity: f64::INFINITY,
+            dilation: 1.0,
+            utilization: 0.0,
+            saturated: false,
+        }
+    }
+
+    fn nominal_capacity(&self) -> f64 {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, rate: f64, mu: f64) -> BusRequest {
+        BusRequest {
+            thread: ThreadId(id),
+            rate,
+            mu,
+        }
+    }
+
+    fn default_fsb() -> FsbBus {
+        FsbBus::new(BusConfig::default())
+    }
+
+    #[test]
+    fn empty_request_set_is_trivial() {
+        let out = default_fsb().arbitrate(&[]);
+        assert_eq!(out.total_issued, 0.0);
+        assert!(!out.saturated);
+        assert!(out.shares.is_empty());
+    }
+
+    #[test]
+    fn single_light_thread_runs_at_nearly_full_speed() {
+        let out = default_fsb().arbitrate(&[req(0, 1.0, 0.2)]);
+        assert!(!out.saturated);
+        assert!(out.shares[0].speed > 0.999, "speed {}", out.shares[0].speed);
+        assert!((out.shares[0].issue_rate - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn saturation_conserves_capacity_exactly_for_memory_bound_threads() {
+        // Four pure streamers demanding 2× capacity.
+        let bus = default_fsb();
+        let reqs: Vec<_> = (0..4).map(|i| req(i, 15.0, 1.0)).collect();
+        let out = bus.arbitrate(&reqs);
+        assert!(out.saturated);
+        let cap = out.effective_capacity;
+        assert!(
+            (out.total_issued - cap).abs() < 1e-6 * cap,
+            "issued {} vs cap {cap}",
+            out.total_issued
+        );
+    }
+
+    #[test]
+    fn proportional_sharing_under_saturation() {
+        // Equal µ ⇒ issue rates proportional to demands.
+        let bus = default_fsb();
+        let out = bus.arbitrate(&[req(0, 20.0, 1.0), req(1, 10.0, 1.0)]);
+        assert!(out.saturated);
+        let r0 = out.shares[0].issue_rate;
+        let r1 = out.shares[1].issue_rate;
+        assert!((r0 / r1 - 2.0).abs() < 1e-9, "ratio {}", r0 / r1);
+    }
+
+    #[test]
+    fn low_mu_thread_is_nearly_immune_to_saturation() {
+        // An nBBMA-like thread next to two heavy streamers.
+        let bus = default_fsb();
+        let out = bus.arbitrate(&[req(0, 23.6, 1.0), req(1, 23.6, 1.0), req(2, 0.004, 0.01)]);
+        assert!(out.saturated);
+        assert!(out.shares[2].speed > 0.97, "speed {}", out.shares[2].speed);
+        // While the streamers are heavily dilated.
+        assert!(out.shares[0].speed < 0.7);
+    }
+
+    #[test]
+    fn cg_with_two_bbma_slows_two_to_three_fold() {
+        // The paper's headline motivation: a memory-intensive app
+        // (CG: ~11.7 tx/µs/thread, µ high) against two BBMA streamers
+        // suffers a 2–3× slowdown.
+        let bus = default_fsb();
+        let out = bus.arbitrate(&[
+            req(0, 11.65, 0.85),
+            req(1, 11.65, 0.85),
+            req(2, 23.6, 0.98),
+            req(3, 23.6, 0.98),
+        ]);
+        let slowdown = 1.0 / out.shares[0].speed;
+        assert!(
+            (1.9..3.2).contains(&slowdown),
+            "CG slowdown under BBMA pressure was {slowdown}"
+        );
+    }
+
+    #[test]
+    fn two_instances_of_heavy_app_lose_forty_to_seventy_percent() {
+        // Fig 1B dark-gray shape: 2 instances × 2 threads of SP/MG/CG-class
+        // applications degrade 41–61 %.
+        let bus = default_fsb();
+        for (rate, mu) in [(8.5, 0.75), (9.75, 0.8), (11.65, 0.85)] {
+            let reqs: Vec<_> = (0..4).map(|i| req(i, rate, mu)).collect();
+            let out = bus.arbitrate(&reqs);
+            let slowdown = 1.0 / out.shares[0].speed;
+            assert!(
+                (1.25..1.95).contains(&slowdown),
+                "rate {rate}: slowdown {slowdown}"
+            );
+        }
+    }
+
+    #[test]
+    fn subsaturation_queueing_penalty_is_small_and_convex() {
+        let bus = default_fsb();
+        // Utilization ~40 %: negligible penalty.
+        let low = bus.arbitrate(&[req(0, 6.0, 0.8), req(1, 6.0, 0.8)]);
+        assert!(!low.saturated);
+        assert!(low.shares[0].speed > 0.97);
+        // Utilization ~90 %: a few percent.
+        let high = bus.arbitrate(&[req(0, 13.0, 0.8), req(1, 13.0, 0.8)]);
+        assert!(high.shares[0].speed < low.shares[0].speed);
+        assert!(high.shares[0].speed > 0.75);
+    }
+
+    #[test]
+    fn dilation_reduces_to_one_when_idle() {
+        let out = default_fsb().arbitrate(&[req(0, 0.0, 0.0)]);
+        assert!((out.dilation - 1.0).abs() < 1e-9);
+        assert_eq!(out.shares[0].speed, 1.0);
+    }
+
+    #[test]
+    fn lambda_solver_handles_mu_zero_threads() {
+        // µ=0 threads contribute constant traffic; solver must not hang.
+        let bus = default_fsb();
+        let out = bus.arbitrate(&[req(0, 40.0, 1.0), req(1, 2.0, 0.0)]);
+        assert!(out.saturated);
+        assert!(out.total_issued <= out.effective_capacity + 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn max_min_allocation_properties() {
+        let demands = vec![1.0, 5.0, 20.0, 30.0];
+        let grants = MaxMinFairBus::max_min(&demands, 29.5);
+        // Grants never exceed demands.
+        for (g, d) in grants.iter().zip(&demands) {
+            assert!(g <= d);
+        }
+        // Capacity fully used when total demand exceeds it.
+        let total: f64 = grants.iter().sum();
+        assert!((total - 29.5).abs() < 1e-9);
+        // Small demand fully satisfied.
+        assert!((grants[0] - 1.0).abs() < 1e-9);
+        // The two large demands get equal shares.
+        assert!((grants[2] - grants[3]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_under_capacity_grants_everything() {
+        let demands = vec![3.0, 4.0];
+        let grants = MaxMinFairBus::max_min(&demands, 29.5);
+        assert_eq!(grants, demands);
+    }
+
+    #[test]
+    fn unlimited_bus_never_slows_anyone() {
+        let out = UnlimitedBus.arbitrate(&[req(0, 1e6, 1.0)]);
+        assert_eq!(out.shares[0].speed, 1.0);
+        assert!(!out.saturated);
+    }
+
+    #[test]
+    fn proportional_bus_matches_fsb_without_overheads() {
+        let cfg = BusConfig {
+            arbitration_per_master: 0.0,
+            queueing_coeff: 0.0,
+            ..BusConfig::default()
+        };
+        let fsb = FsbBus::new(cfg);
+        let prop = ProportionalBus { capacity: cfg.capacity_tx_per_us };
+        let reqs = [req(0, 25.0, 1.0), req(1, 25.0, 1.0)];
+        let a = fsb.arbitrate(&reqs);
+        let b = prop.arbitrate(&reqs);
+        for (x, y) in a.shares.iter().zip(&b.shares) {
+            assert!((x.speed - y.speed).abs() < 1e-9);
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_reqs() -> impl Strategy<Value = Vec<BusRequest>> {
+            prop::collection::vec((0.0f64..40.0, 0.01f64..1.0), 1..12).prop_map(|v| {
+                v.into_iter()
+                    .enumerate()
+                    .map(|(i, (rate, mu))| BusRequest {
+                        thread: ThreadId(i as u64),
+                        rate,
+                        mu,
+                    })
+                    .collect()
+            })
+        }
+
+        proptest! {
+            /// The bus never creates bandwidth: total issued ≤ effective
+            /// capacity (within solver tolerance) whenever saturated, and
+            /// ≤ total demand always.
+            #[test]
+            fn conservation(reqs in arb_reqs()) {
+                let out = FsbBus::new(BusConfig::default()).arbitrate(&reqs);
+                prop_assert!(out.total_issued <= out.total_demand + 1e-9);
+                if out.saturated {
+                    prop_assert!(out.total_issued <= out.effective_capacity * (1.0 + 1e-6));
+                }
+            }
+
+            /// Speeds are in (0, 1] and issue rates are rate×speed.
+            #[test]
+            fn speeds_bounded(reqs in arb_reqs()) {
+                let out = FsbBus::new(BusConfig::default()).arbitrate(&reqs);
+                for (r, s) in reqs.iter().zip(&out.shares) {
+                    prop_assert!(s.speed > 0.0 && s.speed <= 1.0 + 1e-12);
+                    prop_assert!((s.issue_rate - r.rate * s.speed).abs() < 1e-9);
+                }
+            }
+
+            /// More memory-bound threads are hurt at least as much by the
+            /// same dilation.
+            #[test]
+            fn monotone_in_mu(rate in 1.0f64..30.0, mu_lo in 0.0f64..0.5, extra in 0.0f64..0.5) {
+                let bus = FsbBus::new(BusConfig::default());
+                let mu_hi = (mu_lo + extra).min(1.0);
+                let heavy = [
+                    BusRequest { thread: ThreadId(0), rate, mu: mu_lo },
+                    BusRequest { thread: ThreadId(1), rate, mu: mu_hi },
+                    BusRequest { thread: ThreadId(2), rate: 25.0, mu: 1.0 },
+                    BusRequest { thread: ThreadId(3), rate: 25.0, mu: 1.0 },
+                ];
+                let out = bus.arbitrate(&heavy);
+                prop_assert!(out.shares[0].speed >= out.shares[1].speed - 1e-12);
+            }
+
+            /// Max-min grants: feasible, capped by demand, work-conserving.
+            #[test]
+            fn max_min_invariants(demands in prop::collection::vec(0.0f64..50.0, 1..10), cap in 1.0f64..60.0) {
+                let grants = MaxMinFairBus::max_min(&demands, cap);
+                let total_d: f64 = demands.iter().sum();
+                let total_g: f64 = grants.iter().sum();
+                for (g, d) in grants.iter().zip(&demands) {
+                    prop_assert!(*g <= d + 1e-9);
+                    prop_assert!(*g >= -1e-12);
+                }
+                prop_assert!(total_g <= cap + 1e-9);
+                // Work conserving: uses min(cap, total demand).
+                prop_assert!((total_g - total_d.min(cap)).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-processor cache warmth and affinity effects.
+//!
+//! The paper's platform has a 256 KB L2 per processor. Two affinity effects
+//! matter for the reproduction:
+//!
+//! 1. A thread placed on a cpu whose cache it does not occupy runs slower
+//!    while it rebuilds its working set **and** generates extra bus traffic
+//!    doing so. This is why LU CB (99.53 % L2 hit rate) and Water-nsqr are
+//!    "very sensitive to thread migrations among processors" (§3), and why
+//!    their slowdowns under the BBMA workload exceed what their tiny bus
+//!    demand would predict.
+//! 2. Threads time-sharing a cpu evict each other, so affinity alone does
+//!    not help once multiprogramming forces interleavings.
+//!
+//! The model: each cpu keeps a *warmth* in `[0, 1]` per thread that has
+//! recently run there. Warmth rises exponentially toward 1 with time
+//! constant [`CacheConfig::warmup_tau_us`] while the thread runs, and
+//! decays with [`CacheConfig::decay_tau_us`] while a *different* thread
+//! runs on that cpu (an idle cpu preserves its contents). A thread running
+//! with warmth `w` on its cpu:
+//!
+//! * issues `(1 + cold_demand_boost·(1−w))`× its base demand (refill
+//!   traffic), and
+//! * runs at `(1 − sensitivity·(1−w))`× speed, where `sensitivity` is a
+//!   per-thread parameter (how much of its performance lives in the cache).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{CpuId, ThreadId};
+
+/// Cache model parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Time constant (µs) for building cache state while running.
+    /// ~20 ms: a 256 KB working set streams in well under a quantum, but a
+    /// thread bounced every tick never warms up.
+    pub warmup_tau_us: f64,
+    /// Time constant (µs) for losing cache state while another thread runs
+    /// on the same cpu.
+    pub decay_tau_us: f64,
+    /// Extra demand multiplier at warmth 0 (refill traffic): demand is
+    /// `base × (1 + cold_demand_boost × (1 − warmth))`.
+    pub cold_demand_boost: f64,
+    /// Warmth below which an entry is dropped from tracking.
+    pub min_tracked_warmth: f64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            warmup_tau_us: 20_000.0,
+            decay_tau_us: 10_000.0,
+            cold_demand_boost: 0.6,
+            min_tracked_warmth: 0.01,
+        }
+    }
+}
+
+/// Warmth state of every cpu's cache.
+#[derive(Debug, Clone)]
+pub struct CacheState {
+    cfg: CacheConfig,
+    /// Per cpu: warmth per thread that has state there.
+    per_cpu: Vec<BTreeMap<ThreadId, f64>>,
+}
+
+impl CacheState {
+    /// Cold caches for `num_cpus` processors.
+    pub fn new(num_cpus: usize, cfg: CacheConfig) -> Self {
+        Self {
+            cfg,
+            per_cpu: vec![BTreeMap::new(); num_cpus],
+        }
+    }
+
+    /// Warmth of `thread` on `cpu` (0 if it has never run there or its
+    /// state fully decayed).
+    pub fn warmth(&self, cpu: CpuId, thread: ThreadId) -> f64 {
+        self.per_cpu[cpu.0].get(&thread).copied().unwrap_or(0.0)
+    }
+
+    /// Demand multiplier for `thread` running on `cpu` right now.
+    pub fn demand_multiplier(&self, cpu: CpuId, thread: ThreadId) -> f64 {
+        1.0 + self.cfg.cold_demand_boost * (1.0 - self.warmth(cpu, thread))
+    }
+
+    /// Speed multiplier for `thread` with cache-sensitivity `sensitivity`
+    /// running on `cpu` right now.
+    pub fn speed_multiplier(&self, cpu: CpuId, thread: ThreadId, sensitivity: f64) -> f64 {
+        let cold = 1.0 - self.warmth(cpu, thread);
+        (1.0 - sensitivity.clamp(0.0, 1.0) * cold).max(0.05)
+    }
+
+    /// Advance the cache model by `dt_us` given the current placement
+    /// (`running[cpu] = Some(thread)` for occupied cpus).
+    pub fn advance(&mut self, running: &[Option<ThreadId>], dt_us: f64) {
+        assert_eq!(running.len(), self.per_cpu.len(), "placement width mismatch");
+        let build = 1.0 - (-dt_us / self.cfg.warmup_tau_us).exp();
+        let decay = (-dt_us / self.cfg.decay_tau_us).exp();
+        for (cpu_idx, occ) in running.iter().enumerate() {
+            let map = &mut self.per_cpu[cpu_idx];
+            match occ {
+                Some(t) => {
+                    // Occupant warms up; everyone else's footprint decays.
+                    let w = map.entry(*t).or_insert(0.0);
+                    *w += (1.0 - *w) * build;
+                    let min = self.cfg.min_tracked_warmth;
+                    map.retain(|other, w| {
+                        if other == t {
+                            // The occupant is never garbage-collected: its
+                            // per-tick warmth gain can be below the floor.
+                            return true;
+                        }
+                        *w *= decay;
+                        *w >= min
+                    });
+                }
+                None => {
+                    // Idle cpu: contents persist (no one is evicting).
+                }
+            }
+        }
+    }
+
+    /// Drop all state belonging to `thread` (thread exit).
+    pub fn forget(&mut self, thread: ThreadId) {
+        for map in &mut self.per_cpu {
+            map.remove(&thread);
+        }
+    }
+
+    /// The cpu on which `thread` currently has the warmest state, if any —
+    /// what an affinity-aware placement consults.
+    pub fn warmest_cpu(&self, thread: ThreadId) -> Option<(CpuId, f64)> {
+        self.per_cpu
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.get(&thread).map(|&w| (CpuId(i), w)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Number of cpus modeled.
+    pub fn num_cpus(&self) -> usize {
+        self.per_cpu.len()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cpu() -> CacheState {
+        CacheState::new(2, CacheConfig::default())
+    }
+
+    #[test]
+    fn warmth_builds_while_running() {
+        let mut c = two_cpu();
+        let t = ThreadId(1);
+        assert_eq!(c.warmth(CpuId(0), t), 0.0);
+        c.advance(&[Some(t), None], 20_000.0); // one time constant
+        let w = c.warmth(CpuId(0), t);
+        assert!((0.55..0.75).contains(&w), "after 1τ warmth {w}");
+        c.advance(&[Some(t), None], 200_000.0);
+        assert!(c.warmth(CpuId(0), t) > 0.99);
+    }
+
+    #[test]
+    fn warmth_decays_under_eviction_but_not_on_idle_cpu() {
+        let mut c = two_cpu();
+        let (a, b) = (ThreadId(1), ThreadId(2));
+        c.advance(&[Some(a), None], 200_000.0);
+        let warm = c.warmth(CpuId(0), a);
+        // Idle: preserved.
+        c.advance(&[None, None], 100_000.0);
+        assert_eq!(c.warmth(CpuId(0), a), warm);
+        // Evicted by b.
+        c.advance(&[Some(b), None], 10_000.0); // one decay τ
+        let after = c.warmth(CpuId(0), a);
+        assert!(after < warm * 0.45, "decayed {warm} -> {after}");
+    }
+
+    #[test]
+    fn cold_thread_demands_more_and_runs_slower() {
+        let mut c = two_cpu();
+        let t = ThreadId(1);
+        assert!((c.demand_multiplier(CpuId(0), t) - 1.6).abs() < 1e-12);
+        assert!((c.speed_multiplier(CpuId(0), t, 0.5) - 0.5).abs() < 1e-12);
+        c.advance(&[Some(t), None], 1_000_000.0);
+        assert!(c.demand_multiplier(CpuId(0), t) < 1.001);
+        assert!(c.speed_multiplier(CpuId(0), t, 0.5) > 0.999);
+    }
+
+    #[test]
+    fn speed_multiplier_is_floored() {
+        let c = two_cpu();
+        // Even a fully cold, fully sensitive thread keeps making progress.
+        assert!(c.speed_multiplier(CpuId(0), ThreadId(9), 1.0) >= 0.05);
+    }
+
+    #[test]
+    fn warmest_cpu_tracks_migrations() {
+        let mut c = two_cpu();
+        let t = ThreadId(1);
+        assert!(c.warmest_cpu(t).is_none());
+        c.advance(&[Some(t), None], 50_000.0);
+        assert_eq!(c.warmest_cpu(t).unwrap().0, CpuId(0));
+        // Migrate and run longer on cpu1; cpu0 state decays only if evicted.
+        c.advance(&[Some(ThreadId(2)), Some(t)], 120_000.0);
+        assert_eq!(c.warmest_cpu(t).unwrap().0, CpuId(1));
+    }
+
+    #[test]
+    fn forget_removes_all_state() {
+        let mut c = two_cpu();
+        let t = ThreadId(1);
+        c.advance(&[Some(t), Some(t)], 10_000.0);
+        c.forget(t);
+        assert!(c.warmest_cpu(t).is_none());
+    }
+
+    #[test]
+    fn tiny_warmth_entries_are_garbage_collected() {
+        let mut c = two_cpu();
+        let (a, b) = (ThreadId(1), ThreadId(2));
+        c.advance(&[Some(a), None], 5_000.0);
+        // Long eviction drives a's entry under the tracking floor.
+        c.advance(&[Some(b), None], 1_000_000.0);
+        assert_eq!(c.warmth(CpuId(0), a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement width")]
+    fn wrong_placement_width_panics() {
+        two_cpu().advance(&[None], 1.0);
+    }
+}

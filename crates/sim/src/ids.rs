@@ -1,0 +1,66 @@
+//! Identifier newtypes and time units.
+//!
+//! Simulated wall-clock time is counted in **microseconds** (`u64`), the
+//! natural unit of the paper (bus rates are transactions/µs, quanta are
+//! 100 000–200 000 µs). Virtual (useful-work) time is `f64` µs because the
+//! fluid model produces fractional progress per tick.
+
+use std::fmt;
+
+/// Simulated wall-clock time in microseconds.
+pub type SimTime = u64;
+
+/// A processor (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuId(pub usize);
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A simulated kernel thread. Unique for the lifetime of a [`crate::Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u64);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid{}", self.0)
+    }
+}
+
+impl ThreadId {
+    /// The perfmon key for this thread (same number space).
+    pub fn key(self) -> busbw_perfmon::ThreadKey {
+        busbw_perfmon::ThreadKey(self.0)
+    }
+}
+
+/// An application (a gang of threads scheduled as a unit by the paper's
+/// policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u64);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CpuId(2).to_string(), "cpu2");
+        assert_eq!(ThreadId(5).to_string(), "tid5");
+        assert_eq!(AppId(1).to_string(), "app1");
+    }
+
+    #[test]
+    fn thread_key_roundtrip() {
+        assert_eq!(ThreadId(9).key(), busbw_perfmon::ThreadKey(9));
+    }
+}

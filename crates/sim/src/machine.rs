@@ -1,0 +1,1028 @@
+//! The simulated SMP: cpus, bus, caches, threads, and the tick loop.
+//!
+//! A [`Machine`] hosts applications (gangs of threads) and drives time
+//! forward in fixed ticks. A [`Scheduler`] — the pluggable policy layer —
+//! is consulted:
+//!
+//! * at time 0 and whenever its requested quantum expires,
+//! * immediately (at the next tick boundary) when an application finishes,
+//!   so freed processors are not left idle for the rest of a quantum,
+//! * at its requested sampling period ([`Scheduler::on_sample`]), which the
+//!   paper's CPU manager uses to poll performance counters twice per
+//!   quantum.
+//!
+//! The scheduler sees the machine only through [`MachineView`]: thread and
+//! application states plus the `busbw-perfmon` counter registry — the same
+//! information a user-level CPU manager has on real hardware. It returns a
+//! [`Decision`]: a complete placement of threads onto cpus for the next
+//! interval.
+//!
+//! Timers fire at tick granularity (default 100 µs), three orders of
+//! magnitude below the paper's quanta.
+
+use std::collections::BTreeMap;
+
+use busbw_perfmon::{EventKind, Registry};
+
+use crate::bus::{BusModel, BusRequest};
+use crate::cache::CacheState;
+use crate::config::MachineConfig;
+use crate::ids::{AppId, CpuId, SimTime, ThreadId};
+use crate::stats::RunStats;
+use crate::thread::{SimThread, ThreadSpec, ThreadState};
+
+/// An application to place on the machine: a named gang of threads.
+pub struct AppDescriptor {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// The gang's threads.
+    pub threads: Vec<ThreadSpec>,
+    /// Barrier interval in virtual µs: threads synchronize this often, so
+    /// no thread's progress may exceed the slowest unfinished sibling's
+    /// progress by more than this. A thread at the limit spin-waits —
+    /// burning its processor without progress or bus traffic, exactly what
+    /// an OpenMP barrier does when a sibling is descheduled. `None`
+    /// disables coupling (independent threads, e.g. microbenchmarks).
+    pub barrier_interval_us: Option<f64>,
+}
+
+impl AppDescriptor {
+    /// Build a descriptor with uncoupled threads.
+    pub fn new(name: impl Into<String>, threads: Vec<ThreadSpec>) -> Self {
+        Self {
+            name: name.into(),
+            threads,
+            barrier_interval_us: None,
+        }
+    }
+
+    /// Couple the gang with barriers every `interval_us` of virtual time.
+    ///
+    /// # Panics
+    /// Panics if `interval_us` is not positive.
+    pub fn with_barrier_interval(mut self, interval_us: f64) -> Self {
+        assert!(interval_us > 0.0, "barrier interval must be positive");
+        self.barrier_interval_us = Some(interval_us);
+        self
+    }
+}
+
+pub(crate) struct AppRecord {
+    pub name: String,
+    pub threads: Vec<ThreadId>,
+    pub arrived_at: SimTime,
+    pub finished_at: Option<SimTime>,
+    pub barrier_interval_us: Option<f64>,
+}
+
+/// One thread-to-cpu placement in a [`Decision`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The thread to run.
+    pub thread: ThreadId,
+    /// The cpu to run it on.
+    pub cpu: CpuId,
+}
+
+/// A scheduler's answer: the complete placement for the next interval.
+///
+/// Threads not mentioned in `assignments` are preempted (set to `Ready`).
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Placements; at most one thread per cpu, one cpu per thread.
+    pub assignments: Vec<Assignment>,
+    /// Microseconds until the next [`Scheduler::schedule`] call (the
+    /// scheduling quantum). Must be positive.
+    pub next_resched_in_us: u64,
+    /// If set, [`Scheduler::on_sample`] is invoked at this period until the
+    /// next reschedule. The paper samples twice per quantum.
+    pub sample_period_us: Option<u64>,
+}
+
+impl Decision {
+    /// An idle decision: run nothing, re-ask after `quantum_us`.
+    pub fn idle(quantum_us: u64) -> Self {
+        Self {
+            assignments: Vec::new(),
+            next_resched_in_us: quantum_us,
+            sample_period_us: None,
+        }
+    }
+}
+
+/// Read-only information about one thread, as exposed to schedulers.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadInfo {
+    /// Thread id.
+    pub id: ThreadId,
+    /// Owning application.
+    pub app: AppId,
+    /// Current scheduling state.
+    pub state: ThreadState,
+    /// Last cpu the thread ran on (affinity hint), if any.
+    pub last_cpu: Option<CpuId>,
+    /// Completed useful work, virtual µs.
+    pub progress_us: f64,
+    /// Total work, virtual µs (`INFINITY` for run-forever threads).
+    pub work_us: f64,
+}
+
+impl ThreadInfo {
+    /// Whether the thread still wants cpu time.
+    pub fn is_runnable(&self) -> bool {
+        self.state.is_runnable()
+    }
+}
+
+/// Read-only information about one application.
+#[derive(Debug, Clone)]
+pub struct AppInfo<'a> {
+    /// Application id.
+    pub id: AppId,
+    /// Name given at creation.
+    pub name: &'a str,
+    /// The gang's threads.
+    pub threads: &'a [ThreadId],
+    /// Wall time the app was added.
+    pub arrived_at: SimTime,
+    /// Wall time the app finished, if it has.
+    pub finished_at: Option<SimTime>,
+}
+
+impl AppInfo<'_> {
+    /// Whether any thread still wants cpu time.
+    pub fn is_live(&self) -> bool {
+        self.finished_at.is_none()
+    }
+
+    /// Number of threads in the gang.
+    pub fn width(&self) -> usize {
+        self.threads.len()
+    }
+}
+
+/// The scheduler's window into the machine.
+pub struct MachineView<'a> {
+    /// Current simulated time, µs.
+    pub now: SimTime,
+    /// Number of processors.
+    pub num_cpus: usize,
+    /// Nominal sustained bus capacity, tx/µs — the paper's policies need
+    /// this to compute available bandwidth per unallocated processor.
+    pub bus_capacity: f64,
+    /// The performance-counter registry (what a perfctr client reads).
+    pub registry: &'a Registry,
+    /// Time-integral of bus dilation (µs·Λ) — the simulated IOQ-occupancy
+    /// PMU reading; see [`Machine`] internals.
+    pub dilation_integral: f64,
+    threads: &'a BTreeMap<ThreadId, SimThread>,
+    apps: &'a BTreeMap<AppId, AppRecord>,
+    cache: &'a CacheState,
+}
+
+impl<'a> MachineView<'a> {
+    /// Iterate all threads.
+    pub fn threads(&self) -> impl Iterator<Item = ThreadInfo> + '_ {
+        self.threads.values().map(thread_info)
+    }
+
+    /// Look up one thread.
+    pub fn thread(&self, id: ThreadId) -> Option<ThreadInfo> {
+        self.threads.get(&id).map(thread_info)
+    }
+
+    /// Iterate all applications (deterministic order).
+    pub fn apps(&self) -> impl Iterator<Item = AppInfo<'_>> + '_ {
+        self.apps.iter().map(|(&id, r)| app_info(id, r))
+    }
+
+    /// Look up one application.
+    pub fn app(&self, id: AppId) -> Option<AppInfo<'_>> {
+        self.apps.get(&id).map(|r| app_info(id, r))
+    }
+
+    /// Cache warmth of `thread` on `cpu` — affinity information, the
+    /// equivalent of the kernel's affinity links.
+    pub fn warmth(&self, cpu: CpuId, thread: ThreadId) -> f64 {
+        self.cache.warmth(cpu, thread)
+    }
+
+    /// The cpu where `thread` has the warmest cache state, if any.
+    pub fn warmest_cpu(&self, thread: ThreadId) -> Option<(CpuId, f64)> {
+        self.cache.warmest_cpu(thread)
+    }
+
+    /// All applications that still have runnable work, in id order.
+    pub fn live_apps(&self) -> Vec<AppId> {
+        self.apps
+            .iter()
+            .filter(|(_, r)| r.finished_at.is_none())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+fn thread_info(t: &SimThread) -> ThreadInfo {
+    ThreadInfo {
+        id: t.id,
+        app: t.app,
+        state: t.state,
+        last_cpu: t.last_cpu,
+        progress_us: t.progress_us,
+        work_us: t.work_us,
+    }
+}
+
+fn app_info(id: AppId, r: &AppRecord) -> AppInfo<'_> {
+    AppInfo {
+        id,
+        name: &r.name,
+        threads: &r.threads,
+        arrived_at: r.arrived_at,
+        finished_at: r.finished_at,
+    }
+}
+
+/// A scheduling policy driving a [`Machine`].
+pub trait Scheduler {
+    /// Produce the placement for the next interval.
+    fn schedule(&mut self, view: &MachineView<'_>) -> Decision;
+
+    /// Called at the sampling period requested by the last [`Decision`].
+    fn on_sample(&mut self, view: &MachineView<'_>) {
+        let _ = view;
+    }
+
+    /// Display name for reports.
+    fn name(&self) -> &str {
+        "scheduler"
+    }
+}
+
+/// When a [`Machine::run`] should stop.
+#[derive(Debug, Clone)]
+pub enum StopCondition {
+    /// Stop at the given absolute simulated time.
+    At(SimTime),
+    /// Stop when all the listed applications have finished.
+    AppsFinished(Vec<AppId>),
+    /// Stop when every application with finite work has finished.
+    AllFiniteAppsFinished,
+}
+
+/// Why a run stopped, plus accounting.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Time at which the run stopped.
+    pub stopped_at: SimTime,
+    /// Whether the stop condition was met (vs. hitting the hard cap).
+    pub condition_met: bool,
+    /// Accounting for the run.
+    pub stats: RunStats,
+}
+
+/// Aggregated per-application accounting, assembled from the counters.
+#[derive(Debug, Clone)]
+pub struct AppReport {
+    /// The application.
+    pub app: AppId,
+    /// Its display name.
+    pub name: String,
+    /// Gang width.
+    pub threads: usize,
+    /// Arrival time, µs.
+    pub arrived_at_us: SimTime,
+    /// Completion time, µs (if finished).
+    pub finished_at_us: Option<SimTime>,
+    /// Turnaround, µs (if finished).
+    pub turnaround_us: Option<SimTime>,
+    /// Σ cpu time consumed across threads, µs.
+    pub cpu_time_us: f64,
+    /// Σ useful progress across threads, virtual µs.
+    pub progress_us: f64,
+    /// Σ bus transactions issued.
+    pub transactions: f64,
+    /// Σ cache-cold placements.
+    pub cold_starts: f64,
+    /// Σ quanta in which threads were placed.
+    pub quanta_run: f64,
+}
+
+impl AppReport {
+    /// Useful progress per cpu-µs consumed: 1.0 = never slowed by the
+    /// bus, caches, SMT sharing, or barrier spins.
+    pub fn efficiency(&self) -> f64 {
+        if self.cpu_time_us == 0.0 {
+            0.0
+        } else {
+            self.progress_us / self.cpu_time_us
+        }
+    }
+
+    /// Mean bus transaction rate while on cpu, tx/µs.
+    pub fn rate_on_cpu(&self) -> f64 {
+        if self.cpu_time_us == 0.0 {
+            0.0
+        } else {
+            self.transactions / self.cpu_time_us
+        }
+    }
+}
+
+/// The simulated SMP.
+pub struct Machine {
+    cfg: MachineConfig,
+    bus: Box<dyn BusModel>,
+    cache: CacheState,
+    threads: BTreeMap<ThreadId, SimThread>,
+    apps: BTreeMap<AppId, AppRecord>,
+    registry: Registry,
+    now: SimTime,
+    next_thread_id: u64,
+    next_app_id: u64,
+    hard_cap_us: SimTime,
+    /// Time-integral of the bus dilation factor Λ (µs·Λ). The simulated
+    /// analogue of the Pentium-4 IOQ-occupancy PMU events: lets a
+    /// user-level manager estimate how much the bus dilated memory
+    /// phases over an interval (Λ̄ = Δintegral / Δt).
+    dilation_integral: f64,
+}
+
+impl Machine {
+    /// A machine with the given configuration and the default
+    /// [`crate::bus::FsbBus`] model.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let bus = Box::new(crate::bus::FsbBus::new(cfg.bus));
+        Self::with_bus(cfg, bus)
+    }
+
+    /// A machine with a custom bus model (ablations, tests).
+    pub fn with_bus(cfg: MachineConfig, bus: Box<dyn BusModel>) -> Self {
+        assert!(cfg.num_cpus > 0, "need at least one cpu");
+        assert!(cfg.tick_us > 0, "tick must be positive");
+        Self {
+            cache: CacheState::new(cfg.num_cpus, cfg.cache),
+            cfg,
+            bus,
+            threads: BTreeMap::new(),
+            apps: BTreeMap::new(),
+            registry: Registry::new(),
+            now: 0,
+            next_thread_id: 0,
+            next_app_id: 0,
+            hard_cap_us: 1_000_000_000, // 1000 simulated seconds
+            dilation_integral: 0.0,
+        }
+    }
+
+    /// Change the safety cap on any single `run` call (simulated µs of
+    /// absolute time beyond which the run aborts with
+    /// `condition_met = false`).
+    pub fn set_hard_cap_us(&mut self, cap: SimTime) {
+        self.hard_cap_us = cap;
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Add an application; its threads become runnable immediately.
+    pub fn add_app(&mut self, desc: AppDescriptor) -> AppId {
+        assert!(!desc.threads.is_empty(), "an app needs at least one thread");
+        let app_id = AppId(self.next_app_id);
+        self.next_app_id += 1;
+        let mut tids = Vec::with_capacity(desc.threads.len());
+        for spec in desc.threads {
+            let tid = ThreadId(self.next_thread_id);
+            self.next_thread_id += 1;
+            self.registry.register(tid.key());
+            self.threads.insert(tid, SimThread::new(tid, app_id, spec));
+            tids.push(tid);
+        }
+        self.apps.insert(
+            app_id,
+            AppRecord {
+                name: desc.name,
+                threads: tids,
+                arrived_at: self.now,
+                finished_at: None,
+                barrier_interval_us: desc.barrier_interval_us,
+            },
+        );
+        app_id
+    }
+
+    /// The scheduler-facing view of the current state.
+    pub fn view(&self) -> MachineView<'_> {
+        MachineView {
+            now: self.now,
+            num_cpus: self.cfg.num_cpus,
+            bus_capacity: self.bus.nominal_capacity(),
+            registry: &self.registry,
+            dilation_integral: self.dilation_integral,
+            threads: &self.threads,
+            apps: &self.apps,
+            cache: &self.cache,
+        }
+    }
+
+    /// Turnaround time of a finished app (finish − arrival), if finished.
+    pub fn turnaround_us(&self, app: AppId) -> Option<SimTime> {
+        let r = self.apps.get(&app)?;
+        r.finished_at.map(|f| f - r.arrived_at)
+    }
+
+    /// Total bus transactions issued by an app so far.
+    pub fn app_transactions(&self, app: AppId) -> f64 {
+        let Some(r) = self.apps.get(&app) else {
+            return 0.0;
+        };
+        r.threads
+            .iter()
+            .map(|t| self.registry.total(t.key(), EventKind::BusTransactions))
+            .sum()
+    }
+
+    /// The perfmon registry (read access for reports/tests).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A per-application accounting report (see [`AppReport`]).
+    pub fn app_report(&self, app: AppId) -> Option<AppReport> {
+        let rec = self.apps.get(&app)?;
+        let mut r = AppReport {
+            app,
+            name: rec.name.clone(),
+            threads: rec.threads.len(),
+            arrived_at_us: rec.arrived_at,
+            finished_at_us: rec.finished_at,
+            turnaround_us: rec.finished_at.map(|f| f - rec.arrived_at),
+            cpu_time_us: 0.0,
+            progress_us: 0.0,
+            transactions: 0.0,
+            cold_starts: 0.0,
+            quanta_run: 0.0,
+        };
+        for t in &rec.threads {
+            let k = t.key();
+            r.cpu_time_us += self.registry.total(k, EventKind::CyclesOnCpu);
+            r.progress_us += self.registry.total(k, EventKind::VirtualProgress);
+            r.transactions += self.registry.total(k, EventKind::BusTransactions);
+            r.cold_starts += self.registry.total(k, EventKind::ColdStarts);
+            r.quanta_run += self.registry.total(k, EventKind::QuantaRun);
+        }
+        Some(r)
+    }
+
+    /// Drive the machine under `sched` until `stop` (or the hard cap).
+    pub fn run(&mut self, sched: &mut dyn Scheduler, stop: StopCondition) -> RunOutcome {
+        let mut stats = RunStats::default();
+        let started_at = self.now;
+        let cap_at = started_at.saturating_add(self.hard_cap_us);
+
+        let mut next_resched = self.now; // schedule immediately
+        let mut sample_period: Option<u64> = None;
+        let mut next_sample: Option<SimTime> = None;
+        let mut resched_requested = false;
+
+        let condition_met = loop {
+            if self.stop_met(&stop) {
+                break true;
+            }
+            if self.now >= cap_at {
+                break false;
+            }
+
+            // Sampling fires before rescheduling so a sample landing on the
+            // quantum boundary (the paper's second sample per quantum) is
+            // visible to the scheduling decision it precedes.
+            if let (Some(ns), Some(p)) = (next_sample, sample_period) {
+                if self.now >= ns {
+                    sched.on_sample(&self.view());
+                    stats.sample_calls += 1;
+                    next_sample = Some(self.now + p.max(self.cfg.tick_us));
+                }
+            }
+
+            if self.now >= next_resched || resched_requested {
+                let decision = sched.schedule(&self.view());
+                assert!(
+                    decision.next_resched_in_us > 0,
+                    "scheduler must request a positive quantum"
+                );
+                self.apply(&decision, &mut stats);
+                stats.schedule_calls += 1;
+                next_resched = self.now + decision.next_resched_in_us;
+                sample_period = decision.sample_period_us;
+                next_sample = sample_period.map(|p| self.now + p.max(self.cfg.tick_us));
+                resched_requested = false;
+            }
+
+            // Advance one tick, clipped so timers fire on time.
+            let mut dt = self.cfg.tick_us;
+            dt = dt.min(next_resched.saturating_sub(self.now).max(1));
+            if let Some(ns) = next_sample {
+                dt = dt.min(ns.saturating_sub(self.now).max(1));
+            }
+            if let StopCondition::At(t) = stop {
+                dt = dt.min(t.saturating_sub(self.now).max(1));
+            }
+            let app_finished = self.tick(dt, &mut stats);
+            if app_finished {
+                resched_requested = true;
+            }
+        };
+
+        stats.elapsed_us = self.now - started_at;
+        RunOutcome {
+            stopped_at: self.now,
+            condition_met,
+            stats,
+        }
+    }
+
+    fn stop_met(&self, stop: &StopCondition) -> bool {
+        match stop {
+            StopCondition::At(t) => self.now >= *t,
+            StopCondition::AppsFinished(ids) => ids
+                .iter()
+                .all(|id| self.apps.get(id).is_some_and(|r| r.finished_at.is_some())),
+            StopCondition::AllFiniteAppsFinished => self.apps.values().all(|r| {
+                r.finished_at.is_some()
+                    || r.threads
+                        .iter()
+                        .all(|t| self.threads[t].work_us.is_infinite())
+            }),
+        }
+    }
+
+    /// Validate and apply a scheduling decision.
+    fn apply(&mut self, d: &Decision, stats: &mut RunStats) {
+        let mut cpu_used = vec![false; self.cfg.num_cpus];
+        let mut seen = std::collections::BTreeSet::new();
+        for a in &d.assignments {
+            assert!(a.cpu.0 < self.cfg.num_cpus, "assignment to nonexistent {}", a.cpu);
+            assert!(!cpu_used[a.cpu.0], "two threads assigned to {}", a.cpu);
+            cpu_used[a.cpu.0] = true;
+            assert!(seen.insert(a.thread), "thread {} assigned twice", a.thread);
+            let t = self
+                .threads
+                .get(&a.thread)
+                .unwrap_or_else(|| panic!("assignment of unknown thread {}", a.thread));
+            assert!(
+                t.state.is_runnable(),
+                "assignment of finished thread {}",
+                a.thread
+            );
+        }
+
+        // Preempt everyone, then place the assigned set.
+        for t in self.threads.values_mut() {
+            if let ThreadState::Running(_) = t.state {
+                t.state = ThreadState::Ready;
+            }
+        }
+        for a in &d.assignments {
+            let warmth = self.cache.warmth(a.cpu, a.thread);
+            let t = self.threads.get_mut(&a.thread).expect("validated above");
+            t.state = ThreadState::Running(a.cpu);
+            stats.placements += 1;
+            if warmth < 0.5 {
+                stats.cold_placements += 1;
+                self.registry.add(a.thread.key(), EventKind::ColdStarts, 1.0);
+            }
+            if t.last_cpu != Some(a.cpu) {
+                t.last_cpu = Some(a.cpu);
+            }
+            self.registry.add(a.thread.key(), EventKind::QuantaRun, 1.0);
+        }
+    }
+
+    /// Advance `dt` µs. Returns true if any application finished.
+    fn tick(&mut self, dt: u64, stats: &mut RunStats) -> bool {
+        let dt_f = dt as f64;
+
+        // Current placement.
+        let mut placement: Vec<Option<ThreadId>> = vec![None; self.cfg.num_cpus];
+        for t in self.threads.values() {
+            if let ThreadState::Running(c) = t.state {
+                placement[c.0] = Some(t.id);
+            }
+        }
+
+        // Barrier caps: a thread may not run ahead of its slowest
+        // unfinished sibling by more than the app's barrier interval.
+        // Threads at their cap spin-wait: they hold the cpu but demand no
+        // bus bandwidth and make no progress.
+        let mut barrier_cap: BTreeMap<ThreadId, f64> = BTreeMap::new();
+        for rec in self.apps.values() {
+            let Some(interval) = rec.barrier_interval_us else { continue };
+            let min_progress = rec
+                .threads
+                .iter()
+                .map(|t| &self.threads[t])
+                .filter(|t| t.state != ThreadState::Finished)
+                .map(|t| t.progress_us)
+                .fold(f64::INFINITY, f64::min);
+            if min_progress.is_finite() {
+                for t in &rec.threads {
+                    barrier_cap.insert(*t, min_progress + interval);
+                }
+            }
+        }
+
+        // SMT: count busy hardware threads per physical core; siblings
+        // sharing a core split its (slightly super-unit) throughput.
+        let cores = self.cfg.num_cpus / self.cfg.smt_threads_per_core.max(1);
+        let mut busy_per_core = vec![0usize; cores.max(1)];
+        for (cpu_idx, occ) in placement.iter().enumerate() {
+            if occ.is_some() {
+                busy_per_core[self.cfg.core_of(cpu_idx)] += 1;
+            }
+        }
+
+        // Collect demands (with cache-cold boosts).
+        let mut reqs: Vec<BusRequest> = Vec::new();
+        let mut cache_speed: BTreeMap<ThreadId, f64> = BTreeMap::new();
+        for (cpu_idx, occ) in placement.iter().enumerate() {
+            let Some(tid) = occ else { continue };
+            let cpu = CpuId(cpu_idx);
+            let spinning = barrier_cap
+                .get(tid)
+                .is_some_and(|&cap| self.threads[tid].progress_us >= cap);
+            let t = self.threads.get_mut(tid).expect("placed thread exists");
+            let d = if spinning {
+                // Spin-wait on a cached flag: no bus traffic.
+                crate::demand::Demand::ZERO
+            } else {
+                t.model.demand_at(t.progress_us, self.now)
+            };
+            let boost = if spinning {
+                1.0
+            } else {
+                self.cache.demand_multiplier(cpu, *tid)
+            };
+            reqs.push(BusRequest {
+                thread: *tid,
+                rate: d.rate * boost,
+                mu: d.mu,
+            });
+            let smt = self
+                .cfg
+                .smt_speed_factor(busy_per_core[self.cfg.core_of(cpu_idx)]);
+            let cs = if spinning {
+                0.0 // no progress while spinning
+            } else {
+                self.cache.speed_multiplier(cpu, *tid, t.cache_sensitivity) * smt
+            };
+            cache_speed.insert(*tid, cs);
+        }
+
+        let outcome = self.bus.arbitrate(&reqs);
+
+        // Progress threads and count events.
+        let mut any_thread_finished = false;
+        let mut issued_this_tick = 0.0f64;
+        for share in &outcome.shares {
+            let cs = cache_speed[&share.thread];
+            let mut speed = share.speed * cs;
+            let mut issue = share.issue_rate * cs;
+            let t = self.threads.get_mut(&share.thread).expect("exists");
+            // Clamp progress at the barrier cap: if this tick would cross
+            // it, the overshoot is converted to spinning (no further
+            // progress or traffic within the tick; exact at 100 µs scale).
+            if let Some(&cap) = barrier_cap.get(&share.thread) {
+                let ahead = (cap - t.progress_us).max(0.0);
+                if speed * dt_f > ahead {
+                    let frac = ahead / (speed * dt_f).max(1e-12);
+                    speed *= frac;
+                    issue *= frac;
+                }
+            }
+            let remaining = t.remaining_us();
+            // Portion of the tick actually used (threads that finish
+            // mid-tick stop consuming cpu and bus).
+            let used = if speed * dt_f >= remaining {
+                (remaining / speed.max(1e-12)).min(dt_f)
+            } else {
+                dt_f
+            };
+            t.progress_us = (t.progress_us + speed * used).min(t.work_us);
+            let key = share.thread.key();
+            issued_this_tick += issue * used;
+            self.registry.add(key, EventKind::BusTransactions, issue * used);
+            self.registry.add(key, EventKind::CyclesOnCpu, used);
+            self.registry.add(key, EventKind::VirtualProgress, speed * used);
+            if t.progress_us >= t.work_us {
+                t.state = ThreadState::Finished;
+                t.finished_at = Some(self.now + used.ceil() as u64);
+                any_thread_finished = true;
+            }
+        }
+
+        // Cache dynamics.
+        self.cache.advance(&placement, dt_f);
+
+        // Bus accounting (actual issued traffic: cache/SMT factors,
+        // barrier clamps, and mid-tick completions all reduce what the
+        // arbiter granted — the machine-level total must match the
+        // per-thread counters exactly).
+        stats.bus.total_transactions += issued_this_tick;
+        stats.bus.total_demanded += outcome.total_demand * dt_f;
+        stats.bus.utilization_integral += outcome.utilization * dt_f;
+        if outcome.saturated {
+            stats.bus.saturated_us += dt_f;
+        }
+        if outcome.dilation > stats.bus.peak_dilation {
+            stats.bus.peak_dilation = outcome.dilation;
+        }
+        self.dilation_integral += outcome.dilation.max(1.0) * dt_f;
+
+        self.now += dt;
+
+        // App completion.
+        let mut any_app_finished = false;
+        if any_thread_finished {
+            for rec in self.apps.values_mut() {
+                if rec.finished_at.is_none()
+                    && rec
+                        .threads
+                        .iter()
+                        .all(|t| self.threads[t].state == ThreadState::Finished)
+                {
+                    let finish = rec
+                        .threads
+                        .iter()
+                        .filter_map(|t| self.threads[t].finished_at)
+                        .max()
+                        .unwrap_or(self.now);
+                    rec.finished_at = Some(finish);
+                    any_app_finished = true;
+                }
+            }
+        }
+        any_app_finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XEON_4WAY;
+    use crate::demand::ConstantDemand;
+
+    /// Run every runnable thread on the lowest free cpu, forever.
+    struct GreedyScheduler {
+        quantum: u64,
+    }
+
+    impl Scheduler for GreedyScheduler {
+        fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+            let mut assignments = Vec::new();
+            let mut cpu = 0;
+            for t in view.threads() {
+                if t.is_runnable() && cpu < view.num_cpus {
+                    assignments.push(Assignment {
+                        thread: t.id,
+                        cpu: CpuId(cpu),
+                    });
+                    cpu += 1;
+                }
+            }
+            Decision {
+                assignments,
+                next_resched_in_us: self.quantum,
+                sample_period_us: None,
+            }
+        }
+        fn name(&self) -> &str {
+            "greedy"
+        }
+    }
+
+    fn light_thread(work_us: f64) -> ThreadSpec {
+        ThreadSpec::new(work_us, Box::new(ConstantDemand::new(0.1, 0.05)))
+    }
+
+    #[test]
+    fn single_light_app_finishes_in_about_its_work_time() {
+        let mut m = Machine::new(XEON_4WAY);
+        let app = m.add_app(AppDescriptor::new("solo", vec![light_thread(100_000.0)]));
+        let mut s = GreedyScheduler { quantum: 200_000 };
+        let out = m.run(&mut s, StopCondition::AppsFinished(vec![app]));
+        assert!(out.condition_met);
+        let t = m.turnaround_us(app).unwrap();
+        // Light demand, alone: negligible dilation.
+        assert!((100_000..=103_000).contains(&t), "turnaround {t}");
+    }
+
+    #[test]
+    fn unassigned_threads_make_no_progress() {
+        let mut m = Machine::new(XEON_4WAY);
+        let app = m.add_app(AppDescriptor::new("idle", vec![light_thread(1000.0)]));
+        struct NullSched;
+        impl Scheduler for NullSched {
+            fn schedule(&mut self, _v: &MachineView<'_>) -> Decision {
+                Decision::idle(100_000)
+            }
+        }
+        let out = m.run(&mut NullSched, StopCondition::At(500_000));
+        assert!(out.condition_met);
+        assert!(m.turnaround_us(app).is_none());
+        let v = m.view();
+        let ti = v.thread(ThreadId(0)).unwrap();
+        assert_eq!(ti.progress_us, 0.0);
+    }
+
+    #[test]
+    fn two_streamers_on_shared_bus_slow_down() {
+        let mut m = Machine::new(XEON_4WAY);
+        let mk = || {
+            AppDescriptor::new(
+                "stream",
+                vec![ThreadSpec::new(
+                    500_000.0,
+                    Box::new(ConstantDemand::new(23.6, 0.98)),
+                )],
+            )
+        };
+        let a = m.add_app(mk());
+        let b = m.add_app(mk());
+        let mut s = GreedyScheduler { quantum: 200_000 };
+        let out = m.run(&mut s, StopCondition::AppsFinished(vec![a, b]));
+        assert!(out.condition_met);
+        let ta = m.turnaround_us(a).unwrap() as f64;
+        // Two 23.6 tx/µs streamers on a ~28.6 effective bus: each gets
+        // about half, so ~1.65× dilation expected.
+        assert!(ta > 700_000.0, "turnaround {ta}");
+        assert!(out.stats.saturated_fraction() > 0.9);
+    }
+
+    #[test]
+    fn counters_track_issued_traffic() {
+        let mut m = Machine::new(XEON_4WAY);
+        let app = m.add_app(AppDescriptor::new(
+            "counted",
+            vec![ThreadSpec::new(
+                100_000.0,
+                Box::new(ConstantDemand::new(5.0, 0.5)),
+            )],
+        ));
+        let mut s = GreedyScheduler { quantum: 200_000 };
+        m.run(&mut s, StopCondition::AppsFinished(vec![app]));
+        let tx = m.app_transactions(app);
+        // 5 tx/µs × ~100k µs ≈ 500k transactions, plus cache-cold refill
+        // traffic early in the run (≈ 0.6 boost decaying over the 20 ms
+        // warm-up constant ≈ +60k).
+        assert!((450_000.0..620_000.0).contains(&tx), "tx {tx}");
+    }
+
+    #[test]
+    fn app_finish_triggers_immediate_reschedule() {
+        let mut m = Machine::new(XEON_4WAY);
+        let short = m.add_app(AppDescriptor::new("short", vec![light_thread(10_000.0)]));
+        let long = m.add_app(AppDescriptor::new("long", vec![light_thread(300_000.0)]));
+        let mut s = GreedyScheduler { quantum: 1_000_000 }; // huge quantum
+        let out = m.run(&mut s, StopCondition::AppsFinished(vec![short, long]));
+        assert!(out.condition_met);
+        // Despite the 1 s quantum, the machine rescheduled when `short`
+        // finished, so more than one schedule call happened.
+        assert!(out.stats.schedule_calls >= 2);
+        let t = m.turnaround_us(long).unwrap();
+        assert!(t < 320_000, "long turnaround {t}");
+    }
+
+    #[test]
+    fn hard_cap_stops_unfinishable_runs() {
+        let mut m = Machine::new(XEON_4WAY);
+        let forever = m.add_app(AppDescriptor::new(
+            "forever",
+            vec![ThreadSpec::new(
+                f64::INFINITY,
+                Box::new(ConstantDemand::new(1.0, 0.5)),
+            )],
+        ));
+        m.set_hard_cap_us(1_000_000);
+        let mut s = GreedyScheduler { quantum: 100_000 };
+        let out = m.run(&mut s, StopCondition::AppsFinished(vec![forever]));
+        assert!(!out.condition_met);
+        assert_eq!(out.stopped_at, 1_000_000);
+    }
+
+    #[test]
+    fn all_finite_apps_stop_condition_ignores_infinite_apps() {
+        let mut m = Machine::new(XEON_4WAY);
+        let _inf = m.add_app(AppDescriptor::new(
+            "micro",
+            vec![ThreadSpec::new(
+                f64::INFINITY,
+                Box::new(ConstantDemand::new(0.1, 0.1)),
+            )],
+        ));
+        let fin = m.add_app(AppDescriptor::new("fin", vec![light_thread(50_000.0)]));
+        let mut s = GreedyScheduler { quantum: 100_000 };
+        let out = m.run(&mut s, StopCondition::AllFiniteAppsFinished);
+        assert!(out.condition_met);
+        assert!(m.turnaround_us(fin).is_some());
+    }
+
+    #[test]
+    fn sampling_callbacks_fire_at_requested_period() {
+        struct SamplingSched {
+            samples: u64,
+        }
+        impl Scheduler for SamplingSched {
+            fn schedule(&mut self, _v: &MachineView<'_>) -> Decision {
+                Decision {
+                    assignments: vec![],
+                    next_resched_in_us: 200_000,
+                    sample_period_us: Some(100_000),
+                }
+            }
+            fn on_sample(&mut self, _v: &MachineView<'_>) {
+                self.samples += 1;
+            }
+        }
+        let mut m = Machine::new(XEON_4WAY);
+        let mut s = SamplingSched { samples: 0 };
+        let out = m.run(&mut s, StopCondition::At(1_000_000));
+        assert!(out.condition_met);
+        // 2 samples per 200 ms quantum over 1 s ≈ 10 (boundary effects ±1).
+        assert!((8..=11).contains(&s.samples), "samples {}", s.samples);
+        assert_eq!(out.stats.sample_calls, s.samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "two threads assigned")]
+    fn double_cpu_assignment_panics() {
+        let mut m = Machine::new(XEON_4WAY);
+        m.add_app(AppDescriptor::new(
+            "a",
+            vec![light_thread(1000.0), light_thread(1000.0)],
+        ));
+        struct BadSched;
+        impl Scheduler for BadSched {
+            fn schedule(&mut self, _v: &MachineView<'_>) -> Decision {
+                Decision {
+                    assignments: vec![
+                        Assignment { thread: ThreadId(0), cpu: CpuId(0) },
+                        Assignment { thread: ThreadId(1), cpu: CpuId(0) },
+                    ],
+                    next_resched_in_us: 1000,
+                    sample_period_us: None,
+                }
+            }
+        }
+        m.run(&mut BadSched, StopCondition::At(1000));
+    }
+
+    #[test]
+    fn cold_placements_are_counted() {
+        let mut m = Machine::new(XEON_4WAY);
+        m.add_app(AppDescriptor::new(
+            "a",
+            vec![light_thread(400_000.0), light_thread(400_000.0)],
+        ));
+        // Swap the two threads between cpu0 and cpu1 every 5 ms: each stint
+        // is too short to warm up (τ_build = 20 ms) and each thread evicts
+        // the other's state, so every placement stays cold.
+        struct Swapper {
+            flip: bool,
+        }
+        impl Scheduler for Swapper {
+            fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+                self.flip = !self.flip;
+                let ts: Vec<_> = view.threads().filter(|t| t.is_runnable()).collect();
+                let assignments = ts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| Assignment {
+                        thread: t.id,
+                        cpu: CpuId((i + self.flip as usize) % 2),
+                    })
+                    .collect();
+                Decision {
+                    assignments,
+                    next_resched_in_us: 5_000,
+                    sample_period_us: None,
+                }
+            }
+        }
+        let out = m.run(&mut Swapper { flip: false }, StopCondition::At(100_000));
+        assert!(out.condition_met);
+        assert!(
+            out.stats.cold_placement_fraction() > 0.8,
+            "cold fraction {}",
+            out.stats.cold_placement_fraction()
+        );
+        let cold = m.registry().total(ThreadId(0).key(), EventKind::ColdStarts);
+        assert!(cold >= 10.0, "cold starts {cold}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Run-level accounting produced by the machine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::SimTime;
+
+/// Time-weighted statistics about bus pressure over a run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BusPressureStats {
+    /// Integral of issued transactions (tx), i.e. total bus traffic.
+    pub total_transactions: f64,
+    /// Integral of demanded transactions (tx) — what threads would have
+    /// issued uncontended.
+    pub total_demanded: f64,
+    /// Wall µs during which demand exceeded effective capacity.
+    pub saturated_us: f64,
+    /// Peak instantaneous dilation factor Λ observed.
+    pub peak_dilation: f64,
+    /// Time-integral of utilization (divide by elapsed for the mean).
+    pub utilization_integral: f64,
+}
+
+/// Statistics for one simulation run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Wall µs simulated.
+    pub elapsed_us: SimTime,
+    /// Number of scheduler invocations.
+    pub schedule_calls: u64,
+    /// Number of sampling callbacks delivered.
+    pub sample_calls: u64,
+    /// Number of thread-to-cpu placements that were cold (warmth < 0.5).
+    pub cold_placements: u64,
+    /// Number of placements total.
+    pub placements: u64,
+    /// Bus pressure accounting.
+    pub bus: BusPressureStats,
+}
+
+impl RunStats {
+    /// Mean achieved bus transaction rate over the run, tx/µs.
+    pub fn mean_bus_rate(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.bus.total_transactions / self.elapsed_us as f64
+        }
+    }
+
+    /// Fraction of wall time the bus spent saturated.
+    pub fn saturated_fraction(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.bus.saturated_us / self.elapsed_us as f64
+        }
+    }
+
+    /// Mean bus utilization over the run.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.bus.utilization_integral / self.elapsed_us as f64
+        }
+    }
+
+    /// Fraction of placements that were cache-cold.
+    pub fn cold_placement_fraction(&self) -> f64 {
+        if self.placements == 0 {
+            0.0
+        } else {
+            self.cold_placements as f64 / self.placements as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_elapsed_is_safe() {
+        let s = RunStats::default();
+        assert_eq!(s.mean_bus_rate(), 0.0);
+        assert_eq!(s.saturated_fraction(), 0.0);
+        assert_eq!(s.mean_utilization(), 0.0);
+        assert_eq!(s.cold_placement_fraction(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let s = RunStats {
+            elapsed_us: 1000,
+            bus: BusPressureStats {
+                total_transactions: 2950.0,
+                saturated_us: 250.0,
+                utilization_integral: 800.0,
+                ..Default::default()
+            },
+            cold_placements: 1,
+            placements: 4,
+            ..Default::default()
+        };
+        assert!((s.mean_bus_rate() - 2.95).abs() < 1e-12);
+        assert!((s.saturated_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.mean_utilization() - 0.8).abs() < 1e-12);
+        assert!((s.cold_placement_fraction() - 0.25).abs() < 1e-12);
+    }
+}

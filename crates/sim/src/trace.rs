@@ -1,0 +1,286 @@
+//! Schedule tracing: record what a scheduler decided, render it as a
+//! text Gantt chart.
+//!
+//! [`Traced`] wraps any [`Scheduler`] and records every decision
+//! (timestamp + per-cpu placement, resolved to application names). The
+//! recorded [`ScheduleTrace`] renders as a compact timeline — the
+//! quickest way to *see* gang scheduling, rotation, and the difference
+//! between the paper's policies and a time-sharing baseline.
+
+use std::collections::BTreeMap;
+
+use crate::ids::{AppId, CpuId, SimTime, ThreadId};
+use crate::machine::{Decision, MachineView, Scheduler};
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone)]
+pub struct QuantumRecord {
+    /// When the decision was taken (µs).
+    pub at_us: SimTime,
+    /// Placements: (cpu, thread, owning app).
+    pub placements: Vec<(CpuId, ThreadId, AppId)>,
+}
+
+/// A full recording of a run's scheduling decisions.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleTrace {
+    records: Vec<QuantumRecord>,
+    app_names: BTreeMap<AppId, String>,
+    num_cpus: usize,
+}
+
+impl ScheduleTrace {
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The recorded decisions.
+    pub fn records(&self) -> &[QuantumRecord] {
+        &self.records
+    }
+
+    /// Which app occupied `cpu` at simulated time `t_us`, if any.
+    pub fn occupant_at(&self, cpu: CpuId, t_us: SimTime) -> Option<AppId> {
+        let idx = self.records.partition_point(|r| r.at_us <= t_us);
+        let rec = self.records.get(idx.checked_sub(1)?)?;
+        rec.placements
+            .iter()
+            .find(|(c, _, _)| *c == cpu)
+            .map(|&(_, _, a)| a)
+    }
+
+    /// Fraction of decisions in which `app` had at least one thread
+    /// placed.
+    pub fn run_fraction(&self, app: AppId) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .records
+            .iter()
+            .filter(|r| r.placements.iter().any(|&(_, _, a)| a == app))
+            .count();
+        n as f64 / self.records.len() as f64
+    }
+
+    /// Render a text Gantt chart: one row per cpu, one column per
+    /// `bucket_us` of simulated time, cells keyed by a per-app letter.
+    /// Includes a legend. Idle cells render as '·'.
+    pub fn render_gantt(&self, bucket_us: SimTime) -> String {
+        assert!(bucket_us > 0, "bucket must be positive");
+        if self.records.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let end = self.records.last().map(|r| r.at_us).unwrap_or(0) + bucket_us;
+        let buckets = ((end / bucket_us) as usize).min(400);
+        // Stable letter per app in id order.
+        let letters: BTreeMap<AppId, char> = self
+            .app_names
+            .keys()
+            .enumerate()
+            .map(|(i, &a)| {
+                let c = if i < 26 {
+                    (b'A' + i as u8) as char
+                } else {
+                    (b'a' + (i - 26) as u8 % 26) as char
+                };
+                (a, c)
+            })
+            .collect();
+        let mut out = String::new();
+        for cpu in 0..self.num_cpus {
+            out.push_str(&format!("cpu{cpu} |"));
+            for b in 0..buckets {
+                let t = b as SimTime * bucket_us;
+                let cell = self
+                    .occupant_at(CpuId(cpu), t)
+                    .and_then(|a| letters.get(&a).copied())
+                    .unwrap_or('·');
+                out.push(cell);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "      +{} ({} ms/col)\n",
+            "-".repeat(buckets),
+            bucket_us / 1000
+        ));
+        for (app, name) in &self.app_names {
+            out.push_str(&format!("  {} = {} ({})\n", letters[app], name, app));
+        }
+        out
+    }
+}
+
+/// A scheduler wrapper that records every decision.
+pub struct Traced<S> {
+    inner: S,
+    trace: ScheduleTrace,
+}
+
+impl<S: Scheduler> Traced<S> {
+    /// Wrap a scheduler.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            trace: ScheduleTrace::default(),
+        }
+    }
+
+    /// The recording so far.
+    pub fn trace(&self) -> &ScheduleTrace {
+        &self.trace
+    }
+
+    /// Unwrap, returning the inner scheduler and the recording.
+    pub fn into_parts(self) -> (S, ScheduleTrace) {
+        (self.inner, self.trace)
+    }
+}
+
+impl<S: Scheduler> Scheduler for Traced<S> {
+    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+        let d = self.inner.schedule(view);
+        self.trace.num_cpus = view.num_cpus;
+        for app in view.apps() {
+            self.trace
+                .app_names
+                .entry(app.id)
+                .or_insert_with(|| app.name.to_string());
+        }
+        let placements = d
+            .assignments
+            .iter()
+            .filter_map(|a| {
+                view.thread(a.thread)
+                    .map(|t| (a.cpu, a.thread, t.app))
+            })
+            .collect();
+        self.trace.records.push(QuantumRecord {
+            at_us: view.now,
+            placements,
+        });
+        d
+    }
+
+    fn on_sample(&mut self, view: &MachineView<'_>) {
+        self.inner.on_sample(view);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XEON_4WAY;
+    use crate::demand::ConstantDemand;
+    use crate::machine::{AppDescriptor, Assignment, Machine, StopCondition};
+    use crate::thread::ThreadSpec;
+
+    /// Alternates two single-thread apps on cpu0.
+    struct Alternator {
+        flip: bool,
+    }
+    impl Scheduler for Alternator {
+        fn schedule(&mut self, _v: &MachineView<'_>) -> Decision {
+            self.flip = !self.flip;
+            Decision {
+                assignments: vec![Assignment {
+                    thread: ThreadId(u64::from(self.flip)),
+                    cpu: CpuId(0),
+                }],
+                next_resched_in_us: 100_000,
+                sample_period_us: None,
+            }
+        }
+    }
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(XEON_4WAY);
+        for name in ["first", "second"] {
+            m.add_app(AppDescriptor::new(
+                name,
+                vec![ThreadSpec::new(
+                    f64::INFINITY,
+                    Box::new(ConstantDemand::new(0.5, 0.1)),
+                )],
+            ));
+        }
+        m
+    }
+
+    #[test]
+    fn records_every_decision() {
+        let mut m = machine();
+        let mut s = Traced::new(Alternator { flip: false });
+        m.run(&mut s, StopCondition::At(1_000_000));
+        assert_eq!(s.trace().len(), 10);
+        // Alternation is visible in the record stream.
+        let apps: Vec<AppId> = s
+            .trace()
+            .records()
+            .iter()
+            .map(|r| r.placements[0].2)
+            .collect();
+        assert_eq!(apps[0], AppId(1));
+        assert_eq!(apps[1], AppId(0));
+        assert_eq!(apps[2], AppId(1));
+    }
+
+    #[test]
+    fn run_fraction_reflects_alternation() {
+        let mut m = machine();
+        let mut s = Traced::new(Alternator { flip: false });
+        m.run(&mut s, StopCondition::At(2_000_000));
+        let f0 = s.trace().run_fraction(AppId(0));
+        let f1 = s.trace().run_fraction(AppId(1));
+        assert!((f0 - 0.5).abs() < 0.11, "{f0}");
+        assert!((f1 - 0.5).abs() < 0.11, "{f1}");
+    }
+
+    #[test]
+    fn occupant_lookup_uses_latest_decision() {
+        let mut m = machine();
+        let mut s = Traced::new(Alternator { flip: false });
+        m.run(&mut s, StopCondition::At(500_000));
+        // First decision (at t=0) put app1 ("second") on cpu0.
+        assert_eq!(s.trace().occupant_at(CpuId(0), 50_000), Some(AppId(1)));
+        assert_eq!(s.trace().occupant_at(CpuId(0), 150_000), Some(AppId(0)));
+        // cpu3 was never used.
+        assert_eq!(s.trace().occupant_at(CpuId(3), 150_000), None);
+    }
+
+    #[test]
+    fn gantt_renders_rows_legend_and_idle_cells() {
+        let mut m = machine();
+        let mut s = Traced::new(Alternator { flip: false });
+        m.run(&mut s, StopCondition::At(600_000));
+        let g = s.trace().render_gantt(100_000);
+        assert!(g.contains("cpu0 |"));
+        assert!(g.contains("cpu3 |"));
+        assert!(g.contains("A = first"));
+        assert!(g.contains("B = second"));
+        // cpu3 idle the whole time.
+        let cpu3_row = g.lines().find(|l| l.starts_with("cpu3")).unwrap();
+        assert!(cpu3_row.contains("··"));
+        // cpu0 shows both letters.
+        let cpu0_row = g.lines().find(|l| l.starts_with("cpu0")).unwrap();
+        assert!(cpu0_row.contains('A') && cpu0_row.contains('B'));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = ScheduleTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.render_gantt(1000), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,138 @@
+//! Barrier-coupling semantics: gang members may not run ahead of their
+//! slowest unfinished sibling by more than the app's barrier interval.
+
+use busbw_perfmon::EventKind;
+use busbw_sim::{
+    AppDescriptor, Assignment, ConstantDemand, CpuId, Decision, Machine, MachineView, Scheduler,
+    StopCondition, ThreadId, ThreadSpec, XEON_4WAY,
+};
+
+fn coupled_app(m: &mut Machine, work: f64, interval: f64) -> busbw_sim::AppId {
+    let threads = (0..2)
+        .map(|_| ThreadSpec::new(work, Box::new(ConstantDemand::new(1.0, 0.2))))
+        .collect();
+    m.add_app(AppDescriptor::new("pair", threads).with_barrier_interval(interval))
+}
+
+/// Runs only thread 0 on cpu 0, forever.
+struct OnlyFirst;
+impl Scheduler for OnlyFirst {
+    fn schedule(&mut self, _v: &MachineView<'_>) -> Decision {
+        Decision {
+            assignments: vec![Assignment {
+                thread: ThreadId(0),
+                cpu: CpuId(0),
+            }],
+            next_resched_in_us: 100_000,
+            sample_period_us: None,
+        }
+    }
+}
+
+/// Runs every still-runnable thread on its own cpu.
+struct Both;
+impl Scheduler for Both {
+    fn schedule(&mut self, v: &MachineView<'_>) -> Decision {
+        let assignments = v
+            .threads()
+            .filter(|t| t.is_runnable())
+            .enumerate()
+            .map(|(i, t)| Assignment {
+                thread: t.id,
+                cpu: CpuId(i),
+            })
+            .collect();
+        Decision {
+            assignments,
+            next_resched_in_us: 100_000,
+            sample_period_us: None,
+        }
+    }
+}
+
+#[test]
+fn lone_gang_member_stalls_at_the_barrier() {
+    let mut m = Machine::new(XEON_4WAY);
+    coupled_app(&mut m, 1_000_000.0, 50_000.0);
+    m.run(&mut OnlyFirst, StopCondition::At(500_000));
+    let v = m.view();
+    let lead = v.thread(ThreadId(0)).unwrap().progress_us;
+    let lag = v.thread(ThreadId(1)).unwrap().progress_us;
+    assert_eq!(lag, 0.0, "unscheduled sibling must not progress");
+    // The runner got 500 ms of cpu but may only be 50 ms (one barrier
+    // interval) ahead of its sibling.
+    assert!(
+        (49_000.0..51_500.0).contains(&lead),
+        "lead thread progressed {lead}, expected ~the barrier interval"
+    );
+    // The spin time still shows as cpu consumption...
+    let cyc = v.registry.total(ThreadId(0).key(), EventKind::CyclesOnCpu);
+    assert!(cyc > 450_000.0, "cycles {cyc}");
+    // ...but not as useful progress or bus traffic.
+    let tx = v.registry.total(ThreadId(0).key(), EventKind::BusTransactions);
+    assert!(tx < 60_000.0 * 1.7, "spinning thread kept issuing: {tx}");
+}
+
+#[test]
+fn coscheduled_gang_pays_no_barrier_cost() {
+    let mut m = Machine::new(XEON_4WAY);
+    let app = coupled_app(&mut m, 400_000.0, 50_000.0);
+    let out = m.run(&mut Both, StopCondition::AppsFinished(vec![app]));
+    assert!(out.condition_met);
+    let t = m.turnaround_us(app).unwrap();
+    // Identical siblings run in lockstep: the cap never binds.
+    assert!(t < 430_000, "turnaround {t}");
+}
+
+#[test]
+fn stalled_leader_resumes_when_sibling_catches_up() {
+    let mut m = Machine::new(XEON_4WAY);
+    let app = coupled_app(&mut m, 200_000.0, 50_000.0);
+    // Phase 1: only thread 0 → it stalls at 50 ms progress.
+    m.run(&mut OnlyFirst, StopCondition::At(300_000));
+    // Phase 2: both → they finish together.
+    let out = m.run(&mut Both, StopCondition::AppsFinished(vec![app]));
+    assert!(out.condition_met);
+    let v = m.view();
+    let p0 = v.thread(ThreadId(0)).unwrap().progress_us;
+    let p1 = v.thread(ThreadId(1)).unwrap().progress_us;
+    assert_eq!(p0, 200_000.0);
+    assert_eq!(p1, 200_000.0);
+}
+
+#[test]
+fn uncoupled_apps_are_unaffected() {
+    let mut m = Machine::new(XEON_4WAY);
+    let threads = (0..2)
+        .map(|_| ThreadSpec::new(1_000_000.0, Box::new(ConstantDemand::new(1.0, 0.2))))
+        .collect();
+    m.add_app(AppDescriptor::new("free", threads)); // no barrier interval
+    m.run(&mut OnlyFirst, StopCondition::At(500_000));
+    let lead = m.view().thread(ThreadId(0)).unwrap().progress_us;
+    assert!(lead > 450_000.0, "uncoupled thread should run freely: {lead}");
+}
+
+#[test]
+fn finished_sibling_releases_the_barrier() {
+    let mut m = Machine::new(XEON_4WAY);
+    // Thread 1 has much less work; once it finishes, thread 0 must be
+    // free to run arbitrarily far ahead.
+    let threads = vec![
+        ThreadSpec::new(600_000.0, Box::new(ConstantDemand::new(1.0, 0.2))),
+        ThreadSpec::new(100_000.0, Box::new(ConstantDemand::new(1.0, 0.2))),
+    ];
+    let app = m.add_app(
+        AppDescriptor::new("skewed", threads).with_barrier_interval(50_000.0),
+    );
+    let out = m.run(&mut Both, StopCondition::AppsFinished(vec![app]));
+    assert!(out.condition_met);
+    // Thread 0 needed 600 ms of progress; without release it would cap at
+    // 150 ms. Completion proves the barrier lifted at thread 1's exit.
+    assert!(m.turnaround_us(app).is_some());
+}
+
+#[test]
+#[should_panic(expected = "barrier interval must be positive")]
+fn zero_barrier_interval_rejected() {
+    AppDescriptor::new("x", vec![]).with_barrier_interval(0.0);
+}

@@ -1,0 +1,140 @@
+//! Machine-level invariants under randomized (but valid) scheduling
+//! decisions: whatever a policy does, the simulated physics must hold.
+
+use proptest::prelude::*;
+
+use busbw_perfmon::EventKind;
+use busbw_sim::{
+    AppDescriptor, Assignment, ConstantDemand, CpuId, Decision, Machine, MachineView, Scheduler,
+    StopCondition, ThreadId, ThreadSpec, XEON_4WAY,
+};
+
+/// A scheduler that replays a pre-generated list of placements, one per
+/// quantum (each placement is a set of (thread index, cpu) pairs that the
+/// generator guarantees to be conflict-free).
+struct ScriptedScheduler {
+    script: Vec<Vec<(u64, usize)>>,
+    pos: usize,
+    quantum_us: u64,
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+        let step = self
+            .script
+            .get(self.pos.min(self.script.len().saturating_sub(1)))
+            .cloned()
+            .unwrap_or_default();
+        self.pos += 1;
+        let assignments = step
+            .into_iter()
+            .filter_map(|(t, c)| {
+                let tid = ThreadId(t);
+                view.thread(tid)
+                    .filter(|info| info.is_runnable())
+                    .map(|_| Assignment {
+                        thread: tid,
+                        cpu: CpuId(c),
+                    })
+            })
+            .collect();
+        Decision {
+            assignments,
+            next_resched_in_us: self.quantum_us,
+            sample_period_us: None,
+        }
+    }
+}
+
+/// One conflict-free placement of up to 6 threads on 4 cpus.
+fn arb_placement() -> impl Strategy<Value = Vec<(u64, usize)>> {
+    // A permutation-based generator: pick a subset of threads and assign
+    // them to distinct cpus.
+    (proptest::sample::subsequence((0u64..6).collect::<Vec<_>>(), 0..=4)).prop_flat_map(|threads| {
+        let n = threads.len();
+        proptest::sample::subsequence((0usize..4).collect::<Vec<_>>(), n..=n)
+            .prop_map(move |cpus| threads.iter().copied().zip(cpus).collect())
+    })
+}
+
+fn build_machine() -> Machine {
+    let mut m = Machine::new(XEON_4WAY);
+    // Three 2-thread apps with varied demands; finite work so some may
+    // finish mid-script.
+    for (i, (rate, mu)) in [(0.5, 0.1), (6.0, 0.5), (11.8, 0.9)].iter().enumerate() {
+        let threads = (0..2)
+            .map(|_| ThreadSpec::new(600_000.0, Box::new(ConstantDemand::new(*rate, *mu))))
+            .collect();
+        m.add_app(AppDescriptor::new(format!("a{i}"), threads));
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Virtual progress can never exceed wall-clock cpu time, per thread;
+    /// and cpu time can never exceed elapsed time.
+    #[test]
+    fn progress_bounded_by_cpu_time(script in proptest::collection::vec(arb_placement(), 1..12)) {
+        let mut m = build_machine();
+        let mut s = ScriptedScheduler { script, pos: 0, quantum_us: 100_000 };
+        let out = m.run(&mut s, StopCondition::At(1_200_000));
+        prop_assert!(out.condition_met);
+        let v = m.view();
+        for t in v.threads() {
+            let cyc = v.registry.total(t.id.key(), EventKind::CyclesOnCpu);
+            let prog = v.registry.total(t.id.key(), EventKind::VirtualProgress);
+            prop_assert!(prog <= cyc + 1e-6, "thread {} prog {prog} > cyc {cyc}", t.id);
+            prop_assert!(cyc <= 1_200_000.0 + 1e-6);
+            prop_assert!((t.progress_us - prog).abs() < 1e-6);
+        }
+    }
+
+    /// The registry's transaction totals equal the bus accounting, and
+    /// the mean bus rate never exceeds nominal capacity.
+    #[test]
+    fn traffic_accounting_is_consistent(script in proptest::collection::vec(arb_placement(), 1..12)) {
+        let mut m = build_machine();
+        let mut s = ScriptedScheduler { script, pos: 0, quantum_us: 100_000 };
+        let out = m.run(&mut s, StopCondition::At(1_000_000));
+        prop_assert!(out.condition_met);
+        let from_registry = m.registry().machine_total(EventKind::BusTransactions);
+        let from_bus = out.stats.bus.total_transactions;
+        prop_assert!((from_registry - from_bus).abs() <= 1e-6 * from_bus.max(1.0));
+        prop_assert!(out.stats.mean_bus_rate() <= 29.5 + 1e-9);
+    }
+
+    /// Counters are monotone across arbitrary schedules: re-running the
+    /// same machine longer never decreases any total.
+    #[test]
+    fn counters_are_monotone(script in proptest::collection::vec(arb_placement(), 2..10)) {
+        let mut m = build_machine();
+        let mut s = ScriptedScheduler { script: script.clone(), pos: 0, quantum_us: 100_000 };
+        m.run(&mut s, StopCondition::At(400_000));
+        let mid: Vec<f64> = (0..6)
+            .map(|i| m.registry().total(ThreadId(i).key(), EventKind::BusTransactions))
+            .collect();
+        let mut s2 = ScriptedScheduler { script, pos: 4, quantum_us: 100_000 };
+        m.run(&mut s2, StopCondition::At(900_000));
+        for (i, &before) in mid.iter().enumerate() {
+            let after = m
+                .registry()
+                .total(ThreadId(i as u64).key(), EventKind::BusTransactions);
+            prop_assert!(after >= before - 1e-9, "thread {i}: {before} -> {after}");
+        }
+    }
+
+    /// Determinism: identical scripts produce identical final state.
+    #[test]
+    fn identical_scripts_identical_outcomes(script in proptest::collection::vec(arb_placement(), 1..8)) {
+        let run = |script: Vec<Vec<(u64, usize)>>| {
+            let mut m = build_machine();
+            let mut s = ScriptedScheduler { script, pos: 0, quantum_us: 100_000 };
+            m.run(&mut s, StopCondition::At(800_000));
+            let v = m.view();
+            v.threads().map(|t| t.progress_us).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(script.clone()), run(script));
+    }
+}

@@ -1,0 +1,112 @@
+//! SMT (Hyperthreading) semantics: logical cpus sharing a physical core
+//! split its throughput; separate cores do not interact.
+
+use busbw_sim::{
+    AppDescriptor, Assignment, ConstantDemand, CpuId, Decision, Machine, MachineView, Scheduler,
+    StopCondition, ThreadId, ThreadSpec, XEON_4WAY, XEON_4WAY_HT,
+};
+
+struct Fixed(Vec<Assignment>);
+impl Scheduler for Fixed {
+    fn schedule(&mut self, _v: &MachineView<'_>) -> Decision {
+        Decision {
+            assignments: self.0.clone(),
+            next_resched_in_us: 1_000_000,
+            sample_period_us: None,
+        }
+    }
+}
+
+fn two_thread_app(m: &mut Machine) {
+    let threads = (0..2)
+        .map(|_| ThreadSpec::new(f64::INFINITY, Box::new(ConstantDemand::new(0.5, 0.1))))
+        .collect();
+    m.add_app(AppDescriptor::new("a", threads));
+}
+
+fn progress_after(m: &mut Machine, placement: Vec<Assignment>, t_us: u64) -> (f64, f64) {
+    m.run(&mut Fixed(placement), StopCondition::At(t_us));
+    let v = m.view();
+    (
+        v.thread(ThreadId(0)).unwrap().progress_us,
+        v.thread(ThreadId(1)).unwrap().progress_us,
+    )
+}
+
+#[test]
+fn siblings_on_one_core_split_its_throughput() {
+    let mut m = Machine::new(XEON_4WAY_HT);
+    two_thread_app(&mut m);
+    // cpus 0 and 1 share core 0.
+    let (p0, p1) = progress_after(
+        &mut m,
+        vec![
+            Assignment { thread: ThreadId(0), cpu: CpuId(0) },
+            Assignment { thread: ThreadId(1), cpu: CpuId(1) },
+        ],
+        1_000_000,
+    );
+    // Each sibling runs at ~0.625×.
+    assert!((0.60..0.66).contains(&(p0 / 1e6)), "sibling progress {p0}");
+    assert!((p0 - p1).abs() < 1e-6);
+}
+
+#[test]
+fn separate_cores_run_at_full_speed() {
+    let mut m = Machine::new(XEON_4WAY_HT);
+    two_thread_app(&mut m);
+    // cpus 0 and 2 are on different cores.
+    let (p0, p1) = progress_after(
+        &mut m,
+        vec![
+            Assignment { thread: ThreadId(0), cpu: CpuId(0) },
+            Assignment { thread: ThreadId(1), cpu: CpuId(2) },
+        ],
+        1_000_000,
+    );
+    assert!(p0 / 1e6 > 0.98, "full-speed progress {p0}");
+    assert!(p1 / 1e6 > 0.98);
+}
+
+#[test]
+fn lone_thread_on_an_smt_core_is_not_derated() {
+    let mut m = Machine::new(XEON_4WAY_HT);
+    two_thread_app(&mut m);
+    let (p0, _) = progress_after(
+        &mut m,
+        vec![Assignment { thread: ThreadId(0), cpu: CpuId(0) }],
+        500_000,
+    );
+    assert!(p0 / 5e5 > 0.98, "lone sibling derated: {p0}");
+}
+
+#[test]
+fn smt_aggregate_beats_time_sharing_one_logical_cpu() {
+    // Two threads on two siblings (1.25× aggregate) complete more total
+    // work than the same two threads sharing a single cpu (1.0×).
+    let mut ht = Machine::new(XEON_4WAY_HT);
+    two_thread_app(&mut ht);
+    let (a0, a1) = progress_after(
+        &mut ht,
+        vec![
+            Assignment { thread: ThreadId(0), cpu: CpuId(0) },
+            Assignment { thread: ThreadId(1), cpu: CpuId(1) },
+        ],
+        1_000_000,
+    );
+    let mut solo = Machine::new(XEON_4WAY);
+    two_thread_app(&mut solo);
+    // Only thread 0 runs (thread 1 waits) — the non-SMT alternative on a
+    // fully loaded machine would time-share: aggregate 1.0.
+    let (b0, b1) = progress_after(
+        &mut solo,
+        vec![Assignment { thread: ThreadId(0), cpu: CpuId(0) }],
+        1_000_000,
+    );
+    assert!(
+        a0 + a1 > (b0 + b1) * 1.15,
+        "SMT aggregate {} vs single-cpu {}",
+        a0 + a1,
+        b0 + b1
+    );
+}

@@ -1,0 +1,153 @@
+//! Synthetic workload generation.
+//!
+//! §5's evaluation uses fixed compositions around each paper application.
+//! The robustness extension draws *random* job populations — "applications
+//! of varying bandwidth requirements, from very low to close to the limit
+//! of saturation" (§1) — to check that the policies' wins are not an
+//! artifact of the hand-picked mixes. Generation is seeded and
+//! deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::app::{AppSpec, Behavior};
+use crate::paper::DEFAULT_SOLO_WORK_US;
+
+/// Parameters for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthConfig {
+    /// Number of application jobs to draw.
+    pub jobs: usize,
+    /// Per-thread solo rate range (tx/µs).
+    pub rate_range: (f64, f64),
+    /// Gang width range (inclusive).
+    pub width_range: (usize, usize),
+    /// Probability a job is bursty (Raytrace-like).
+    pub bursty_prob: f64,
+    /// Work per thread (virtual µs).
+    pub work_us: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            jobs: 4,
+            rate_range: (0.2, 12.0),
+            width_range: (1, 2),
+            bursty_prob: 0.2,
+            work_us: DEFAULT_SOLO_WORK_US,
+        }
+    }
+}
+
+/// Memory-boundness correlated with demand, as across the paper's suite:
+/// light codes are compute bound, heavy streamers are memory bound.
+fn mu_for_rate(rate_per_thread: f64, jitter: f64) -> f64 {
+    (0.05 + 0.072 * rate_per_thread + jitter).clamp(0.02, 0.95)
+}
+
+/// Draw a random job population (deterministic per seed).
+pub fn generate(cfg: &SynthConfig, seed: u64) -> Vec<AppSpec> {
+    assert!(cfg.jobs > 0, "need at least one job");
+    assert!(
+        cfg.rate_range.0 > 0.0 && cfg.rate_range.1 >= cfg.rate_range.0,
+        "bad rate range"
+    );
+    assert!(
+        cfg.width_range.0 >= 1 && cfg.width_range.1 >= cfg.width_range.0,
+        "bad width range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..cfg.jobs)
+        .map(|i| {
+            let rate = rng.gen_range(cfg.rate_range.0..=cfg.rate_range.1);
+            let width = rng.gen_range(cfg.width_range.0..=cfg.width_range.1);
+            let jitter = rng.gen_range(-0.05..0.05);
+            let bursty = rng.gen_bool(cfg.bursty_prob.clamp(0.0, 1.0));
+            let mut spec = AppSpec::constant(
+                format!("synth{i}"),
+                width,
+                cfg.work_us,
+                rate,
+                mu_for_rate(rate, jitter),
+            )
+            .with_cache_sensitivity(rng.gen_range(0.02..0.3))
+            .with_barrier_interval(100_000.0);
+            if bursty {
+                spec = spec.with_behavior(Behavior::Bursty);
+            }
+            spec
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SynthConfig::default();
+        let a = generate(&cfg, 5);
+        let b = generate(&cfg, 5);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rate_per_thread, y.rate_per_thread);
+            assert_eq!(x.nthreads, y.nthreads);
+            assert_eq!(x.behavior, y.behavior);
+        }
+        let c = generate(&cfg, 6);
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.rate_per_thread != y.rate_per_thread));
+    }
+
+    #[test]
+    fn respects_configured_ranges() {
+        let cfg = SynthConfig {
+            jobs: 50,
+            rate_range: (1.0, 3.0),
+            width_range: (2, 3),
+            bursty_prob: 0.0,
+            work_us: 1e6,
+        };
+        for s in generate(&cfg, 9) {
+            assert!((1.0..=3.0).contains(&s.rate_per_thread));
+            assert!((2..=3).contains(&s.nthreads));
+            assert_eq!(s.behavior, Behavior::Constant);
+            assert!((0.0..=1.0).contains(&s.mu));
+        }
+    }
+
+    #[test]
+    fn bursty_probability_one_makes_everything_bursty() {
+        let cfg = SynthConfig {
+            jobs: 10,
+            bursty_prob: 1.0,
+            ..SynthConfig::default()
+        };
+        for s in generate(&cfg, 1) {
+            assert_eq!(s.behavior, Behavior::Bursty);
+        }
+    }
+
+    #[test]
+    fn mu_correlates_with_rate() {
+        assert!(mu_for_rate(0.3, 0.0) < mu_for_rate(11.0, 0.0));
+        assert!(mu_for_rate(100.0, 0.0) <= 0.95);
+        assert!(mu_for_rate(0.0, -1.0) >= 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_rejected() {
+        generate(
+            &SynthConfig {
+                jobs: 0,
+                ..SynthConfig::default()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Native implementations of the paper's BBMA / nBBMA microbenchmarks —
+//! real memory traffic on the host machine, not simulation.
+//!
+//! ```text
+//! cargo run --release --example native_microbench [seconds]
+//! ```
+//!
+//! §3 of the paper:
+//!
+//! * **BBMA** walks a two-dimensional array twice the size of the L2
+//!   cache *column-wise*, writing one element per cache line, so nearly
+//!   every access misses and goes to the bus.
+//! * **nBBMA** walks an array half the L2 size *row-wise*, so after the
+//!   compulsory misses everything hits in cache.
+//!
+//! Without hardware counter access we report achieved *bytes touched per
+//! second* from timing alone: BBMA's rate is bounded by memory bandwidth,
+//! nBBMA's by the core. On any real machine the two should differ by an
+//! order of magnitude — the same contrast the paper measures as 23.6 vs
+//! 0.0037 bus transactions/µs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const CACHE_LINE: usize = 64;
+/// Assumed L2 size (the paper's Xeon: 256 KB). Oversizing relative to the
+/// real L2 only strengthens the contrast.
+const L2_BYTES: usize = 256 * 1024;
+
+/// Column-wise writes over a 2×L2 array: ~0 % hit rate.
+fn bbma(duration: Duration) -> (u64, f64) {
+    let rows = (2 * L2_BYTES) / CACHE_LINE;
+    let cols = CACHE_LINE;
+    let mut a = vec![0u8; rows * cols];
+    let start = Instant::now();
+    let mut touched: u64 = 0;
+    while start.elapsed() < duration {
+        for col in 0..cols {
+            for row in 0..rows {
+                // One write per line per pass; row stride = one line.
+                a[row * cols + col] = a[row * cols + col].wrapping_add(1);
+            }
+            touched += rows as u64;
+            if start.elapsed() >= duration {
+                break;
+            }
+        }
+    }
+    black_box(&a);
+    // Each touch moves a full line across the bus (fetch on write miss).
+    let bytes_per_s = touched as f64 * CACHE_LINE as f64 / start.elapsed().as_secs_f64();
+    (touched, bytes_per_s)
+}
+
+/// Row-wise walks over a ½×L2 array: ~100 % hit rate.
+fn nbbma(duration: Duration) -> (u64, f64) {
+    let n = L2_BYTES / 2;
+    let mut a = vec![0u8; n];
+    let start = Instant::now();
+    let mut touched: u64 = 0;
+    while start.elapsed() < duration {
+        for i in (0..n).step_by(CACHE_LINE) {
+            a[i] = a[i].wrapping_add(1);
+        }
+        touched += (n / CACHE_LINE) as u64;
+    }
+    black_box(&a);
+    // Cache-resident: per-touch bus traffic is ~0; report core-side rate.
+    let bytes_per_s = touched as f64 * CACHE_LINE as f64 / start.elapsed().as_secs_f64();
+    (touched, bytes_per_s)
+}
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let d = Duration::from_secs(secs);
+
+    println!("running native BBMA for {secs}s (column-wise, 2xL2 array)...");
+    let (t_b, bw_b) = bbma(d);
+    println!("  {t_b} line touches, {:.2} GB/s of line traffic (memory-bound)", bw_b / 1e9);
+
+    println!("running native nBBMA for {secs}s (row-wise, L2/2 array)...");
+    let (t_n, bw_n) = nbbma(d);
+    println!("  {t_n} line touches, {:.2} GB/s of line-touch rate (cache-resident)", bw_n / 1e9);
+
+    println!(
+        "\ncache-resident / memory-bound touch-rate ratio: {:.1}x",
+        bw_n / bw_b
+    );
+    println!(
+        "(the paper's counter-measured contrast is 23.6 vs 0.0037 tx/µs on the bus;\n\
+         here the contrast appears as touch throughput because nBBMA never leaves L2)"
+    );
+}

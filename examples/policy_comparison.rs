@@ -1,0 +1,59 @@
+//! Side-by-side policy comparison on one workload family, including the
+//! ablation comparators — a compact view of what each selection rule does.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison [app] [a|b|c]
+//! ```
+//!
+//! Default: Raytrace on set B — the configuration where the paper found
+//! 'Latest Quantum' oversensitive to bursts while 'Quanta Window' stayed
+//! stable.
+
+use busbw_experiments::runner::{run_spec, PolicyKind, RunnerConfig};
+use busbw_experiments::Fig2Set;
+use busbw::metrics::improvement_pct;
+use busbw::workloads::paper::PaperApp;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app = args
+        .next()
+        .and_then(|s| PaperApp::from_name(&s))
+        .unwrap_or(PaperApp::Raytrace);
+    let set = match args.next().as_deref() {
+        Some("a") => Fig2Set::A,
+        Some("c") => Fig2Set::C,
+        _ => Fig2Set::B,
+    };
+    let rc = RunnerConfig {
+        scale: 0.25,
+        ..RunnerConfig::default()
+    };
+    let spec = set.spec(app);
+    println!("workload: {}  ({} threads on 4 cpus)\n", spec.name, spec.total_threads());
+
+    let linux = run_spec(&spec, PolicyKind::Linux, &rc);
+    println!(
+        "{:>10}: {:8.2} s   (baseline)",
+        "Linux",
+        linux.mean_turnaround_us / 1e6
+    );
+    for p in [
+        PolicyKind::LinuxO1,
+        PolicyKind::Latest,
+        PolicyKind::Window,
+        PolicyKind::ModelDriven,
+        PolicyKind::RoundRobinGang,
+        PolicyKind::RandomGang(42),
+        PolicyKind::GreedyPack,
+    ] {
+        let r = run_spec(&spec, p, &rc);
+        println!(
+            "{:>10}: {:8.2} s   ({:+.1}% vs Linux, bus saturated {:.0}%)",
+            p.label(),
+            r.mean_turnaround_us / 1e6,
+            improvement_pct(linux.mean_turnaround_us, r.mean_turnaround_us),
+            r.saturated_fraction * 100.0
+        );
+    }
+}

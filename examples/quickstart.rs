@@ -1,0 +1,52 @@
+//! Quickstart: schedule one multiprogrammed workload three ways and
+//! compare turnarounds.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's set-C workload for CG (two CG instances, two BBMA
+//! bus saturators, two nBBMA cache-resident hogs — 8 threads on 4 cpus),
+//! runs it under the Linux-like baseline and under both paper policies,
+//! and prints the mean application turnaround per scheduler.
+
+use busbw::core::{latest_quantum, quanta_window, LinuxLikeScheduler};
+use busbw::metrics::improvement_pct;
+use busbw::sim::{Scheduler, StopCondition, XEON_4WAY};
+use busbw::workloads::{mix, paper::PaperApp};
+
+fn run_with(label: &str, mut sched: Box<dyn Scheduler>) -> f64 {
+    // 1/4-scale work volumes: same shapes, quarter the simulated time.
+    let spec = mix::fig2_set_c(PaperApp::Cg).scaled(0.25);
+    let built = mix::build_machine(&spec, XEON_4WAY, 42);
+    let mut machine = built.machine;
+    let out = machine.run(
+        &mut *sched,
+        StopCondition::AppsFinished(built.measured_ids.clone()),
+    );
+    assert!(out.condition_met, "workload did not finish");
+    let mean_us: f64 = built
+        .measured_ids
+        .iter()
+        .map(|&id| machine.turnaround_us(id).unwrap() as f64)
+        .sum::<f64>()
+        / built.measured_ids.len() as f64;
+    println!(
+        "{label:>8}: mean CG turnaround {:.2} s   (bus saturated {:.0}% of the run)",
+        mean_us / 1e6,
+        out.stats.saturated_fraction() * 100.0
+    );
+    mean_us
+}
+
+fn main() {
+    println!("workload: 2x CG + 2x BBMA + 2x nBBMA on a 4-way Xeon-class SMP\n");
+    let linux = run_with("Linux", Box::new(LinuxLikeScheduler::new()));
+    let latest = run_with("Latest", Box::new(latest_quantum()));
+    let window = run_with("Window", Box::new(quanta_window()));
+    println!(
+        "\nimprovement over Linux:  Latest {:+.1}%   Window {:+.1}%",
+        improvement_pct(linux, latest),
+        improvement_pct(linux, window),
+    );
+}

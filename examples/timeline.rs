@@ -1,0 +1,52 @@
+//! Visualize schedules: a text Gantt chart of the same workload under the
+//! Linux baseline and the Quanta Window policy.
+//!
+//! ```text
+//! cargo run --release --example timeline [app]
+//! ```
+//!
+//! The contrast to look for (default MG, set C): under Linux the app's
+//! threads scatter and interleave with the BBMA streamers; under the
+//! bandwidth-aware policy the gangs are intact and the two app instances
+//! are kept apart from the saturating background whenever the fitness
+//! rule can arrange it.
+
+use busbw::core::{quanta_window, LinuxLikeScheduler};
+use busbw::sim::{Scheduler, StopCondition, Traced, XEON_4WAY};
+use busbw::workloads::{mix, paper::PaperApp};
+
+fn show<S: Scheduler>(label: &str, sched: S, app: PaperApp) {
+    let spec = mix::fig2_set_c(app).scaled(0.05);
+    let built = mix::build_machine(&spec, XEON_4WAY, 42);
+    let mut machine = built.machine;
+    let mut traced = Traced::new(sched);
+    let out = machine.run(
+        &mut traced,
+        StopCondition::AppsFinished(built.measured_ids.clone()),
+    );
+    assert!(out.condition_met);
+    println!("=== {label} ===");
+    println!("{}", traced.trace().render_gantt(100_000));
+    for &id in &built.measured_ids {
+        println!(
+            "  {} turnaround: {:.2} s (ran in {:.0}% of quanta)",
+            machine.view().app(id).unwrap().name,
+            machine.turnaround_us(id).unwrap() as f64 / 1e6,
+            traced.trace().run_fraction(id) * 100.0
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .and_then(|s| PaperApp::from_name(&s))
+        .unwrap_or(PaperApp::Mg);
+    println!(
+        "workload: 2x{} + 2xBBMA + 2xnBBMA (set C, 1/20 scale)\n",
+        app.name()
+    );
+    show("Linux 2.4-like baseline", LinuxLikeScheduler::new(), app);
+    show("Quanta Window policy", quanta_window(), app);
+}

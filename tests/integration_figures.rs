@@ -1,0 +1,127 @@
+//! Reduced-scale shape checks of the paper's figures, end to end through
+//! the experiment harness. (Full-scale regeneration is done by the
+//! `experiments` binary and the benches; these run at 1/10 scale so the
+//! whole file stays test-suite friendly.)
+
+use busbw_experiments::runner::{run_spec, solo_turnaround_us, PolicyKind, RunnerConfig};
+use busbw_experiments::Fig2Set;
+use busbw::metrics::improvement_pct;
+use busbw::workloads::mix;
+use busbw::workloads::paper::PaperApp;
+
+fn rc() -> RunnerConfig {
+    RunnerConfig {
+        scale: 0.1,
+        ..RunnerConfig::default()
+    }
+}
+
+#[test]
+fn fig1a_shape_rates_track_calibration_and_saturate_with_bbma() {
+    let rc = rc();
+    // Solo rates increase along the Figure 1A ordering.
+    let mut prev = 0.0;
+    for app in [PaperApp::Radiosity, PaperApp::Fmm, PaperApp::Bt, PaperApp::Cg] {
+        let r = run_spec(&mix::fig1_solo(app), PolicyKind::Linux, &rc);
+        assert!(
+            r.measured_apps_rate > prev,
+            "{}: rate {} not increasing",
+            app.name(),
+            r.measured_apps_rate
+        );
+        prev = r.measured_apps_rate;
+    }
+    // Every BBMA mix pushes the whole workload near the sustained limit.
+    for app in [PaperApp::Radiosity, PaperApp::Cg] {
+        let r = run_spec(&mix::fig1_with_bbma(app), PolicyKind::Linux, &rc);
+        assert!(
+            r.workload_rate > 25.0,
+            "{}: BBMA workload rate {}",
+            app.name(),
+            r.workload_rate
+        );
+    }
+}
+
+#[test]
+fn fig1b_shape_heavy_apps_suffer_and_nbbma_is_free() {
+    let rc = rc();
+    let solo = solo_turnaround_us(PaperApp::Mg, &rc);
+    let two = run_spec(&mix::fig1_two_instances(PaperApp::Mg), PolicyKind::Linux, &rc);
+    let bbma = run_spec(&mix::fig1_with_bbma(PaperApp::Mg), PolicyKind::Linux, &rc);
+    let nbbma = run_spec(&mix::fig1_with_nbbma(PaperApp::Mg), PolicyKind::Linux, &rc);
+    let s2 = two.mean_turnaround_us / solo;
+    let sb = bbma.mean_turnaround_us / solo;
+    let sn = nbbma.mean_turnaround_us / solo;
+    // Paper: heavy apps lose 41–61 % against a second instance, 2–3×
+    // against BBMA, and nothing against nBBMA.
+    assert!((1.25..1.8).contains(&s2), "2-instance slowdown {s2}");
+    assert!((1.7..3.2).contains(&sb), "BBMA slowdown {sb}");
+    assert!((0.95..1.1).contains(&sn), "nBBMA slowdown {sn}");
+    assert!(sb > s2, "BBMA must hurt more than a second instance");
+}
+
+#[test]
+fn fig2_shape_policies_win_on_heavy_apps_in_every_set() {
+    let rc = rc();
+    for set in [Fig2Set::A, Fig2Set::B, Fig2Set::C] {
+        let spec = set.spec(PaperApp::Cg);
+        let linux = run_spec(&spec, PolicyKind::Linux, &rc);
+        for p in [PolicyKind::Latest, PolicyKind::Window] {
+            let r = run_spec(&spec, p, &rc);
+            let imp = improvement_pct(linux.mean_turnaround_us, r.mean_turnaround_us);
+            assert!(
+                imp > 0.0,
+                "{:?} {} on CG: {imp:.1}%",
+                set,
+                p.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig2_summary_magnitudes_are_in_the_papers_band() {
+    // Spot-check two applications per set instead of all 11 (time).
+    let rc = rc();
+    let mut imps = Vec::new();
+    for set in [Fig2Set::A, Fig2Set::B, Fig2Set::C] {
+        for app in [PaperApp::Volrend, PaperApp::Mg] {
+            let spec = set.spec(app);
+            let linux = run_spec(&spec, PolicyKind::Linux, &rc);
+            let w = run_spec(&spec, PolicyKind::Window, &rc);
+            imps.push(improvement_pct(linux.mean_turnaround_us, w.mean_turnaround_us));
+        }
+    }
+    let mean = imps.iter().sum::<f64>() / imps.len() as f64;
+    // Paper: averages 21–31 % per set (26 % overall); shape tolerance wide.
+    assert!(
+        (8.0..45.0).contains(&mean),
+        "mean Window improvement {mean:.1}% across spot checks ({imps:?})"
+    );
+}
+
+#[test]
+fn ablation_fitness_beats_round_robin_gang_in_aggregate() {
+    // Any single cell can go either way (both are gang schedulers with
+    // rotation); the fitness rule's value shows in aggregate across
+    // workloads — assert the geometric-mean speedup over three cells.
+    let rc = rc();
+    let mut log_ratio = 0.0;
+    let cells = [
+        (Fig2Set::B, PaperApp::Raytrace),
+        (Fig2Set::B, PaperApp::Cg),
+        (Fig2Set::C, PaperApp::Mg),
+    ];
+    for (set, app) in cells {
+        let spec = set.spec(app);
+        let rr = run_spec(&spec, PolicyKind::RoundRobinGang, &rc);
+        let window = run_spec(&spec, PolicyKind::Window, &rc);
+        log_ratio += (rr.mean_turnaround_us / window.mean_turnaround_us).ln();
+    }
+    let geo = (log_ratio / cells.len() as f64).exp();
+    assert!(
+        geo > 1.02,
+        "fitness should beat round-robin gang in aggregate: geo-mean speedup {geo:.3}"
+    );
+}

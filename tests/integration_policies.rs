@@ -1,0 +1,145 @@
+//! Cross-crate integration: workloads → simulator → policies → metrics.
+
+use busbw::core::{latest_quantum, quanta_window, LinuxLikeScheduler};
+use busbw::perfmon::EventKind;
+use busbw::sim::{Machine, Scheduler, StopCondition, ThreadState, XEON_4WAY};
+use busbw::workloads::{mix, paper::PaperApp};
+
+fn run_set_c(app: PaperApp, mut sched: Box<dyn Scheduler>, seed: u64) -> (Machine, Vec<f64>) {
+    let spec = mix::fig2_set_c(app).scaled(0.1);
+    let built = mix::build_machine(&spec, XEON_4WAY, seed);
+    let mut machine = built.machine;
+    let out = machine.run(
+        &mut *sched,
+        StopCondition::AppsFinished(built.measured_ids.clone()),
+    );
+    assert!(out.condition_met, "run hit the hard cap");
+    let ts = built
+        .measured_ids
+        .iter()
+        .map(|&id| machine.turnaround_us(id).unwrap() as f64)
+        .collect();
+    (machine, ts)
+}
+
+#[test]
+fn both_policies_beat_linux_on_a_heavy_set_c_workload() {
+    let (_, linux) = run_set_c(PaperApp::Cg, Box::new(LinuxLikeScheduler::new()), 42);
+    let (_, latest) = run_set_c(PaperApp::Cg, Box::new(latest_quantum()), 42);
+    let (_, window) = run_set_c(PaperApp::Cg, Box::new(quanta_window()), 42);
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&latest) < mean(&linux),
+        "Latest {} vs Linux {}",
+        mean(&latest),
+        mean(&linux)
+    );
+    assert!(
+        mean(&window) < mean(&linux),
+        "Window {} vs Linux {}",
+        mean(&window),
+        mean(&linux)
+    );
+}
+
+#[test]
+fn full_run_is_deterministic_across_invocations() {
+    let (_, a) = run_set_c(PaperApp::Raytrace, Box::new(latest_quantum()), 7);
+    let (_, b) = run_set_c(PaperApp::Raytrace, Box::new(latest_quantum()), 7);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_change_bursty_workload_outcomes() {
+    let (_, a) = run_set_c(PaperApp::Raytrace, Box::new(latest_quantum()), 1);
+    let (_, b) = run_set_c(PaperApp::Raytrace, Box::new(latest_quantum()), 2);
+    assert_ne!(a, b, "burst seeds should alter the schedule");
+}
+
+#[test]
+fn counters_account_for_all_bus_traffic() {
+    // The registry's machine-wide transaction total must equal the
+    // bus-level accounting within numerical noise.
+    let spec = mix::fig1_with_bbma(PaperApp::Mg).scaled(0.1);
+    let built = mix::build_machine(&spec, XEON_4WAY, 3);
+    let mut machine = built.machine;
+    let mut sched = LinuxLikeScheduler::new();
+    let out = machine.run(
+        &mut sched,
+        StopCondition::AppsFinished(built.measured_ids.clone()),
+    );
+    assert!(out.condition_met);
+    let from_registry = machine.registry().machine_total(EventKind::BusTransactions);
+    let from_bus = out.stats.bus.total_transactions;
+    let rel = (from_registry - from_bus).abs() / from_bus;
+    assert!(rel < 0.01, "registry {from_registry} vs bus {from_bus}");
+}
+
+#[test]
+fn gang_policies_never_split_an_application() {
+    // Observe thread states during a run driven by the Window policy:
+    // whenever one thread of a 2-wide app is Running, its sibling must be
+    // Running too (they are placed by the same decision).
+    let spec = mix::fig2_set_b(PaperApp::Sp).scaled(0.05);
+    let built = mix::build_machine(&spec, XEON_4WAY, 5);
+    let mut machine = built.machine;
+    let mut sched = quanta_window();
+    // Advance quantum by quantum and check the invariant at boundaries.
+    for _ in 0..20 {
+        let d = sched.schedule(&machine.view());
+        let mut per_app = std::collections::BTreeMap::new();
+        for a in &d.assignments {
+            let t = machine.view().thread(a.thread).unwrap();
+            *per_app.entry(t.app).or_insert(0usize) += 1;
+        }
+        for (app, n) in per_app {
+            let width = machine.view().app(app).unwrap().width();
+            assert_eq!(n, width, "gang {app} split: {n}/{width} threads placed");
+        }
+        machine.run(
+            &mut busbw::sim::testkit::Replay::new(d),
+            StopCondition::At(machine.now() + 200_000),
+        );
+    }
+    // Sanity: no thread should be left permanently unscheduled.
+    let v = machine.view();
+    for t in v.threads() {
+        if t.state != ThreadState::Finished {
+            let cyc = v.registry.total(t.id.key(), EventKind::CyclesOnCpu);
+            assert!(cyc > 0.0, "thread {} never ran", t.id);
+        }
+    }
+}
+
+#[test]
+fn nbbma_background_is_harmless_and_bbma_background_is_not() {
+    // Fig. 1 shape at integration level, FMM as a moderate app.
+    let solo = {
+        let spec = mix::fig1_solo(PaperApp::Fmm).scaled(0.1);
+        let built = mix::build_machine(&spec, XEON_4WAY, 11);
+        let mut m = built.machine;
+        let mut s = LinuxLikeScheduler::new();
+        m.run(&mut s, StopCondition::AppsFinished(built.measured_ids.clone()));
+        m.turnaround_us(built.measured_ids[0]).unwrap() as f64
+    };
+    let with = |mk: fn(PaperApp) -> busbw::workloads::WorkloadSpec| {
+        let spec = mk(PaperApp::Fmm).scaled(0.1);
+        let built = mix::build_machine(&spec, XEON_4WAY, 11);
+        let mut m = built.machine;
+        let mut s = LinuxLikeScheduler::new();
+        m.run(&mut s, StopCondition::AppsFinished(built.measured_ids.clone()));
+        m.turnaround_us(built.measured_ids[0]).unwrap() as f64
+    };
+    let nbbma = with(mix::fig1_with_nbbma);
+    let bbma = with(mix::fig1_with_bbma);
+    assert!(
+        (0.95..1.08).contains(&(nbbma / solo)),
+        "nBBMA slowdown {}",
+        nbbma / solo
+    );
+    assert!(
+        bbma / solo > 1.15,
+        "BBMA should visibly slow FMM: {}",
+        bbma / solo
+    );
+}
