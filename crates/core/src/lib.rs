@@ -43,13 +43,15 @@ pub mod reconstruct;
 pub mod sched;
 pub mod selection;
 
-pub use estimator::{BandwidthEstimator, EwmaEstimator, LatestQuantumEstimator, QuantaWindowEstimator};
+pub use estimator::{
+    BandwidthEstimator, EwmaEstimator, LatestQuantumEstimator, QuantaWindowEstimator,
+};
 pub use fitness::{available_bbw_per_proc, fitness};
 pub use linux::{LinuxConfig, LinuxLikeScheduler};
 pub use linux26::{LinuxO1Scheduler, O1Config};
 pub use model::{predict_set_value, ModelDrivenScheduler};
-pub use sched::{BusAwareScheduler, PolicyConfig};
 pub use reconstruct::DemandTracker;
+pub use sched::{BusAwareScheduler, PolicyConfig};
 pub use selection::{select_gangs, Candidate};
 
 /// Convenience: the 'Latest Quantum' policy as a ready-to-run scheduler.

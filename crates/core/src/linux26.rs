@@ -140,7 +140,9 @@ impl LinuxO1Scheduler {
             .map(|(i, _)| i)
             .collect();
         let pick = candidates[self.rng.gen_range(0..candidates.len())];
-        self.cpus[pick].active.push((self.cfg.timeslice_us as i64, t));
+        self.cpus[pick]
+            .active
+            .push((self.cfg.timeslice_us as i64, t));
     }
 
     fn balance(&mut self) {
@@ -344,7 +346,11 @@ mod tests {
         // With random initial placement of 8 threads, some imbalance is
         // essentially certain; the balancer runs 10 times over 2 s.
         // (Tolerate 0 for the unlucky perfectly-balanced seed.)
-        assert!(s.migrations() < 50, "balancer thrashing: {}", s.migrations());
+        assert!(
+            s.migrations() < 50,
+            "balancer thrashing: {}",
+            s.migrations()
+        );
     }
 
     #[test]

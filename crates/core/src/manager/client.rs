@@ -153,7 +153,9 @@ impl AppRuntime {
     /// Intercept a thread destruction.
     pub fn thread_exited(&mut self) {
         self.threads.pop();
-        let _ = self.to_manager.send(ToManager::ThreadExited { app: self.id });
+        let _ = self
+            .to_manager
+            .send(ToManager::ThreadExited { app: self.id });
     }
 
     /// The paper's signal forwarding: the manager signals one thread; that
@@ -281,8 +283,7 @@ mod tests {
             .collect();
         let stop = Arc::new(AtomicBool::new(false));
         let mut workers = Vec::new();
-        let progress: Vec<Arc<AtomicU64>> =
-            (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let progress: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
         for (i, app) in apps.iter_mut().enumerate() {
             for _ in 0..2 {
                 let th = app.register_thread();

@@ -94,7 +94,10 @@ pub struct CpuManager {
 impl CpuManager {
     /// Create a manager; returns it plus the handle applications connect
     /// through.
-    pub fn new(cfg: ManagerConfig, estimator: Box<dyn BandwidthEstimator>) -> (Self, ManagerHandle) {
+    pub fn new(
+        cfg: ManagerConfig,
+        estimator: Box<dyn BandwidthEstimator>,
+    ) -> (Self, ManagerHandle) {
         assert!(cfg.num_cpus > 0 && cfg.quantum_us > 0 && cfg.samples_per_quantum > 0);
         let (tx, rx) = unbounded();
         (
@@ -148,8 +151,7 @@ impl CpuManager {
                     let _ = reply.send(ConnectAck {
                         app: id,
                         arena,
-                        update_period_us: self.cfg.quantum_us
-                            / self.cfg.samples_per_quantum as u64,
+                        update_period_us: self.cfg.quantum_us / self.cfg.samples_per_quantum as u64,
                     });
                 }
                 ToManager::ThreadCreated { app, gate } => {
@@ -233,7 +235,8 @@ impl CpuManager {
             let demand = self
                 .demand
                 .observe(busbw_sim::AppId(id.0), per_thread, self.dilation);
-            self.estimator.record_quantum(busbw_sim::AppId(id.0), demand);
+            self.estimator
+                .record_quantum(busbw_sim::AppId(id.0), demand);
         }
 
         // Rotate jobs that ran to the end of the circular list.
@@ -267,8 +270,7 @@ impl CpuManager {
         // Signal transitions. The manager signals every gate directly;
         // the client library's `forward` covers the paper's
         // one-thread-forwards-to-siblings variant.
-        let selected_set: BTreeMap<ClientId, ()> =
-            selected.iter().map(|&s| (s, ())).collect();
+        let selected_set: BTreeMap<ClientId, ()> = selected.iter().map(|&s| (s, ())).collect();
         for j in &mut self.jobs {
             let should_run = selected_set.contains_key(&j.id);
             match (j.blocked, should_run) {
@@ -311,7 +313,9 @@ impl CpuManager {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                std::thread::sleep(sample_period.min(next_quantum.saturating_duration_since(Instant::now())));
+                std::thread::sleep(
+                    sample_period.min(next_quantum.saturating_duration_since(Instant::now())),
+                );
                 self.pump();
                 self.sample();
             }
@@ -417,11 +421,7 @@ mod tests {
         m.pump();
         let sel = m.quantum();
         assert_eq!(sel.len(), 2, "only two 2-wide gangs fit");
-        let left_out: Vec<ClientId> = ids
-            .iter()
-            .copied()
-            .filter(|i| !sel.contains(i))
-            .collect();
+        let left_out: Vec<ClientId> = ids.iter().copied().filter(|i| !sel.contains(i)).collect();
         assert_eq!(left_out.len(), 1);
     }
 

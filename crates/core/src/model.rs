@@ -221,13 +221,13 @@ impl Scheduler for ModelDrivenScheduler {
         // policies).
         let dt = view.now.saturating_sub(self.last_boundary_us);
         if dt > 0 {
-            let lambda = ((view.dilation_integral - self.dilation_at_boundary) / dt as f64).max(1.0);
+            let lambda =
+                ((view.dilation_integral - self.dilation_at_boundary) / dt as f64).max(1.0);
             for &app in &self.running {
                 let Some(info) = view.app(app) else { continue };
                 let total = Self::app_tx(view, app);
                 let before = self.snapshot.get(&app).copied().unwrap_or(0.0);
-                let per_thread =
-                    (total - before).max(0.0) / dt as f64 / info.width().max(1) as f64;
+                let per_thread = (total - before).max(0.0) / dt as f64 / info.width().max(1) as f64;
                 self.demand.observe(app, per_thread, lambda);
             }
         }
@@ -280,9 +280,7 @@ impl Scheduler for ModelDrivenScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use busbw_sim::{
-        AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY,
-    };
+    use busbw_sim::{AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY};
 
     #[test]
     fn mu_hat_is_monotone_and_clamped() {
@@ -299,10 +297,7 @@ mod tests {
         // progress: {heavy(2×11), idle(2×0.1)} vs {heavy, heavy}.
         let heavy_idle = predict_set_value(&[(2, 11.0, 1.0), (2, 0.1, 1.0)], 29.5);
         let heavy_heavy = predict_set_value(&[(2, 11.0, 1.0), (2, 11.0, 1.0)], 29.5);
-        assert!(
-            heavy_idle > heavy_heavy,
-            "{heavy_idle} vs {heavy_heavy}"
-        );
+        assert!(heavy_idle > heavy_heavy, "{heavy_idle} vs {heavy_heavy}");
     }
 
     #[test]
@@ -378,9 +373,7 @@ mod tests {
             let mut measured = Vec::new();
             for i in 0..2 {
                 let threads = (0..2)
-                    .map(|_| {
-                        ThreadSpec::new(400_000.0, Box::new(ConstantDemand::new(11.0, 0.85)))
-                    })
+                    .map(|_| ThreadSpec::new(400_000.0, Box::new(ConstantDemand::new(11.0, 0.85))))
                     .collect();
                 measured.push(m.add_app(AppDescriptor::new(format!("h{i}"), threads)));
             }

@@ -276,9 +276,7 @@ impl Scheduler for GreedyPackGang {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use busbw_sim::{
-        AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY,
-    };
+    use busbw_sim::{AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY};
 
     fn add(m: &mut Machine, name: &str, n: usize, rate: f64) -> AppId {
         let threads = (0..n)
@@ -301,7 +299,9 @@ mod tests {
     #[test]
     fn round_robin_rotates_through_all_jobs() {
         let mut m = Machine::new(XEON_4WAY);
-        let ids: Vec<AppId> = (0..3).map(|i| add(&mut m, &format!("a{i}"), 2, 1.0)).collect();
+        let ids: Vec<AppId> = (0..3)
+            .map(|i| add(&mut m, &format!("a{i}"), 2, 1.0))
+            .collect();
         let mut s = RoundRobinGang::new();
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..3 {

@@ -80,7 +80,10 @@ impl BusAwareScheduler {
     /// Build with a custom configuration (quantum ablations).
     pub fn with_config(estimator: Box<dyn BandwidthEstimator>, cfg: PolicyConfig) -> Self {
         assert!(cfg.quantum_us > 0, "quantum must be positive");
-        assert!(cfg.samples_per_quantum >= 1, "need at least one sample per quantum");
+        assert!(
+            cfg.samples_per_quantum >= 1,
+            "need at least one sample per quantum"
+        );
         let display_name = estimator.label().to_string();
         Self {
             cfg,
@@ -204,7 +207,10 @@ impl BusAwareScheduler {
                 match t.last_cpu {
                     Some(c) if free[c.0] => {
                         free[c.0] = false;
-                        assignments.push(Assignment { thread: tid, cpu: c });
+                        assignments.push(Assignment {
+                            thread: tid,
+                            cpu: c,
+                        });
                     }
                     _ => pending.push(tid),
                 }
@@ -212,18 +218,14 @@ impl BusAwareScheduler {
         }
         // Pass 2: warmest cache, then lowest free cpu.
         for tid in pending {
-            let warm = view
-                .warmest_cpu(tid)
-                .map(|(c, _)| c)
-                .filter(|c| free[c.0]);
-            let cpu = warm.or_else(|| {
-                free.iter()
-                    .position(|&f| f)
-                    .map(CpuId)
-            });
+            let warm = view.warmest_cpu(tid).map(|(c, _)| c).filter(|c| free[c.0]);
+            let cpu = warm.or_else(|| free.iter().position(|&f| f).map(CpuId));
             if let Some(c) = cpu {
                 free[c.0] = false;
-                assignments.push(Assignment { thread: tid, cpu: c });
+                assignments.push(Assignment {
+                    thread: tid,
+                    cpu: c,
+                });
             }
         }
         assignments
@@ -298,9 +300,7 @@ impl Scheduler for BusAwareScheduler {
 mod tests {
     use super::*;
     use crate::estimator::{LatestQuantumEstimator, QuantaWindowEstimator};
-    use busbw_sim::{
-        AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY,
-    };
+    use busbw_sim::{AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY};
 
     fn app(m: &mut Machine, name: &str, nthreads: usize, rate: f64, mu: f64, work: f64) -> AppId {
         let threads = (0..nthreads)

@@ -49,7 +49,10 @@ pub fn select_gangs<K: Copy + PartialEq>(
     let mut admitted: Vec<usize> = Vec::new();
 
     // Head-of-list guarantee: first job that can ever fit.
-    if let Some(i) = candidates.iter().position(|c| c.width <= free && c.width > 0) {
+    if let Some(i) = candidates
+        .iter()
+        .position(|c| c.width <= free && c.width > 0)
+    {
         free -= candidates[i].width;
         allocated_bbw += candidates[i].bbw_per_thread * candidates[i].width as f64;
         admitted.push(i);
@@ -167,7 +170,13 @@ mod tests {
     #[test]
     fn fills_all_processors_when_enough_jobs_fit() {
         let picked = select_gangs(
-            &[cand(0, 1, 1.0), cand(1, 1, 1.0), cand(2, 1, 1.0), cand(3, 1, 1.0), cand(4, 1, 1.0)],
+            &[
+                cand(0, 1, 1.0),
+                cand(1, 1, 1.0),
+                cand(2, 1, 1.0),
+                cand(3, 1, 1.0),
+                cand(4, 1, 1.0),
+            ],
             4,
             29.5,
         );

@@ -29,9 +29,8 @@ pub fn staggered_turnaround(
     rc: &RunnerConfig,
 ) -> f64 {
     let mut machine = Machine::new(rc.machine);
-    machine.set_hard_cap_us(
-        (busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 100.0) as u64,
-    );
+    machine
+        .set_hard_cap_us((busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 100.0) as u64);
     // Background from t = 0.
     machine.add_app(bbma().descriptor(rc.seed));
     machine.add_app(bbma().descriptor(rc.seed + 1));
@@ -49,7 +48,10 @@ pub fn staggered_turnaround(
     let second = machine.add_app(paper_app(app).scaled(rc.scale).descriptor(rc.seed + 11));
 
     // Phase 3: until both instances complete.
-    let out = machine.run(&mut *sched, StopCondition::AppsFinished(vec![first, second]));
+    let out = machine.run(
+        &mut *sched,
+        StopCondition::AppsFinished(vec![first, second]),
+    );
     assert!(
         out.condition_met,
         "staggered workload for {} under {} hit the hard cap",
@@ -95,11 +97,7 @@ mod tests {
             let t = staggered_turnaround(PaperApp::Volrend, p, 100_000, &rc);
             // 600 ms of scaled work in a multiprogrammed open system:
             // bounded well below the hard cap, above solo time.
-            assert!(
-                (550_000.0..5_000_000.0).contains(&t),
-                "{}: {t}",
-                p.label()
-            );
+            assert!((550_000.0..5_000_000.0).contains(&t), "{}: {t}", p.label());
         }
     }
 

@@ -14,10 +14,22 @@
 //! slowdown relative to the solo run (arithmetic mean over instances).
 
 use busbw_metrics::{ExperimentRow, FigureSummary};
-use busbw_workloads::mix::{fig1_solo, fig1_two_instances, fig1_with_bbma, fig1_with_nbbma};
+use busbw_workloads::mix::{
+    fig1_solo, fig1_two_instances, fig1_with_bbma, fig1_with_nbbma, WorkloadSpec,
+};
 use busbw_workloads::paper::PaperApp;
 
-use crate::runner::{run_spec, solo_turnaround_us, PolicyKind, RunnerConfig};
+use crate::runner::{effective_workers, par_map, run_spec, PolicyKind, RunnerConfig};
+
+/// The four per-application configurations, in legend order.
+fn fig1_configs(app: PaperApp) -> [WorkloadSpec; 4] {
+    [
+        fig1_solo(app),
+        fig1_two_instances(app),
+        fig1_with_bbma(app),
+        fig1_with_nbbma(app),
+    ]
+}
 
 /// Regenerate Figure 1A (cumulative bus transaction rates).
 ///
@@ -27,22 +39,26 @@ use crate::runner::{run_spec, solo_turnaround_us, PolicyKind, RunnerConfig};
 /// paper plots — e.g. the BBMA workloads average 28.34 tx/µs, "very close
 /// to the limit of saturation").
 pub fn fig1a(rc: &RunnerConfig) -> FigureSummary {
-    let mut rows = Vec::new();
-    for app in PaperApp::ALL {
-        let solo = run_spec(&fig1_solo(app), PolicyKind::Linux, rc);
-        let two = run_spec(&fig1_two_instances(app), PolicyKind::Linux, rc);
-        let bbma = run_spec(&fig1_with_bbma(app), PolicyKind::Linux, rc);
-        let nbbma = run_spec(&fig1_with_nbbma(app), PolicyKind::Linux, rc);
-        rows.push(ExperimentRow {
+    let jobs: Vec<WorkloadSpec> = PaperApp::ALL
+        .iter()
+        .flat_map(|&app| fig1_configs(app))
+        .collect();
+    let results = par_map(&jobs, effective_workers(rc), |spec| {
+        run_spec(spec, PolicyKind::Linux, rc)
+    });
+    let rows = PaperApp::ALL
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(&app, r)| ExperimentRow {
             app: app.name().to_string(),
             values: vec![
-                ("1 Appl".into(), solo.measured_apps_rate),
-                ("2 Apps".into(), two.measured_apps_rate),
-                ("1 Appl + 2 BBMA".into(), bbma.workload_rate),
-                ("1 Appl + 2 nBBMA".into(), nbbma.workload_rate),
+                ("1 Appl".into(), r[0].measured_apps_rate),
+                ("2 Apps".into(), r[1].measured_apps_rate),
+                ("1 Appl + 2 BBMA".into(), r[2].workload_rate),
+                ("1 Appl + 2 nBBMA".into(), r[3].workload_rate),
             ],
-        });
-    }
+        })
+        .collect();
     FigureSummary {
         id: "fig1a".into(),
         title: "Cumulative bus transactions rate (tx/µs)".into(),
@@ -53,21 +69,28 @@ pub fn fig1a(rc: &RunnerConfig) -> FigureSummary {
 /// Regenerate Figure 1B (slowdowns of the three multiprogrammed
 /// configurations relative to solo execution).
 pub fn fig1b(rc: &RunnerConfig) -> FigureSummary {
-    let mut rows = Vec::new();
-    for app in PaperApp::ALL {
-        let solo = solo_turnaround_us(app, rc);
-        let two = run_spec(&fig1_two_instances(app), PolicyKind::Linux, rc);
-        let bbma = run_spec(&fig1_with_bbma(app), PolicyKind::Linux, rc);
-        let nbbma = run_spec(&fig1_with_nbbma(app), PolicyKind::Linux, rc);
-        rows.push(ExperimentRow {
-            app: app.name().to_string(),
-            values: vec![
-                ("2 Apps".into(), two.mean_turnaround_us / solo),
-                ("1 Appl + 2 BBMA".into(), bbma.mean_turnaround_us / solo),
-                ("1 Appl + 2 nBBMA".into(), nbbma.mean_turnaround_us / solo),
-            ],
-        });
-    }
+    let jobs: Vec<WorkloadSpec> = PaperApp::ALL
+        .iter()
+        .flat_map(|&app| fig1_configs(app))
+        .collect();
+    let results = par_map(&jobs, effective_workers(rc), |spec| {
+        run_spec(spec, PolicyKind::Linux, rc)
+    });
+    let rows = PaperApp::ALL
+        .iter()
+        .zip(results.chunks_exact(4))
+        .map(|(&app, r)| {
+            let solo = r[0].mean_turnaround_us;
+            ExperimentRow {
+                app: app.name().to_string(),
+                values: vec![
+                    ("2 Apps".into(), r[1].mean_turnaround_us / solo),
+                    ("1 Appl + 2 BBMA".into(), r[2].mean_turnaround_us / solo),
+                    ("1 Appl + 2 nBBMA".into(), r[3].mean_turnaround_us / solo),
+                ],
+            }
+        })
+        .collect();
     FigureSummary {
         id: "fig1b".into(),
         title: "Slowdown vs. solo execution".into(),
@@ -78,6 +101,7 @@ pub fn fig1b(rc: &RunnerConfig) -> FigureSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::solo_turnaround_us;
 
     /// One reduced-size end-to-end check of the Figure 1 shapes. The full
     /// figure is exercised by the `experiments` binary and the benches.
@@ -90,7 +114,10 @@ mod tests {
         let l_nbbma = run_spec(&fig1_with_nbbma(PaperApp::Volrend), PolicyKind::Linux, &rc);
         let s_bbma = l_bbma.mean_turnaround_us / solo_l;
         let s_nbbma = l_nbbma.mean_turnaround_us / solo_l;
-        assert!((1.0..1.6).contains(&s_bbma), "Volrend+BBMA slowdown {s_bbma}");
+        assert!(
+            (1.0..1.6).contains(&s_bbma),
+            "Volrend+BBMA slowdown {s_bbma}"
+        );
         assert!(
             (0.97..1.1).contains(&s_nbbma),
             "Volrend+nBBMA slowdown {s_nbbma}"

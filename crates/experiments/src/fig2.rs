@@ -10,7 +10,7 @@ use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary};
 use busbw_workloads::mix::{fig2_set_a, fig2_set_b, fig2_set_c, WorkloadSpec};
 use busbw_workloads::paper::PaperApp;
 
-use crate::runner::{run_spec, PolicyKind, RunnerConfig};
+use crate::runner::{effective_workers, par_map, run_spec, PolicyKind, RunnerConfig};
 
 /// The three workload families of §5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,23 +66,40 @@ pub fn fig2_with_policies(
     policies: &[PolicyKind],
     rc: &RunnerConfig,
 ) -> FigureSummary {
-    let mut rows = Vec::new();
-    for app in PaperApp::ALL {
-        let spec = set.spec(app);
-        let linux = run_spec(&spec, PolicyKind::Linux, rc);
-        let mut values = Vec::new();
-        for &p in policies {
-            let r = run_spec(&spec, p, rc);
-            values.push((
-                p.label(),
-                improvement_pct(linux.mean_turnaround_us, r.mean_turnaround_us),
-            ));
-        }
-        rows.push(ExperimentRow {
-            app: app.name().to_string(),
-            values,
-        });
-    }
+    let per_app = 1 + policies.len();
+    let jobs: Vec<(WorkloadSpec, PolicyKind)> = PaperApp::ALL
+        .iter()
+        .flat_map(|&app| {
+            let spec = set.spec(app);
+            let mut v = Vec::with_capacity(per_app);
+            v.push((spec.clone(), PolicyKind::Linux));
+            v.extend(policies.iter().map(|&p| (spec.clone(), p)));
+            v
+        })
+        .collect();
+    let results = par_map(&jobs, effective_workers(rc), |(spec, p)| {
+        run_spec(spec, *p, rc)
+    });
+    let rows = PaperApp::ALL
+        .iter()
+        .zip(results.chunks_exact(per_app))
+        .map(|(&app, r)| {
+            let linux = &r[0];
+            ExperimentRow {
+                app: app.name().to_string(),
+                values: policies
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        (
+                            p.label(),
+                            improvement_pct(linux.mean_turnaround_us, r[i + 1].mean_turnaround_us),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
     FigureSummary {
         id: set.id().into(),
         title: set.title().into(),

@@ -35,11 +35,13 @@ pub mod validate;
 pub mod variance;
 
 pub use ablate::{ablate_fitness, ablate_quantum, ablate_smt, ablate_window};
-pub use dynamic::{dynamic_arrivals, staggered_turnaround};
 pub use baselines::baselines;
-pub use robustness::robustness;
+pub use dynamic::{dynamic_arrivals, staggered_turnaround};
 pub use fig1::{fig1a, fig1b};
 pub use fig2::{fig2, Fig2Set};
-pub use runner::{PolicyKind, RunnerConfig};
+pub use robustness::robustness;
+pub use runner::{
+    effective_workers, par_map, run_spec, solo_turnaround_us, PolicyKind, RunResult, RunnerConfig,
+};
 pub use validate::{render as render_validation, validate, Claim};
 pub use variance::fig2b_variance;

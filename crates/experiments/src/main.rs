@@ -15,17 +15,16 @@
 
 use std::path::PathBuf;
 
-use busbw_experiments::{
-    ablate_fitness, ablate_quantum, ablate_smt, ablate_window, baselines, dynamic_arrivals,
-    fig1a, fig1b, fig2, fig2b_variance, render_validation, robustness, validate, Fig2Set,
-    RunnerConfig,
-};
 use busbw_experiments::PolicyKind;
+use busbw_experiments::{
+    ablate_fitness, ablate_quantum, ablate_smt, ablate_window, baselines, dynamic_arrivals, fig1a,
+    fig1b, fig2, fig2b_variance, render_validation, robustness, validate, Fig2Set, RunnerConfig,
+};
 use busbw_metrics::{FigureSummary, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|dynamic|baselines|robustness|validate|variance|all> [--scale X] [--seed N] [--out DIR]"
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|dynamic|baselines|robustness|validate|variance|bench tick-rate|all> [--scale X] [--seed N] [--workers N] [--out DIR]"
     );
     std::process::exit(2);
 }
@@ -38,7 +37,12 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
-    let command = args.next().unwrap_or_else(|| usage());
+    let mut command = args.next().unwrap_or_else(|| usage());
+    if command == "bench" {
+        // `bench <what>` — two-word commands.
+        let sub = args.next().unwrap_or_else(|| usage());
+        command = format!("bench {sub}");
+    }
     let mut rc = RunnerConfig::default();
     let mut out = PathBuf::from("results");
     while let Some(a) = args.next() {
@@ -55,6 +59,12 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--workers" => {
+                rc.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage()));
             }
@@ -62,6 +72,57 @@ fn parse_args() -> Args {
         }
     }
     Args { command, rc, out }
+}
+
+/// `bench tick-rate`: run a representative slice of the figure workloads
+/// (a coarsenable solo run, a saturated mix, and two time-shared Fig. 2
+/// sets) and report the simulator's tick throughput. Writes
+/// `BENCH_tick.json` both to the output directory and the working
+/// directory so tooling can find it without knowing `--out`.
+fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf) {
+    use busbw_experiments::{effective_workers, par_map, run_spec};
+    use busbw_workloads::mix::{fig1_solo, fig1_with_bbma, fig2_set_a, fig2_set_b, WorkloadSpec};
+    use busbw_workloads::paper::PaperApp;
+
+    let jobs: Vec<(WorkloadSpec, PolicyKind)> = vec![
+        (fig1_solo(PaperApp::Cg), PolicyKind::Linux),
+        (fig1_with_bbma(PaperApp::Cg), PolicyKind::Linux),
+        (fig2_set_a(PaperApp::Mg), PolicyKind::Window),
+        (fig2_set_b(PaperApp::Raytrace), PolicyKind::Latest),
+    ];
+    let workers = effective_workers(rc);
+    let t0 = std::time::Instant::now();
+    let results = par_map(&jobs, workers, |(s, p)| run_spec(s, *p, rc));
+    let wall = t0.elapsed().as_secs_f64();
+    let ticks: u64 = results.iter().map(|r| r.ticks).sum();
+    let sim_us: u64 = results.iter().map(|r| r.sim_elapsed_us).sum();
+    let tps = ticks as f64 / wall;
+    println!("== bench tick-rate\n");
+    println!("   runs: {}, workers: {workers}", jobs.len());
+    println!(
+        "   wall: {wall:.3} s, ticks: {ticks}, simulated: {:.2} s",
+        sim_us as f64 / 1e6
+    );
+    println!("   ticks/sec: {tps:.0}");
+    println!(
+        "   simulated µs per wall second: {:.0}",
+        sim_us as f64 / wall
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"tick-rate\",\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"runs\": {},\n  \"wall_s\": {:.6},\n  \"ticks\": {},\n  \"sim_elapsed_us\": {},\n  \"ticks_per_sec\": {:.1},\n  \"sim_us_per_wall_s\": {:.1}\n}}\n",
+        rc.scale,
+        rc.seed,
+        workers,
+        jobs.len(),
+        wall,
+        ticks,
+        sim_us,
+        tps,
+        sim_us as f64 / wall
+    );
+    std::fs::create_dir_all(out).expect("create output dir");
+    std::fs::write(out.join("BENCH_tick.json"), &json).expect("write BENCH_tick.json");
+    std::fs::write("BENCH_tick.json", &json).expect("write BENCH_tick.json");
 }
 
 fn emit(fig: &FigureSummary, out: &PathBuf) {
@@ -135,6 +196,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "bench tick-rate" => bench_tick_rate(&rc, &args.out),
         "robustness" => emit(&robustness(10, 5, &rc), &args.out),
         "variance" => {
             for p in [PolicyKind::Latest, PolicyKind::Window] {

@@ -19,9 +19,8 @@ use crate::runner::{PolicyKind, RunnerConfig};
 fn run_random(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> f64 {
     let built = build_machine(spec, rc.machine, rc.seed);
     let mut machine = built.machine;
-    machine.set_hard_cap_us(
-        (busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 200.0) as u64,
-    );
+    machine
+        .set_hard_cap_us((busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 200.0) as u64);
     let mut sched = policy.build();
     let out = machine.run(
         &mut *sched,

@@ -1,5 +1,13 @@
 //! Shared experiment mechanics: build a workload, pick a policy, run it,
 //! and collect the turnarounds of the measured application instances.
+//!
+//! Independent (workload, policy) points are embarrassingly parallel:
+//! every run builds its own machine and its own seeded RNGs, so
+//! [`par_map`] fans them out over OS threads with results bit-identical
+//! to a serial sweep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use busbw_core::estimator::{LatestQuantumEstimator, QuantaWindowEstimator};
 use busbw_core::model::ModelDrivenScheduler;
@@ -57,12 +65,12 @@ impl PolicyKind {
     pub fn build(&self) -> Box<dyn Scheduler> {
         match *self {
             PolicyKind::Linux => Box::new(LinuxLikeScheduler::new()),
-            PolicyKind::Latest => {
-                Box::new(BusAwareScheduler::new(Box::new(LatestQuantumEstimator::new())))
-            }
-            PolicyKind::Window => {
-                Box::new(BusAwareScheduler::new(Box::new(QuantaWindowEstimator::new())))
-            }
+            PolicyKind::Latest => Box::new(BusAwareScheduler::new(Box::new(
+                LatestQuantumEstimator::new(),
+            ))),
+            PolicyKind::Window => Box::new(BusAwareScheduler::new(Box::new(
+                QuantaWindowEstimator::new(),
+            ))),
             PolicyKind::WindowN(n) => Box::new(BusAwareScheduler::new(Box::new(
                 QuantaWindowEstimator::with_window(n),
             ))),
@@ -92,6 +100,10 @@ pub struct RunnerConfig {
     pub scale: f64,
     /// Seed for bursty demand models and randomized comparators.
     pub seed: u64,
+    /// Worker threads for figure-level fan-out; 0 = one per available
+    /// hardware thread. Results are bit-identical for any value — the
+    /// setting only affects wall-clock time.
+    pub workers: usize,
 }
 
 impl Default for RunnerConfig {
@@ -100,6 +112,7 @@ impl Default for RunnerConfig {
             machine: XEON_4WAY,
             scale: 1.0,
             seed: 42,
+            workers: 0,
         }
     }
 }
@@ -112,6 +125,53 @@ impl RunnerConfig {
             ..Self::default()
         }
     }
+}
+
+/// Effective worker count for `rc` (resolving 0 = auto).
+pub fn effective_workers(rc: &RunnerConfig) -> usize {
+    if rc.workers != 0 {
+        rc.workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Map `f` over `items` on up to `workers` OS threads, returning results
+/// in input order.
+///
+/// Work is pulled from a shared atomic cursor, so stragglers don't idle
+/// the other workers. Because every experiment point builds a fresh
+/// machine and fresh seeded RNGs, the outputs are **bit-identical** to a
+/// serial sweep — parallelism only changes the order work is *done*, not
+/// the order (or content) of the results. `workers <= 1` degenerates to
+/// a plain serial map with no thread machinery at all.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                done.lock().expect("worker panicked").push((i, r));
+            });
+        }
+    });
+    let mut v = done.into_inner().expect("worker panicked");
+    v.sort_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, r)| r).collect()
 }
 
 /// The result of one workload run.
@@ -130,6 +190,11 @@ pub struct RunResult {
     pub measured_apps_rate: f64,
     /// Fraction of wall time the bus was saturated.
     pub saturated_fraction: f64,
+    /// Tick-loop iterations the run executed (with event-driven tick
+    /// coarsening this is typically far below `sim_elapsed_us / tick_us`).
+    pub ticks: u64,
+    /// Simulated wall time of the run, µs.
+    pub sim_elapsed_us: u64,
 }
 
 /// Run `spec` under `policy` and measure the marked instances.
@@ -142,9 +207,8 @@ pub fn run_spec(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> R
     let built = build_machine(&scaled, rc.machine, rc.seed);
     let mut machine = built.machine;
     // Cap: 100× the solo work volume — far beyond any plausible schedule.
-    machine.set_hard_cap_us(
-        (busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 100.0) as u64,
-    );
+    machine
+        .set_hard_cap_us((busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 100.0) as u64);
     let mut sched = policy.build();
     let out = machine.run(
         &mut *sched,
@@ -177,6 +241,8 @@ pub fn run_spec(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> R
         workload_rate: out.stats.mean_bus_rate(),
         measured_apps_rate,
         saturated_fraction: out.stats.saturated_fraction(),
+        ticks: out.stats.ticks,
+        sim_elapsed_us: out.stats.elapsed_us,
     }
 }
 
@@ -234,6 +300,80 @@ mod tests {
         let b = run_spec(&spec, PolicyKind::Window, &rc());
         assert_eq!(a.turnarounds_us, b.turnarounds_us);
         assert_eq!(a.workload_rate, b.workload_rate);
+    }
+
+    #[test]
+    fn parallel_runner_is_bit_identical_to_serial() {
+        use busbw_metrics::{ExperimentRow, FigureSummary, Table};
+        use busbw_workloads::mix::fig1_two_instances;
+
+        let rc = RunnerConfig {
+            scale: 0.05,
+            ..RunnerConfig::default()
+        };
+        let jobs = vec![
+            (fig2_set_b(PaperApp::Cg), PolicyKind::Window),
+            (fig1_two_instances(PaperApp::LuCb), PolicyKind::Linux),
+            (fig1_two_instances(PaperApp::Volrend), PolicyKind::Latest),
+        ];
+        let serial = par_map(&jobs, 1, |(s, p)| run_spec(s, *p, &rc));
+        let parallel = par_map(&jobs, 4, |(s, p)| run_spec(s, *p, &rc));
+
+        // Every float agrees to the bit.
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                a.mean_turnaround_us.to_bits(),
+                b.mean_turnaround_us.to_bits()
+            );
+            assert_eq!(a.workload_rate.to_bits(), b.workload_rate.to_bits());
+            assert_eq!(
+                a.measured_apps_rate.to_bits(),
+                b.measured_apps_rate.to_bits()
+            );
+            assert_eq!(a.turnarounds_us.len(), b.turnarounds_us.len());
+            for (x, y) in a.turnarounds_us.iter().zip(&b.turnarounds_us) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.ticks, b.ticks);
+            assert_eq!(a.sim_elapsed_us, b.sim_elapsed_us);
+        }
+
+        // And the rendered CSV (what the binary writes) is byte-identical.
+        let to_csv = |rs: &[RunResult]| {
+            let rows = rs
+                .iter()
+                .enumerate()
+                .map(|(i, r)| ExperimentRow {
+                    app: format!("job{i}"),
+                    values: vec![
+                        ("turnaround".into(), r.mean_turnaround_us),
+                        ("rate".into(), r.workload_rate),
+                    ],
+                })
+                .collect();
+            let fig = FigureSummary {
+                id: "par-check".into(),
+                title: String::new(),
+                rows,
+            };
+            Table::from_figure(&fig).to_csv()
+        };
+        assert_eq!(to_csv(&serial), to_csv(&parallel));
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_for_uneven_work() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = par_map(&items, 8, |&i| {
+            // Uneven spin so completion order scrambles.
+            let mut acc = i;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        let ids: Vec<u64> = out.iter().map(|(i, _)| *i).collect();
+        assert_eq!(ids, items);
     }
 
     #[test]

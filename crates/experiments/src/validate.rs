@@ -74,8 +74,12 @@ pub fn validate(rc: &RunnerConfig) -> Vec<Claim> {
 
     // ---- Figure 1B claims ----
     let solo = solo_turnaround_us(PaperApp::Mg, rc);
-    let two = run_spec(&mix::fig1_two_instances(PaperApp::Mg), PolicyKind::Linux, rc)
-        .mean_turnaround_us
+    let two = run_spec(
+        &mix::fig1_two_instances(PaperApp::Mg),
+        PolicyKind::Linux,
+        rc,
+    )
+    .mean_turnaround_us
         / solo;
     let with_bbma = run_spec(&mix::fig1_with_bbma(PaperApp::Mg), PolicyKind::Linux, rc)
         .mean_turnaround_us
@@ -123,7 +127,10 @@ pub fn validate(rc: &RunnerConfig) -> Vec<Claim> {
         "fig2a",
         "saturated-background set shows substantial peak wins (>=20 %)",
         set_a.series_max("Latest").unwrap_or(0.0) >= 20.0,
-        format!("Latest max {:+.1} %", set_a.series_max("Latest").unwrap_or(0.0)),
+        format!(
+            "Latest max {:+.1} %",
+            set_a.series_max("Latest").unwrap_or(0.0)
+        ),
     ));
     let set_b = &figs[1].1;
     // "More stable" means not-wider spread: at tiny scales the two

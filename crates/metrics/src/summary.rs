@@ -133,7 +133,10 @@ mod tests {
                 },
             ],
         };
-        assert_eq!(fig.series(), vec!["Latest".to_string(), "Window".to_string()]);
+        assert_eq!(
+            fig.series(),
+            vec!["Latest".to_string(), "Window".to_string()]
+        );
         assert_eq!(fig.series_mean("Latest"), Some(20.0));
         assert_eq!(fig.series_max("Latest"), Some(30.0));
         assert_eq!(fig.series_min("Window"), Some(-4.0));

@@ -5,8 +5,6 @@
 //! Threads are identified by an opaque [`ThreadKey`] so this crate does not
 //! depend on the simulator's thread type.
 
-use std::collections::BTreeMap;
-
 use crate::counter::{CounterSet, EventKind};
 
 /// Opaque thread identifier. The simulator guarantees uniqueness.
@@ -15,12 +13,16 @@ pub struct ThreadKey(pub u64);
 
 /// All per-thread counter sets on the machine.
 ///
-/// A `BTreeMap` keeps iteration deterministic, which matters because the
-/// scheduling policies and every experiment in the reproduction must be
-/// bit-for-bit repeatable across runs.
+/// Counter sets live in a dense slot vector indexed by the key's integer
+/// value: the simulator hands out small sequential thread ids, so lookups
+/// on the per-tick accounting path are a bounds check and an add rather
+/// than a tree walk. Iteration is in ascending key order (slot order),
+/// which keeps the scheduling policies and every experiment in the
+/// reproduction bit-for-bit repeatable across runs.
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
-    sets: BTreeMap<ThreadKey, CounterSet>,
+    slots: Vec<Option<CounterSet>>,
+    live: usize,
 }
 
 impl Registry {
@@ -33,28 +35,43 @@ impl Registry {
     /// existing thread is a no-op (its counts are preserved), mirroring how
     /// opening an already-open perfctr file does not reset it.
     pub fn register(&mut self, t: ThreadKey) {
-        self.sets.entry(t).or_default();
+        let i = t.0 as usize;
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].is_none() {
+            self.slots[i] = Some(CounterSet::default());
+            self.live += 1;
+        }
     }
 
     /// Remove a thread's counters (thread exit). Returns the final set so
     /// accounting can archive totals.
     pub fn unregister(&mut self, t: ThreadKey) -> Option<CounterSet> {
-        self.sets.remove(&t)
+        let taken = self.slots.get_mut(t.0 as usize).and_then(Option::take);
+        if taken.is_some() {
+            self.live -= 1;
+        }
+        taken
     }
 
     /// Whether `t` has registered counters.
     pub fn contains(&self, t: ThreadKey) -> bool {
-        self.sets.contains_key(&t)
+        self.slot(t).is_some()
     }
 
     /// Number of registered threads.
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.live
     }
 
     /// True if no thread is registered.
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.live == 0
+    }
+
+    fn slot(&self, t: ThreadKey) -> Option<&CounterSet> {
+        self.slots.get(t.0 as usize).and_then(Option::as_ref)
     }
 
     /// Accumulate `amount` events of `kind` for thread `t`.
@@ -64,25 +81,26 @@ impl Registry {
     /// before counting against them; silently dropping events would corrupt
     /// rate estimates.
     pub fn add(&mut self, t: ThreadKey, kind: EventKind, amount: f64) {
-        self.sets
-            .get_mut(&t)
+        self.slots
+            .get_mut(t.0 as usize)
+            .and_then(Option::as_mut)
             .unwrap_or_else(|| panic!("thread {t:?} not registered with perfmon"))
             .add(kind, amount);
     }
 
     /// Shared access to one thread's counters.
     pub fn counters(&self, t: ThreadKey) -> Option<&CounterSet> {
-        self.sets.get(&t)
+        self.slot(t)
     }
 
     /// Mutable access to one thread's counters (for destructive sampling).
     pub fn counters_mut(&mut self, t: ThreadKey) -> Option<&mut CounterSet> {
-        self.sets.get_mut(&t)
+        self.slots.get_mut(t.0 as usize).and_then(Option::as_mut)
     }
 
     /// Total of `kind` for thread `t`, or 0 if unregistered.
     pub fn total(&self, t: ThreadKey, kind: EventKind) -> f64 {
-        self.sets.get(&t).map_or(0.0, |s| s.get(kind).total())
+        self.slot(t).map_or(0.0, |s| s.get(kind).total())
     }
 
     /// Sum of `kind` across a group of threads — how the CPU manager
@@ -91,15 +109,23 @@ impl Registry {
         threads.iter().map(|&t| self.total(t, kind)).sum()
     }
 
-    /// Deterministic iteration over all `(thread, counters)` pairs.
+    /// Deterministic iteration over all `(thread, counters)` pairs, in
+    /// ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (ThreadKey, &CounterSet)> {
-        self.sets.iter().map(|(&k, v)| (k, v))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (ThreadKey(i as u64), s)))
     }
 
     /// Sum of `kind` over every registered thread (machine-wide rate
     /// numerator, e.g. for utilization reports).
     pub fn machine_total(&self, kind: EventKind) -> f64 {
-        self.sets.values().map(|s| s.get(kind).total()).sum()
+        self.slots
+            .iter()
+            .flatten()
+            .map(|s| s.get(kind).total())
+            .sum()
     }
 }
 
@@ -129,7 +155,11 @@ mod tests {
         let mut r = Registry::new();
         for i in 0..4 {
             r.register(ThreadKey(i));
-            r.add(ThreadKey(i), EventKind::BusTransactions, 10.0 * (i + 1) as f64);
+            r.add(
+                ThreadKey(i),
+                EventKind::BusTransactions,
+                10.0 * (i + 1) as f64,
+            );
         }
         let g = r.group_total(&[ThreadKey(0), ThreadKey(2)], EventKind::BusTransactions);
         assert_eq!(g, 10.0 + 30.0);

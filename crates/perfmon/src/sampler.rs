@@ -140,10 +140,9 @@ impl Sampler {
         if st.history.is_empty() {
             return None;
         }
-        let (tx, us) = st
-            .history
-            .iter()
-            .fold((0.0f64, 0u64), |(tx, us), s| (tx + s.transactions, us + s.interval_us));
+        let (tx, us) = st.history.iter().fold((0.0f64, 0u64), |(tx, us), s| {
+            (tx + s.transactions, us + s.interval_us)
+        });
         if us == 0 {
             Some(0.0)
         } else {
@@ -171,7 +170,10 @@ mod tests {
     fn rate_is_delta_over_interval() {
         let t = ThreadKey(1);
         let mut r = reg_with(t);
-        let mut s = Sampler::new(SamplerConfig { period_us: 100, window: 3 });
+        let mut s = Sampler::new(SamplerConfig {
+            period_us: 100,
+            window: 3,
+        });
         r.add(t, EventKind::BusTransactions, 200.0);
         let a = s.sample(&r, t, 100);
         assert_eq!(a.rate_tx_per_us, 2.0);
@@ -195,7 +197,10 @@ mod tests {
     fn windowed_rate_is_interval_weighted() {
         let t = ThreadKey(1);
         let mut r = reg_with(t);
-        let mut s = Sampler::new(SamplerConfig { period_us: 100, window: 5 });
+        let mut s = Sampler::new(SamplerConfig {
+            period_us: 100,
+            window: 5,
+        });
         // 100 µs at 10 tx/µs, then 900 µs at 0 tx/µs => 1000 tx / 1000 µs = 1.0
         r.add(t, EventKind::BusTransactions, 1000.0);
         s.sample(&r, t, 100);
@@ -208,7 +213,10 @@ mod tests {
     fn window_truncates_history() {
         let t = ThreadKey(1);
         let mut r = reg_with(t);
-        let mut s = Sampler::new(SamplerConfig { period_us: 10, window: 2 });
+        let mut s = Sampler::new(SamplerConfig {
+            period_us: 10,
+            window: 2,
+        });
         for i in 1..=5u64 {
             r.add(t, EventKind::BusTransactions, 10.0);
             s.sample(&r, t, i * 10);
@@ -244,6 +252,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
-        let _ = Sampler::new(SamplerConfig { period_us: 1, window: 0 });
+        let _ = Sampler::new(SamplerConfig {
+            period_us: 1,
+            window: 0,
+        });
     }
 }

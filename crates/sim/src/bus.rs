@@ -33,7 +33,11 @@ use crate::config::BusConfig;
 use crate::ids::ThreadId;
 
 /// One thread's demand presented to the bus for a tick.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq` compares the raw fields bitwise-style (`f64` equality);
+/// [`FsbBus`] uses it to detect an unchanged demand set and skip the Λ
+/// solve entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BusRequest {
     /// The requesting thread.
     pub thread: ThreadId,
@@ -75,7 +79,8 @@ pub struct BusOutcome {
 }
 
 impl BusOutcome {
-    fn empty(capacity: f64) -> Self {
+    /// An outcome with no requests (idle bus).
+    pub fn empty(capacity: f64) -> Self {
         Self {
             shares: Vec::new(),
             total_demand: 0.0,
@@ -86,12 +91,40 @@ impl BusOutcome {
             saturated: false,
         }
     }
+
+    /// Reset to the idle state in place, keeping the `shares` allocation.
+    fn reset(&mut self, capacity: f64) {
+        self.shares.clear();
+        self.total_demand = 0.0;
+        self.total_issued = 0.0;
+        self.effective_capacity = capacity;
+        self.dilation = 1.0;
+        self.utilization = 0.0;
+        self.saturated = false;
+    }
 }
 
 /// A bus arbitration model.
+///
+/// `&mut self` lets models keep scratch buffers and memoized solver state
+/// between ticks. Models must stay deterministic: the same sequence of
+/// calls since construction must yield the same outcomes, which the
+/// machine's run-to-run reproducibility depends on. (Warm-started solvers
+/// may give ulp-level different answers for the same request set under a
+/// different call history; that is fine, history replays identically.)
 pub trait BusModel: Send {
-    /// Resolve one tick's demands into speeds and issue rates.
-    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome;
+    /// Resolve one tick's demands into `out`, reusing its allocations.
+    /// Implementations must fully overwrite `out` (including clearing
+    /// `shares`).
+    fn arbitrate_into(&mut self, reqs: &[BusRequest], out: &mut BusOutcome);
+
+    /// Resolve one tick's demands into a fresh outcome (convenience).
+    fn arbitrate(&mut self, reqs: &[BusRequest]) -> BusOutcome {
+        let mut out = BusOutcome::empty(self.nominal_capacity());
+        self.arbitrate_into(reqs, &mut out);
+        out
+    }
+
     /// Nominal (single-master) sustained capacity, tx/µs.
     fn nominal_capacity(&self) -> f64;
 }
@@ -102,16 +135,42 @@ fn dilated_speed(mu: f64, lambda: f64) -> f64 {
     1.0 / ((1.0 - mu) + mu * lambda)
 }
 
+/// Memoized result of one [`FsbBus`] arbitration: everything that is
+/// expensive to recompute, keyed by the exact request sequence.
+#[derive(Debug, Clone, Default)]
+struct FsbMemo {
+    valid: bool,
+    reqs: Vec<BusRequest>,
+    cap: f64,
+    total_demand: f64,
+    utilization: f64,
+    saturated: bool,
+    lambda: f64,
+}
+
 /// The default front-side-bus model described in the module docs.
-#[derive(Debug, Clone, Copy)]
+///
+/// Between ticks the bus keeps the previous request set and its solved Λ:
+/// an identical request sequence (the common case once caches are warm and
+/// demands are phase-constant) reuses the previous solution outright, and
+/// a changed set warm-starts the root solve from the previous Λ.
+#[derive(Debug, Clone)]
 pub struct FsbBus {
     cfg: BusConfig,
+    memo: FsbMemo,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl FsbBus {
     /// A bus with the given configuration.
     pub fn new(cfg: BusConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            memo: FsbMemo::default(),
+            memo_hits: 0,
+            memo_misses: 0,
+        }
     }
 
     /// The configuration in use.
@@ -119,89 +178,128 @@ impl FsbBus {
         &self.cfg
     }
 
-    /// Solve `Σ d_i/((1−µ_i)+µ_i·λ) = cap` for λ ≥ 1 by bisection.
+    /// Arbitrations answered from the unchanged-demand-set memo.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo_hits
+    }
+
+    /// Arbitrations that ran the full solve.
+    pub fn memo_misses(&self) -> u64 {
+        self.memo_misses
+    }
+
+    /// Solve `Σ d_i/((1−µ_i)+µ_i·λ) = cap` for the saturation dilation
+    /// λ ≥ 1.
     ///
-    /// The left side is strictly decreasing in λ for any thread with
-    /// µ > 0; threads with µ = 0 contribute a constant. If even λ → ∞
-    /// cannot bring the sum under `cap` (only possible when µ=0 threads
-    /// alone exceed capacity, which is physically inconsistent input),
-    /// the maximum dilation is returned and conservation is best-effort.
-    fn solve_lambda(reqs: &[BusRequest], cap: f64) -> f64 {
+    /// The left side `f(λ)` is strictly decreasing and convex in λ for any
+    /// thread with µ > 0, so Newton's method started left of the root
+    /// converges monotonically (tangents of a convex function never
+    /// overshoot the root from the left) and quadratically — typically
+    /// 3–6 iterations, fewer when `warm` (the previous tick's λ) is still
+    /// left of the root. Threads with µ = 0 contribute a constant; if they
+    /// alone exceed capacity (physically inconsistent input) the maximum
+    /// dilation is returned and conservation is best-effort.
+    fn solve_lambda(reqs: &[BusRequest], cap: f64, warm: f64) -> f64 {
         const LAMBDA_MAX: f64 = 1e9;
-        let issued_at = |lambda: f64| -> f64 {
-            reqs.iter()
-                .map(|r| r.rate * dilated_speed(r.mu, lambda))
-                .sum()
+        // f(λ) = Σ dᵢ/(aᵢ + bᵢλ) − cap and its derivative.
+        let f_and_slope = |lambda: f64| -> (f64, f64) {
+            let mut f = -cap;
+            let mut fp = 0.0;
+            for r in reqs {
+                let denom = (1.0 - r.mu) + r.mu * lambda;
+                let term = r.rate / denom;
+                f += term;
+                fp -= term * r.mu / denom;
+            }
+            (f, fp)
         };
-        if issued_at(1.0) <= cap {
-            return 1.0;
-        }
-        let (mut lo, mut hi) = (1.0f64, 2.0f64);
-        while issued_at(hi) > cap {
-            hi *= 2.0;
-            if hi > LAMBDA_MAX {
+        let mut lambda = if warm > 1.0 && warm.is_finite() && f_and_slope(warm).0 > 0.0 {
+            warm
+        } else {
+            1.0
+        };
+        for _ in 0..64 {
+            let (f, fp) = f_and_slope(lambda);
+            if f <= 0.0 {
+                // At (or an ulp past) the root.
+                break;
+            }
+            if fp >= 0.0 {
+                // Demand is λ-insensitive (all µ = 0) yet above capacity.
                 return LAMBDA_MAX;
             }
-        }
-        for _ in 0..80 {
-            let mid = 0.5 * (lo + hi);
-            if issued_at(mid) > cap {
-                lo = mid;
-            } else {
-                hi = mid;
+            let next = lambda - f / fp;
+            if next > LAMBDA_MAX {
+                return LAMBDA_MAX;
             }
+            // Converged to machine precision (also catches a NaN step,
+            // which compares as not-greater).
+            if next.partial_cmp(&lambda) != Some(std::cmp::Ordering::Greater) {
+                break;
+            }
+            lambda = next;
         }
-        0.5 * (lo + hi)
+        lambda
     }
 }
 
 impl BusModel for FsbBus {
-    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome {
+    fn arbitrate_into(&mut self, reqs: &[BusRequest], out: &mut BusOutcome) {
         if reqs.is_empty() {
-            return BusOutcome::empty(self.cfg.capacity_tx_per_us);
+            out.reset(self.cfg.capacity_tx_per_us);
+            return;
         }
-        let n_masters = reqs
-            .iter()
-            .filter(|r| r.rate > self.cfg.active_master_threshold)
-            .count();
-        let cap = self.cfg.effective_capacity(n_masters);
-        let total_demand: f64 = reqs.iter().map(|r| r.rate).sum();
-        let utilization = (total_demand / cap).min(1.0);
-        let saturated = total_demand > cap;
-
-        let lambda_sat = if saturated {
-            Self::solve_lambda(reqs, cap)
+        if !(self.memo.valid && self.memo.reqs == reqs) {
+            // Full solve; remember everything for the next tick.
+            self.memo_misses += 1;
+            let n_masters = reqs
+                .iter()
+                .filter(|r| r.rate > self.cfg.active_master_threshold)
+                .count();
+            let cap = self.cfg.effective_capacity(n_masters);
+            let total_demand: f64 = reqs.iter().map(|r| r.rate).sum();
+            let utilization = (total_demand / cap).min(1.0);
+            let saturated = total_demand > cap;
+            let lambda_sat = if saturated {
+                Self::solve_lambda(reqs, cap, self.memo.lambda)
+            } else {
+                1.0
+            };
+            // Below saturation the queueing term provides the (small,
+            // convex) contention penalty; at deep saturation λ_sat
+            // dominates and taking the max keeps aggregate issued traffic
+            // exactly at capacity instead of wasting it.
+            let queueing = self.cfg.queueing_coeff * utilization.powf(self.cfg.queueing_exponent);
+            self.memo.reqs.clear();
+            self.memo.reqs.extend_from_slice(reqs);
+            self.memo.cap = cap;
+            self.memo.total_demand = total_demand;
+            self.memo.utilization = utilization;
+            self.memo.saturated = saturated;
+            self.memo.lambda = lambda_sat.max(1.0 + queueing);
+            self.memo.valid = true;
         } else {
-            1.0
-        };
-        // Below saturation the queueing term provides the (small, convex)
-        // contention penalty; at deep saturation λ_sat dominates and taking
-        // the max keeps aggregate issued traffic exactly at capacity
-        // instead of wasting it.
-        let queueing = self.cfg.queueing_coeff * utilization.powf(self.cfg.queueing_exponent);
-        let lambda = lambda_sat.max(1.0 + queueing);
-
-        let shares: Vec<BusShare> = reqs
-            .iter()
-            .map(|r| {
-                let speed = dilated_speed(r.mu, lambda);
-                BusShare {
-                    thread: r.thread,
-                    speed,
-                    issue_rate: r.rate * speed,
-                }
-            })
-            .collect();
-        let total_issued = shares.iter().map(|s| s.issue_rate).sum();
-        BusOutcome {
-            shares,
-            total_demand,
-            total_issued,
-            effective_capacity: cap,
-            dilation: lambda,
-            utilization,
-            saturated,
+            self.memo_hits += 1;
         }
+        let lambda = self.memo.lambda;
+        out.shares.clear();
+        let mut total_issued = 0.0;
+        for r in reqs {
+            let speed = dilated_speed(r.mu, lambda);
+            let issue_rate = r.rate * speed;
+            total_issued += issue_rate;
+            out.shares.push(BusShare {
+                thread: r.thread,
+                speed,
+                issue_rate,
+            });
+        }
+        out.total_demand = self.memo.total_demand;
+        out.total_issued = total_issued;
+        out.effective_capacity = self.memo.cap;
+        out.dilation = lambda;
+        out.utilization = self.memo.utilization;
+        out.saturated = self.memo.saturated;
     }
 
     fn nominal_capacity(&self) -> f64 {
@@ -218,15 +316,22 @@ impl BusModel for FsbBus {
 /// the proportional model — but a max-min arbiter is what an idealized
 /// per-request round-robin with single outstanding misses would give, so it
 /// is worth keeping for sensitivity studies.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct MaxMinFairBus {
     cfg: BusConfig,
+    // Scratch reused across ticks to keep the hot path allocation-free.
+    demands: Vec<f64>,
+    grants: Vec<f64>,
 }
 
 impl MaxMinFairBus {
     /// A max-min bus with the given configuration.
     pub fn new(cfg: BusConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            demands: Vec::new(),
+            grants: Vec::new(),
+        }
     }
 
     /// Max-min allocation of `cap` over `demands`. Returns grants.
@@ -266,47 +371,45 @@ impl MaxMinFairBus {
 }
 
 impl BusModel for MaxMinFairBus {
-    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome {
+    fn arbitrate_into(&mut self, reqs: &[BusRequest], out: &mut BusOutcome) {
         if reqs.is_empty() {
-            return BusOutcome::empty(self.cfg.capacity_tx_per_us);
+            out.reset(self.cfg.capacity_tx_per_us);
+            return;
         }
         let n_masters = reqs
             .iter()
             .filter(|r| r.rate > self.cfg.active_master_threshold)
             .count();
         let cap = self.cfg.effective_capacity(n_masters);
-        let demands: Vec<f64> = reqs.iter().map(|r| r.rate).collect();
-        let total_demand: f64 = demands.iter().sum();
-        let grants = Self::max_min(&demands, cap);
+        self.demands.clear();
+        self.demands.extend(reqs.iter().map(|r| r.rate));
+        let total_demand: f64 = self.demands.iter().sum();
+        self.grants = Self::max_min(&self.demands, cap);
         let saturated = total_demand > cap;
-        let shares: Vec<BusShare> = reqs
-            .iter()
-            .zip(&grants)
-            .map(|(r, &g)| {
-                let lambda_i = if g >= r.rate || r.rate <= 0.0 {
-                    1.0
-                } else {
-                    r.rate / g.max(1e-12)
-                };
-                let speed = dilated_speed(r.mu, lambda_i);
-                BusShare {
-                    thread: r.thread,
-                    speed,
-                    // Traffic tracks progress but can never exceed the grant.
-                    issue_rate: (r.rate * speed).min(g.max(r.rate.min(g))),
-                }
-            })
-            .collect();
-        let total_issued = shares.iter().map(|s| s.issue_rate).sum();
-        BusOutcome {
-            shares,
-            total_demand,
-            total_issued,
-            effective_capacity: cap,
-            dilation: if saturated { total_demand / cap } else { 1.0 },
-            utilization: (total_demand / cap).min(1.0),
-            saturated,
+        out.shares.clear();
+        let mut total_issued = 0.0;
+        for (r, &g) in reqs.iter().zip(&self.grants) {
+            let lambda_i = if g >= r.rate || r.rate <= 0.0 {
+                1.0
+            } else {
+                r.rate / g.max(1e-12)
+            };
+            let speed = dilated_speed(r.mu, lambda_i);
+            // Traffic tracks progress but can never exceed the grant.
+            let issue_rate = (r.rate * speed).min(g.max(r.rate.min(g)));
+            total_issued += issue_rate;
+            out.shares.push(BusShare {
+                thread: r.thread,
+                speed,
+                issue_rate,
+            });
         }
+        out.total_demand = total_demand;
+        out.total_issued = total_issued;
+        out.effective_capacity = cap;
+        out.dilation = if saturated { total_demand / cap } else { 1.0 };
+        out.utilization = (total_demand / cap).min(1.0);
+        out.saturated = saturated;
     }
 
     fn nominal_capacity(&self) -> f64 {
@@ -324,33 +427,31 @@ pub struct ProportionalBus {
 }
 
 impl BusModel for ProportionalBus {
-    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome {
+    fn arbitrate_into(&mut self, reqs: &[BusRequest], out: &mut BusOutcome) {
         if reqs.is_empty() {
-            return BusOutcome::empty(self.capacity);
+            out.reset(self.capacity);
+            return;
         }
         let total_demand: f64 = reqs.iter().map(|r| r.rate).sum();
         let lambda = (total_demand / self.capacity).max(1.0);
-        let shares: Vec<BusShare> = reqs
-            .iter()
-            .map(|r| {
-                let speed = dilated_speed(r.mu, lambda);
-                BusShare {
-                    thread: r.thread,
-                    speed,
-                    issue_rate: r.rate * speed,
-                }
-            })
-            .collect();
-        let total_issued = shares.iter().map(|s| s.issue_rate).sum();
-        BusOutcome {
-            shares,
-            total_demand,
-            total_issued,
-            effective_capacity: self.capacity,
-            dilation: lambda,
-            utilization: (total_demand / self.capacity).min(1.0),
-            saturated: total_demand > self.capacity,
+        out.shares.clear();
+        let mut total_issued = 0.0;
+        for r in reqs {
+            let speed = dilated_speed(r.mu, lambda);
+            let issue_rate = r.rate * speed;
+            total_issued += issue_rate;
+            out.shares.push(BusShare {
+                thread: r.thread,
+                speed,
+                issue_rate,
+            });
         }
+        out.total_demand = total_demand;
+        out.total_issued = total_issued;
+        out.effective_capacity = self.capacity;
+        out.dilation = lambda;
+        out.utilization = (total_demand / self.capacity).min(1.0);
+        out.saturated = total_demand > self.capacity;
     }
 
     fn nominal_capacity(&self) -> f64 {
@@ -364,25 +465,19 @@ impl BusModel for ProportionalBus {
 pub struct UnlimitedBus;
 
 impl BusModel for UnlimitedBus {
-    fn arbitrate(&self, reqs: &[BusRequest]) -> BusOutcome {
-        let shares: Vec<BusShare> = reqs
-            .iter()
-            .map(|r| BusShare {
+    fn arbitrate_into(&mut self, reqs: &[BusRequest], out: &mut BusOutcome) {
+        out.reset(f64::INFINITY);
+        let mut total = 0.0;
+        for r in reqs {
+            total += r.rate;
+            out.shares.push(BusShare {
                 thread: r.thread,
                 speed: 1.0,
                 issue_rate: r.rate,
-            })
-            .collect();
-        let total: f64 = reqs.iter().map(|r| r.rate).sum();
-        BusOutcome {
-            shares,
-            total_demand: total,
-            total_issued: total,
-            effective_capacity: f64::INFINITY,
-            dilation: 1.0,
-            utilization: 0.0,
-            saturated: false,
+            });
         }
+        out.total_demand = total;
+        out.total_issued = total;
     }
 
     fn nominal_capacity(&self) -> f64 {
@@ -425,7 +520,7 @@ mod tests {
     #[test]
     fn saturation_conserves_capacity_exactly_for_memory_bound_threads() {
         // Four pure streamers demanding 2× capacity.
-        let bus = default_fsb();
+        let mut bus = default_fsb();
         let reqs: Vec<_> = (0..4).map(|i| req(i, 15.0, 1.0)).collect();
         let out = bus.arbitrate(&reqs);
         assert!(out.saturated);
@@ -440,7 +535,7 @@ mod tests {
     #[test]
     fn proportional_sharing_under_saturation() {
         // Equal µ ⇒ issue rates proportional to demands.
-        let bus = default_fsb();
+        let mut bus = default_fsb();
         let out = bus.arbitrate(&[req(0, 20.0, 1.0), req(1, 10.0, 1.0)]);
         assert!(out.saturated);
         let r0 = out.shares[0].issue_rate;
@@ -451,7 +546,7 @@ mod tests {
     #[test]
     fn low_mu_thread_is_nearly_immune_to_saturation() {
         // An nBBMA-like thread next to two heavy streamers.
-        let bus = default_fsb();
+        let mut bus = default_fsb();
         let out = bus.arbitrate(&[req(0, 23.6, 1.0), req(1, 23.6, 1.0), req(2, 0.004, 0.01)]);
         assert!(out.saturated);
         assert!(out.shares[2].speed > 0.97, "speed {}", out.shares[2].speed);
@@ -464,7 +559,7 @@ mod tests {
         // The paper's headline motivation: a memory-intensive app
         // (CG: ~11.7 tx/µs/thread, µ high) against two BBMA streamers
         // suffers a 2–3× slowdown.
-        let bus = default_fsb();
+        let mut bus = default_fsb();
         let out = bus.arbitrate(&[
             req(0, 11.65, 0.85),
             req(1, 11.65, 0.85),
@@ -482,7 +577,7 @@ mod tests {
     fn two_instances_of_heavy_app_lose_forty_to_seventy_percent() {
         // Fig 1B dark-gray shape: 2 instances × 2 threads of SP/MG/CG-class
         // applications degrade 41–61 %.
-        let bus = default_fsb();
+        let mut bus = default_fsb();
         for (rate, mu) in [(8.5, 0.75), (9.75, 0.8), (11.65, 0.85)] {
             let reqs: Vec<_> = (0..4).map(|i| req(i, rate, mu)).collect();
             let out = bus.arbitrate(&reqs);
@@ -496,7 +591,7 @@ mod tests {
 
     #[test]
     fn subsaturation_queueing_penalty_is_small_and_convex() {
-        let bus = default_fsb();
+        let mut bus = default_fsb();
         // Utilization ~40 %: negligible penalty.
         let low = bus.arbitrate(&[req(0, 6.0, 0.8), req(1, 6.0, 0.8)]);
         assert!(!low.saturated);
@@ -517,7 +612,7 @@ mod tests {
     #[test]
     fn lambda_solver_handles_mu_zero_threads() {
         // µ=0 threads contribute constant traffic; solver must not hang.
-        let bus = default_fsb();
+        let mut bus = default_fsb();
         let out = bus.arbitrate(&[req(0, 40.0, 1.0), req(1, 2.0, 0.0)]);
         assert!(out.saturated);
         assert!(out.total_issued <= out.effective_capacity + 2.0 + 1e-6);
@@ -561,14 +656,54 @@ mod tests {
             queueing_coeff: 0.0,
             ..BusConfig::default()
         };
-        let fsb = FsbBus::new(cfg);
-        let prop = ProportionalBus { capacity: cfg.capacity_tx_per_us };
+        let mut fsb = FsbBus::new(cfg);
+        let mut prop = ProportionalBus {
+            capacity: cfg.capacity_tx_per_us,
+        };
         let reqs = [req(0, 25.0, 1.0), req(1, 25.0, 1.0)];
         let a = fsb.arbitrate(&reqs);
         let b = prop.arbitrate(&reqs);
         for (x, y) in a.shares.iter().zip(&b.shares) {
             assert!((x.speed - y.speed).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn unchanged_demand_set_reuses_memo_bit_identically() {
+        let mut bus = default_fsb();
+        let reqs: Vec<_> = (0..4).map(|i| req(i, 15.0, 0.9)).collect();
+        let a = bus.arbitrate(&reqs);
+        assert_eq!((bus.memo_misses(), bus.memo_hits()), (1, 0));
+        let b = bus.arbitrate(&reqs);
+        assert_eq!((bus.memo_misses(), bus.memo_hits()), (1, 1));
+        assert_eq!(a.dilation.to_bits(), b.dilation.to_bits());
+        assert_eq!(a.total_issued.to_bits(), b.total_issued.to_bits());
+        for (x, y) in a.shares.iter().zip(&b.shares) {
+            assert_eq!(x.speed.to_bits(), y.speed.to_bits());
+            assert_eq!(x.issue_rate.to_bits(), y.issue_rate.to_bits());
+        }
+        // Any change to the demand set falls back to the full solve.
+        let mut reqs2 = reqs.clone();
+        reqs2[0].rate += 1.0;
+        bus.arbitrate(&reqs2);
+        assert_eq!((bus.memo_misses(), bus.memo_hits()), (2, 1));
+    }
+
+    #[test]
+    fn warm_started_solve_matches_cold_solve() {
+        let reqs: Vec<_> = (0..4).map(|i| req(i, 15.0, 0.9)).collect();
+        let mut warm = default_fsb();
+        // Seed the memo with a different saturated set so the next solve
+        // warm-starts from its λ.
+        warm.arbitrate(&[req(9, 40.0, 1.0), req(10, 40.0, 1.0)]);
+        let w = warm.arbitrate(&reqs);
+        let c = default_fsb().arbitrate(&reqs);
+        assert!(
+            (w.dilation - c.dilation).abs() <= 1e-12 * c.dilation,
+            "warm {} vs cold {}",
+            w.dilation,
+            c.dilation
+        );
     }
 
     mod props {
@@ -615,7 +750,7 @@ mod tests {
             /// same dilation.
             #[test]
             fn monotone_in_mu(rate in 1.0f64..30.0, mu_lo in 0.0f64..0.5, extra in 0.0f64..0.5) {
-                let bus = FsbBus::new(BusConfig::default());
+                let mut bus = FsbBus::new(BusConfig::default());
                 let mu_hi = (mu_lo + extra).min(1.0);
                 let heavy = [
                     BusRequest { thread: ThreadId(0), rate, mu: mu_lo },
@@ -640,6 +775,65 @@ mod tests {
                 prop_assert!(total_g <= cap + 1e-9);
                 // Work conserving: uses min(cap, total demand).
                 prop_assert!((total_g - total_d.min(cap)).abs() < 1e-6);
+            }
+
+            /// Below saturation every arbiter agrees with [`FsbBus`] up to
+            /// the sub-saturation queueing term κ·ρ^p (the alternatives
+            /// model no queueing, so their speeds sit exactly at 1 while
+            /// FsbBus sits at 1/(1+µκρ^p) ≥ 1 − κρ^p).
+            #[test]
+            fn arbiters_agree_below_saturation(reqs in arb_reqs()) {
+                let cfg = BusConfig::default();
+                let fsb = FsbBus::new(cfg).arbitrate(&reqs);
+                if !fsb.saturated && fsb.utilization <= 0.9 {
+                    let tol =
+                        cfg.queueing_coeff * fsb.utilization.powf(cfg.queueing_exponent) + 1e-9;
+                    let mm = MaxMinFairBus::new(cfg).arbitrate(&reqs);
+                    let pr = ProportionalBus {
+                        capacity: cfg.capacity_tx_per_us,
+                    }
+                    .arbitrate(&reqs);
+                    for alt in [&mm, &pr] {
+                        for (f, a) in fsb.shares.iter().zip(&alt.shares) {
+                            prop_assert!(
+                                (f.speed - a.speed).abs() <= tol,
+                                "fsb {} vs alt {} (tol {tol})",
+                                f.speed,
+                                a.speed
+                            );
+                        }
+                    }
+                }
+            }
+
+            /// Max-min fair never issues more than effective capacity,
+            /// saturated or not: each thread's traffic is capped by its
+            /// grant and grants sum to ≤ capacity.
+            #[test]
+            fn max_min_bus_never_exceeds_capacity(reqs in arb_reqs()) {
+                let out = MaxMinFairBus::new(BusConfig::default()).arbitrate(&reqs);
+                prop_assert!(
+                    out.total_issued <= out.effective_capacity + 1e-9,
+                    "issued {} vs cap {}",
+                    out.total_issued,
+                    out.effective_capacity
+                );
+            }
+
+            /// Proportional sharing conserves capacity for fully
+            /// memory-bound threads (µ = 1 ⇒ issue = rate/λ, Σ = min(ΣD, C)).
+            #[test]
+            fn proportional_bus_full_mu_never_exceeds_capacity(mut reqs in arb_reqs()) {
+                for r in &mut reqs {
+                    r.mu = 1.0;
+                }
+                let cap = BusConfig::default().capacity_tx_per_us;
+                let out = ProportionalBus { capacity: cap }.arbitrate(&reqs);
+                prop_assert!(
+                    out.total_issued <= cap + 1e-9,
+                    "issued {} vs cap {cap}",
+                    out.total_issued
+                );
             }
         }
     }

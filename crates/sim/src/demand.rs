@@ -33,7 +33,10 @@ impl Demand {
     /// # Panics
     /// Panics if `rate` is negative/non-finite or `mu` outside `[0, 1]`.
     pub fn new(rate: f64, mu: f64) -> Self {
-        assert!(rate >= 0.0 && rate.is_finite(), "demand rate must be finite and >= 0, got {rate}");
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "demand rate must be finite and >= 0, got {rate}"
+        );
         assert!((0.0..=1.0).contains(&mu), "mu must be in [0,1], got {mu}");
         Self { rate, mu }
     }
@@ -60,6 +63,21 @@ pub trait DemandModel: Send {
     /// The long-run mean rate of this model, used by tests and reports for
     /// cross-checking (not by any scheduling policy).
     fn mean_rate(&self) -> f64;
+
+    /// How far the demand returned at `(vt_us, wall_us)` stays constant,
+    /// as `(virtual_horizon_us, wall_horizon_us)`: the demand is
+    /// guaranteed unchanged for virtual times in
+    /// `[vt_us, vt_us + virtual_horizon_us)` and wall clocks in
+    /// `[wall_us, wall_us + wall_horizon_us)`.
+    ///
+    /// This powers the machine's tick coarsening: when every placed
+    /// thread's demand is provably constant across a window, the simulator
+    /// advances it in one jump. The default `(0.0, 0.0)` means "unknown,
+    /// never coarsen" and is always safe; `f64::INFINITY` means "constant
+    /// forever" in that dimension.
+    fn constant_for(&self, _vt_us: f64, _wall_us: u64) -> (f64, f64) {
+        (0.0, 0.0)
+    }
 }
 
 /// The simplest model: fixed demand forever.
@@ -80,6 +98,10 @@ impl DemandModel for ConstantDemand {
 
     fn mean_rate(&self) -> f64 {
         self.0.rate
+    }
+
+    fn constant_for(&self, _vt_us: f64, _wall_us: u64) -> (f64, f64) {
+        (f64::INFINITY, f64::INFINITY)
     }
 }
 

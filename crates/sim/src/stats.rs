@@ -25,6 +25,10 @@ pub struct BusPressureStats {
 pub struct RunStats {
     /// Wall µs simulated.
     pub elapsed_us: SimTime,
+    /// Tick-loop iterations executed. With event-driven tick coarsening a
+    /// single iteration can advance many nominal tick lengths, so this can
+    /// be far below `elapsed_us / tick_us`.
+    pub ticks: u64,
     /// Number of scheduler invocations.
     pub schedule_calls: u64,
     /// Number of sampling callbacks delivered.

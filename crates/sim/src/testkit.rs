@@ -71,7 +71,11 @@ mod tests {
         // One quantum runs the thread; the idle decision then preempts it.
         let out = m.run(&mut Replay::new(d), StopCondition::At(250_000));
         assert!(out.condition_met);
-        let progress = m.view().thread(crate::ids::ThreadId(0)).unwrap().progress_us;
+        let progress = m
+            .view()
+            .thread(crate::ids::ThreadId(0))
+            .unwrap()
+            .progress_us;
         assert!(
             (90_000.0..130_000.0).contains(&progress),
             "ran ~one quantum, got {progress}"

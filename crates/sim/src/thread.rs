@@ -29,7 +29,10 @@ impl ThreadSpec {
 
     /// Set the cache sensitivity.
     pub fn with_cache_sensitivity(mut self, s: f64) -> Self {
-        assert!((0.0..=1.0).contains(&s), "cache sensitivity must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&s),
+            "cache sensitivity must be in [0,1]"
+        );
         self.cache_sensitivity = s;
         self
     }

@@ -157,10 +157,7 @@ impl<S: Scheduler> Scheduler for Traced<S> {
         let placements = d
             .assignments
             .iter()
-            .filter_map(|a| {
-                view.thread(a.thread)
-                    .map(|t| (a.cpu, a.thread, t.app))
-            })
+            .filter_map(|a| view.thread(a.thread).map(|t| (a.cpu, a.thread, t.app)))
             .collect();
         self.trace.records.push(QuantumRecord {
             at_us: view.now,

@@ -69,7 +69,9 @@ fn lone_gang_member_stalls_at_the_barrier() {
     let cyc = v.registry.total(ThreadId(0).key(), EventKind::CyclesOnCpu);
     assert!(cyc > 450_000.0, "cycles {cyc}");
     // ...but not as useful progress or bus traffic.
-    let tx = v.registry.total(ThreadId(0).key(), EventKind::BusTransactions);
+    let tx = v
+        .registry
+        .total(ThreadId(0).key(), EventKind::BusTransactions);
     assert!(tx < 60_000.0 * 1.7, "spinning thread kept issuing: {tx}");
 }
 
@@ -109,7 +111,10 @@ fn uncoupled_apps_are_unaffected() {
     m.add_app(AppDescriptor::new("free", threads)); // no barrier interval
     m.run(&mut OnlyFirst, StopCondition::At(500_000));
     let lead = m.view().thread(ThreadId(0)).unwrap().progress_us;
-    assert!(lead > 450_000.0, "uncoupled thread should run freely: {lead}");
+    assert!(
+        lead > 450_000.0,
+        "uncoupled thread should run freely: {lead}"
+    );
 }
 
 #[test]
@@ -121,9 +126,7 @@ fn finished_sibling_releases_the_barrier() {
         ThreadSpec::new(600_000.0, Box::new(ConstantDemand::new(1.0, 0.2))),
         ThreadSpec::new(100_000.0, Box::new(ConstantDemand::new(1.0, 0.2))),
     ];
-    let app = m.add_app(
-        AppDescriptor::new("skewed", threads).with_barrier_interval(50_000.0),
-    );
+    let app = m.add_app(AppDescriptor::new("skewed", threads).with_barrier_interval(50_000.0));
     let out = m.run(&mut Both, StopCondition::AppsFinished(vec![app]));
     assert!(out.condition_met);
     // Thread 0 needed 600 ms of progress; without release it would cap at

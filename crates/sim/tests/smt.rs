@@ -41,8 +41,14 @@ fn siblings_on_one_core_split_its_throughput() {
     let (p0, p1) = progress_after(
         &mut m,
         vec![
-            Assignment { thread: ThreadId(0), cpu: CpuId(0) },
-            Assignment { thread: ThreadId(1), cpu: CpuId(1) },
+            Assignment {
+                thread: ThreadId(0),
+                cpu: CpuId(0),
+            },
+            Assignment {
+                thread: ThreadId(1),
+                cpu: CpuId(1),
+            },
         ],
         1_000_000,
     );
@@ -59,8 +65,14 @@ fn separate_cores_run_at_full_speed() {
     let (p0, p1) = progress_after(
         &mut m,
         vec![
-            Assignment { thread: ThreadId(0), cpu: CpuId(0) },
-            Assignment { thread: ThreadId(1), cpu: CpuId(2) },
+            Assignment {
+                thread: ThreadId(0),
+                cpu: CpuId(0),
+            },
+            Assignment {
+                thread: ThreadId(1),
+                cpu: CpuId(2),
+            },
         ],
         1_000_000,
     );
@@ -74,7 +86,10 @@ fn lone_thread_on_an_smt_core_is_not_derated() {
     two_thread_app(&mut m);
     let (p0, _) = progress_after(
         &mut m,
-        vec![Assignment { thread: ThreadId(0), cpu: CpuId(0) }],
+        vec![Assignment {
+            thread: ThreadId(0),
+            cpu: CpuId(0),
+        }],
         500_000,
     );
     assert!(p0 / 5e5 > 0.98, "lone sibling derated: {p0}");
@@ -89,8 +104,14 @@ fn smt_aggregate_beats_time_sharing_one_logical_cpu() {
     let (a0, a1) = progress_after(
         &mut ht,
         vec![
-            Assignment { thread: ThreadId(0), cpu: CpuId(0) },
-            Assignment { thread: ThreadId(1), cpu: CpuId(1) },
+            Assignment {
+                thread: ThreadId(0),
+                cpu: CpuId(0),
+            },
+            Assignment {
+                thread: ThreadId(1),
+                cpu: CpuId(1),
+            },
         ],
         1_000_000,
     );
@@ -100,7 +121,10 @@ fn smt_aggregate_beats_time_sharing_one_logical_cpu() {
     // fully loaded machine would time-share: aggregate 1.0.
     let (b0, b1) = progress_after(
         &mut solo,
-        vec![Assignment { thread: ThreadId(0), cpu: CpuId(0) }],
+        vec![Assignment {
+            thread: ThreadId(0),
+            cpu: CpuId(0),
+        }],
         1_000_000,
     );
     assert!(

@@ -111,9 +111,15 @@ impl AppSpec {
     fn model_for_thread(&self, idx: usize, seed: u64) -> Box<dyn DemandModel> {
         match self.behavior {
             Behavior::Constant => Box::new(ConstantDemand::new(self.rate_per_thread, self.mu)),
-            Behavior::Oscillating { amplitude, period_us } => Box::new(
-                CyclicPhases::oscillating(self.rate_per_thread, self.mu, amplitude, period_us),
-            ),
+            Behavior::Oscillating {
+                amplitude,
+                period_us,
+            } => Box::new(CyclicPhases::oscillating(
+                self.rate_per_thread,
+                self.mu,
+                amplitude,
+                period_us,
+            )),
             Behavior::Bursty => Box::new(TwoStateBurst::raytrace(
                 self.rate_per_thread,
                 self.mu,

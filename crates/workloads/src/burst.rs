@@ -50,7 +50,10 @@ impl TwoStateBurst {
         mean_low_us: f64,
         seed: u64,
     ) -> Self {
-        assert!(high_scale >= 0.0 && low_scale >= 0.0, "scales must be non-negative");
+        assert!(
+            high_scale >= 0.0 && low_scale >= 0.0,
+            "scales must be non-negative"
+        );
         assert!(
             mean_high_us > 0.0 && mean_low_us > 0.0,
             "sojourn means must be positive"
@@ -121,6 +124,17 @@ impl DemandModel for TwoStateBurst {
     fn mean_rate(&self) -> f64 {
         let wh = self.high_fraction();
         self.base_rate * (wh * self.high_scale + (1.0 - wh) * self.low_scale)
+    }
+
+    fn constant_for(&self, _vt_us: f64, wall_us: u64) -> (f64, f64) {
+        // Constant until the next state switch. If the caller's clock is
+        // already past `next_switch_us` (demand_at not yet called for this
+        // instant), the horizon collapses to 0 — "don't coarsen" — which
+        // is always safe.
+        (
+            f64::INFINITY,
+            self.next_switch_us.saturating_sub(wall_us) as f64,
+        )
     }
 }
 

@@ -35,13 +35,17 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// Scale every instance's work volume (for fast tests).
     pub fn scaled(mut self, factor: f64) -> Self {
-        self.apps = self.apps.into_iter().map(|a| {
-            if a.work_us_per_thread.is_finite() {
-                a.scaled(factor)
-            } else {
-                a
-            }
-        }).collect();
+        self.apps = self
+            .apps
+            .into_iter()
+            .map(|a| {
+                if a.work_us_per_thread.is_finite() {
+                    a.scaled(factor)
+                } else {
+                    a
+                }
+            })
+            .collect();
         self
     }
 

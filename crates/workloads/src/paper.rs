@@ -101,16 +101,14 @@ impl PaperApp {
             .filter(|c| c.is_ascii_alphanumeric())
             .collect::<String>()
             .to_ascii_lowercase();
-        PaperApp::ALL
-            .into_iter()
-            .find(|a| {
-                a.name()
-                    .chars()
-                    .filter(|c| c.is_ascii_alphanumeric())
-                    .collect::<String>()
-                    .to_ascii_lowercase()
-                    == norm
-            })
+        PaperApp::ALL.into_iter().find(|a| {
+            a.name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase()
+                == norm
+        })
     }
 
     /// Calibration row: (cumulative 2-thread solo rate tx/µs,

@@ -52,7 +52,10 @@ impl CyclicPhases {
     /// the base rate, with `period_us` per full cycle. The high phase is
     /// more memory bound than the low phase by the same proportion.
     pub fn oscillating(base_rate: f64, mu: f64, amplitude: f64, period_us: f64) -> Self {
-        assert!((0.0..1.0).contains(&amplitude), "amplitude must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "amplitude must be in [0,1)"
+        );
         let half = period_us / 2.0;
         Self::new(
             base_rate,
@@ -91,12 +94,21 @@ impl DemandModel for CyclicPhases {
     }
 
     fn mean_rate(&self) -> f64 {
-        let weighted: f64 = self
-            .phases
-            .iter()
-            .map(|p| p.rate_scale * p.len_us)
-            .sum();
+        let weighted: f64 = self.phases.iter().map(|p| p.rate_scale * p.len_us).sum();
         self.base_rate * weighted / self.cycle_len
+    }
+
+    fn constant_for(&self, vt_us: f64, _wall_us: u64) -> (f64, f64) {
+        // Demand is constant until the current phase's virtual-time edge;
+        // the wall clock never matters to this model.
+        let mut pos = vt_us.rem_euclid(self.cycle_len);
+        for p in &self.phases {
+            if pos < p.len_us {
+                return (p.len_us - pos, f64::INFINITY);
+            }
+            pos -= p.len_us;
+        }
+        (0.0, f64::INFINITY)
     }
 }
 
@@ -109,8 +121,16 @@ mod tests {
         let mut m = CyclicPhases::new(
             10.0,
             vec![
-                Phase { len_us: 100.0, rate_scale: 2.0, mu: 0.9 },
-                Phase { len_us: 300.0, rate_scale: 0.5, mu: 0.3 },
+                Phase {
+                    len_us: 100.0,
+                    rate_scale: 2.0,
+                    mu: 0.9,
+                },
+                Phase {
+                    len_us: 300.0,
+                    rate_scale: 0.5,
+                    mu: 0.3,
+                },
             ],
         );
         assert_eq!(m.demand_at(0.0, 0).rate, 20.0);
@@ -127,8 +147,16 @@ mod tests {
         let m = CyclicPhases::new(
             10.0,
             vec![
-                Phase { len_us: 100.0, rate_scale: 2.0, mu: 0.9 },
-                Phase { len_us: 300.0, rate_scale: 0.5, mu: 0.3 },
+                Phase {
+                    len_us: 100.0,
+                    rate_scale: 2.0,
+                    mu: 0.9,
+                },
+                Phase {
+                    len_us: 300.0,
+                    rate_scale: 0.5,
+                    mu: 0.3,
+                },
             ],
         );
         // (2.0·100 + 0.5·300)/400 = 0.875 → 8.75 tx/µs
@@ -155,6 +183,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_length_phase_rejected() {
-        CyclicPhases::new(1.0, vec![Phase { len_us: 0.0, rate_scale: 1.0, mu: 0.5 }]);
+        CyclicPhases::new(
+            1.0,
+            vec![Phase {
+                len_us: 0.0,
+                rate_scale: 1.0,
+                mu: 0.5,
+            }],
+        );
     }
 }

@@ -66,7 +66,11 @@ impl TraceDemand {
             }
             let parts: Vec<&str> = line.split(',').map(str::trim).collect();
             if parts.len() != 3 {
-                return Err(format!("line {}: expected 3 fields, got {}", lineno + 1, parts.len()));
+                return Err(format!(
+                    "line {}: expected 3 fields, got {}",
+                    lineno + 1,
+                    parts.len()
+                ));
             }
             let parse = |s: &str, what: &str| -> Result<f64, String> {
                 s.parse()
@@ -124,6 +128,18 @@ impl DemandModel for TraceDemand {
             .sum::<f64>()
             / self.total_us
     }
+
+    fn constant_for(&self, vt_us: f64, _wall_us: u64) -> (f64, f64) {
+        // Constant until the current segment's virtual-time edge.
+        let mut pos = vt_us.rem_euclid(self.total_us);
+        for s in &self.segments {
+            if pos < s.duration_us {
+                return (s.duration_us - pos, f64::INFINITY);
+            }
+            pos -= s.duration_us;
+        }
+        (0.0, f64::INFINITY)
+    }
 }
 
 #[cfg(test)]
@@ -167,9 +183,15 @@ mod tests {
 
     #[test]
     fn csv_rejects_malformed_lines() {
-        assert!(TraceDemand::parse_csv("1,2").unwrap_err().contains("3 fields"));
-        assert!(TraceDemand::parse_csv("a,b,c").unwrap_err().contains("bad duration"));
-        assert!(TraceDemand::parse_csv("# only comments\n").unwrap_err().contains("no segments"));
+        assert!(TraceDemand::parse_csv("1,2")
+            .unwrap_err()
+            .contains("3 fields"));
+        assert!(TraceDemand::parse_csv("a,b,c")
+            .unwrap_err()
+            .contains("bad duration"));
+        assert!(TraceDemand::parse_csv("# only comments\n")
+            .unwrap_err()
+            .contains("no segments"));
     }
 
     #[test]
@@ -180,9 +202,7 @@ mod tests {
 
     #[test]
     fn runs_inside_the_simulator() {
-        use busbw_sim::{
-            AppDescriptor, Machine, StopCondition, ThreadSpec, XEON_4WAY,
-        };
+        use busbw_sim::{AppDescriptor, Machine, StopCondition, ThreadSpec, XEON_4WAY};
         let model = TraceDemand::new(vec![seg(50_000.0, 1.0, 0.1), seg(50_000.0, 9.0, 0.8)]);
         let mut m = Machine::new(XEON_4WAY);
         let app = m.add_app(AppDescriptor::new(

@@ -79,11 +79,17 @@ fn main() {
 
     println!("running native BBMA for {secs}s (column-wise, 2xL2 array)...");
     let (t_b, bw_b) = bbma(d);
-    println!("  {t_b} line touches, {:.2} GB/s of line traffic (memory-bound)", bw_b / 1e9);
+    println!(
+        "  {t_b} line touches, {:.2} GB/s of line traffic (memory-bound)",
+        bw_b / 1e9
+    );
 
     println!("running native nBBMA for {secs}s (row-wise, L2/2 array)...");
     let (t_n, bw_n) = nbbma(d);
-    println!("  {t_n} line touches, {:.2} GB/s of line-touch rate (cache-resident)", bw_n / 1e9);
+    println!(
+        "  {t_n} line touches, {:.2} GB/s of line-touch rate (cache-resident)",
+        bw_n / 1e9
+    );
 
     println!(
         "\ncache-resident / memory-bound touch-rate ratio: {:.1}x",

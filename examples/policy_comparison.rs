@@ -9,10 +9,10 @@
 //! 'Latest Quantum' oversensitive to bursts while 'Quanta Window' stayed
 //! stable.
 
-use busbw_experiments::runner::{run_spec, PolicyKind, RunnerConfig};
-use busbw_experiments::Fig2Set;
 use busbw::metrics::improvement_pct;
 use busbw::workloads::paper::PaperApp;
+use busbw_experiments::runner::{run_spec, PolicyKind, RunnerConfig};
+use busbw_experiments::Fig2Set;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -30,7 +30,11 @@ fn main() {
         ..RunnerConfig::default()
     };
     let spec = set.spec(app);
-    println!("workload: {}  ({} threads on 4 cpus)\n", spec.name, spec.total_threads());
+    println!(
+        "workload: {}  ({} threads on 4 cpus)\n",
+        spec.name,
+        spec.total_threads()
+    );
 
     let linux = run_spec(&spec, PolicyKind::Linux, &rc);
     println!(

@@ -39,7 +39,11 @@ fn main() {
     println!("=== §3 configurations for {} ===\n", app.name());
 
     let (solo_us, solo_rate) = run(&mix::fig1_solo(app));
-    println!("1 Appl           : {:6.2} s, workload rate {:5.1} tx/µs", solo_us / 1e6, solo_rate);
+    println!(
+        "1 Appl           : {:6.2} s, workload rate {:5.1} tx/µs",
+        solo_us / 1e6,
+        solo_rate
+    );
     for (label, spec) in [
         ("2 Apps           ", mix::fig1_two_instances(app)),
         ("1 Appl + 2 BBMA  ", mix::fig1_with_bbma(app)),
@@ -57,7 +61,7 @@ fn main() {
     // Where does the simulated front-side bus saturate? Sweep aggregate
     // demand from four identical streamers through the knee.
     println!("\n=== saturation knee (4 identical streamers, µ = 0.9) ===\n");
-    let bus = FsbBus::new(BusConfig::default());
+    let mut bus = FsbBus::new(BusConfig::default());
     println!("demand (tx/µs)  issued (tx/µs)  per-thread speed");
     for total in [8.0, 16.0, 24.0, 26.0, 28.0, 30.0, 34.0, 40.0, 60.0, 80.0] {
         let reqs: Vec<BusRequest> = (0..4)

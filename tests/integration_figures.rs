@@ -3,11 +3,11 @@
 //! `experiments` binary and the benches; these run at 1/10 scale so the
 //! whole file stays test-suite friendly.)
 
-use busbw_experiments::runner::{run_spec, solo_turnaround_us, PolicyKind, RunnerConfig};
-use busbw_experiments::Fig2Set;
 use busbw::metrics::improvement_pct;
 use busbw::workloads::mix;
 use busbw::workloads::paper::PaperApp;
+use busbw_experiments::runner::{run_spec, solo_turnaround_us, PolicyKind, RunnerConfig};
+use busbw_experiments::Fig2Set;
 
 fn rc() -> RunnerConfig {
     RunnerConfig {
@@ -21,7 +21,12 @@ fn fig1a_shape_rates_track_calibration_and_saturate_with_bbma() {
     let rc = rc();
     // Solo rates increase along the Figure 1A ordering.
     let mut prev = 0.0;
-    for app in [PaperApp::Radiosity, PaperApp::Fmm, PaperApp::Bt, PaperApp::Cg] {
+    for app in [
+        PaperApp::Radiosity,
+        PaperApp::Fmm,
+        PaperApp::Bt,
+        PaperApp::Cg,
+    ] {
         let r = run_spec(&mix::fig1_solo(app), PolicyKind::Linux, &rc);
         assert!(
             r.measured_apps_rate > prev,
@@ -47,7 +52,11 @@ fn fig1a_shape_rates_track_calibration_and_saturate_with_bbma() {
 fn fig1b_shape_heavy_apps_suffer_and_nbbma_is_free() {
     let rc = rc();
     let solo = solo_turnaround_us(PaperApp::Mg, &rc);
-    let two = run_spec(&mix::fig1_two_instances(PaperApp::Mg), PolicyKind::Linux, &rc);
+    let two = run_spec(
+        &mix::fig1_two_instances(PaperApp::Mg),
+        PolicyKind::Linux,
+        &rc,
+    );
     let bbma = run_spec(&mix::fig1_with_bbma(PaperApp::Mg), PolicyKind::Linux, &rc);
     let nbbma = run_spec(&mix::fig1_with_nbbma(PaperApp::Mg), PolicyKind::Linux, &rc);
     let s2 = two.mean_turnaround_us / solo;
@@ -70,12 +79,7 @@ fn fig2_shape_policies_win_on_heavy_apps_in_every_set() {
         for p in [PolicyKind::Latest, PolicyKind::Window] {
             let r = run_spec(&spec, p, &rc);
             let imp = improvement_pct(linux.mean_turnaround_us, r.mean_turnaround_us);
-            assert!(
-                imp > 0.0,
-                "{:?} {} on CG: {imp:.1}%",
-                set,
-                p.label()
-            );
+            assert!(imp > 0.0, "{:?} {} on CG: {imp:.1}%", set, p.label());
         }
     }
 }
@@ -90,7 +94,10 @@ fn fig2_summary_magnitudes_are_in_the_papers_band() {
             let spec = set.spec(app);
             let linux = run_spec(&spec, PolicyKind::Linux, &rc);
             let w = run_spec(&spec, PolicyKind::Window, &rc);
-            imps.push(improvement_pct(linux.mean_turnaround_us, w.mean_turnaround_us));
+            imps.push(improvement_pct(
+                linux.mean_turnaround_us,
+                w.mean_turnaround_us,
+            ));
         }
     }
     let mean = imps.iter().sum::<f64>() / imps.len() as f64;

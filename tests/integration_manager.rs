@@ -60,7 +60,10 @@ fn manager_pairs_heavy_with_light_via_arena_rates() {
             co_scheduled_heavy += 1;
         }
     }
-    assert_eq!(co_scheduled_heavy, 0, "heavy jobs co-scheduled after warmup");
+    assert_eq!(
+        co_scheduled_heavy, 0,
+        "heavy jobs co-scheduled after warmup"
+    );
 }
 
 #[test]
@@ -101,7 +104,10 @@ fn blocked_workers_park_and_released_workers_progress() {
     let before = pb.load(Ordering::Relaxed);
     std::thread::sleep(Duration::from_millis(60));
     let after = pb.load(Ordering::Relaxed);
-    assert!(after - before <= 1, "blocked worker advanced {before}->{after}");
+    assert!(
+        after - before <= 1,
+        "blocked worker advanced {before}->{after}"
+    );
 
     tb.gate().deliver(Signal::Unblock);
     std::thread::sleep(Duration::from_millis(60));

@@ -119,7 +119,10 @@ fn nbbma_background_is_harmless_and_bbma_background_is_not() {
         let built = mix::build_machine(&spec, XEON_4WAY, 11);
         let mut m = built.machine;
         let mut s = LinuxLikeScheduler::new();
-        m.run(&mut s, StopCondition::AppsFinished(built.measured_ids.clone()));
+        m.run(
+            &mut s,
+            StopCondition::AppsFinished(built.measured_ids.clone()),
+        );
         m.turnaround_us(built.measured_ids[0]).unwrap() as f64
     };
     let with = |mk: fn(PaperApp) -> busbw::workloads::WorkloadSpec| {
@@ -127,7 +130,10 @@ fn nbbma_background_is_harmless_and_bbma_background_is_not() {
         let built = mix::build_machine(&spec, XEON_4WAY, 11);
         let mut m = built.machine;
         let mut s = LinuxLikeScheduler::new();
-        m.run(&mut s, StopCondition::AppsFinished(built.measured_ids.clone()));
+        m.run(
+            &mut s,
+            StopCondition::AppsFinished(built.measured_ids.clone()),
+        );
         m.turnaround_us(built.measured_ids[0]).unwrap() as f64
     };
     let nbbma = with(mix::fig1_with_nbbma);

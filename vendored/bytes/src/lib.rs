@@ -1,0 +1,83 @@
+//! Vendored stand-in for the `bytes` crate: just the little-endian
+//! cursor-style accessors the shared-arena code uses, implemented over
+//! plain slices. Reads and writes advance the slice in place, matching
+//! upstream `Buf for &[u8]` / `BufMut for &mut [u8]` semantics.
+
+/// Sequential little-endian reads that consume the front of the buffer.
+pub trait Buf {
+    /// Read and consume 4 bytes as a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read and consume 8 bytes as a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Read and consume 8 bytes as a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Sequential little-endian writes that consume the front of the buffer.
+pub trait BufMut {
+    /// Write 4 bytes as a little-endian `u32` and advance.
+    fn put_u32_le(&mut self, v: u32);
+    /// Write 8 bytes as a little-endian `u64` and advance.
+    fn put_u64_le(&mut self, v: u64);
+    /// Write 8 bytes as a little-endian `f64` and advance.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl Buf for &[u8] {
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_le_bytes(head.try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_le_bytes(head.try_into().expect("8 bytes"))
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn put_u32_le(&mut self, v: u32) {
+        let taken = std::mem::take(self);
+        let (head, rest) = taken.split_at_mut(4);
+        head.copy_from_slice(&v.to_le_bytes());
+        *self = rest;
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        let taken = std::mem::take(self);
+        let (head, rest) = taken.split_at_mut(8);
+        head.copy_from_slice(&v.to_le_bytes());
+        *self = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_fields() {
+        let mut page = [0u8; 64];
+        let mut w: &mut [u8] = &mut page[..];
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        w.put_f64_le(-1.5);
+        let mut r: &[u8] = &page[..];
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_f64_le(), -1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let mut r: &[u8] = &[1, 2][..];
+        let _ = r.get_u32_le();
+    }
+}

@@ -1,0 +1,275 @@
+//! Vendored stand-in for `criterion`: a wall-clock benchmark harness with
+//! the same macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `Bencher::iter`).
+//!
+//! Measurement model: per benchmark, one untimed warm-up call, then up to
+//! `sample_size` timed samples bounded by a global per-benchmark time
+//! budget. Sub-microsecond closures are auto-batched until a sample spans
+//! at least ~10 µs so timer resolution does not dominate. Results are
+//! printed as `name  time: [min mean max]` — no plots, no statistics
+//! beyond the basics, no baseline files.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const SAMPLE_FLOOR: Duration = Duration::from_micros(10);
+const BENCH_BUDGET: Duration = Duration::from_secs(2);
+
+/// Top-level harness handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks by name, like
+        // the real harness.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        Self {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style default sample count for subsequent benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let n = self.sample_size;
+        self.run_one(&id, n, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, name: &str, sample_size: usize, mut f: F) {
+        if let Some(pat) = &self.filter {
+            if !name.contains(pat.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            sample_size,
+            samples: Vec::with_capacity(sample_size),
+        };
+        f(&mut b);
+        b.report(name);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count for benchmarks registered after this call.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run `f` as benchmark `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let n = self.sample_size.unwrap_or(self.parent.sample_size);
+        self.parent.run_one(&full, n, f);
+        self
+    }
+
+    /// Run `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (kept for API compatibility; reporting is eager).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally `function/parameter`-shaped.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, auto-batching fast closures.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+
+        // Calibrate: how many calls does one ≥10 µs sample need?
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= SAMPLE_FLOOR || batch >= 1 << 20 {
+                self.samples.push(dt.as_secs_f64() / batch as f64);
+                break;
+            }
+            batch *= 8;
+        }
+
+        let budget_end = Instant::now() + BENCH_BUDGET;
+        while self.samples.len() < self.sample_size && Instant::now() < budget_end {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<60} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0, f64::max);
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            fmt_secs(min),
+            fmt_secs(mean),
+            fmt_secs(max)
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.4} s")
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.2} ns", s * 1e9)
+    }
+}
+
+/// Bundle benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples_for_fast_closures() {
+        let mut b = Bencher {
+            sample_size: 5,
+            samples: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn group_and_id_compose_names() {
+        let id = BenchmarkId::new("solve", 8);
+        assert_eq!(id.0, "solve/8");
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: Some("never-matches-anything".into()),
+        };
+        // Filtered out: closure must not run.
+        let mut g = c.benchmark_group("g");
+        g.bench_function("x", |_b| panic!("should be filtered"));
+        g.finish();
+    }
+}

@@ -1,0 +1,8 @@
+//! Vendored serde facade for offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and stats
+//! types but never invokes a serializer, so the derives are structural
+//! no-ops and no trait machinery is required. The `derive` feature is
+//! accepted (and ignored) for manifest compatibility.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,16 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses serde derives as structural annotations (no
+//! serializer is ever instantiated), so the offline stand-in emits no code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
