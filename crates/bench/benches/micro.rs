@@ -165,12 +165,13 @@ fn bench_manager(c: &mut Criterion) {
     let (mut mgr, handle) = CpuManager::new(ManagerConfig::default(), Box::new(QW::new()));
     let mut apps = Vec::new();
     for i in 0..6 {
-        let pending = AppRuntime::request_connect(&handle, format!("job{i}"));
+        let pending =
+            AppRuntime::request_connect(&handle, format!("job{i}")).expect("manager alive");
         mgr.pump();
-        let mut app = pending.complete();
+        let mut app = pending.complete().expect("manager alive");
         let w = if i < 2 { 2 } else { 1 };
         for _ in 0..w {
-            let th = app.register_thread();
+            let th = app.register_thread().expect("manager alive");
             th.count_transactions(1000);
         }
         mgr.pump();

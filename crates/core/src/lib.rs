@@ -50,9 +50,9 @@ pub use fitness::{available_bbw_per_proc, fitness};
 pub use linux::{LinuxConfig, LinuxLikeScheduler};
 pub use linux26::{LinuxO1Scheduler, O1Config};
 pub use model::{predict_set_value, ModelDrivenScheduler};
-pub use reconstruct::DemandTracker;
+pub use reconstruct::{DemandTracker, Reconstruction};
 pub use sched::{BusAwareScheduler, PolicyConfig};
-pub use selection::{select_gangs, Candidate};
+pub use selection::{select_gangs, select_gangs_report, Admission, Candidate};
 
 /// Convenience: the 'Latest Quantum' policy as a ready-to-run scheduler.
 pub fn latest_quantum() -> BusAwareScheduler {

@@ -31,8 +31,37 @@ use super::protocol::{ClientId, ToManager};
 use super::server::ManagerHandle;
 use super::signals::{Signal, SignalGate};
 
+/// Errors the run-time library reports to the application.
+///
+/// The paper's manager is a separate server process; it can die (or be
+/// restarted by the operator) while applications are mid-flight. The
+/// run-time library surfaces that as a recoverable error instead of
+/// panicking inside application code, so an application can fall back to
+/// native scheduling — exactly what happens on the real platform when the
+/// CPU manager is not running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ManagerError {
+    /// The manager hung up: its channel end is gone, so the handshake or
+    /// notification could not be delivered (or its acknowledgement never
+    /// arrived).
+    Disconnected,
+}
+
+impl std::fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManagerError::Disconnected => {
+                write!(f, "the CPU manager is gone (channel disconnected)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {}
+
 /// Per-thread state handed to a worker thread.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct ThreadHandle {
     gate: Arc<SignalGate>,
     transactions: Arc<AtomicU64>,
@@ -70,9 +99,12 @@ pub struct PendingConnect {
 impl PendingConnect {
     /// Phase 2: receive the acknowledgement (the manager must have pumped
     /// since [`AppRuntime::request_connect`]).
-    pub fn complete(self) -> AppRuntime {
-        let ack = self.rx.recv().expect("manager dropped the connection");
-        AppRuntime {
+    ///
+    /// Returns [`ManagerError::Disconnected`] when the manager died before
+    /// acknowledging.
+    pub fn complete(self) -> Result<AppRuntime, ManagerError> {
+        let ack = self.rx.recv().map_err(|_| ManagerError::Disconnected)?;
+        Ok(AppRuntime {
             id: ack.app,
             arena: ack.arena,
             to_manager: self.to_manager,
@@ -81,7 +113,7 @@ impl PendingConnect {
             seq: 0,
             last_total: 0.0,
             last_publish_us: 0,
-        }
+        })
     }
 }
 
@@ -103,12 +135,19 @@ impl AppRuntime {
     /// manager must be pumping on another thread (as in
     /// `examples/cpu_manager_demo.rs`). Single-threaded callers should use
     /// [`AppRuntime::request_connect`] and pump between the two phases.
-    pub fn connect(handle: &ManagerHandle, name: impl Into<String>) -> Self {
-        Self::request_connect(handle, name).complete()
+    ///
+    /// Returns [`ManagerError::Disconnected`] when the manager is gone.
+    pub fn connect(handle: &ManagerHandle, name: impl Into<String>) -> Result<Self, ManagerError> {
+        Self::request_connect(handle, name)?.complete()
     }
 
     /// Phase 1 of a connection: send the handshake without waiting.
-    pub fn request_connect(handle: &ManagerHandle, name: impl Into<String>) -> PendingConnect {
+    ///
+    /// Returns [`ManagerError::Disconnected`] when the manager is gone.
+    pub fn request_connect(
+        handle: &ManagerHandle,
+        name: impl Into<String>,
+    ) -> Result<PendingConnect, ManagerError> {
         let (tx, rx) = unbounded();
         handle
             .sender()
@@ -116,11 +155,11 @@ impl AppRuntime {
                 name: name.into(),
                 reply: tx,
             })
-            .expect("manager is gone");
-        PendingConnect {
+            .map_err(|_| ManagerError::Disconnected)?;
+        Ok(PendingConnect {
             rx,
             to_manager: handle.sender(),
-        }
+        })
     }
 
     /// This application's id.
@@ -135,7 +174,11 @@ impl AppRuntime {
 
     /// Intercept a thread creation: registers a gate with the manager and
     /// returns the worker's handle.
-    pub fn register_thread(&mut self) -> ThreadHandle {
+    ///
+    /// Returns [`ManagerError::Disconnected`] when the manager is gone; the
+    /// thread is then *not* tracked, so the application keeps running under
+    /// native scheduling.
+    pub fn register_thread(&mut self) -> Result<ThreadHandle, ManagerError> {
         let h = ThreadHandle {
             gate: Arc::new(SignalGate::new()),
             transactions: Arc::new(AtomicU64::new(0)),
@@ -145,9 +188,9 @@ impl AppRuntime {
                 app: self.id,
                 gate: h.gate.clone(),
             })
-            .expect("manager is gone");
+            .map_err(|_| ManagerError::Disconnected)?;
         self.threads.push(h.clone());
-        h
+        Ok(h)
     }
 
     /// Intercept a thread destruction.
@@ -220,9 +263,13 @@ mod tests {
 
     /// Single-threaded connect: request, pump the manager, complete.
     fn connect(m: &mut CpuManager, h: &ManagerHandle, name: &str) -> AppRuntime {
-        let p = AppRuntime::request_connect(h, name);
+        let p = AppRuntime::request_connect(h, name).expect("manager alive");
         m.pump();
-        p.complete()
+        p.complete().expect("manager alive")
+    }
+
+    fn register(app: &mut AppRuntime) -> ThreadHandle {
+        app.register_thread().expect("manager alive")
     }
 
     #[test]
@@ -230,18 +277,59 @@ mod tests {
         let (mut m, h) = pair();
         let mut app = connect(&mut m, &h, "demo");
         assert_eq!(app.update_period_us(), 100_000);
-        let _t1 = app.register_thread();
-        let _t2 = app.register_thread();
+        let _t1 = register(&mut app);
+        let _t2 = register(&mut app);
         m.pump();
         assert_eq!(m.job_names(), vec!["demo".to_string()]);
+    }
+
+    #[test]
+    fn connect_against_dead_manager_reports_disconnected() {
+        let (m, h) = pair();
+        drop(m);
+        // Phase-1 send still succeeds (the channel buffers), but the ack
+        // can never arrive.
+        match AppRuntime::request_connect(&h, "orphan") {
+            Ok(p) => assert_eq!(
+                p.complete().map(|_| ()).unwrap_err(),
+                ManagerError::Disconnected
+            ),
+            Err(e) => assert_eq!(e, ManagerError::Disconnected),
+        }
+    }
+
+    #[test]
+    fn register_thread_after_manager_death_reports_disconnected() {
+        let (mut m, h) = pair();
+        let mut app = connect(&mut m, &h, "demo");
+        let _t = register(&mut app);
+        drop(m);
+        drop(h);
+        let err = app.register_thread().unwrap_err();
+        assert_eq!(err, ManagerError::Disconnected);
+        // Already-registered threads keep working (native-scheduling
+        // fallback: counters count, checkpoints don't park).
+        let t = app.threads[0].clone();
+        t.count_transactions(5);
+        assert!(!t.is_blocked());
+        t.checkpoint();
+        // Disconnect on a dead channel must not panic either.
+        app.disconnect();
+    }
+
+    #[test]
+    fn manager_error_displays_and_is_std_error() {
+        let e = ManagerError::Disconnected;
+        assert!(e.to_string().contains("manager is gone"));
+        let _dyn_err: &dyn std::error::Error = &e;
     }
 
     #[test]
     fn publish_sample_computes_rate_from_counter_deltas() {
         let (mut m, h) = pair();
         let mut app = connect(&mut m, &h, "demo");
-        let t1 = app.register_thread();
-        let t2 = app.register_thread();
+        let t1 = register(&mut app);
+        let t2 = register(&mut app);
         m.pump();
         t1.count_transactions(600_000);
         t2.count_transactions(600_000);
@@ -259,9 +347,9 @@ mod tests {
     fn forward_reaches_siblings() {
         let (mut m, h) = pair();
         let mut app = connect(&mut m, &h, "demo");
-        let t1 = app.register_thread();
-        let t2 = app.register_thread();
-        let t3 = app.register_thread();
+        let t1 = register(&mut app);
+        let t2 = register(&mut app);
+        let t3 = register(&mut app);
         // Manager signals thread 1; it forwards to siblings only.
         t1.gate().deliver(Signal::Block);
         app.forward(Signal::Block, true);
@@ -286,7 +374,7 @@ mod tests {
         let progress: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
         for (i, app) in apps.iter_mut().enumerate() {
             for _ in 0..2 {
-                let th = app.register_thread();
+                let th = register(app);
                 let stop = stop.clone();
                 let prog = progress[i].clone();
                 workers.push(std::thread::spawn(move || {

@@ -40,7 +40,7 @@ pub mod server;
 pub mod signals;
 
 pub use arena::{ArenaSnapshot, SharedArena, ARENA_PAGE_SIZE};
-pub use client::{AppRuntime, ThreadHandle};
+pub use client::{AppRuntime, ManagerError, ThreadHandle};
 pub use protocol::{ClientId, ConnectAck, ToManager};
 pub use seqlock::SeqlockArena;
 pub use server::{CpuManager, ManagerConfig, ManagerHandle};

@@ -14,6 +14,7 @@
 //!   configured quantum against the OS clock (see
 //!   `examples/cpu_manager_demo.rs`).
 
+use busbw_trace::{EventBus, TraceEvent};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -89,6 +90,9 @@ pub struct CpuManager {
     /// the operator's IOQ-occupancy counter (1.0 = uncontended). Updated
     /// through [`CpuManager::note_dilation`].
     dilation: f64,
+    /// Structured event sink (detached by default; see
+    /// [`CpuManager::set_tracer`]).
+    tracer: EventBus,
 }
 
 impl CpuManager {
@@ -110,9 +114,17 @@ impl CpuManager {
                 next_id: 0,
                 demand: DemandTracker::new(),
                 dilation: 1.0,
+                tracer: EventBus::off(),
             },
             ManagerHandle { tx },
         )
+    }
+
+    /// Attach a structured-event tracer. The manager emits
+    /// connect/disconnect, gate-transition, and signal-reordering events
+    /// ([`TraceEvent::MgrConnect`] and friends).
+    pub fn set_tracer(&mut self, tracer: EventBus) {
+        self.tracer = tracer;
     }
 
     /// The configuration in force.
@@ -153,6 +165,12 @@ impl CpuManager {
                         arena,
                         update_period_us: self.cfg.quantum_us / self.cfg.samples_per_quantum as u64,
                     });
+                    if self.tracer.enabled() {
+                        self.tracer.emit(TraceEvent::MgrConnect {
+                            client: id.0,
+                            threads: 0,
+                        });
+                    }
                 }
                 ToManager::ThreadCreated { app, gate } => {
                     if let Some(j) = self.jobs.iter_mut().find(|j| j.id == app) {
@@ -180,6 +198,10 @@ impl CpuManager {
                         self.estimator.forget(busbw_sim::AppId(app.0));
                         self.demand.forget(busbw_sim::AppId(app.0));
                         self.running.retain(|&r| r != app);
+                        if self.tracer.enabled() {
+                            self.tracer
+                                .emit(TraceEvent::MgrDisconnect { client: app.0 });
+                        }
                     }
                 }
             }
@@ -191,6 +213,31 @@ impl CpuManager {
     /// bandwidth requirements from the consumption the arenas report.
     pub fn note_dilation(&mut self, lambda: f64) {
         self.dilation = lambda.max(1.0);
+    }
+
+    /// Fault injection: deliver an *inverted* (Unblock before Block) signal
+    /// pair to every gate of `app` — the reordering §4 explicitly
+    /// tolerates ("a thread blocks only if the number of received block
+    /// signals exceeds the corresponding number of unblock signals"). The
+    /// net gate state is unchanged by construction; each delivery is
+    /// recorded as a [`TraceEvent::MgrSignalReorder`]. Returns the number
+    /// of gates signalled.
+    pub fn inject_signal_inversion(&mut self, app: ClientId) -> usize {
+        let mut signalled = 0;
+        if let Some(j) = self.jobs.iter().find(|j| j.id == app) {
+            for (ti, g) in j.gates.iter().enumerate() {
+                g.deliver(Signal::Unblock);
+                g.deliver(Signal::Block);
+                signalled += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(TraceEvent::MgrSignalReorder {
+                        client: app.0,
+                        thread: ti as u64,
+                    });
+                }
+            }
+        }
+        signalled
     }
 
     /// A sampling point: poll the arena of every *running* job and feed
@@ -271,20 +318,41 @@ impl CpuManager {
         // the client library's `forward` covers the paper's
         // one-thread-forwards-to-siblings variant.
         let selected_set: BTreeMap<ClientId, ()> = selected.iter().map(|&s| (s, ())).collect();
+        let trace_on = self.tracer.enabled();
         for j in &mut self.jobs {
             let should_run = selected_set.contains_key(&j.id);
             match (j.blocked, should_run) {
                 // Transition running → blocked: one Block per gate.
                 (false, false) => {
-                    for g in &j.gates {
+                    for (ti, g) in j.gates.iter().enumerate() {
                         g.deliver(Signal::Block);
+                        if trace_on {
+                            let (blocks, unblocks) = g.counts();
+                            self.tracer.emit(TraceEvent::MgrGate {
+                                client: j.id.0,
+                                thread: ti as u64,
+                                resumed: false,
+                                blocks,
+                                unblocks,
+                            });
+                        }
                     }
                     j.blocked = true;
                 }
                 // Transition blocked → running: one Unblock per gate.
                 (true, true) => {
-                    for g in &j.gates {
+                    for (ti, g) in j.gates.iter().enumerate() {
                         g.deliver(Signal::Unblock);
+                        if trace_on {
+                            let (blocks, unblocks) = g.counts();
+                            self.tracer.emit(TraceEvent::MgrGate {
+                                client: j.id.0,
+                                thread: ti as u64,
+                                resumed: true,
+                                blocks,
+                                unblocks,
+                            });
+                        }
                     }
                     j.blocked = false;
                 }
@@ -524,6 +592,86 @@ mod tests {
             "disconnect must unblock parked threads"
         );
         assert_eq!(m.job_names().len(), 2);
+    }
+
+    #[test]
+    fn tracer_records_connects_gates_and_disconnects() {
+        let (mut m, h) = mgr();
+        let (tracer, events) = EventBus::memory();
+        m.set_tracer(tracer);
+        let ids: Vec<ClientId> = (0..3)
+            .map(|i| {
+                let ack = connect(&mut m, &h, &format!("j{i}"));
+                add_threads(&h, ack.app, 2);
+                ack.app
+            })
+            .collect();
+        m.pump();
+        let sel = m.quantum();
+        // 3 connects; the one left-out job got one Block per gate.
+        let evs = events.events();
+        let connects = evs
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MgrConnect { .. }))
+            .count();
+        assert_eq!(connects, 3);
+        let gates: Vec<_> = evs
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::MgrGate {
+                    client,
+                    resumed,
+                    blocks,
+                    unblocks,
+                    ..
+                } => Some((*client, *resumed, *blocks, *unblocks)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(gates.len(), 2, "two gates of the blocked job signalled");
+        let blocked = ids.iter().find(|i| !sel.contains(i)).unwrap();
+        for (client, resumed, blocks, unblocks) in gates {
+            assert_eq!(client, blocked.0);
+            assert!(!resumed);
+            assert_eq!((blocks, unblocks), (1, 0));
+        }
+        // Disconnect shows up too.
+        h.sender()
+            .send(ToManager::Disconnect { app: ids[0] })
+            .unwrap();
+        m.pump();
+        assert!(events
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MgrDisconnect { client } if *client == ids[0].0)));
+    }
+
+    #[test]
+    fn injected_signal_inversion_is_harmless_and_traced() {
+        let (mut m, h) = mgr();
+        let (tracer, events) = EventBus::memory();
+        m.set_tracer(tracer);
+        let ack = connect(&mut m, &h, "app");
+        let gates = add_threads(&h, ack.app, 2);
+        m.pump();
+        let sel = m.quantum();
+        assert_eq!(sel, vec![ack.app]);
+        assert!(!gates[0].should_block());
+        // Unblock-before-Block on every gate: the counting rule makes the
+        // pair cancel, so the running job keeps running.
+        assert_eq!(m.inject_signal_inversion(ack.app), 2);
+        for g in &gates {
+            assert!(!g.should_block(), "inversion must not block a runner");
+            assert_eq!(g.counts(), (1, 1));
+        }
+        let reorders = events
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MgrSignalReorder { client, .. } if *client == ack.app.0))
+            .count();
+        assert_eq!(reorders, 2);
+        // Unknown client: no gates, no events.
+        assert_eq!(m.inject_signal_inversion(ClientId(999)), 0);
     }
 
     #[test]

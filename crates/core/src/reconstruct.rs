@@ -36,6 +36,19 @@ use std::collections::BTreeMap;
 
 use busbw_sim::AppId;
 
+/// One reconstruction step: the clamped inputs and the output, as fed to
+/// the estimator (the trace layer's "reconstruction inputs/outputs").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reconstruction {
+    /// Consumed bandwidth per thread over the interval, tx/µs (clamped
+    /// at 0).
+    pub measured_per_thread: f64,
+    /// Average bus dilation Λ̄ used (clamped at 1).
+    pub dilation: f64,
+    /// Reconstructed requirement per thread, tx/µs.
+    pub demand_per_thread: f64,
+}
+
 /// Reconstructs per-thread bandwidth requirements from observations.
 #[derive(Debug, Default, Clone)]
 pub struct DemandTracker {
@@ -57,9 +70,27 @@ impl DemandTracker {
     ///
     /// Returns the reconstructed requirement per thread.
     pub fn observe(&mut self, app: AppId, measured_per_thread: f64, dilation: f64) -> f64 {
-        let est = measured_per_thread.max(0.0) * dilation.max(1.0);
+        self.observe_detailed(app, measured_per_thread, dilation)
+            .demand_per_thread
+    }
+
+    /// [`DemandTracker::observe`], returning the full [`Reconstruction`]
+    /// record (clamped inputs plus output) for tracing.
+    pub fn observe_detailed(
+        &mut self,
+        app: AppId,
+        measured_per_thread: f64,
+        dilation: f64,
+    ) -> Reconstruction {
+        let measured = measured_per_thread.max(0.0);
+        let dilation = dilation.max(1.0);
+        let est = measured * dilation;
         self.est.insert(app, est);
-        est
+        Reconstruction {
+            measured_per_thread: measured,
+            dilation,
+            demand_per_thread: est,
+        }
     }
 
     /// Current requirement estimate (0 for never-observed jobs).

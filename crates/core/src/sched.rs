@@ -22,10 +22,11 @@ use std::collections::BTreeMap;
 
 use busbw_perfmon::EventKind;
 use busbw_sim::{AppId, Assignment, CpuId, Decision, MachineView, Scheduler, SimTime};
+use busbw_trace::{EventBus, TraceEvent};
 
 use crate::estimator::BandwidthEstimator;
 use crate::reconstruct::DemandTracker;
-use crate::selection::{select_gangs, Candidate};
+use crate::selection::{select_gangs_report, Candidate};
 
 /// Configuration shared by both paper policies.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +69,9 @@ pub struct BusAwareScheduler {
     /// counters report (see [`crate::reconstruct`]).
     demand: DemandTracker,
     display_name: String,
+    /// Structured-trace handle (attached by the machine at run start, or
+    /// explicitly via [`BusAwareScheduler::set_tracer`]).
+    tracer: EventBus,
 }
 
 impl BusAwareScheduler {
@@ -98,7 +102,17 @@ impl BusAwareScheduler {
             dilation_at_sample: 0.0,
             demand: DemandTracker::new(),
             display_name,
+            tracer: EventBus::off(),
         }
+    }
+
+    /// Attach a structured-trace bus. Per-quantum selections (head
+    /// admissions and fitness-scored gang admissions) and demand
+    /// reconstructions are emitted into it. Usually unnecessary: running
+    /// under a traced [`busbw_sim::Machine`] attaches its bus
+    /// automatically via [`Scheduler::attach_tracer`].
+    pub fn set_tracer(&mut self, tracer: EventBus) {
+        self.tracer = tracer;
     }
 
     /// The active configuration.
@@ -168,8 +182,17 @@ impl BusAwareScheduler {
             let before = self.quantum_snapshot.get(&app).copied().unwrap_or(0.0);
             let width = info.threads.len().max(1);
             let per_thread = (total - before).max(0.0) / dt as f64 / width as f64;
-            let demand = self.demand.observe(app, per_thread, lambda);
-            self.estimator.record_quantum(app, demand);
+            let rec = self.demand.observe_detailed(app, per_thread, lambda);
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Reconstruct {
+                    at_us: view.now,
+                    app: app.0,
+                    measured_per_thread: rec.measured_per_thread,
+                    dilation: rec.dilation,
+                    demand_per_thread: rec.demand_per_thread,
+                });
+            }
+            self.estimator.record_quantum(app, rec.demand_per_thread);
         }
     }
 
@@ -187,7 +210,26 @@ impl BusAwareScheduler {
                 })
             })
             .collect();
-        select_gangs(&candidates, view.num_cpus, view.bus_capacity)
+        let report = select_gangs_report(&candidates, view.num_cpus, view.bus_capacity);
+        if self.tracer.enabled() {
+            for adm in &report {
+                match adm.fitness {
+                    None => self.tracer.emit(TraceEvent::HeadAdmission {
+                        at_us: view.now,
+                        app: adm.key.0,
+                        width: adm.width,
+                    }),
+                    Some(f) => self.tracer.emit(TraceEvent::GangSelected {
+                        at_us: view.now,
+                        app: adm.key.0,
+                        width: adm.width,
+                        fitness: f,
+                        available_per_proc: adm.available_per_proc.unwrap_or(0.0),
+                    }),
+                }
+            }
+        }
+        report.into_iter().map(|a| a.key).collect()
     }
 
     /// Affinity-preserving placement of whole gangs.
@@ -289,6 +331,10 @@ impl Scheduler for BusAwareScheduler {
         }
         self.dilation_at_sample = view.dilation_integral;
         self.last_sample_us = view.now;
+    }
+
+    fn attach_tracer(&mut self, tracer: &EventBus) {
+        self.tracer = tracer.clone();
     }
 
     fn name(&self) -> &str {

@@ -44,9 +44,41 @@ pub fn select_gangs<K: Copy + PartialEq>(
     num_cpus: usize,
     bus_total: f64,
 ) -> Vec<K> {
+    select_gangs_report(candidates, num_cpus, bus_total)
+        .into_iter()
+        .map(|a| a.key)
+        .collect()
+}
+
+/// One admission made by [`select_gangs_report`], carrying the decision
+/// inputs that produced it (trace/observability data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Admission<K> {
+    /// The admitted job's key.
+    pub key: K,
+    /// Its gang width.
+    pub width: usize,
+    /// Its `BBW/thread` estimate at decision time, tx/µs.
+    pub bbw_per_thread: f64,
+    /// `ABBW/proc` when the admission was decided, tx/µs. `None` for the
+    /// head-of-list admission, which bypasses the fitness loop.
+    pub available_per_proc: Option<f64>,
+    /// The winning fitness score. `None` for the head admission.
+    pub fitness: Option<f64>,
+}
+
+/// [`select_gangs`], but returning each admission with the fitness score
+/// and `ABBW/proc` that justified it — what a per-decision trace needs
+/// to explain *why* a quantum's selection flipped.
+pub fn select_gangs_report<K: Copy + PartialEq>(
+    candidates: &[Candidate<K>],
+    num_cpus: usize,
+    bus_total: f64,
+) -> Vec<Admission<K>> {
     let mut free = num_cpus;
     let mut allocated_bbw = 0.0f64;
     let mut admitted: Vec<usize> = Vec::new();
+    let mut report: Vec<Admission<K>> = Vec::new();
 
     // Head-of-list guarantee: first job that can ever fit.
     if let Some(i) = candidates
@@ -56,6 +88,13 @@ pub fn select_gangs<K: Copy + PartialEq>(
         free -= candidates[i].width;
         allocated_bbw += candidates[i].bbw_per_thread * candidates[i].width as f64;
         admitted.push(i);
+        report.push(Admission {
+            key: candidates[i].key,
+            width: candidates[i].width,
+            bbw_per_thread: candidates[i].bbw_per_thread,
+            available_per_proc: None,
+            fitness: None,
+        });
     }
 
     while free > 0 {
@@ -73,16 +112,23 @@ pub fn select_gangs<K: Copy + PartialEq>(
             }
         }
         match best {
-            Some((_, i)) => {
+            Some((f, i)) => {
                 free -= candidates[i].width;
                 allocated_bbw += candidates[i].bbw_per_thread * candidates[i].width as f64;
                 admitted.push(i);
+                report.push(Admission {
+                    key: candidates[i].key,
+                    width: candidates[i].width,
+                    bbw_per_thread: candidates[i].bbw_per_thread,
+                    available_per_proc: Some(abbw),
+                    fitness: Some(f),
+                });
             }
             None => break,
         }
     }
 
-    admitted.into_iter().map(|i| candidates[i].key).collect()
+    report
 }
 
 #[cfg(test)]
@@ -165,6 +211,22 @@ mod tests {
     fn empty_and_zero_width_inputs() {
         assert!(select_gangs::<u32>(&[], 4, 29.5).is_empty());
         assert!(select_gangs(&[cand(0, 0, 1.0)], 4, 29.5).is_empty());
+    }
+
+    #[test]
+    fn report_matches_plain_selection_and_scores_non_head_admissions() {
+        let cands = [cand(0, 2, 11.0), cand(1, 2, 10.0), cand(2, 2, 0.0)];
+        let report = select_gangs_report(&cands, 4, 29.5);
+        let keys: Vec<u32> = report.iter().map(|a| a.key).collect();
+        assert_eq!(keys, select_gangs(&cands, 4, 29.5));
+        // Head admission has no fitness; fitness-loop admissions do.
+        assert_eq!(report[0].fitness, None);
+        assert_eq!(report[0].available_per_proc, None);
+        let second = &report[1];
+        assert!(second.fitness.is_some() && second.available_per_proc.is_some());
+        // The recorded ABBW/proc is the value the fitness used:
+        // (29.5 − 22.0) / 2 = 3.75.
+        assert!((second.available_per_proc.unwrap() - 3.75).abs() < 1e-9);
     }
 
     #[test]

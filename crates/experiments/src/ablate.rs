@@ -41,7 +41,9 @@ pub fn ablate_window(rc: &RunnerConfig) -> FigureSummary {
 
     let mut rows = Vec::new();
     for w in WINDOW_SWEEP {
-        let dist = MovingWindow::mean_relative_distance(w, &trace) * 100.0;
+        // The burst trace is 600 samples, never empty.
+        let dist =
+            MovingWindow::mean_relative_distance(w, &trace).expect("non-empty trace") * 100.0;
         let mut values = vec![("distance %".to_string(), dist)];
         for app in [PaperApp::Raytrace, PaperApp::Cg] {
             let spec = Fig2Set::B.spec(app);
@@ -164,9 +166,9 @@ mod tests {
         let trace: Vec<f64> = (0..600)
             .map(|i| burst.demand_at(0.0, i * 100_000).rate)
             .collect();
-        let d1 = MovingWindow::mean_relative_distance(1, &trace);
-        let d5 = MovingWindow::mean_relative_distance(5, &trace);
-        let d15 = MovingWindow::mean_relative_distance(15, &trace);
+        let d1 = MovingWindow::mean_relative_distance(1, &trace).unwrap();
+        let d5 = MovingWindow::mean_relative_distance(5, &trace).unwrap();
+        let d15 = MovingWindow::mean_relative_distance(15, &trace).unwrap();
         assert!(d1 <= d5 && d5 <= d15, "{d1} {d5} {d15}");
         // The paper's 5-sample choice keeps the distance moderate (the
         // text cites ~5 %; our synthetic bursts are of the same order).

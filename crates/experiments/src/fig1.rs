@@ -19,7 +19,7 @@ use busbw_workloads::mix::{
 };
 use busbw_workloads::paper::PaperApp;
 
-use crate::runner::{effective_workers, par_map, run_spec, PolicyKind, RunnerConfig};
+use crate::runner::{effective_workers, par_map, run_spec, PolicyKind, RunResult, RunnerConfig};
 
 /// The four per-application configurations, in legend order.
 fn fig1_configs(app: PaperApp) -> [WorkloadSpec; 4] {
@@ -31,6 +31,18 @@ fn fig1_configs(app: PaperApp) -> [WorkloadSpec; 4] {
     ]
 }
 
+/// Run every Figure-1 job under the Linux baseline (both panels share the
+/// same runs; they differ only in which quantity each row reports).
+fn fig1_runs(rc: &RunnerConfig) -> Vec<RunResult> {
+    let jobs: Vec<WorkloadSpec> = PaperApp::ALL
+        .iter()
+        .flat_map(|&app| fig1_configs(app))
+        .collect();
+    par_map(&jobs, effective_workers(rc), |spec| {
+        run_spec(spec, PolicyKind::Linux, rc)
+    })
+}
+
 /// Regenerate Figure 1A (cumulative bus transaction rates).
 ///
 /// Series match the paper's legend: for the application-only
@@ -39,13 +51,13 @@ fn fig1_configs(app: PaperApp) -> [WorkloadSpec; 4] {
 /// paper plots — e.g. the BBMA workloads average 28.34 tx/µs, "very close
 /// to the limit of saturation").
 pub fn fig1a(rc: &RunnerConfig) -> FigureSummary {
-    let jobs: Vec<WorkloadSpec> = PaperApp::ALL
-        .iter()
-        .flat_map(|&app| fig1_configs(app))
-        .collect();
-    let results = par_map(&jobs, effective_workers(rc), |spec| {
-        run_spec(spec, PolicyKind::Linux, rc)
-    });
+    fig1a_traced(rc).0
+}
+
+/// [`fig1a`] plus the per-job [`RunResult`]s (apps in `PaperApp::ALL`
+/// order, four configurations each) for trace merging and metrics.
+pub fn fig1a_traced(rc: &RunnerConfig) -> (FigureSummary, Vec<RunResult>) {
+    let results = fig1_runs(rc);
     let rows = PaperApp::ALL
         .iter()
         .zip(results.chunks_exact(4))
@@ -59,23 +71,26 @@ pub fn fig1a(rc: &RunnerConfig) -> FigureSummary {
             ],
         })
         .collect();
-    FigureSummary {
-        id: "fig1a".into(),
-        title: "Cumulative bus transactions rate (tx/µs)".into(),
-        rows,
-    }
+    (
+        FigureSummary {
+            id: "fig1a".into(),
+            title: "Cumulative bus transactions rate (tx/µs)".into(),
+            rows,
+        },
+        results,
+    )
 }
 
 /// Regenerate Figure 1B (slowdowns of the three multiprogrammed
 /// configurations relative to solo execution).
 pub fn fig1b(rc: &RunnerConfig) -> FigureSummary {
-    let jobs: Vec<WorkloadSpec> = PaperApp::ALL
-        .iter()
-        .flat_map(|&app| fig1_configs(app))
-        .collect();
-    let results = par_map(&jobs, effective_workers(rc), |spec| {
-        run_spec(spec, PolicyKind::Linux, rc)
-    });
+    fig1b_traced(rc).0
+}
+
+/// [`fig1b`] plus the per-job [`RunResult`]s (same job order as
+/// [`fig1a_traced`]).
+pub fn fig1b_traced(rc: &RunnerConfig) -> (FigureSummary, Vec<RunResult>) {
+    let results = fig1_runs(rc);
     let rows = PaperApp::ALL
         .iter()
         .zip(results.chunks_exact(4))
@@ -91,11 +106,14 @@ pub fn fig1b(rc: &RunnerConfig) -> FigureSummary {
             }
         })
         .collect();
-    FigureSummary {
-        id: "fig1b".into(),
-        title: "Slowdown vs. solo execution".into(),
-        rows,
-    }
+    (
+        FigureSummary {
+            id: "fig1b".into(),
+            title: "Slowdown vs. solo execution".into(),
+            rows,
+        },
+        results,
+    )
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary};
 use busbw_workloads::mix::{fig2_set_a, fig2_set_b, fig2_set_c, WorkloadSpec};
 use busbw_workloads::paper::PaperApp;
 
-use crate::runner::{effective_workers, par_map, run_spec, PolicyKind, RunnerConfig};
+use crate::runner::{effective_workers, par_map, run_spec, PolicyKind, RunResult, RunnerConfig};
 
 /// The three workload families of §5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +66,17 @@ pub fn fig2_with_policies(
     policies: &[PolicyKind],
     rc: &RunnerConfig,
 ) -> FigureSummary {
+    fig2_with_policies_traced(set, policies, rc).0
+}
+
+/// Like [`fig2_with_policies`], but also hands back the per-job
+/// [`RunResult`]s (job order: apps in `PaperApp::ALL` order, Linux first
+/// then each policy) so the caller can merge traces and fold metrics.
+pub fn fig2_with_policies_traced(
+    set: Fig2Set,
+    policies: &[PolicyKind],
+    rc: &RunnerConfig,
+) -> (FigureSummary, Vec<RunResult>) {
     let per_app = 1 + policies.len();
     let jobs: Vec<(WorkloadSpec, PolicyKind)> = PaperApp::ALL
         .iter()
@@ -100,11 +111,14 @@ pub fn fig2_with_policies(
             }
         })
         .collect();
-    FigureSummary {
-        id: set.id().into(),
-        title: set.title().into(),
-        rows,
-    }
+    (
+        FigureSummary {
+            id: set.id().into(),
+            title: set.title().into(),
+            rows,
+        },
+        results,
+    )
 }
 
 #[cfg(test)]

@@ -37,11 +37,12 @@ pub mod variance;
 pub use ablate::{ablate_fitness, ablate_quantum, ablate_smt, ablate_window};
 pub use baselines::baselines;
 pub use dynamic::{dynamic_arrivals, staggered_turnaround};
-pub use fig1::{fig1a, fig1b};
-pub use fig2::{fig2, Fig2Set};
+pub use fig1::{fig1a, fig1a_traced, fig1b, fig1b_traced};
+pub use fig2::{fig2, fig2_with_policies_traced, Fig2Set};
 pub use robustness::robustness;
 pub use runner::{
-    effective_workers, par_map, run_spec, solo_turnaround_us, PolicyKind, RunResult, RunnerConfig,
+    collect_metrics, effective_workers, merge_traces, par_map, run_spec, solo_turnaround_us,
+    PolicyKind, RunCompletion, RunResult, RunnerConfig, TraceMode, UnfinishedApp,
 };
 pub use validate::{render as render_validation, validate, Claim};
 pub use variance::fig2b_variance;

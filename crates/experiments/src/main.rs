@@ -1,30 +1,39 @@
 //! The figure-regeneration binary.
 //!
 //! ```text
-//! experiments <command> [--scale X] [--seed N] [--out DIR]
+//! experiments <command> [--scale X] [--seed N] [--out DIR] [--trace-out PATH]
 //!
 //! commands:
 //!   fig1a | fig1b | fig2a | fig2b | fig2c   one figure
+//!   trace <figure>                           one figure + validated trace
 //!   summary                                  §5 max/avg table (needs fig2 runs)
 //!   ablate-window | ablate-quantum | ablate-fitness
 //!   all                                      everything above
 //! ```
 //!
-//! Output goes to stdout and, per figure, to `<out>/<id>.txt` and
-//! `<out>/<id>.csv` (default `results/`).
+//! Output goes to stdout and, per figure, to `<out>/<id>.txt`,
+//! `<out>/<id>.csv` and a machine-readable `<out>/<id>.manifest.json`
+//! (default `results/`). With `--trace-out PATH` (or the `trace`
+//! subcommand) the figure's runs also write a structured JSONL trace,
+//! merged deterministically across the parallel runner's workers; the
+//! figure numbers are identical to a traceless run.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use busbw_experiments::PolicyKind;
 use busbw_experiments::{
-    ablate_fitness, ablate_quantum, ablate_smt, ablate_window, baselines, dynamic_arrivals, fig1a,
-    fig1b, fig2, fig2b_variance, render_validation, robustness, validate, Fig2Set, RunnerConfig,
+    ablate_fitness, ablate_quantum, ablate_smt, ablate_window, baselines, collect_metrics,
+    dynamic_arrivals, fig1a, fig1a_traced, fig1b, fig1b_traced, fig2, fig2_with_policies_traced,
+    fig2b_variance, merge_traces, render_validation, robustness, validate, Fig2Set, RunResult,
+    RunnerConfig, TraceMode,
 };
 use busbw_metrics::{FigureSummary, Table};
+use busbw_trace::{git_describe, json, ArtifactSum, Manifest, TraceInfo};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|dynamic|baselines|robustness|validate|variance|bench tick-rate|all> [--scale X] [--seed N] [--workers N] [--out DIR]"
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|dynamic|baselines|robustness|validate|variance|bench tick-rate|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH]"
     );
     std::process::exit(2);
 }
@@ -33,18 +42,20 @@ struct Args {
     command: String,
     rc: RunnerConfig,
     out: PathBuf,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     let mut command = args.next().unwrap_or_else(|| usage());
-    if command == "bench" {
-        // `bench <what>` — two-word commands.
+    if command == "bench" || command == "trace" {
+        // `bench <what>` / `trace <figure>` — two-word commands.
         let sub = args.next().unwrap_or_else(|| usage());
-        command = format!("bench {sub}");
+        command = format!("{command} {sub}");
     }
     let mut rc = RunnerConfig::default();
     let mut out = PathBuf::from("results");
+    let mut trace_out = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -68,10 +79,18 @@ fn parse_args() -> Args {
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| usage()));
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
             _ => usage(),
         }
     }
-    Args { command, rc, out }
+    Args {
+        command,
+        rc,
+        out,
+        trace_out,
+    }
 }
 
 /// `bench tick-rate`: run a representative slice of the figure workloads
@@ -79,25 +98,33 @@ fn parse_args() -> Args {
 /// sets) and report the simulator's tick throughput. Writes
 /// `BENCH_tick.json` both to the output directory and the working
 /// directory so tooling can find it without knowing `--out`.
+///
+/// The runs execute with a null-sink tracer attached, so the reported
+/// throughput *includes* the cost of every emission site — the number the
+/// ≤2 % tracing-overhead budget is checked against.
 fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf) {
     use busbw_experiments::{effective_workers, par_map, run_spec};
     use busbw_workloads::mix::{fig1_solo, fig1_with_bbma, fig2_set_a, fig2_set_b, WorkloadSpec};
     use busbw_workloads::paper::PaperApp;
 
+    let rc = RunnerConfig {
+        trace: TraceMode::Null,
+        ..*rc
+    };
     let jobs: Vec<(WorkloadSpec, PolicyKind)> = vec![
         (fig1_solo(PaperApp::Cg), PolicyKind::Linux),
         (fig1_with_bbma(PaperApp::Cg), PolicyKind::Linux),
         (fig2_set_a(PaperApp::Mg), PolicyKind::Window),
         (fig2_set_b(PaperApp::Raytrace), PolicyKind::Latest),
     ];
-    let workers = effective_workers(rc);
+    let workers = effective_workers(&rc);
     let t0 = std::time::Instant::now();
-    let results = par_map(&jobs, workers, |(s, p)| run_spec(s, *p, rc));
+    let results = par_map(&jobs, workers, |(s, p)| run_spec(s, *p, &rc));
     let wall = t0.elapsed().as_secs_f64();
     let ticks: u64 = results.iter().map(|r| r.ticks).sum();
     let sim_us: u64 = results.iter().map(|r| r.sim_elapsed_us).sum();
     let tps = ticks as f64 / wall;
-    println!("== bench tick-rate\n");
+    println!("== bench tick-rate (null-sink tracer attached)\n");
     println!("   runs: {}, workers: {workers}", jobs.len());
     println!(
         "   wall: {wall:.3} s, ticks: {ticks}, simulated: {:.2} s",
@@ -125,7 +152,29 @@ fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf) {
     std::fs::write("BENCH_tick.json", &json).expect("write BENCH_tick.json");
 }
 
-fn emit(fig: &FigureSummary, out: &PathBuf) {
+/// Context for the manifest written next to each figure's artifacts.
+struct EmitCtx {
+    /// The command as typed (e.g. `fig2a`, `trace fig2a`).
+    command: String,
+    rc: RunnerConfig,
+    started: std::time::Instant,
+    trace: Option<TraceInfo>,
+    metrics_json: Option<String>,
+}
+
+impl EmitCtx {
+    fn new(command: &str, rc: &RunnerConfig) -> Self {
+        Self {
+            command: command.to_string(),
+            rc: *rc,
+            started: std::time::Instant::now(),
+            trace: None,
+            metrics_json: None,
+        }
+    }
+}
+
+fn emit(fig: &FigureSummary, out: &PathBuf, ctx: &EmitCtx) {
     let table = Table::from_figure(fig);
     println!("== {} — {}\n", fig.id, fig.title);
     println!("{}", table.render());
@@ -139,8 +188,33 @@ fn emit(fig: &FigureSummary, out: &PathBuf) {
     }
     println!();
     std::fs::create_dir_all(out).expect("create output dir");
-    std::fs::write(out.join(format!("{}.txt", fig.id)), table.render()).expect("write txt");
-    std::fs::write(out.join(format!("{}.csv", fig.id)), table.to_csv()).expect("write csv");
+    let txt = out.join(format!("{}.txt", fig.id));
+    let csv = out.join(format!("{}.csv", fig.id));
+    std::fs::write(&txt, table.render()).expect("write txt");
+    std::fs::write(&csv, table.to_csv()).expect("write csv");
+
+    let artifacts = [&txt, &csv]
+        .into_iter()
+        .map(|p| ArtifactSum::of_file(p).expect("checksum just-written artifact"))
+        .collect();
+    let manifest = Manifest {
+        id: fig.id.clone(),
+        command: format!("experiments {}", ctx.command),
+        seed: ctx.rc.seed,
+        scale: ctx.rc.scale,
+        workers: ctx.rc.workers,
+        policies: fig.series(),
+        git_describe: git_describe(),
+        wall_ms: ctx.started.elapsed().as_millis() as u64,
+        artifacts,
+        trace: ctx.trace.clone(),
+        metrics_json: ctx.metrics_json.clone(),
+    };
+    std::fs::write(
+        out.join(format!("{}.manifest.json", fig.id)),
+        manifest.to_json(),
+    )
+    .expect("write manifest");
 }
 
 fn summary_table(figs: &[FigureSummary], out: &PathBuf) {
@@ -163,65 +237,174 @@ fn summary_table(figs: &[FigureSummary], out: &PathBuf) {
     std::fs::write(out.join("summary.csv"), t.to_csv()).expect("write csv");
 }
 
+/// Run one of the five figures with per-run trace collection.
+fn traced_figure(exp: &str, rc: &RunnerConfig) -> Option<(FigureSummary, Vec<RunResult>)> {
+    let rc = RunnerConfig {
+        trace: TraceMode::Collect,
+        ..*rc
+    };
+    Some(match exp {
+        "fig1a" => fig1a_traced(&rc),
+        "fig1b" => fig1b_traced(&rc),
+        "fig2a" => {
+            fig2_with_policies_traced(Fig2Set::A, &[PolicyKind::Latest, PolicyKind::Window], &rc)
+        }
+        "fig2b" => {
+            fig2_with_policies_traced(Fig2Set::B, &[PolicyKind::Latest, PolicyKind::Window], &rc)
+        }
+        "fig2c" => {
+            fig2_with_policies_traced(Fig2Set::C, &[PolicyKind::Latest, PolicyKind::Window], &rc)
+        }
+        _ => return None,
+    })
+}
+
+/// Serialize a merged trace as JSONL: one event object per line, each
+/// tagged with the index of the job (runner input order) that emitted it.
+fn render_jsonl(merged: &[(usize, busbw_trace::TraceEvent)]) -> String {
+    let mut buf = String::with_capacity(merged.len() * 96);
+    for (ji, ev) in merged {
+        let obj = ev.to_json();
+        buf.push('{');
+        use std::fmt::Write as _;
+        let _ = write!(buf, "\"job\":{ji},");
+        buf.push_str(&obj[1..]); // the event object minus its opening brace
+        buf.push('\n');
+    }
+    buf
+}
+
+/// The traced-figure flow shared by `--trace-out` and `trace <exp>`:
+/// run with collection on, merge worker traces by tick order, write the
+/// JSONL stream, fold the metrics snapshot, and emit figure + manifest.
+/// Returns the merged events for validation.
+fn run_traced(
+    exp: &str,
+    command: &str,
+    rc: &RunnerConfig,
+    out: &PathBuf,
+    trace_out: Option<&PathBuf>,
+) -> Vec<(usize, busbw_trace::TraceEvent)> {
+    let mut ctx = EmitCtx::new(command, rc);
+    let Some((fig, results)) = traced_figure(exp, rc) else {
+        eprintln!("`{exp}` does not support tracing (figures only: fig1a|fig1b|fig2a|fig2b|fig2c)");
+        std::process::exit(2);
+    };
+    let merged = merge_traces(&results);
+    std::fs::create_dir_all(out).expect("create output dir");
+    let path = trace_out
+        .cloned()
+        .unwrap_or_else(|| out.join(format!("{exp}-trace.jsonl")));
+    std::fs::write(&path, render_jsonl(&merged)).expect("write trace jsonl");
+    ctx.trace = Some(TraceInfo {
+        path: path.display().to_string(),
+        events: merged.len() as u64,
+    });
+    ctx.metrics_json = Some(collect_metrics(&fig, &results, &merged).to_json());
+    emit(&fig, out, &ctx);
+    println!("   trace: {} events -> {}", merged.len(), path.display());
+    merged
+}
+
 fn main() {
     let args = parse_args();
     let rc = args.rc;
+    let out = &args.out;
+    let ctx = EmitCtx::new(&args.command, &rc);
+    let figure_ids = ["fig1a", "fig1b", "fig2a", "fig2b", "fig2c"];
+
+    // `--trace-out` turns any figure command into its traced flow; the
+    // figure numbers are identical either way (tracing only observes).
+    if let Some(path) = &args.trace_out {
+        if figure_ids.contains(&args.command.as_str()) {
+            run_traced(&args.command, &args.command, &rc, out, Some(path));
+            return;
+        }
+        if !args.command.starts_with("trace ") {
+            eprintln!("--trace-out only applies to figure commands or `trace <figure>`");
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(exp) = args.command.strip_prefix("trace ") {
+        let merged = run_traced(exp, &args.command, &rc, out, args.trace_out.as_ref());
+        // Validation: the manifest must parse and the trace be non-empty.
+        let manifest_path = out.join(format!("{exp}.manifest.json"));
+        let text = std::fs::read_to_string(&manifest_path).expect("read back manifest");
+        let v = json::parse(&text).expect("manifest must be valid JSON");
+        assert_eq!(
+            v.get("id").and_then(|x| x.as_str()),
+            Some(exp),
+            "manifest id mismatch"
+        );
+        assert!(!merged.is_empty(), "trace must be non-empty");
+        let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+        for (_, ev) in &merged {
+            *by_kind.entry(ev.kind()).or_insert(0) += 1;
+        }
+        println!("   manifest: {} (valid)", manifest_path.display());
+        for (kind, n) in &by_kind {
+            println!("   {kind:>16}: {n}");
+        }
+        return;
+    }
+
     match args.command.as_str() {
-        "fig1a" => emit(&fig1a(&rc), &args.out),
-        "fig1b" => emit(&fig1b(&rc), &args.out),
-        "fig2a" => emit(&fig2(Fig2Set::A, &rc), &args.out),
-        "fig2b" => emit(&fig2(Fig2Set::B, &rc), &args.out),
-        "fig2c" => emit(&fig2(Fig2Set::C, &rc), &args.out),
+        "fig1a" => emit(&fig1a(&rc), out, &ctx),
+        "fig1b" => emit(&fig1b(&rc), out, &ctx),
+        "fig2a" => emit(&fig2(Fig2Set::A, &rc), out, &ctx),
+        "fig2b" => emit(&fig2(Fig2Set::B, &rc), out, &ctx),
+        "fig2c" => emit(&fig2(Fig2Set::C, &rc), out, &ctx),
         "summary" => {
             let figs: Vec<FigureSummary> = [Fig2Set::A, Fig2Set::B, Fig2Set::C]
                 .into_iter()
                 .map(|s| fig2(s, &rc))
                 .collect();
-            summary_table(&figs, &args.out);
+            summary_table(&figs, out);
         }
-        "ablate-window" => emit(&ablate_window(&rc), &args.out),
-        "ablate-quantum" => emit(&ablate_quantum(&rc), &args.out),
-        "ablate-fitness" => emit(&ablate_fitness(&rc), &args.out),
-        "ablate-smt" => emit(&ablate_smt(&rc), &args.out),
-        "dynamic" => emit(&dynamic_arrivals(&rc), &args.out),
-        "baselines" => emit(&baselines(&rc), &args.out),
+        "ablate-window" => emit(&ablate_window(&rc), out, &ctx),
+        "ablate-quantum" => emit(&ablate_quantum(&rc), out, &ctx),
+        "ablate-fitness" => emit(&ablate_fitness(&rc), out, &ctx),
+        "ablate-smt" => emit(&ablate_smt(&rc), out, &ctx),
+        "dynamic" => emit(&dynamic_arrivals(&rc), out, &ctx),
+        "baselines" => emit(&baselines(&rc), out, &ctx),
         "validate" => {
             let claims = validate(&rc);
             let (report, all) = render_validation(&claims);
             println!("== validate — reproduction gate\n");
             print!("{report}");
-            std::fs::create_dir_all(&args.out).expect("create output dir");
-            std::fs::write(args.out.join("validate.txt"), &report).expect("write report");
+            std::fs::create_dir_all(out).expect("create output dir");
+            std::fs::write(out.join("validate.txt"), &report).expect("write report");
             if !all {
                 std::process::exit(1);
             }
         }
-        "bench tick-rate" => bench_tick_rate(&rc, &args.out),
-        "robustness" => emit(&robustness(10, 5, &rc), &args.out),
+        "bench tick-rate" => bench_tick_rate(&rc, out),
+        "robustness" => emit(&robustness(10, 5, &rc), out, &ctx),
         "variance" => {
             for p in [PolicyKind::Latest, PolicyKind::Window] {
                 let mut fig = fig2b_variance(p, 5, &rc);
                 fig.id = format!("variance-{}", p.label().to_lowercase());
-                emit(&fig, &args.out);
+                emit(&fig, out, &ctx);
             }
         }
         "all" => {
-            emit(&fig1a(&rc), &args.out);
-            emit(&fig1b(&rc), &args.out);
+            emit(&fig1a(&rc), out, &ctx);
+            emit(&fig1b(&rc), out, &ctx);
             let mut figs = Vec::new();
             for s in [Fig2Set::A, Fig2Set::B, Fig2Set::C] {
                 let f = fig2(s, &rc);
-                emit(&f, &args.out);
+                emit(&f, out, &ctx);
                 figs.push(f);
             }
-            summary_table(&figs, &args.out);
-            emit(&ablate_window(&rc), &args.out);
-            emit(&ablate_quantum(&rc), &args.out);
-            emit(&ablate_fitness(&rc), &args.out);
-            emit(&ablate_smt(&rc), &args.out);
-            emit(&dynamic_arrivals(&rc), &args.out);
-            emit(&baselines(&rc), &args.out);
-            emit(&robustness(10, 5, &rc), &args.out);
+            summary_table(&figs, out);
+            emit(&ablate_window(&rc), out, &ctx);
+            emit(&ablate_quantum(&rc), out, &ctx);
+            emit(&ablate_fitness(&rc), out, &ctx);
+            emit(&ablate_smt(&rc), out, &ctx);
+            emit(&dynamic_arrivals(&rc), out, &ctx);
+            emit(&baselines(&rc), out, &ctx);
+            emit(&robustness(10, 5, &rc), out, &ctx);
         }
         _ => usage(),
     }

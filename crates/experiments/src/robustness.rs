@@ -32,7 +32,7 @@ fn run_random(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> f64
         .iter()
         .map(|&id| machine.turnaround_us(id).unwrap() as f64)
         .collect();
-    mean(&ts)
+    mean(&ts).expect("synth workloads always have measured jobs")
 }
 
 /// Build a measured workload from a random population.

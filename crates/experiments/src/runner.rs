@@ -14,7 +14,8 @@ use busbw_core::model::ModelDrivenScheduler;
 use busbw_core::oracle::{GreedyPackGang, RandomGang, RoundRobinGang};
 use busbw_core::sched::{BusAwareScheduler, PolicyConfig};
 use busbw_core::{LinuxLikeScheduler, LinuxO1Scheduler};
-use busbw_sim::{MachineConfig, Scheduler, StopCondition, XEON_4WAY};
+use busbw_sim::{MachineConfig, Scheduler, StopCondition, TickDtHist, XEON_4WAY};
+use busbw_trace::{EventBus, NullSink, TraceEvent};
 use busbw_workloads::mix::{build_machine, fig1_solo, WorkloadSpec};
 use busbw_workloads::paper::PaperApp;
 
@@ -90,6 +91,20 @@ impl PolicyKind {
     }
 }
 
+/// How a run's structured-trace bus is wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracer attached at all (the zero-cost default).
+    #[default]
+    Off,
+    /// A [`NullSink`] tracer: every emission site is exercised but events
+    /// are discarded. Used to measure tracing overhead (`bench tick-rate`).
+    Null,
+    /// An in-memory sink per run; events come back in
+    /// [`RunResult::events`] for merging and serialization.
+    Collect,
+}
+
 /// Experiment-wide knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct RunnerConfig {
@@ -104,6 +119,12 @@ pub struct RunnerConfig {
     /// hardware thread. Results are bit-identical for any value — the
     /// setting only affects wall-clock time.
     pub workers: usize,
+    /// Structured-trace wiring for every run (see [`TraceMode`]).
+    pub trace: TraceMode,
+    /// Hard-cap multiple of the scaled solo work volume after which a run
+    /// is abandoned and reported as unfinished. 100 is far beyond any
+    /// plausible schedule; tests shrink it to exercise the censored path.
+    pub hard_cap_factor: f64,
 }
 
 impl Default for RunnerConfig {
@@ -113,6 +134,8 @@ impl Default for RunnerConfig {
             scale: 1.0,
             seed: 42,
             workers: 0,
+            trace: TraceMode::Off,
+            hard_cap_factor: 100.0,
         }
     }
 }
@@ -174,10 +197,44 @@ where
     v.into_iter().map(|(_, r)| r).collect()
 }
 
+/// A measured application that had not finished when its run hit the
+/// hard cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnfinishedApp {
+    /// Application name from the workload spec.
+    pub name: String,
+    /// Fraction of the app's finite work completed at the cap, in
+    /// `[0, 1]` (0 when the app has no finite-work threads).
+    pub progress_frac: f64,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunCompletion {
+    /// Every measured application instance finished.
+    Finished,
+    /// The hard cap fired first. Turnarounds of the listed apps are
+    /// censored at the cap (reported as `stop_time − arrival`), which
+    /// used to panic the whole parallel sweep instead.
+    HardCap {
+        /// The measured instances still running at the cap, spec order.
+        unfinished: Vec<UnfinishedApp>,
+    },
+}
+
+impl RunCompletion {
+    /// True when every measured instance finished.
+    pub fn is_finished(&self) -> bool {
+        matches!(self, RunCompletion::Finished)
+    }
+}
+
 /// The result of one workload run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// Turnaround (µs) of each measured application instance, spec order.
+    /// Censored at the stop time for apps listed in an unfinished
+    /// [`RunCompletion::HardCap`].
     pub turnarounds_us: Vec<f64>,
     /// Mean turnaround over the measured instances — the quantity whose
     /// improvement Fig. 2 reports.
@@ -195,55 +252,192 @@ pub struct RunResult {
     pub ticks: u64,
     /// Simulated wall time of the run, µs.
     pub sim_elapsed_us: u64,
+    /// Whether the run finished or was censored at the hard cap.
+    pub completion: RunCompletion,
+    /// Structured trace of the run (empty unless
+    /// [`RunnerConfig::trace`] is [`TraceMode::Collect`]).
+    pub events: Vec<TraceEvent>,
+    /// Histogram of nominal ticks covered per tick-loop iteration.
+    pub tick_dt_hist: TickDtHist,
+    /// Λ-solve memo hits of the bus model (0 when the bus keeps no memo).
+    pub memo_hits: u64,
+    /// Λ-solve memo misses of the bus model.
+    pub memo_misses: u64,
 }
 
 /// Run `spec` under `policy` and measure the marked instances.
 ///
 /// The run stops when all measured instances finish (background
-/// microbenchmarks run forever); a generous hard cap protects against
-/// pathological schedules.
+/// microbenchmarks run forever) or when the hard cap
+/// ([`RunnerConfig::hard_cap_factor`] × the scaled solo work volume)
+/// fires. A capped run no longer panics: unfinished apps are reported in
+/// [`RunResult::completion`] with censored turnarounds, and a
+/// [`TraceEvent::RunUnfinished`] is emitted per unfinished app when a
+/// tracer is attached.
 pub fn run_spec(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> RunResult {
     let scaled = spec.clone().scaled(rc.scale);
     let built = build_machine(&scaled, rc.machine, rc.seed);
     let mut machine = built.machine;
-    // Cap: 100× the solo work volume — far beyond any plausible schedule.
-    machine
-        .set_hard_cap_us((busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 100.0) as u64);
+    machine.set_hard_cap_us(
+        (busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * rc.hard_cap_factor) as u64,
+    );
+    let mut handle = None;
+    match rc.trace {
+        TraceMode::Off => {}
+        TraceMode::Null => machine.set_tracer(EventBus::new(Box::new(NullSink))),
+        TraceMode::Collect => {
+            let (bus, h) = EventBus::memory();
+            machine.set_tracer(bus);
+            handle = Some(h);
+        }
+    }
     let mut sched = policy.build();
     let out = machine.run(
         &mut *sched,
         StopCondition::AppsFinished(built.measured_ids.clone()),
     );
-    assert!(
-        out.condition_met,
-        "workload '{}' under {} hit the hard cap",
-        spec.name,
-        policy.label()
-    );
-    let turnarounds: Vec<f64> = built
-        .measured_ids
-        .iter()
-        .map(|&id| machine.turnaround_us(id).expect("measured app finished") as f64)
-        .collect();
-    let measured_apps_rate = built
-        .measured_ids
-        .iter()
-        .map(|&id| {
-            let tx = machine.app_transactions(id);
-            let t = machine.turnaround_us(id).expect("finished") as f64;
-            tx / t
-        })
-        .sum();
-    let mean = turnarounds.iter().sum::<f64>() / turnarounds.len() as f64;
+
+    let mut unfinished = Vec::new();
+    let mut turnarounds = Vec::with_capacity(built.measured_ids.len());
+    let mut measured_apps_rate = 0.0;
+    for &id in &built.measured_ids {
+        let t_us = match machine.turnaround_us(id) {
+            Some(t) => t as f64,
+            None => {
+                // Censored at the cap: the app arrived but never finished.
+                let report = machine.app_report(id).expect("measured app exists");
+                let (mut done, mut total) = (0.0, 0.0);
+                for th in machine.view().threads() {
+                    if th.app == id && th.work_us.is_finite() {
+                        done += th.progress_us.min(th.work_us);
+                        total += th.work_us;
+                    }
+                }
+                let progress_frac = if total > 0.0 {
+                    (done / total).min(1.0)
+                } else {
+                    0.0
+                };
+                if machine.tracer().enabled() {
+                    machine.tracer().emit(TraceEvent::RunUnfinished {
+                        at_us: out.stopped_at,
+                        app: id.0,
+                        name: report.name.clone(),
+                        progress_frac,
+                    });
+                }
+                unfinished.push(UnfinishedApp {
+                    name: report.name,
+                    progress_frac,
+                });
+                (out.stopped_at - report.arrived_at_us) as f64
+            }
+        };
+        turnarounds.push(t_us);
+        if t_us > 0.0 {
+            measured_apps_rate += machine.app_transactions(id) / t_us;
+        }
+    }
+    let completion = if unfinished.is_empty() {
+        RunCompletion::Finished
+    } else {
+        RunCompletion::HardCap { unfinished }
+    };
+    let (memo_hits, memo_misses) = machine.bus_memo_stats().unwrap_or((0, 0));
     RunResult {
-        mean_turnaround_us: mean,
+        mean_turnaround_us: busbw_metrics::mean(&turnarounds).unwrap_or(0.0),
         turnarounds_us: turnarounds,
         workload_rate: out.stats.mean_bus_rate(),
         measured_apps_rate,
         saturated_fraction: out.stats.saturated_fraction(),
         ticks: out.stats.ticks,
         sim_elapsed_us: out.stats.elapsed_us,
+        completion,
+        events: handle.map(|h| h.take()).unwrap_or_default(),
+        tick_dt_hist: out.stats.tick_dt_hist,
+        memo_hits,
+        memo_misses,
     }
+}
+
+/// Merge per-run traces into one deterministic stream: events tagged with
+/// their job index, stably sorted by `(simulated time, job index)`.
+///
+/// [`par_map`] returns results in input order regardless of worker count,
+/// and the sort is stable over each run's emission order, so the merged
+/// stream is byte-identical for any `--workers` value.
+pub fn merge_traces(results: &[RunResult]) -> Vec<(usize, TraceEvent)> {
+    let mut merged: Vec<(usize, TraceEvent)> = results
+        .iter()
+        .enumerate()
+        .flat_map(|(ji, r)| r.events.iter().cloned().map(move |ev| (ji, ev)))
+        .collect();
+    merged.sort_by_key(|(ji, ev)| (ev.at_us(), *ji));
+    merged
+}
+
+/// Fold a figure's runs and merged trace into a metrics snapshot.
+///
+/// Counters: run/tick/event totals and Λ-memo hits/misses. Gauges: memo
+/// hit rate, unfinished-run count, and one per-figure-cell gauge
+/// (`fig.<row>.<series>` — Fig. 1B slowdowns / Fig. 2 improvements, i.e.
+/// the per-app slowdown gauges). Histograms: tick-loop coverage folded
+/// from every run's [`TickDtHist`]. Timelines: bus utilization ρ from the
+/// merged `bus_solve` events.
+pub fn collect_metrics(
+    fig: &busbw_metrics::FigureSummary,
+    results: &[RunResult],
+    merged: &[(usize, TraceEvent)],
+) -> busbw_metrics::MetricsRegistry {
+    let mut reg = busbw_metrics::MetricsRegistry::new();
+    reg.inc_counter("runs.total", results.len() as u64);
+    let unfinished: u64 = results
+        .iter()
+        .filter(|r| !r.completion.is_finished())
+        .count() as u64;
+    reg.inc_counter("runs.unfinished", unfinished);
+    reg.set_gauge("runs.unfinished", unfinished as f64);
+    reg.inc_counter("trace.events", merged.len() as u64);
+
+    let (mut hits, mut misses) = (0u64, 0u64);
+    // le-bounds 1, 2, 4, …, 64 plus the overflow bucket: one histogram
+    // bucket per TickDtHist bucket (samples are recorded at bucket floors).
+    let bounds: Vec<f64> = (0..7).map(|i| TickDtHist::bucket_lo(i) as f64).collect();
+    {
+        let h = reg.histogram("tick.dt_ticks", &bounds);
+        for r in results {
+            for (i, &n) in r.tick_dt_hist.buckets.iter().enumerate() {
+                h.record_n(TickDtHist::bucket_lo(i) as f64, n);
+            }
+        }
+    }
+    for r in results {
+        reg.inc_counter("sim.ticks", r.ticks);
+        hits += r.memo_hits;
+        misses += r.memo_misses;
+    }
+    reg.inc_counter("bus.memo_hits", hits);
+    reg.inc_counter("bus.memo_misses", misses);
+    if hits + misses > 0 {
+        reg.set_gauge("bus.memo_hit_rate", hits as f64 / (hits + misses) as f64);
+    }
+
+    for (ji, ev) in merged {
+        if let TraceEvent::BusSolve {
+            at_us, utilization, ..
+        } = ev
+        {
+            reg.timeline(&format!("bus.rho.job{ji}"))
+                .push(*at_us, *utilization);
+        }
+    }
+
+    for row in &fig.rows {
+        for (series, v) in &row.values {
+            reg.set_gauge(&format!("fig.{}.{}", row.app, series), *v);
+        }
+    }
+    reg
 }
 
 /// Solo turnaround of one paper application (2 threads, machine otherwise

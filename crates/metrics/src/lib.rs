@@ -8,15 +8,19 @@
 //! * [`summary`] — slowdown, turnaround, improvement-% aggregation exactly
 //!   as the paper reports them (arithmetic mean over instances, improvement
 //!   relative to the Linux baseline);
-//! * [`table`] — fixed-width text and CSV rendering for figure tables.
+//! * [`table`] — fixed-width text and CSV rendering for figure tables;
+//! * [`registry`] — the run-metrics registry (counters, gauges, histograms,
+//!   ρ timelines) whose JSON snapshot is embedded in run manifests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod registry;
 pub mod summary;
 pub mod table;
 pub mod window;
 
+pub use registry::{Histogram, MetricsRegistry, Timeline};
 pub use summary::{improvement_pct, mean, slowdown, ExperimentRow, FigureSummary};
 pub use table::Table;
 pub use window::MovingWindow;

@@ -1,0 +1,442 @@
+//! A small run-metrics registry: counters, gauges, histograms, and
+//! timelines, snapshotted as JSON into the run manifest.
+//!
+//! The experiment harness records what a run *did* — ticks simulated, bus
+//! Λ-solve memo hits, per-app slowdowns, the bus-utilization ρ timeline —
+//! and [`MetricsRegistry::to_json`] renders one machine-readable object
+//! that is embedded next to each `results/` artifact. Everything is plain
+//! in-process state: no atomics, no global registry, no dependencies.
+
+use std::collections::BTreeMap;
+
+/// Format an `f64` as JSON (non-finite values become `null`).
+fn push_f64(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A histogram with caller-chosen upper bucket bounds plus an implicit
+/// overflow bucket, tracking count/sum/min/max alongside.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last catches everything above.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram whose bucket `i` counts samples `≤ bounds[i]` (bounds
+    /// must be strictly increasing); one overflow bucket is added.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is not strictly increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples at once — how pre-bucketed data (e.g.
+    /// the simulator's per-run tick-coarsening histogram) folds in without
+    /// `n` individual calls.
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i] += n;
+        self.count += n;
+        self.sum += v * n as f64;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (`None` before the first sample).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// Per-bucket `(upper_bound, count)` pairs; the overflow bucket
+    /// reports `f64::INFINITY` as its bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"count\":");
+        let _ = write!(out, "{}", self.count);
+        out.push_str(",\"sum\":");
+        push_f64(out, self.sum);
+        out.push_str(",\"min\":");
+        push_f64(out, if self.count == 0 { f64::NAN } else { self.min });
+        out.push_str(",\"max\":");
+        push_f64(out, if self.count == 0 { f64::NAN } else { self.max });
+        out.push_str(",\"buckets\":[");
+        for (i, (le, n)) in self.buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"le\":");
+            push_f64(out, le); // overflow bound serializes as null
+            let _ = write!(out, ",\"n\":{n}}}");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A `(time_us, value)` series, e.g. the bus-utilization ρ timeline
+/// rebuilt from `bus_solve` trace events.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    points: Vec<(u64, f64)>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point. Out-of-order times are accepted (merged worker
+    /// traces are sorted upstream) but not re-sorted here.
+    pub fn push(&mut self, t_us: u64, value: f64) {
+        self.points.push((t_us, value));
+    }
+
+    /// The recorded points, in insertion order.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Time-weighted mean of the series: each value holds until the next
+    /// point (`None` with fewer than 2 points, where no interval exists).
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for w in self.points.windows(2) {
+            let dt = w[1].0.saturating_sub(w[0].0) as f64;
+            weighted += w[0].1 * dt;
+            total += dt;
+        }
+        if total == 0.0 {
+            None
+        } else {
+            Some(weighted / total)
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push('[');
+        for (i, &(t, v)) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{t},");
+            push_f64(out, v);
+            out.push(']');
+        }
+        out.push(']');
+    }
+}
+
+/// The registry: named counters, gauges, histograms, and timelines.
+///
+/// ```
+/// use busbw_metrics::MetricsRegistry;
+/// let mut m = MetricsRegistry::new();
+/// m.inc_counter("bus.memo_hits", 42);
+/// m.set_gauge("app.cg.slowdown", 2.63);
+/// m.histogram("tick.dt_ticks", &[1.0, 8.0, 64.0]).record(3.0);
+/// m.timeline("bus.rho").push(1000, 0.97);
+/// assert!(m.to_json().contains("\"bus.memo_hits\":42"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    timelines: BTreeMap<String, Timeline>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to a named monotone counter (created at 0).
+    pub fn inc_counter(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a named gauge to `value` (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, created with `bounds` on first access
+    /// (subsequent calls ignore `bounds`).
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> &mut Histogram {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds.to_vec()))
+    }
+
+    /// Read-only view of a histogram, if it exists.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The named timeline, created empty on first access.
+    pub fn timeline(&mut self, name: &str) -> &mut Timeline {
+        self.timelines.entry(name.to_string()).or_default()
+    }
+
+    /// Read-only view of a timeline, if it exists.
+    pub fn get_timeline(&self, name: &str) -> Option<&Timeline> {
+        self.timelines.get(name)
+    }
+
+    /// Render the whole registry as one JSON object (the `metrics` field
+    /// of the run manifest). Keys are sorted (BTreeMap), so the output is
+    /// deterministic.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_quote(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", json_quote(k));
+            push_f64(&mut out, *v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", json_quote(k));
+            h.write_json(&mut out);
+        }
+        out.push_str("},\"timelines\":{");
+        for (i, (k, t)) in self.timelines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:", json_quote(k));
+            t.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Quote a string as a JSON string literal (metric names are plain ASCII
+/// identifiers, but escape control characters, quotes and backslashes
+/// anyway).
+fn json_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("x"), 0);
+        m.inc_counter("x", 2);
+        m.inc_counter("x", 3);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn gauges_keep_the_last_write() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.gauge("g"), None);
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", 2.5);
+        assert_eq!(m.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_by_upper_bound_with_overflow() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        for v in [0.5, 1.0, 5.0, 10.0, 11.0] {
+            h.record(v);
+        }
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        // ≤1: {0.5, 1.0}; ≤10: {5.0, 10.0}; overflow: {11.0}.
+        assert_eq!(buckets[0].1, 2);
+        assert_eq!(buckets[1].1, 2);
+        assert_eq!(buckets[2].1, 1);
+        assert_eq!(h.count(), 5);
+        assert!((h.mean().unwrap() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_n_matches_n_individual_records() {
+        let mut a = Histogram::new(vec![1.0, 10.0]);
+        let mut b = Histogram::new(vec![1.0, 10.0]);
+        for _ in 0..5 {
+            a.record(3.0);
+        }
+        b.record_n(3.0, 5);
+        b.record_n(99.0, 0); // no-op
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(
+            a.buckets().collect::<Vec<_>>(),
+            b.buckets().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_none() {
+        let h = Histogram::new(vec![1.0]);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_bounds_rejected() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn timeline_time_weighted_mean_holds_values() {
+        let mut t = Timeline::new();
+        assert_eq!(t.time_weighted_mean(), None);
+        t.push(0, 1.0);
+        assert_eq!(t.time_weighted_mean(), None, "one point: no interval");
+        // 1.0 for 10 µs then 3.0 for 30 µs → (10 + 90) / 40 = 2.5.
+        t.push(10, 3.0);
+        t.push(40, 0.0);
+        assert!((t.time_weighted_mean().unwrap() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_valid_json_with_all_sections() {
+        let mut m = MetricsRegistry::new();
+        m.inc_counter("ticks", 7);
+        m.set_gauge("rho", 0.93);
+        m.set_gauge("weird", f64::NAN); // must serialize as null
+        m.histogram("h", &[1.0, 2.0]).record(1.5);
+        m.timeline("tl").push(5, 0.5);
+        let js = m.to_json();
+        let v = busbw_trace::json::parse(&js).expect("snapshot must parse");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("ticks"))
+                .and_then(|x| x.as_f64()),
+            Some(7.0)
+        );
+        assert!(v.get("gauges").and_then(|g| g.get("weird")).is_some());
+        let h = v.get("histograms").and_then(|h| h.get("h")).unwrap();
+        assert_eq!(h.get("count").and_then(|x| x.as_f64()), Some(1.0));
+        let tl = v.get("timelines").and_then(|t| t.get("tl")).unwrap();
+        assert_eq!(tl.as_array().map(|a| a.len()), Some(1));
+    }
+
+    #[test]
+    fn empty_registry_snapshot_parses() {
+        let js = MetricsRegistry::new().to_json();
+        assert!(busbw_trace::json::parse(&js).is_ok());
+        assert_eq!(
+            js,
+            r#"{"counters":{},"gauges":{},"histograms":{},"timelines":{}}"#
+        );
+    }
+}

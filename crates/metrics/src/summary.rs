@@ -10,11 +10,18 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Arithmetic mean (`NaN` for an empty slice is deliberately avoided:
-/// panics instead, because an empty measurement set is an experiment bug).
-pub fn mean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty(), "mean of empty measurement set");
-    xs.iter().sum::<f64>() / xs.len() as f64
+/// Arithmetic mean; `None` for an empty slice.
+///
+/// An empty measurement set used to panic here, which turned recoverable
+/// experiment conditions (a run stopped at its hard cap before any app
+/// finished, a figure with every row filtered out) into crashes deep in
+/// aggregation. Callers now decide how to report "no data".
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
 }
 
 /// Slowdown of a multiprogrammed run relative to solo execution.
@@ -72,11 +79,7 @@ impl FigureSummary {
     /// Mean of a series across rows (the paper's "in average" numbers).
     pub fn series_mean(&self, series: &str) -> Option<f64> {
         let vals: Vec<f64> = self.rows.iter().filter_map(|r| r.get(series)).collect();
-        if vals.is_empty() {
-            None
-        } else {
-            Some(mean(&vals))
-        }
+        mean(&vals)
     }
 
     /// Max of a series across rows (the paper's "up to" numbers).
@@ -145,9 +148,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty measurement")]
-    fn empty_mean_panics() {
-        mean(&[]);
+    fn empty_mean_is_none_not_a_panic() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[4.0]), Some(4.0));
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn figure_with_no_rows_aggregates_to_none() {
+        let fig = FigureSummary {
+            id: "empty".into(),
+            title: "empty".into(),
+            rows: Vec::new(),
+        };
+        assert!(fig.series().is_empty());
+        assert_eq!(fig.series_mean("Latest"), None);
+        assert_eq!(fig.series_max("Latest"), None);
+        assert_eq!(fig.series_min("Latest"), None);
     }
 
     #[test]

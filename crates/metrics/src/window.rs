@@ -82,20 +82,27 @@ impl MovingWindow {
     /// of `cap` samples and return the mean of
     /// `|sample − windowed_mean| / mean(trace)` — the average relative
     /// distance between the observed pattern and the moving average.
-    pub fn mean_relative_distance(cap: usize, trace: &[f64]) -> f64 {
-        assert!(!trace.is_empty(), "need a non-empty trace");
+    ///
+    /// `None` for an empty trace (there is no pattern to compare against);
+    /// this path used to assert, which meant a workload that produced no
+    /// samples crashed the whole ablation instead of being reported.
+    pub fn mean_relative_distance(cap: usize, trace: &[f64]) -> Option<f64> {
+        if trace.is_empty() {
+            return None;
+        }
         let overall = trace.iter().sum::<f64>() / trace.len() as f64;
         if overall == 0.0 {
-            return 0.0;
+            return Some(0.0);
         }
         let mut w = MovingWindow::new(cap);
         let mut acc = 0.0;
         for &s in trace {
             w.push(s);
-            let m = w.mean().expect("just pushed");
+            // The window is non-empty: a sample was just pushed.
+            let m = w.mean().unwrap_or(s);
             acc += (s - m).abs() / overall;
         }
-        acc / trace.len() as f64
+        Some(acc / trace.len() as f64)
     }
 }
 
@@ -133,14 +140,14 @@ mod tests {
     #[test]
     fn constant_trace_has_zero_distance() {
         let trace = vec![7.0; 100];
-        assert_eq!(MovingWindow::mean_relative_distance(5, &trace), 0.0);
+        assert_eq!(MovingWindow::mean_relative_distance(5, &trace), Some(0.0));
     }
 
     #[test]
     fn window_one_tracks_the_trace_exactly() {
         // A window of 1 *is* the trace: distance 0 by definition.
         let trace: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
-        assert!(MovingWindow::mean_relative_distance(1, &trace) < 1e-12);
+        assert!(MovingWindow::mean_relative_distance(1, &trace).unwrap() < 1e-12);
     }
 
     #[test]
@@ -150,10 +157,15 @@ mod tests {
         let trace: Vec<f64> = (0..200)
             .map(|i| if (i / 10) % 2 == 0 { 15.0 } else { 5.0 })
             .collect();
-        let d1 = MovingWindow::mean_relative_distance(1, &trace);
-        let d5 = MovingWindow::mean_relative_distance(5, &trace);
-        let d15 = MovingWindow::mean_relative_distance(15, &trace);
+        let d1 = MovingWindow::mean_relative_distance(1, &trace).unwrap();
+        let d5 = MovingWindow::mean_relative_distance(5, &trace).unwrap();
+        let d15 = MovingWindow::mean_relative_distance(15, &trace).unwrap();
         assert!(d1 < d5 && d5 < d15, "{d1} {d5} {d15}");
+    }
+
+    #[test]
+    fn empty_trace_distance_is_none() {
+        assert_eq!(MovingWindow::mean_relative_distance(5, &[]), None);
     }
 
     #[test]

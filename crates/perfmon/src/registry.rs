@@ -127,6 +127,16 @@ impl Registry {
             .map(|s| s.get(kind).total())
             .sum()
     }
+
+    /// Machine-wide totals for every event kind, as `(snake_case_name,
+    /// total)` pairs in [`EventKind::ALL`] order — the shape the metrics
+    /// registry's gauges and the run manifest consume.
+    pub fn export_totals(&self) -> Vec<(String, f64)> {
+        EventKind::ALL
+            .iter()
+            .map(|&k| (k.to_string(), self.machine_total(k)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +186,19 @@ mod tests {
         assert_eq!(set.get(EventKind::ColdStarts).total(), 2.0);
         assert!(!r.contains(t));
         assert!(r.unregister(t).is_none());
+    }
+
+    #[test]
+    fn export_totals_covers_every_kind_in_fixed_order() {
+        let mut r = Registry::new();
+        r.register(ThreadKey(0));
+        r.add(ThreadKey(0), EventKind::BusTransactions, 12.5);
+        r.add(ThreadKey(0), EventKind::ColdStarts, 2.0);
+        let totals = r.export_totals();
+        assert_eq!(totals.len(), EventKind::ALL.len());
+        assert_eq!(totals[0], ("bus_transactions".to_string(), 12.5));
+        assert_eq!(totals[3], ("cold_starts".to_string(), 2.0));
+        assert_eq!(totals[1].1, 0.0);
     }
 
     #[test]

@@ -127,6 +127,14 @@ pub trait BusModel: Send {
 
     /// Nominal (single-master) sustained capacity, tx/µs.
     fn nominal_capacity(&self) -> f64;
+
+    /// Memoization counters `(hits, misses)` for models that cache their
+    /// Λ solve, `None` for models without a memo. Lets run manifests
+    /// report the memo hit rate without downcasting through
+    /// `Box<dyn BusModel>`.
+    fn memo_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Amdahl-style dilation speed at dilation Λ.
@@ -304,6 +312,10 @@ impl BusModel for FsbBus {
 
     fn nominal_capacity(&self) -> f64 {
         self.cfg.capacity_tx_per_us
+    }
+
+    fn memo_stats(&self) -> Option<(u64, u64)> {
+        Some((self.memo_hits, self.memo_misses))
     }
 }
 

@@ -60,6 +60,6 @@ pub use machine::{
     AppDescriptor, AppInfo, AppReport, Assignment, Decision, Machine, MachineView, RunOutcome,
     Scheduler, StopCondition, ThreadInfo,
 };
-pub use stats::{BusPressureStats, RunStats};
+pub use stats::{BusPressureStats, RunStats, TickDtHist};
 pub use thread::{ThreadSpec, ThreadState};
 pub use trace::{QuantumRecord, ScheduleTrace, Traced};

@@ -21,6 +21,7 @@
 //! magnitude below the paper's quanta.
 
 use busbw_perfmon::{EventKind, Registry};
+use busbw_trace::{EventBus, TraceEvent};
 
 use crate::bus::{BusModel, BusOutcome, BusRequest};
 use crate::cache::CacheState;
@@ -255,6 +256,13 @@ pub trait Scheduler {
         let _ = view;
     }
 
+    /// Called once at the start of every [`Machine::run`] with the
+    /// machine's trace bus, so schedulers that emit structured events
+    /// share the machine's sink. The default ignores it.
+    fn attach_tracer(&mut self, tracer: &EventBus) {
+        let _ = tracer;
+    }
+
     /// Display name for reports.
     fn name(&self) -> &str {
         "scheduler"
@@ -392,6 +400,14 @@ pub struct Machine {
     /// phases over an interval (Λ̄ = Δintegral / Δt).
     dilation_integral: f64,
     scratch: TickScratch,
+    /// Structured-trace emission handle (disabled by default; a disabled
+    /// bus costs one branch per emission site).
+    tracer: EventBus,
+    /// Last `(rate, mu)` the tracer saw per thread — phase-edge
+    /// detection state, maintained only while tracing is enabled.
+    traced_demand: Vec<(f64, f64)>,
+    /// Last dilation Λ emitted as a `BusSolve` event.
+    traced_dilation: f64,
 }
 
 impl Machine {
@@ -417,7 +433,31 @@ impl Machine {
             hard_cap_us: 1_000_000_000, // 1000 simulated seconds
             dilation_integral: 0.0,
             scratch: TickScratch::default(),
+            tracer: EventBus::off(),
+            traced_demand: Vec::new(),
+            traced_dilation: 0.0,
         }
+    }
+
+    /// Attach a structured-trace bus. Placements, phase edges,
+    /// coarsening jumps, bus Λ solves, and app completions are emitted
+    /// into it; pass [`EventBus::off`] to detach.
+    pub fn set_tracer(&mut self, tracer: EventBus) {
+        self.tracer = tracer;
+        self.traced_demand.clear();
+        self.traced_dilation = 0.0;
+    }
+
+    /// The attached trace bus (disabled unless [`Machine::set_tracer`]
+    /// was called).
+    pub fn tracer(&self) -> &EventBus {
+        &self.tracer
+    }
+
+    /// Λ-solve memoization counters `(hits, misses)` of the bus model,
+    /// if it keeps a memo (the default [`crate::bus::FsbBus`] does).
+    pub fn bus_memo_stats(&self) -> Option<(u64, u64)> {
+        self.bus.memo_stats()
     }
 
     /// Change the safety cap on any single `run` call (simulated µs of
@@ -523,6 +563,7 @@ impl Machine {
 
     /// Drive the machine under `sched` until `stop` (or the hard cap).
     pub fn run(&mut self, sched: &mut dyn Scheduler, stop: StopCondition) -> RunOutcome {
+        sched.attach_tracer(&self.tracer);
         let mut stats = RunStats::default();
         let started_at = self.now;
         let cap_at = started_at.saturating_add(self.hard_cap_us);
@@ -644,6 +685,7 @@ impl Machine {
                 .threads
                 .get_mut(a.thread.0 as usize)
                 .expect("validated above");
+            let app = t.app;
             t.state = ThreadState::Running(a.cpu);
             stats.placements += 1;
             if warmth < 0.5 {
@@ -655,6 +697,15 @@ impl Machine {
                 t.last_cpu = Some(a.cpu);
             }
             self.registry.add(a.thread.key(), EventKind::QuantaRun, 1.0);
+            if self.tracer.enabled() {
+                self.tracer.emit(TraceEvent::Placement {
+                    at_us: self.now,
+                    cpu: a.cpu.0,
+                    thread: a.thread.0,
+                    app: app.0,
+                    cold: warmth < 0.5,
+                });
+            }
         }
     }
 
@@ -673,6 +724,12 @@ impl Machine {
     fn tick_inner(&mut self, dt_limit: u64, stats: &mut RunStats, s: &mut TickScratch) -> bool {
         stats.ticks += 1;
         let n_threads = self.threads.len();
+        let trace_on = self.tracer.enabled();
+        if trace_on && self.traced_demand.len() < n_threads {
+            // NaN sentinels make the first observed demand of every
+            // thread register as a phase edge.
+            self.traced_demand.resize(n_threads, (f64::NAN, f64::NAN));
+        }
 
         // Current placement.
         s.placement.clear();
@@ -760,6 +817,18 @@ impl Machine {
                 let cs = self.cache.speed_multiplier(cpu, *tid, t.cache_sensitivity) * smt;
                 (d, cs, virt_h, wall_h)
             };
+            if trace_on && !spinning {
+                let cur = (d.rate, d.mu);
+                if self.traced_demand[ti] != cur {
+                    self.traced_demand[ti] = cur;
+                    self.tracer.emit(TraceEvent::PhaseEdge {
+                        at_us: self.now,
+                        thread: tid.0,
+                        rate: d.rate,
+                        mu: d.mu,
+                    });
+                }
+            }
             s.reqs.push(BusRequest {
                 thread: *tid,
                 rate: d.rate * boost,
@@ -772,6 +841,19 @@ impl Machine {
         }
 
         self.bus.arbitrate_into(&s.reqs, &mut s.outcome);
+        if trace_on && !s.reqs.is_empty() && s.outcome.dilation != self.traced_dilation {
+            // Emitted on Λ change only: memoized re-solves that reuse the
+            // previous dilation stay silent, keeping trace volume
+            // proportional to decisions rather than ticks.
+            self.traced_dilation = s.outcome.dilation;
+            self.tracer.emit(TraceEvent::BusSolve {
+                at_us: self.now,
+                lambda: s.outcome.dilation,
+                utilization: s.outcome.utilization,
+                saturated: s.outcome.saturated,
+                requesters: s.reqs.len(),
+            });
+        }
         let outcome = &s.outcome;
 
         // Event-driven tick coarsening. Baseline: one nominal tick,
@@ -827,6 +909,14 @@ impl Machine {
             if k >= 3 {
                 dt = ((k - 1) * tick_us).min(dt_limit);
             }
+        }
+        stats.tick_dt_hist.record(dt.div_ceil(tick_us));
+        if trace_on && dt > tick_us {
+            self.tracer.emit(TraceEvent::CoarseJump {
+                at_us: self.now,
+                dt_us: dt,
+                ticks_covered: dt.div_ceil(tick_us),
+            });
         }
         let dt_f = dt as f64;
 
@@ -897,7 +987,7 @@ impl Machine {
         // App completion.
         let mut any_app_finished = false;
         if any_thread_finished {
-            for rec in self.apps.iter_mut() {
+            for (i, rec) in self.apps.iter_mut().enumerate() {
                 if rec.finished_at.is_none()
                     && rec
                         .threads
@@ -912,6 +1002,13 @@ impl Machine {
                         .unwrap_or(self.now);
                     rec.finished_at = Some(finish);
                     any_app_finished = true;
+                    if trace_on {
+                        self.tracer.emit(TraceEvent::AppFinished {
+                            at_us: finish,
+                            app: i as u64,
+                            turnaround_us: finish - rec.arrived_at,
+                        });
+                    }
                 }
             }
         }
@@ -1198,6 +1295,54 @@ mod tests {
             "expected coarsened run, got {} ticks",
             out.stats.ticks
         );
+    }
+
+    #[test]
+    fn trace_events_cover_placements_coarsening_and_completion() {
+        let mut m = Machine::new(XEON_4WAY);
+        let (bus, handle) = busbw_trace::EventBus::memory();
+        m.set_tracer(bus);
+        let app = m.add_app(AppDescriptor::new("solo", vec![light_thread(300_000.0)]));
+        let mut s = GreedyScheduler { quantum: 100_000 };
+        let out = m.run(&mut s, StopCondition::AppsFinished(vec![app]));
+        assert!(out.condition_met);
+        let events = handle.events();
+        let count = |kind: &str| events.iter().filter(|e| e.kind() == kind).count();
+        // Every placement recorded in stats has a matching event.
+        assert_eq!(count("placement") as u64, out.stats.placements);
+        // The first demand observation registers as a phase edge.
+        assert_eq!(count("phase_edge"), 1);
+        // A constant-demand solo run coarsens after cache warm-up.
+        assert!(count("coarse_jump") > 0, "no coarse jumps traced");
+        // Exactly one app finished.
+        assert_eq!(count("app_finished"), 1);
+        let fin = events
+            .iter()
+            .find(|e| e.kind() == "app_finished")
+            .expect("app_finished present");
+        if let busbw_trace::TraceEvent::AppFinished { turnaround_us, .. } = fin {
+            assert_eq!(*turnaround_us, m.turnaround_us(app).unwrap());
+        }
+        // Histogram totals match iteration count.
+        assert_eq!(out.stats.tick_dt_hist.total(), out.stats.ticks);
+        // Events arrive in nondecreasing simulated-time order.
+        assert!(events.windows(2).all(|w| w[0].at_us() <= w[1].at_us()));
+    }
+
+    #[test]
+    fn detached_tracer_emits_nothing_and_changes_nothing() {
+        let run = |traced: bool| {
+            let mut m = Machine::new(XEON_4WAY);
+            if traced {
+                m.set_tracer(busbw_trace::EventBus::new(Box::new(busbw_trace::NullSink)));
+            }
+            let app = m.add_app(AppDescriptor::new("solo", vec![light_thread(200_000.0)]));
+            let mut s = GreedyScheduler { quantum: 100_000 };
+            m.run(&mut s, StopCondition::AppsFinished(vec![app]));
+            m.turnaround_us(app).unwrap()
+        };
+        // Tracing must not perturb the simulation.
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -20,6 +20,43 @@ pub struct BusPressureStats {
     pub utilization_integral: f64,
 }
 
+/// Histogram of per-iteration time advances, in nominal ticks — the
+/// observability layer's tick-time histogram. With event-driven tick
+/// coarsening an iteration can cover many nominal ticks; the bucket
+/// spread shows how much of a run executed coarsened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TickDtHist {
+    /// Log₂-spaced bucket counts: iterations covering 1, 2–3, 4–7, …,
+    /// 64–127, and ≥128 nominal ticks.
+    pub buckets: [u64; 8],
+}
+
+impl TickDtHist {
+    /// Record one iteration that covered `ticks_covered` nominal ticks.
+    #[inline]
+    pub fn record(&mut self, ticks_covered: u64) {
+        let idx = 63 - ticks_covered.max(1).leading_zeros() as usize;
+        self.buckets[idx.min(self.buckets.len() - 1)] += 1;
+    }
+
+    /// Total iterations recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Accumulate another histogram into this one.
+    pub fn merge(&mut self, other: &TickDtHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Inclusive lower bound (in nominal ticks) of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        1u64 << i
+    }
+}
+
 /// Statistics for one simulation run.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct RunStats {
@@ -39,6 +76,8 @@ pub struct RunStats {
     pub placements: u64,
     /// Bus pressure accounting.
     pub bus: BusPressureStats,
+    /// Distribution of per-iteration advances (tick-time histogram).
+    pub tick_dt_hist: TickDtHist,
 }
 
 impl RunStats {
@@ -90,6 +129,25 @@ mod tests {
         assert_eq!(s.saturated_fraction(), 0.0);
         assert_eq!(s.mean_utilization(), 0.0);
         assert_eq!(s.cold_placement_fraction(), 0.0);
+    }
+
+    #[test]
+    fn tick_dt_hist_buckets_by_log2_and_merges() {
+        let mut h = TickDtHist::default();
+        h.record(1); // bucket 0
+        h.record(3); // bucket 1
+        h.record(4); // bucket 2
+        h.record(200); // clamped to the last bucket
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[7], 1);
+        assert_eq!(h.total(), 4);
+        let mut m = TickDtHist::default();
+        m.merge(&h);
+        m.merge(&h);
+        assert_eq!(m.total(), 8);
+        assert_eq!(TickDtHist::bucket_lo(3), 8);
     }
 
     #[test]

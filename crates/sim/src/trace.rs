@@ -170,6 +170,10 @@ impl<S: Scheduler> Scheduler for Traced<S> {
         self.inner.on_sample(view);
     }
 
+    fn attach_tracer(&mut self, tracer: &busbw_trace::EventBus) {
+        self.inner.attach_tracer(tracer);
+    }
+
     fn name(&self) -> &str {
         self.inner.name()
     }

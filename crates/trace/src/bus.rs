@@ -1,0 +1,204 @@
+//! The event bus: a cloneable handle instrumented code emits into.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceEvent;
+use crate::sink::{MemoryHandle, MemorySink, TraceSink};
+
+/// Capacity of the bounded ring of recent events kept by every enabled
+/// bus (post-mortem context independent of the sink).
+pub const RECENT_CAPACITY: usize = 512;
+
+/// A handle for emitting [`TraceEvent`]s.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone feeds the same sink,
+/// so one bus can be shared by the machine, the scheduler, and the CPU
+/// manager of a single run. The disabled bus ([`EventBus::off`], also
+/// `Default`) costs one branch per emission site — callers are expected
+/// to guard event *construction* with [`EventBus::enabled`]:
+///
+/// ```
+/// # use busbw_trace::{EventBus, TraceEvent};
+/// # let tracer = EventBus::off();
+/// if tracer.enabled() {
+///     tracer.emit(TraceEvent::CoarseJump { at_us: 0, dt_us: 500, ticks_covered: 5 });
+/// }
+/// ```
+#[derive(Clone, Default)]
+pub struct EventBus {
+    inner: Option<Arc<Inner>>,
+}
+
+struct Inner {
+    state: Mutex<BusState>,
+}
+
+struct BusState {
+    sink: Box<dyn TraceSink>,
+    ring: Ring,
+}
+
+impl EventBus {
+    /// A disabled bus: `enabled()` is false, `emit` is a no-op.
+    pub fn off() -> Self {
+        Self { inner: None }
+    }
+
+    /// An enabled bus feeding `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                state: Mutex::new(BusState {
+                    sink,
+                    ring: Ring::new(RECENT_CAPACITY),
+                }),
+            })),
+        }
+    }
+
+    /// An enabled bus collecting into memory; returns the read handle.
+    pub fn memory() -> (Self, MemoryHandle) {
+        let (sink, handle) = MemorySink::new();
+        (Self::new(Box::new(sink)), handle)
+    }
+
+    /// Whether emissions reach a sink. Emission sites use this to skip
+    /// event construction entirely when tracing is off.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event (no-op when disabled).
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.state.lock().expect("trace bus poisoned");
+            st.sink.record(&ev);
+            st.ring.push(ev);
+        }
+    }
+
+    /// The most recent events (oldest first), up to [`RECENT_CAPACITY`].
+    /// Empty for a disabled bus.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .expect("trace bus poisoned")
+                .ring
+                .to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Flush the sink (e.g. after a run completes).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner
+                .state
+                .lock()
+                .expect("trace bus poisoned")
+                .sink
+                .flush_sink();
+        }
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// Fixed-capacity ring of the most recent events.
+struct Ring {
+    buf: Vec<TraceEvent>,
+    cap: usize,
+    next: usize,
+    wrapped: bool,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap.min(64)),
+            cap: cap.max(1),
+            next: 0,
+            wrapped: false,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.wrapped = true;
+        }
+        self.next = (self.next + 1) % self.cap;
+    }
+
+    fn to_vec(&self) -> Vec<TraceEvent> {
+        if !self.wrapped {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::CoarseJump {
+            at_us: t,
+            dt_us: 1,
+            ticks_covered: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_bus_is_inert() {
+        let bus = EventBus::off();
+        assert!(!bus.enabled());
+        bus.emit(ev(1));
+        assert!(bus.recent().is_empty());
+        bus.flush();
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let (bus, handle) = EventBus::memory();
+        let clone = bus.clone();
+        bus.emit(ev(1));
+        clone.emit(ev(2));
+        assert_eq!(handle.len(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events_in_order() {
+        let mut ring = Ring::new(4);
+        for t in 0..10 {
+            ring.push(ev(t));
+        }
+        let got: Vec<u64> = ring.to_vec().iter().map(|e| e.at_us()).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn recent_reflects_emissions_before_wrap() {
+        let (bus, _handle) = EventBus::memory();
+        bus.emit(ev(5));
+        let recent = bus.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].at_us(), 5);
+    }
+}

@@ -1,0 +1,446 @@
+//! The event taxonomy: one enum, one JSONL line per event.
+
+use crate::json::{escape_into, push_f64};
+
+/// One structured trace event.
+///
+/// Variants cover the three instrumented layers (simulator, scheduler,
+/// CPU manager) plus the experiment runner. Events that happen in
+/// simulated time carry `at_us`; CPU-manager events happen in wall time
+/// (the manager is a real-time component) and sort at time 0.
+///
+/// Hot-path variants are deliberately `String`-free so constructing one
+/// never allocates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Simulator: a thread was placed on a cpu when a scheduling decision
+    /// was applied. `cold` mirrors the cache-warmth test used for the
+    /// cold-start counter (warmth < 0.5).
+    Placement {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// Target cpu index.
+        cpu: usize,
+        /// Placed thread id.
+        thread: u64,
+        /// Owning application id.
+        app: u64,
+        /// Whether the placement was cache-cold.
+        cold: bool,
+    },
+    /// Simulator: a placed thread's solo demand changed — it crossed a
+    /// phase edge in its demand model.
+    PhaseEdge {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// The thread whose demand changed.
+        thread: u64,
+        /// New solo bus demand, tx/µs.
+        rate: f64,
+        /// New memory-boundness µ ∈ [0, 1].
+        mu: f64,
+    },
+    /// Simulator: the tick loop coarsened — one iteration advanced
+    /// several nominal ticks because every input was provably static.
+    CoarseJump {
+        /// Simulated time at the start of the jump, µs.
+        at_us: u64,
+        /// Length of the jump, µs.
+        dt_us: u64,
+        /// Nominal ticks covered by the single iteration.
+        ticks_covered: u64,
+    },
+    /// Simulator: the bus arbitration produced a new dilation factor Λ
+    /// (emitted on change, not every tick — memoized solves that reuse
+    /// the previous Λ are silent).
+    BusSolve {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// Dilation factor Λ (1.0 = unsaturated).
+        lambda: f64,
+        /// Bus utilization ρ ∈ [0, 1].
+        utilization: f64,
+        /// Whether demand exceeded effective capacity.
+        saturated: bool,
+        /// Number of requesting threads.
+        requesters: usize,
+    },
+    /// Simulator: an application's last thread finished.
+    AppFinished {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// The finished application.
+        app: u64,
+        /// Turnaround (finish − arrival), µs.
+        turnaround_us: u64,
+    },
+    /// Scheduler: the head of the circular applications list was admitted
+    /// unconditionally (the paper's starvation-freedom rule).
+    HeadAdmission {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// Admitted application.
+        app: u64,
+        /// Gang width (threads admitted).
+        width: usize,
+    },
+    /// Scheduler: the fitness loop admitted a gang.
+    GangSelected {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// Admitted application.
+        app: u64,
+        /// Gang width (threads admitted).
+        width: usize,
+        /// Fitness score that won the admission.
+        fitness: f64,
+        /// Available bus bandwidth per unallocated processor at the time
+        /// of the decision, tx/µs.
+        available_per_proc: f64,
+    },
+    /// Scheduler: bandwidth demand reconstructed for an application from
+    /// measured consumption and mean dilation (demand ≈ consumption × Λ̄).
+    Reconstruct {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// The application observed.
+        app: u64,
+        /// Measured per-thread consumption, tx/µs.
+        measured_per_thread: f64,
+        /// Mean dilation Λ̄ over the observation interval.
+        dilation: f64,
+        /// Reconstructed per-thread demand, tx/µs.
+        demand_per_thread: f64,
+    },
+    /// Runner: a measured application had not finished when the run hit
+    /// its deadline (hard cap). Replaces the former panic.
+    RunUnfinished {
+        /// Simulated time at which the run was cut off, µs.
+        at_us: u64,
+        /// The unfinished application.
+        app: u64,
+        /// Application name.
+        name: String,
+        /// Fraction of its total work completed, ∈ [0, 1].
+        progress_frac: f64,
+    },
+    /// CPU manager: a client connected.
+    MgrConnect {
+        /// Client id.
+        client: u64,
+        /// Thread gates already registered when the connection was
+        /// processed (threads register after the handshake, so usually 0).
+        threads: usize,
+    },
+    /// CPU manager: a client disconnected.
+    MgrDisconnect {
+        /// Client id.
+        client: u64,
+    },
+    /// CPU manager: a signal gate transitioned (block or unblock
+    /// delivered), with the counter pair after the transition.
+    MgrGate {
+        /// Owning client id.
+        client: u64,
+        /// Gated thread id.
+        thread: u64,
+        /// True if the thread should now run (unblocks ≥ blocks).
+        resumed: bool,
+        /// Block signals delivered so far.
+        blocks: u64,
+        /// Unblock signals delivered so far.
+        unblocks: u64,
+    },
+    /// CPU manager: a signal pair was injected in reversed order
+    /// (unblock before block) to exercise inversion tolerance.
+    MgrSignalReorder {
+        /// Owning client id.
+        client: u64,
+        /// Gated thread id.
+        thread: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Short machine-readable kind tag (the JSON `ev` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Placement { .. } => "placement",
+            TraceEvent::PhaseEdge { .. } => "phase_edge",
+            TraceEvent::CoarseJump { .. } => "coarse_jump",
+            TraceEvent::BusSolve { .. } => "bus_solve",
+            TraceEvent::AppFinished { .. } => "app_finished",
+            TraceEvent::HeadAdmission { .. } => "head_admission",
+            TraceEvent::GangSelected { .. } => "gang_selected",
+            TraceEvent::Reconstruct { .. } => "reconstruct",
+            TraceEvent::RunUnfinished { .. } => "run_unfinished",
+            TraceEvent::MgrConnect { .. } => "mgr_connect",
+            TraceEvent::MgrDisconnect { .. } => "mgr_disconnect",
+            TraceEvent::MgrGate { .. } => "mgr_gate",
+            TraceEvent::MgrSignalReorder { .. } => "mgr_signal_reorder",
+        }
+    }
+
+    /// Simulated time of the event, µs. Wall-time (CPU manager) events
+    /// report 0 so they sort before simulated activity.
+    pub fn at_us(&self) -> u64 {
+        match *self {
+            TraceEvent::Placement { at_us, .. }
+            | TraceEvent::PhaseEdge { at_us, .. }
+            | TraceEvent::CoarseJump { at_us, .. }
+            | TraceEvent::BusSolve { at_us, .. }
+            | TraceEvent::AppFinished { at_us, .. }
+            | TraceEvent::HeadAdmission { at_us, .. }
+            | TraceEvent::GangSelected { at_us, .. }
+            | TraceEvent::Reconstruct { at_us, .. }
+            | TraceEvent::RunUnfinished { at_us, .. } => at_us,
+            TraceEvent::MgrConnect { .. }
+            | TraceEvent::MgrDisconnect { .. }
+            | TraceEvent::MgrGate { .. }
+            | TraceEvent::MgrSignalReorder { .. } => 0,
+        }
+    }
+
+    /// Append this event as one JSON object (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{{\"ev\":\"{}\",\"t\":{}", self.kind(), self.at_us());
+        match self {
+            TraceEvent::Placement {
+                cpu,
+                thread,
+                app,
+                cold,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cpu\":{cpu},\"thread\":{thread},\"app\":{app},\"cold\":{cold}"
+                );
+            }
+            TraceEvent::PhaseEdge {
+                thread, rate, mu, ..
+            } => {
+                let _ = write!(out, ",\"thread\":{thread},\"rate\":");
+                push_f64(out, *rate);
+                out.push_str(",\"mu\":");
+                push_f64(out, *mu);
+            }
+            TraceEvent::CoarseJump {
+                dt_us,
+                ticks_covered,
+                ..
+            } => {
+                let _ = write!(out, ",\"dt_us\":{dt_us},\"ticks_covered\":{ticks_covered}");
+            }
+            TraceEvent::BusSolve {
+                lambda,
+                utilization,
+                saturated,
+                requesters,
+                ..
+            } => {
+                out.push_str(",\"lambda\":");
+                push_f64(out, *lambda);
+                out.push_str(",\"rho\":");
+                push_f64(out, *utilization);
+                let _ = write!(
+                    out,
+                    ",\"saturated\":{saturated},\"requesters\":{requesters}"
+                );
+            }
+            TraceEvent::AppFinished {
+                app, turnaround_us, ..
+            } => {
+                let _ = write!(out, ",\"app\":{app},\"turnaround_us\":{turnaround_us}");
+            }
+            TraceEvent::HeadAdmission { app, width, .. } => {
+                let _ = write!(out, ",\"app\":{app},\"width\":{width}");
+            }
+            TraceEvent::GangSelected {
+                app,
+                width,
+                fitness,
+                available_per_proc,
+                ..
+            } => {
+                let _ = write!(out, ",\"app\":{app},\"width\":{width},\"fitness\":");
+                push_f64(out, *fitness);
+                out.push_str(",\"available_per_proc\":");
+                push_f64(out, *available_per_proc);
+            }
+            TraceEvent::Reconstruct {
+                app,
+                measured_per_thread,
+                dilation,
+                demand_per_thread,
+                ..
+            } => {
+                let _ = write!(out, ",\"app\":{app},\"measured\":");
+                push_f64(out, *measured_per_thread);
+                out.push_str(",\"dilation\":");
+                push_f64(out, *dilation);
+                out.push_str(",\"demand\":");
+                push_f64(out, *demand_per_thread);
+            }
+            TraceEvent::RunUnfinished {
+                app,
+                name,
+                progress_frac,
+                ..
+            } => {
+                let _ = write!(out, ",\"app\":{app},\"name\":\"");
+                escape_into(out, name);
+                out.push_str("\",\"progress_frac\":");
+                push_f64(out, *progress_frac);
+            }
+            TraceEvent::MgrConnect {
+                client, threads, ..
+            } => {
+                let _ = write!(out, ",\"client\":{client},\"threads\":{threads}");
+            }
+            TraceEvent::MgrDisconnect { client } => {
+                let _ = write!(out, ",\"client\":{client}");
+            }
+            TraceEvent::MgrGate {
+                client,
+                thread,
+                resumed,
+                blocks,
+                unblocks,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"client\":{client},\"thread\":{thread},\"resumed\":{resumed},\
+                     \"blocks\":{blocks},\"unblocks\":{unblocks}"
+                );
+            }
+            TraceEvent::MgrSignalReorder { client, thread } => {
+                let _ = write!(out, ",\"client\":{client},\"thread\":{thread}");
+            }
+        }
+        out.push('}');
+    }
+
+    /// Render this event as one JSON object string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        self.write_json(&mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn all_variants() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Placement {
+                at_us: 100,
+                cpu: 2,
+                thread: 7,
+                app: 3,
+                cold: true,
+            },
+            TraceEvent::PhaseEdge {
+                at_us: 200,
+                thread: 1,
+                rate: 23.6,
+                mu: 0.98,
+            },
+            TraceEvent::CoarseJump {
+                at_us: 300,
+                dt_us: 1900,
+                ticks_covered: 19,
+            },
+            TraceEvent::BusSolve {
+                at_us: 400,
+                lambda: 1.65,
+                utilization: 1.0,
+                saturated: true,
+                requesters: 4,
+            },
+            TraceEvent::AppFinished {
+                at_us: 500,
+                app: 0,
+                turnaround_us: 500,
+            },
+            TraceEvent::HeadAdmission {
+                at_us: 600,
+                app: 2,
+                width: 4,
+            },
+            TraceEvent::GangSelected {
+                at_us: 700,
+                app: 5,
+                width: 2,
+                fitness: 0.75,
+                available_per_proc: 3.5,
+            },
+            TraceEvent::Reconstruct {
+                at_us: 800,
+                app: 1,
+                measured_per_thread: 4.2,
+                dilation: 1.3,
+                demand_per_thread: 5.46,
+            },
+            TraceEvent::RunUnfinished {
+                at_us: 900,
+                app: 9,
+                name: "CG \"quoted\"".into(),
+                progress_frac: 0.42,
+            },
+            TraceEvent::MgrConnect {
+                client: 11,
+                threads: 4,
+            },
+            TraceEvent::MgrDisconnect { client: 11 },
+            TraceEvent::MgrGate {
+                client: 11,
+                thread: 3,
+                resumed: false,
+                blocks: 2,
+                unblocks: 1,
+            },
+            TraceEvent::MgrSignalReorder {
+                client: 11,
+                thread: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_renders_parseable_json_with_kind_and_time() {
+        for ev in all_variants() {
+            let line = ev.to_json();
+            let v = parse(&line).unwrap_or_else(|e| panic!("bad json {line}: {e}"));
+            let Value::Object(fields) = v else {
+                panic!("not an object: {line}");
+            };
+            let kind = fields.iter().find(|(k, _)| k == "ev").expect("ev field");
+            assert_eq!(kind.1, Value::String(ev.kind().into()));
+            let t = fields.iter().find(|(k, _)| k == "t").expect("t field");
+            assert_eq!(t.1, Value::Number(ev.at_us() as f64));
+        }
+    }
+
+    #[test]
+    fn string_fields_are_escaped() {
+        let ev = TraceEvent::RunUnfinished {
+            at_us: 1,
+            app: 0,
+            name: "a\"b\\c\nd".into(),
+            progress_frac: 0.5,
+        };
+        let line = ev.to_json();
+        assert!(line.contains("a\\\"b\\\\c\\nd"), "{line}");
+        parse(&line).expect("escaped json parses");
+    }
+
+    #[test]
+    fn manager_events_sort_at_time_zero() {
+        assert_eq!(TraceEvent::MgrDisconnect { client: 1 }.at_us(), 0);
+    }
+}

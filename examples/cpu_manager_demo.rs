@@ -50,8 +50,8 @@ fn main() {
     let progress: Vec<Arc<AtomicU64>> = jobs.iter().map(|_| Arc::new(AtomicU64::new(0))).collect();
 
     for (i, (name, rate)) in jobs.iter().enumerate() {
-        let mut app = AppRuntime::connect(&handle, *name);
-        let th = app.register_thread();
+        let mut app = AppRuntime::connect(&handle, *name).expect("manager alive");
+        let th = app.register_thread().expect("manager alive");
         let stop = stop.clone();
         let prog = progress[i].clone();
         let rate = *rate;

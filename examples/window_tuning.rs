@@ -36,7 +36,8 @@ fn main() {
     let linux = run_spec(&spec, PolicyKind::Linux, &rc);
 
     for w in [1usize, 3, 5, 9, 15] {
-        let dist = MovingWindow::mean_relative_distance(w, &trace) * 100.0;
+        let dist =
+            MovingWindow::mean_relative_distance(w, &trace).expect("non-empty trace") * 100.0;
         let r = run_spec(&spec, PolicyKind::WindowN(w), &rc);
         let imp = improvement_pct(linux.mean_turnaround_us, r.mean_turnaround_us);
         let marker = if w == 5 { "  <- paper's choice" } else { "" };

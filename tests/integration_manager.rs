@@ -19,9 +19,9 @@ fn manager(num_cpus: usize) -> (CpuManager, ManagerHandle) {
 }
 
 fn connect(m: &mut CpuManager, h: &ManagerHandle, name: &str) -> AppRuntime {
-    let pending = AppRuntime::request_connect(h, name);
+    let pending = AppRuntime::request_connect(h, name).expect("manager alive");
     m.pump();
-    pending.complete()
+    pending.complete().expect("manager alive")
 }
 
 #[test]
@@ -32,9 +32,18 @@ fn manager_pairs_heavy_with_light_via_arena_rates() {
     let mut light = connect(&mut m, &h, "light");
     // Each app registers two worker threads; keep the handles so the test
     // can generate the counter traffic the run-time library would see.
-    let h1 = (heavy1.register_thread(), heavy1.register_thread());
-    let h2 = (heavy2.register_thread(), heavy2.register_thread());
-    let hl = (light.register_thread(), light.register_thread());
+    let h1 = (
+        heavy1.register_thread().expect("manager alive"),
+        heavy1.register_thread().expect("manager alive"),
+    );
+    let h2 = (
+        heavy2.register_thread().expect("manager alive"),
+        heavy2.register_thread().expect("manager alive"),
+    );
+    let hl = (
+        light.register_thread().expect("manager alive"),
+        light.register_thread().expect("manager alive"),
+    );
     m.pump();
 
     // Simulate the run-time library: count transactions at each job's
@@ -71,8 +80,8 @@ fn blocked_workers_park_and_released_workers_progress() {
     let (mut m, h) = manager(2);
     let mut a = connect(&mut m, &h, "a");
     let mut b = connect(&mut m, &h, "b");
-    let ta = a.register_thread();
-    let tb = b.register_thread();
+    let ta = a.register_thread().expect("manager alive");
+    let tb = b.register_thread().expect("manager alive");
     m.pump();
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -139,7 +148,7 @@ fn estimator_choice_is_pluggable_at_manager_level() {
         Box::new(LatestQuantumEstimator::new()),
     );
     let mut a = connect(&mut m, &h, "a");
-    a.register_thread();
+    a.register_thread().expect("manager alive");
     m.pump();
     let sel = m.quantum();
     assert_eq!(sel, vec![a.id()]);
@@ -155,8 +164,8 @@ fn realtime_manager_loop_runs_and_shuts_down() {
         std::thread::spawn(move || m.run_realtime(stop))
     };
     // connect() needs the manager pumping — it is, on its own thread.
-    let mut app = AppRuntime::connect(&h, "rt");
-    let th = app.register_thread();
+    let mut app = AppRuntime::connect(&h, "rt").expect("manager alive");
+    let th = app.register_thread().expect("manager alive");
     for i in 1..=4u64 {
         th.count_transactions(1000);
         app.publish_sample(i * 50_000);
