@@ -14,51 +14,85 @@
 //! * **Fitness rule** (§4): [`ablate_fitness`] compares the fitness-driven
 //!   fill against round-robin, random, and greedy-max-bandwidth gang
 //!   fills on set C.
+//!
+//! All sweeps declare job-graph cells instead of looping over `run_spec`
+//! serially: the per-sweep-point Linux baselines collapse to one cell
+//! each, and on a shared plan they dedup against the Figure 2 panels.
 
 use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary, MovingWindow};
 use busbw_sim::{DemandModel, XEON_4WAY_HT};
 use busbw_workloads::burst::TwoStateBurst;
 use busbw_workloads::paper::PaperApp;
 
-use crate::fig2::{fig2_with_policies, Fig2Set};
-use crate::runner::{run_spec, PolicyKind, RunnerConfig};
+use crate::fig2::{fold_fig2, plan_fig2, Fig2Cells, Fig2Set};
+use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
+use crate::runner::{PolicyKind, RunnerConfig};
 
 /// Window lengths swept by [`ablate_window`].
 pub const WINDOW_SWEEP: [usize; 5] = [1, 3, 5, 9, 15];
 
-/// Window-length ablation.
-///
-/// Rows: one per window length. Columns: the §4 distance criterion on a
-/// Raytrace-like burst trace (%), and the end-to-end improvement over
-/// Linux on the Raytrace and CG set-B workloads.
-pub fn ablate_window(rc: &RunnerConfig) -> FigureSummary {
-    // The analytic half: sample a Raytrace-like burst process at the
-    // manager's sampling period (100 ms), compute the §4 criterion.
+const WINDOW_APPS: [PaperApp; 2] = [PaperApp::Raytrace, PaperApp::Cg];
+
+/// Cell handles for the window-length ablation: per app, the (single)
+/// Linux baseline plus one `WindowN` cell per swept width.
+#[derive(Debug)]
+pub struct WindowCells {
+    /// `(linux, [windowed; WINDOW_SWEEP])` per app in `WINDOW_APPS` order.
+    per_app: Vec<(CellId, Vec<CellId>)>,
+    /// The §4 analytic distances, % per swept width (no runs needed).
+    distances: Vec<f64>,
+}
+
+/// Declare the window-length ablation. The analytic half (the §4 distance
+/// criterion on a Raytrace-like burst trace) is computed here — it needs
+/// no simulator runs.
+pub fn plan_window(plan: &mut Plan, rc: &RunnerConfig) -> WindowCells {
     let mut burst = TwoStateBurst::raytrace(10.65, 0.82, rc.seed);
     let trace: Vec<f64> = (0..600)
         .map(|i| burst.demand_at(0.0, i * 100_000).rate)
         .collect();
-
-    let mut rows = Vec::new();
-    for w in WINDOW_SWEEP {
+    let distances = WINDOW_SWEEP
+        .iter()
         // The burst trace is 600 samples, never empty.
-        let dist =
-            MovingWindow::mean_relative_distance(w, &trace).expect("non-empty trace") * 100.0;
-        let mut values = vec![("distance %".to_string(), dist)];
-        for app in [PaperApp::Raytrace, PaperApp::Cg] {
+        .map(|&w| MovingWindow::mean_relative_distance(w, &trace).expect("non-empty trace") * 100.0)
+        .collect();
+    let per_app = WINDOW_APPS
+        .iter()
+        .map(|&app| {
             let spec = Fig2Set::B.spec(app);
-            let linux = run_spec(&spec, PolicyKind::Linux, rc);
-            let win = run_spec(&spec, PolicyKind::WindowN(w), rc);
-            values.push((
-                format!("{} impr %", app.name()),
-                improvement_pct(linux.mean_turnaround_us, win.mean_turnaround_us),
-            ));
-        }
-        rows.push(ExperimentRow {
-            app: format!("W={w}"),
-            values,
-        });
-    }
+            let linux = plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Linux, rc));
+            let windowed = WINDOW_SWEEP
+                .iter()
+                .map(|&w| plan.cell(RunRequest::spec(spec.clone(), PolicyKind::WindowN(w), rc)))
+                .collect();
+            (linux, windowed)
+        })
+        .collect();
+    WindowCells { per_app, distances }
+}
+
+/// Fold the window-length ablation.
+pub fn fold_window(cells: &WindowCells, executed: &Executed) -> FigureSummary {
+    let rows = WINDOW_SWEEP
+        .iter()
+        .enumerate()
+        .map(|(wi, &w)| {
+            let mut values = vec![("distance %".to_string(), cells.distances[wi])];
+            for (&app, (linux, windowed)) in WINDOW_APPS.iter().zip(&cells.per_app) {
+                values.push((
+                    format!("{} impr %", app.name()),
+                    improvement_pct(
+                        executed.get(*linux).mean_turnaround_us,
+                        executed.get(windowed[wi]).mean_turnaround_us,
+                    ),
+                ));
+            }
+            ExperimentRow {
+                app: format!("W={w}"),
+                values,
+            }
+        })
+        .collect();
     FigureSummary {
         id: "ablate-window".into(),
         title: "Window length: §4 distance criterion and set-B improvement".into(),
@@ -66,28 +100,75 @@ pub fn ablate_window(rc: &RunnerConfig) -> FigureSummary {
     }
 }
 
+/// Window-length ablation.
+///
+/// Rows: one per window length. Columns: the §4 distance criterion on a
+/// Raytrace-like burst trace (%), and the end-to-end improvement over
+/// Linux on the Raytrace and CG set-B workloads.
+pub fn ablate_window(rc: &RunnerConfig) -> FigureSummary {
+    run_figure(rc, |plan| plan_window(plan, rc), fold_window)
+}
+
 /// Quantum lengths swept by [`ablate_quantum`] (µs).
 pub const QUANTUM_SWEEP: [u64; 4] = [50_000, 100_000, 200_000, 400_000];
 
-/// Quantum-length ablation for the Latest Quantum policy on set C.
-pub fn ablate_quantum(rc: &RunnerConfig) -> FigureSummary {
-    let mut rows = Vec::new();
-    for q in QUANTUM_SWEEP {
-        let mut values = Vec::new();
-        for app in [PaperApp::Volrend, PaperApp::Sp, PaperApp::Cg] {
+const QUANTUM_APPS: [PaperApp; 3] = [PaperApp::Volrend, PaperApp::Sp, PaperApp::Cg];
+
+/// Cell handles for the quantum-length ablation.
+#[derive(Debug)]
+pub struct QuantumCells {
+    /// `(linux, [quantum; QUANTUM_SWEEP])` per app in `QUANTUM_APPS` order.
+    per_app: Vec<(CellId, Vec<CellId>)>,
+}
+
+/// Declare the quantum-length ablation's cells on set C.
+pub fn plan_quantum(plan: &mut Plan, rc: &RunnerConfig) -> QuantumCells {
+    let per_app = QUANTUM_APPS
+        .iter()
+        .map(|&app| {
             let spec = Fig2Set::C.spec(app);
-            let linux = run_spec(&spec, PolicyKind::Linux, rc);
-            let pol = run_spec(&spec, PolicyKind::LatestWithQuantum(q), rc);
-            values.push((
-                format!("{} impr %", app.name()),
-                improvement_pct(linux.mean_turnaround_us, pol.mean_turnaround_us),
-            ));
-        }
-        rows.push(ExperimentRow {
-            app: format!("{}ms", q / 1000),
-            values,
-        });
-    }
+            let linux = plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Linux, rc));
+            let swept = QUANTUM_SWEEP
+                .iter()
+                .map(|&q| {
+                    plan.cell(RunRequest::spec(
+                        spec.clone(),
+                        PolicyKind::LatestWithQuantum(q),
+                        rc,
+                    ))
+                })
+                .collect();
+            (linux, swept)
+        })
+        .collect();
+    QuantumCells { per_app }
+}
+
+/// Fold the quantum-length ablation.
+pub fn fold_quantum(cells: &QuantumCells, executed: &Executed) -> FigureSummary {
+    let rows = QUANTUM_SWEEP
+        .iter()
+        .enumerate()
+        .map(|(qi, &q)| {
+            let values = QUANTUM_APPS
+                .iter()
+                .zip(&cells.per_app)
+                .map(|(&app, (linux, swept))| {
+                    (
+                        format!("{} impr %", app.name()),
+                        improvement_pct(
+                            executed.get(*linux).mean_turnaround_us,
+                            executed.get(swept[qi]).mean_turnaround_us,
+                        ),
+                    )
+                })
+                .collect();
+            ExperimentRow {
+                app: format!("{}ms", q / 1000),
+                values,
+            }
+        })
+        .collect();
     FigureSummary {
         id: "ablate-quantum".into(),
         title: "Latest Quantum: scheduling quantum sweep on set C".into(),
@@ -95,23 +176,108 @@ pub fn ablate_quantum(rc: &RunnerConfig) -> FigureSummary {
     }
 }
 
-/// Fitness-rule ablation on set C: the paper's policies vs gang
-/// scheduling with round-robin, random, and greedy-max-bandwidth fills.
-pub fn ablate_fitness(rc: &RunnerConfig) -> FigureSummary {
-    let mut fig = fig2_with_policies(
-        Fig2Set::C,
-        &[
-            PolicyKind::Latest,
-            PolicyKind::Window,
-            PolicyKind::RoundRobinGang,
-            PolicyKind::RandomGang(rc.seed),
-            PolicyKind::GreedyPack,
-        ],
-        rc,
-    );
+/// Quantum-length ablation for the Latest Quantum policy on set C.
+pub fn ablate_quantum(rc: &RunnerConfig) -> FigureSummary {
+    run_figure(rc, |plan| plan_quantum(plan, rc), fold_quantum)
+}
+
+/// The fitness ablation's policy list (set C).
+fn fitness_policies(rc: &RunnerConfig) -> [PolicyKind; 5] {
+    [
+        PolicyKind::Latest,
+        PolicyKind::Window,
+        PolicyKind::RoundRobinGang,
+        PolicyKind::RandomGang(rc.seed),
+        PolicyKind::GreedyPack,
+    ]
+}
+
+/// Declare the fitness-rule ablation (a full set-C panel; its Linux,
+/// Latest and Window cells dedup against the `fig2c` panel on a shared
+/// plan).
+pub fn plan_fitness(plan: &mut Plan, rc: &RunnerConfig) -> Fig2Cells {
+    plan_fig2(plan, Fig2Set::C, &fitness_policies(rc), rc)
+}
+
+/// Fold the fitness-rule ablation.
+pub fn fold_fitness(cells: &Fig2Cells, executed: &Executed) -> FigureSummary {
+    let mut fig = fold_fig2(cells, executed);
     fig.id = "ablate-fitness".into();
     fig.title = "Set C improvement %: fitness vs oblivious gang fills".into();
     fig
+}
+
+/// Fitness-rule ablation on set C: the paper's policies vs gang
+/// scheduling with round-robin, random, and greedy-max-bandwidth fills.
+pub fn ablate_fitness(rc: &RunnerConfig) -> FigureSummary {
+    run_figure(rc, |plan| plan_fitness(plan, rc), fold_fitness)
+}
+
+const SMT_APPS: [PaperApp; 3] = [PaperApp::Volrend, PaperApp::Mg, PaperApp::Cg];
+const SMT_POLICIES: [PolicyKind; 2] = [PolicyKind::Latest, PolicyKind::Window];
+
+/// Cell handles for the Hyperthreading ablation: per app, `(linux,
+/// latest, window)` for the 4-way machine then the 4-way+HT machine.
+#[derive(Debug)]
+pub struct SmtCells {
+    per_app: Vec<Vec<CellId>>,
+}
+
+/// Declare the SMT ablation's cells (the 4-way cells dedup against the
+/// `fig2c` panel on a shared plan; the HT cells are unique).
+pub fn plan_smt(plan: &mut Plan, rc: &RunnerConfig) -> SmtCells {
+    let ht_rc = RunnerConfig {
+        machine: XEON_4WAY_HT,
+        ..*rc
+    };
+    let per_app = SMT_APPS
+        .iter()
+        .map(|&app| {
+            let spec = Fig2Set::C.spec(app);
+            let mut ids = Vec::with_capacity(2 * (1 + SMT_POLICIES.len()));
+            for cfg in [rc, &ht_rc] {
+                ids.push(plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Linux, cfg)));
+                for p in SMT_POLICIES {
+                    ids.push(plan.cell(RunRequest::spec(spec.clone(), p, cfg)));
+                }
+            }
+            ids
+        })
+        .collect();
+    SmtCells { per_app }
+}
+
+/// Fold the SMT ablation.
+pub fn fold_smt(cells: &SmtCells, executed: &Executed) -> FigureSummary {
+    let group = 1 + SMT_POLICIES.len();
+    let rows = SMT_APPS
+        .iter()
+        .zip(&cells.per_app)
+        .map(|(&app, ids)| {
+            let mut values = Vec::with_capacity(2 * SMT_POLICIES.len());
+            for (gi, label) in [(0, "4-way"), (1, "4-way+HT")] {
+                let linux = executed.get(ids[gi * group]).mean_turnaround_us;
+                for (pi, p) in SMT_POLICIES.iter().enumerate() {
+                    values.push((
+                        format!("{} {}", p.label(), label),
+                        improvement_pct(
+                            linux,
+                            executed.get(ids[gi * group + 1 + pi]).mean_turnaround_us,
+                        ),
+                    ));
+                }
+            }
+            ExperimentRow {
+                app: app.name().to_string(),
+                values,
+            }
+        })
+        .collect();
+    FigureSummary {
+        id: "ablate-smt".into(),
+        title: "Set C improvement % with and without Hyperthreading".into(),
+        rows,
+    }
 }
 
 /// Hyperthreading extension (§6 future work; the paper disabled HT
@@ -125,34 +291,7 @@ pub fn ablate_fitness(rc: &RunnerConfig) -> FigureSummary {
 /// streams, which is exactly the regime the bandwidth-aware policies
 /// target.
 pub fn ablate_smt(rc: &RunnerConfig) -> FigureSummary {
-    let mut rows = Vec::new();
-    let ht_rc = RunnerConfig {
-        machine: XEON_4WAY_HT,
-        ..*rc
-    };
-    for app in [PaperApp::Volrend, PaperApp::Mg, PaperApp::Cg] {
-        let spec = Fig2Set::C.spec(app);
-        let mut values = Vec::new();
-        for (label, cfg) in [("4-way", rc), ("4-way+HT", &ht_rc)] {
-            let linux = run_spec(&spec, PolicyKind::Linux, cfg);
-            for p in [PolicyKind::Latest, PolicyKind::Window] {
-                let r = run_spec(&spec, p, cfg);
-                values.push((
-                    format!("{} {}", p.label(), label),
-                    improvement_pct(linux.mean_turnaround_us, r.mean_turnaround_us),
-                ));
-            }
-        }
-        rows.push(ExperimentRow {
-            app: app.name().to_string(),
-            values,
-        });
-    }
-    FigureSummary {
-        id: "ablate-smt".into(),
-        title: "Set C improvement % with and without Hyperthreading".into(),
-        rows,
-    }
+    run_figure(rc, |plan| plan_smt(plan, rc), fold_smt)
 }
 
 #[cfg(test)]
@@ -173,5 +312,26 @@ mod tests {
         // The paper's 5-sample choice keeps the distance moderate (the
         // text cites ~5 %; our synthetic bursts are of the same order).
         assert!(d5 < 0.60, "5-sample distance {d5}");
+    }
+
+    #[test]
+    fn sweeps_declare_one_baseline_cell_per_app() {
+        // The old serial loops re-ran Linux per sweep point; the job
+        // graph collapses those to one cell per (spec, config).
+        let rc = RunnerConfig::quick();
+        let mut plan = Plan::new();
+        plan_window(&mut plan, &rc);
+        assert_eq!(
+            plan.len(),
+            WINDOW_APPS.len() * (1 + WINDOW_SWEEP.len()),
+            "window sweep: one Linux cell per app"
+        );
+        let before = plan.len();
+        plan_quantum(&mut plan, &rc);
+        assert_eq!(
+            plan.len() - before,
+            QUANTUM_APPS.len() * (1 + QUANTUM_SWEEP.len()),
+            "quantum sweep: one Linux cell per app"
+        );
     }
 }

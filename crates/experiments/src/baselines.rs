@@ -9,34 +9,61 @@ use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary};
 use busbw_workloads::paper::PaperApp;
 
 use crate::fig2::Fig2Set;
-use crate::runner::{run_spec, PolicyKind, RunnerConfig};
+use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
+use crate::runner::{PolicyKind, RunnerConfig};
 
-/// Improvement % over the 2.4-like baseline, on set C, for the O(1)
-/// baseline, both paper policies, and the model-driven comparator.
-pub fn baselines(rc: &RunnerConfig) -> FigureSummary {
-    let policies = [
-        PolicyKind::LinuxO1,
-        PolicyKind::Latest,
-        PolicyKind::Window,
-        PolicyKind::ModelDriven,
-    ];
-    let mut rows = Vec::new();
-    for app in [PaperApp::Volrend, PaperApp::Bt, PaperApp::Mg, PaperApp::Cg] {
+const BASELINE_APPS: [PaperApp; 4] = [PaperApp::Volrend, PaperApp::Bt, PaperApp::Mg, PaperApp::Cg];
+const BASELINE_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::LinuxO1,
+    PolicyKind::Latest,
+    PolicyKind::Window,
+    PolicyKind::ModelDriven,
+];
+
+/// Cell handles for the baselines figure: per app, the 2.4-like baseline
+/// then each comparison policy (the Linux/Latest/Window cells dedup
+/// against the `fig2c` panel on a shared plan).
+#[derive(Debug)]
+pub struct BaselineCells {
+    cells: Vec<CellId>,
+}
+
+/// Declare the baselines figure's set-C cells.
+pub fn plan_baselines(plan: &mut Plan, rc: &RunnerConfig) -> BaselineCells {
+    let mut cells = Vec::new();
+    for app in BASELINE_APPS {
         let spec = Fig2Set::C.spec(app);
-        let linux24 = run_spec(&spec, PolicyKind::Linux, rc);
-        let mut values = Vec::new();
-        for &p in &policies {
-            let r = run_spec(&spec, p, rc);
-            values.push((
-                p.label(),
-                improvement_pct(linux24.mean_turnaround_us, r.mean_turnaround_us),
-            ));
+        cells.push(plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Linux, rc)));
+        for p in BASELINE_POLICIES {
+            cells.push(plan.cell(RunRequest::spec(spec.clone(), p, rc)));
         }
-        rows.push(ExperimentRow {
-            app: app.name().to_string(),
-            values,
-        });
     }
+    BaselineCells { cells }
+}
+
+/// Fold the baselines figure.
+pub fn fold_baselines(cells: &BaselineCells, executed: &Executed) -> FigureSummary {
+    let per_app = 1 + BASELINE_POLICIES.len();
+    let rows = BASELINE_APPS
+        .iter()
+        .zip(cells.cells.chunks_exact(per_app))
+        .map(|(&app, ids)| {
+            let linux24 = executed.get(ids[0]).mean_turnaround_us;
+            ExperimentRow {
+                app: app.name().to_string(),
+                values: BASELINE_POLICIES
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        (
+                            p.label(),
+                            improvement_pct(linux24, executed.get(ids[i + 1]).mean_turnaround_us),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
     FigureSummary {
         id: "baselines".into(),
         title: "Set C improvement % over the 2.4-like baseline".into(),
@@ -44,9 +71,16 @@ pub fn baselines(rc: &RunnerConfig) -> FigureSummary {
     }
 }
 
+/// Improvement % over the 2.4-like baseline, on set C, for the O(1)
+/// baseline, both paper policies, and the model-driven comparator.
+pub fn baselines(rc: &RunnerConfig) -> FigureSummary {
+    run_figure(rc, |plan| plan_baselines(plan, rc), fold_baselines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_spec;
 
     #[test]
     fn baseline_comparison_produces_all_series() {

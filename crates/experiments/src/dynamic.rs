@@ -18,19 +18,26 @@ use busbw_sim::{Machine, Scheduler, StopCondition};
 use busbw_workloads::micro::{bbma, nbbma};
 use busbw_workloads::paper::{paper_app, PaperApp};
 
-use crate::runner::{PolicyKind, RunnerConfig};
+use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
+use crate::runner::{PolicyKind, RunCompletion, RunResult, RunnerConfig};
 
-/// Mean turnaround (µs) of two staggered instances of `app` under
-/// `policy`, with a mixed microbenchmark background.
-pub fn staggered_turnaround(
+/// Run the staggered-arrival scenario for `app` under `policy` and return
+/// a [`RunResult`] (the job-graph cell behind the `dynamic` figure).
+///
+/// `turnarounds_us` holds the two instances' arrival-relative turnarounds
+/// and `mean_turnaround_us` their mean; the bus/tick statistics cover the
+/// final phase of the run (arrival of the second instance onward). No
+/// tracer is wired — the open-system phases drive the machine directly.
+pub fn staggered_run(
     app: PaperApp,
     policy: PolicyKind,
     stagger_us: u64,
     rc: &RunnerConfig,
-) -> f64 {
+) -> RunResult {
     let mut machine = Machine::new(rc.machine);
-    machine
-        .set_hard_cap_us((busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 100.0) as u64);
+    machine.set_hard_cap_us(
+        (busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * rc.hard_cap_factor) as u64,
+    );
     // Background from t = 0.
     machine.add_app(bbma().descriptor(rc.seed));
     machine.add_app(bbma().descriptor(rc.seed + 1));
@@ -60,30 +67,91 @@ pub fn staggered_turnaround(
     );
     let t1 = machine.turnaround_us(first).expect("first finished") as f64;
     let t2 = machine.turnaround_us(second).expect("second finished") as f64;
-    (t1 + t2) / 2.0
+    let (memo_hits, memo_misses) = machine.bus_memo_stats().unwrap_or((0, 0));
+    RunResult {
+        mean_turnaround_us: (t1 + t2) / 2.0,
+        turnarounds_us: vec![t1, t2],
+        workload_rate: out.stats.mean_bus_rate(),
+        measured_apps_rate: 0.0,
+        saturated_fraction: out.stats.saturated_fraction(),
+        ticks: out.stats.ticks,
+        sim_elapsed_us: out.stats.elapsed_us,
+        completion: RunCompletion::Finished,
+        events: Vec::new(),
+        tick_dt_hist: out.stats.tick_dt_hist,
+        memo_hits,
+        memo_misses,
+    }
 }
 
-/// The dynamic-arrival figure: improvement over Linux per application.
-pub fn dynamic_arrivals(rc: &RunnerConfig) -> FigureSummary {
+/// Mean turnaround (µs) of two staggered instances of `app` under
+/// `policy`, with a mixed microbenchmark background.
+pub fn staggered_turnaround(
+    app: PaperApp,
+    policy: PolicyKind,
+    stagger_us: u64,
+    rc: &RunnerConfig,
+) -> f64 {
+    staggered_run(app, policy, stagger_us, rc).mean_turnaround_us
+}
+
+/// The applications and comparison policies of the dynamic figure.
+const DYN_APPS: [PaperApp; 4] = [PaperApp::Volrend, PaperApp::Bt, PaperApp::Mg, PaperApp::Cg];
+const DYN_POLICIES: [PolicyKind; 2] = [PolicyKind::Latest, PolicyKind::Window];
+
+/// Cell handles for the dynamic figure: per app, the Linux baseline then
+/// each comparison policy.
+#[derive(Debug)]
+pub struct DynamicCells {
+    cells: Vec<CellId>,
+}
+
+/// Declare the dynamic figure's staggered-arrival cells.
+pub fn plan_dynamic(plan: &mut Plan, rc: &RunnerConfig) -> DynamicCells {
     let stagger = (500_000.0 * rc.scale).max(100_000.0) as u64;
-    let mut rows = Vec::new();
-    for app in [PaperApp::Volrend, PaperApp::Bt, PaperApp::Mg, PaperApp::Cg] {
-        let linux = staggered_turnaround(app, PolicyKind::Linux, stagger, rc);
-        let mut values = Vec::new();
-        for p in [PolicyKind::Latest, PolicyKind::Window] {
-            let t = staggered_turnaround(app, p, stagger, rc);
-            values.push((p.label(), improvement_pct(linux, t)));
+    let mut cells = Vec::new();
+    for app in DYN_APPS {
+        cells.push(plan.cell(RunRequest::staggered(app, stagger, PolicyKind::Linux, rc)));
+        for p in DYN_POLICIES {
+            cells.push(plan.cell(RunRequest::staggered(app, stagger, p, rc)));
         }
-        rows.push(ExperimentRow {
-            app: app.name().to_string(),
-            values,
-        });
     }
+    DynamicCells { cells }
+}
+
+/// Fold the dynamic figure: improvement over Linux per application.
+pub fn fold_dynamic(cells: &DynamicCells, executed: &Executed) -> FigureSummary {
+    let per_app = 1 + DYN_POLICIES.len();
+    let rows = DYN_APPS
+        .iter()
+        .zip(cells.cells.chunks_exact(per_app))
+        .map(|(&app, ids)| {
+            let linux = executed.get(ids[0]).mean_turnaround_us;
+            ExperimentRow {
+                app: app.name().to_string(),
+                values: DYN_POLICIES
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        (
+                            p.label(),
+                            improvement_pct(linux, executed.get(ids[i + 1]).mean_turnaround_us),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
     FigureSummary {
         id: "dynamic".into(),
         title: "Staggered arrivals into a live background — improvement % over Linux".into(),
         rows,
     }
+}
+
+/// The dynamic-arrival figure: improvement over Linux per application.
+pub fn dynamic_arrivals(rc: &RunnerConfig) -> FigureSummary {
+    run_figure(rc, |plan| plan_dynamic(plan, rc), fold_dynamic)
 }
 
 #[cfg(test)]
@@ -109,5 +177,15 @@ mod tests {
         let rc = RunnerConfig::quick();
         let mean = staggered_turnaround(PaperApp::Cg, PolicyKind::Latest, 100_000, &rc);
         assert!(mean < 4_000_000.0, "mean turnaround {mean}");
+    }
+
+    #[test]
+    fn staggered_run_reports_both_instances() {
+        let rc = RunnerConfig::quick();
+        let r = staggered_run(PaperApp::Volrend, PolicyKind::Window, 100_000, &rc);
+        assert_eq!(r.turnarounds_us.len(), 2);
+        assert!(r.completion.is_finished());
+        let mean = (r.turnarounds_us[0] + r.turnarounds_us[1]) / 2.0;
+        assert_eq!(mean.to_bits(), r.mean_turnaround_us.to_bits());
     }
 }

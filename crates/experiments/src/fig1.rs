@@ -12,6 +12,9 @@
 //!
 //! Figure 1A reports cumulative bus transaction rates; Figure 1B the
 //! slowdown relative to the solo run (arithmetic mean over instances).
+//! Both panels *declare the same 44 cells*, so on a shared plan (the
+//! `all` command) the runs execute once and the panels fold different
+//! quantities from the same results.
 
 use busbw_metrics::{ExperimentRow, FigureSummary};
 use busbw_workloads::mix::{
@@ -19,7 +22,8 @@ use busbw_workloads::mix::{
 };
 use busbw_workloads::paper::PaperApp;
 
-use crate::runner::{effective_workers, par_map, run_spec, PolicyKind, RunResult, RunnerConfig};
+use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
+use crate::runner::{PolicyKind, RunResult, RunnerConfig};
 
 /// The four per-application configurations, in legend order.
 fn fig1_configs(app: PaperApp) -> [WorkloadSpec; 4] {
@@ -31,16 +35,81 @@ fn fig1_configs(app: PaperApp) -> [WorkloadSpec; 4] {
     ]
 }
 
-/// Run every Figure-1 job under the Linux baseline (both panels share the
-/// same runs; they differ only in which quantity each row reports).
-fn fig1_runs(rc: &RunnerConfig) -> Vec<RunResult> {
-    let jobs: Vec<WorkloadSpec> = PaperApp::ALL
+/// Cell handles for both Figure 1 panels: apps in `PaperApp::ALL` order,
+/// four configurations each, every run under the Linux baseline.
+#[derive(Debug)]
+pub struct Fig1Cells {
+    cells: Vec<CellId>,
+}
+
+/// Declare the 44 Figure-1 cells (shared by both panels).
+pub fn plan_fig1(plan: &mut Plan, rc: &RunnerConfig) -> Fig1Cells {
+    let cells = PaperApp::ALL
         .iter()
         .flat_map(|&app| fig1_configs(app))
+        .map(|spec| plan.cell(RunRequest::spec(spec, PolicyKind::Linux, rc)))
         .collect();
-    par_map(&jobs, effective_workers(rc), |spec| {
-        run_spec(spec, PolicyKind::Linux, rc)
-    })
+    Fig1Cells { cells }
+}
+
+/// The per-job results in declaration order (for trace merging/metrics).
+pub fn fig1_results(cells: &Fig1Cells, executed: &Executed) -> Vec<RunResult> {
+    cells
+        .cells
+        .iter()
+        .map(|&id| executed.get(id).clone())
+        .collect()
+}
+
+/// Fold Figure 1A (cumulative bus transaction rates).
+pub fn fold_fig1a(cells: &Fig1Cells, executed: &Executed) -> FigureSummary {
+    let rows = PaperApp::ALL
+        .iter()
+        .zip(cells.cells.chunks_exact(4))
+        .map(|(&app, ids)| {
+            let r: Vec<&RunResult> = ids.iter().map(|&id| executed.get(id)).collect();
+            ExperimentRow {
+                app: app.name().to_string(),
+                values: vec![
+                    ("1 Appl".into(), r[0].measured_apps_rate),
+                    ("2 Apps".into(), r[1].measured_apps_rate),
+                    ("1 Appl + 2 BBMA".into(), r[2].workload_rate),
+                    ("1 Appl + 2 nBBMA".into(), r[3].workload_rate),
+                ],
+            }
+        })
+        .collect();
+    FigureSummary {
+        id: "fig1a".into(),
+        title: "Cumulative bus transactions rate (tx/µs)".into(),
+        rows,
+    }
+}
+
+/// Fold Figure 1B (slowdowns of the three multiprogrammed configurations
+/// relative to solo execution).
+pub fn fold_fig1b(cells: &Fig1Cells, executed: &Executed) -> FigureSummary {
+    let rows = PaperApp::ALL
+        .iter()
+        .zip(cells.cells.chunks_exact(4))
+        .map(|(&app, ids)| {
+            let r: Vec<&RunResult> = ids.iter().map(|&id| executed.get(id)).collect();
+            let solo = r[0].mean_turnaround_us;
+            ExperimentRow {
+                app: app.name().to_string(),
+                values: vec![
+                    ("2 Apps".into(), r[1].mean_turnaround_us / solo),
+                    ("1 Appl + 2 BBMA".into(), r[2].mean_turnaround_us / solo),
+                    ("1 Appl + 2 nBBMA".into(), r[3].mean_turnaround_us / solo),
+                ],
+            }
+        })
+        .collect();
+    FigureSummary {
+        id: "fig1b".into(),
+        title: "Slowdown vs. solo execution".into(),
+        rows,
+    }
 }
 
 /// Regenerate Figure 1A (cumulative bus transaction rates).
@@ -57,27 +126,10 @@ pub fn fig1a(rc: &RunnerConfig) -> FigureSummary {
 /// [`fig1a`] plus the per-job [`RunResult`]s (apps in `PaperApp::ALL`
 /// order, four configurations each) for trace merging and metrics.
 pub fn fig1a_traced(rc: &RunnerConfig) -> (FigureSummary, Vec<RunResult>) {
-    let results = fig1_runs(rc);
-    let rows = PaperApp::ALL
-        .iter()
-        .zip(results.chunks_exact(4))
-        .map(|(&app, r)| ExperimentRow {
-            app: app.name().to_string(),
-            values: vec![
-                ("1 Appl".into(), r[0].measured_apps_rate),
-                ("2 Apps".into(), r[1].measured_apps_rate),
-                ("1 Appl + 2 BBMA".into(), r[2].workload_rate),
-                ("1 Appl + 2 nBBMA".into(), r[3].workload_rate),
-            ],
-        })
-        .collect();
-    (
-        FigureSummary {
-            id: "fig1a".into(),
-            title: "Cumulative bus transactions rate (tx/µs)".into(),
-            rows,
-        },
-        results,
+    run_figure(
+        rc,
+        |plan| plan_fig1(plan, rc),
+        |cells, executed| (fold_fig1a(cells, executed), fig1_results(cells, executed)),
     )
 }
 
@@ -90,36 +142,17 @@ pub fn fig1b(rc: &RunnerConfig) -> FigureSummary {
 /// [`fig1b`] plus the per-job [`RunResult`]s (same job order as
 /// [`fig1a_traced`]).
 pub fn fig1b_traced(rc: &RunnerConfig) -> (FigureSummary, Vec<RunResult>) {
-    let results = fig1_runs(rc);
-    let rows = PaperApp::ALL
-        .iter()
-        .zip(results.chunks_exact(4))
-        .map(|(&app, r)| {
-            let solo = r[0].mean_turnaround_us;
-            ExperimentRow {
-                app: app.name().to_string(),
-                values: vec![
-                    ("2 Apps".into(), r[1].mean_turnaround_us / solo),
-                    ("1 Appl + 2 BBMA".into(), r[2].mean_turnaround_us / solo),
-                    ("1 Appl + 2 nBBMA".into(), r[3].mean_turnaround_us / solo),
-                ],
-            }
-        })
-        .collect();
-    (
-        FigureSummary {
-            id: "fig1b".into(),
-            title: "Slowdown vs. solo execution".into(),
-            rows,
-        },
-        results,
+    run_figure(
+        rc,
+        |plan| plan_fig1(plan, rc),
+        |cells, executed| (fold_fig1b(cells, executed), fig1_results(cells, executed)),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::solo_turnaround_us;
+    use crate::runner::{run_spec, solo_turnaround_us};
 
     /// One reduced-size end-to-end check of the Figure 1 shapes. The full
     /// figure is exercised by the `experiments` binary and the benches.
@@ -146,5 +179,17 @@ mod tests {
         let h_bbma = run_spec(&fig1_with_bbma(PaperApp::Cg), PolicyKind::Linux, &rc);
         let s_h = h_bbma.mean_turnaround_us / solo_h;
         assert!((1.8..3.2).contains(&s_h), "CG+BBMA slowdown {s_h}");
+    }
+
+    #[test]
+    fn both_panels_share_one_cell_set_on_a_common_plan() {
+        let rc = RunnerConfig::quick();
+        let mut plan = Plan::new();
+        let a = plan_fig1(&mut plan, &rc);
+        let unique_after_a = plan.len();
+        let b = plan_fig1(&mut plan, &rc);
+        assert_eq!(plan.len(), unique_after_a, "1B adds no new cells");
+        assert_eq!(a.cells, b.cells);
+        assert_eq!(unique_after_a, PaperApp::ALL.len() * 4);
     }
 }

@@ -10,7 +10,8 @@ use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary};
 use busbw_workloads::mix::{fig2_set_a, fig2_set_b, fig2_set_c, WorkloadSpec};
 use busbw_workloads::paper::PaperApp;
 
-use crate::runner::{effective_workers, par_map, run_spec, PolicyKind, RunResult, RunnerConfig};
+use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
+use crate::runner::{PolicyKind, RunResult, RunnerConfig};
 
 /// The three workload families of §5.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,83 @@ impl Fig2Set {
     }
 }
 
+/// Cell handles for one Figure 2 panel: apps in `PaperApp::ALL` order,
+/// Linux first then each policy. Linux/Latest/Window cells dedup against
+/// any other figure that declares the same set on a shared plan (the
+/// fitness and SMT ablations, the baselines figure).
+#[derive(Debug)]
+pub struct Fig2Cells {
+    set: Fig2Set,
+    policies: Vec<PolicyKind>,
+    cells: Vec<CellId>,
+}
+
+/// Declare one Figure 2 panel's cells for an arbitrary policy list.
+pub fn plan_fig2(
+    plan: &mut Plan,
+    set: Fig2Set,
+    policies: &[PolicyKind],
+    rc: &RunnerConfig,
+) -> Fig2Cells {
+    let mut cells = Vec::with_capacity(PaperApp::ALL.len() * (1 + policies.len()));
+    for &app in PaperApp::ALL.iter() {
+        let spec = set.spec(app);
+        cells.push(plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Linux, rc)));
+        for &p in policies {
+            cells.push(plan.cell(RunRequest::spec(spec.clone(), p, rc)));
+        }
+    }
+    Fig2Cells {
+        set,
+        policies: policies.to_vec(),
+        cells,
+    }
+}
+
+/// Fold one Figure 2 panel: improvement % of each policy over Linux.
+pub fn fold_fig2(cells: &Fig2Cells, executed: &Executed) -> FigureSummary {
+    let per_app = 1 + cells.policies.len();
+    let rows = PaperApp::ALL
+        .iter()
+        .zip(cells.cells.chunks_exact(per_app))
+        .map(|(&app, ids)| {
+            let linux = executed.get(ids[0]);
+            ExperimentRow {
+                app: app.name().to_string(),
+                values: cells
+                    .policies
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        (
+                            p.label(),
+                            improvement_pct(
+                                linux.mean_turnaround_us,
+                                executed.get(ids[i + 1]).mean_turnaround_us,
+                            ),
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+    FigureSummary {
+        id: cells.set.id().into(),
+        title: cells.set.title().into(),
+        rows,
+    }
+}
+
+/// The panel's per-job results in declaration order (for trace merging
+/// and metrics).
+pub fn fig2_results(cells: &Fig2Cells, executed: &Executed) -> Vec<RunResult> {
+    cells
+        .cells
+        .iter()
+        .map(|&id| executed.get(id).clone())
+        .collect()
+}
+
 /// Regenerate one Figure 2 panel: improvement % of `policies` (default:
 /// Latest and Window) over the Linux baseline, per application.
 pub fn fig2(set: Fig2Set, rc: &RunnerConfig) -> FigureSummary {
@@ -77,53 +155,17 @@ pub fn fig2_with_policies_traced(
     policies: &[PolicyKind],
     rc: &RunnerConfig,
 ) -> (FigureSummary, Vec<RunResult>) {
-    let per_app = 1 + policies.len();
-    let jobs: Vec<(WorkloadSpec, PolicyKind)> = PaperApp::ALL
-        .iter()
-        .flat_map(|&app| {
-            let spec = set.spec(app);
-            let mut v = Vec::with_capacity(per_app);
-            v.push((spec.clone(), PolicyKind::Linux));
-            v.extend(policies.iter().map(|&p| (spec.clone(), p)));
-            v
-        })
-        .collect();
-    let results = par_map(&jobs, effective_workers(rc), |(spec, p)| {
-        run_spec(spec, *p, rc)
-    });
-    let rows = PaperApp::ALL
-        .iter()
-        .zip(results.chunks_exact(per_app))
-        .map(|(&app, r)| {
-            let linux = &r[0];
-            ExperimentRow {
-                app: app.name().to_string(),
-                values: policies
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| {
-                        (
-                            p.label(),
-                            improvement_pct(linux.mean_turnaround_us, r[i + 1].mean_turnaround_us),
-                        )
-                    })
-                    .collect(),
-            }
-        })
-        .collect();
-    (
-        FigureSummary {
-            id: set.id().into(),
-            title: set.title().into(),
-            rows,
-        },
-        results,
+    run_figure(
+        rc,
+        |plan| plan_fig2(plan, set, policies, rc),
+        |cells, executed| (fold_fig2(cells, executed), fig2_results(cells, executed)),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_spec;
 
     /// Reduced-size shape check for one heavy application on set A — the
     /// configuration with the paper's largest wins. Full panels are
@@ -150,5 +192,33 @@ mod tests {
             assert_eq!(s.spec(PaperApp::Cg).total_threads(), 8);
             assert!(!s.title().is_empty());
         }
+    }
+
+    #[test]
+    fn overlapping_policy_lists_share_baseline_and_policy_cells() {
+        let rc = RunnerConfig::quick();
+        let mut plan = Plan::new();
+        plan_fig2(
+            &mut plan,
+            Fig2Set::C,
+            &[PolicyKind::Latest, PolicyKind::Window],
+            &rc,
+        );
+        let after_panel = plan.len();
+        // The fitness ablation extends the same panel's policy list: only
+        // the three gang policies add new cells.
+        plan_fig2(
+            &mut plan,
+            Fig2Set::C,
+            &[
+                PolicyKind::Latest,
+                PolicyKind::Window,
+                PolicyKind::RoundRobinGang,
+                PolicyKind::RandomGang(rc.seed),
+                PolicyKind::GreedyPack,
+            ],
+            &rc,
+        );
+        assert_eq!(plan.len(), after_panel + 3 * PaperApp::ALL.len());
     }
 }

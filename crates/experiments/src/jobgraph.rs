@@ -1,0 +1,537 @@
+//! The sweep-wide job graph: declare cells, execute once, fold figures.
+//!
+//! Every figure module declares the simulator runs it needs as
+//! [`RunRequest`] *cells* on a shared [`Plan`]. Declaring is free and
+//! deduplicating: two figures that need the same fully-resolved run (same
+//! workload, policy, machine, seed, scale, hard cap, trace wiring) get
+//! the same [`CellId`] and the run executes **once**. [`Engine::execute`]
+//! then drains the deduplicated cell set through the content-addressed
+//! [`RunCache`](crate::cache::RunCache) and the work-stealing pool
+//! ([`steal_map`](crate::pool::steal_map)), and each figure folds its
+//! rows from the [`Executed`] results by [`CellId`].
+//!
+//! Results are indexed, not streamed, so fold order — and therefore every
+//! figure artifact — is byte-identical to the old per-figure serial
+//! loops for any worker count and any cache state.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use busbw_sim::MachineConfig;
+use busbw_workloads::mix::WorkloadSpec;
+use busbw_workloads::paper::PaperApp;
+
+use crate::cache::{
+    encode_machine, encode_policy, encode_trace_mode, encode_workload, Enc, RunCache, RunKey,
+    RUN_SCHEMA_VERSION,
+};
+use crate::pool::steal_map;
+use crate::runner::{run_spec, PolicyKind, RunResult, RunnerConfig, TraceMode};
+
+/// Handle to one declared cell of a [`Plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellId(usize);
+
+/// The shape of one simulator run.
+#[derive(Debug, Clone)]
+pub enum RunShape {
+    /// A closed-system run: everything arrives at t = 0
+    /// ([`run_spec`] semantics).
+    Spec(WorkloadSpec),
+    /// The open-system staggered-arrival run of the `dynamic` figure:
+    /// microbenchmark background at t = 0, two instances of `app` at
+    /// `stagger_us` and `2 × stagger_us`
+    /// ([`crate::dynamic::staggered_run`] semantics).
+    Staggered {
+        /// The measured paper application.
+        app: PaperApp,
+        /// Arrival offset of the first instance, µs.
+        stagger_us: u64,
+    },
+}
+
+/// One fully-resolved run: shape + policy + every [`RunnerConfig`] field
+/// that can change the numbers. `workers` is deliberately absent — it
+/// only affects wall-clock time, never results.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    shape: RunShape,
+    policy: PolicyKind,
+    machine: MachineConfig,
+    scale: f64,
+    seed: u64,
+    trace: TraceMode,
+    hard_cap_factor: f64,
+}
+
+impl RunRequest {
+    /// A closed-system cell: `spec` under `policy` with `rc`'s machine,
+    /// scale, seed, trace wiring, and hard cap.
+    pub fn spec(spec: WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> Self {
+        Self {
+            shape: RunShape::Spec(spec),
+            policy,
+            machine: rc.machine,
+            scale: rc.scale,
+            seed: rc.seed,
+            trace: rc.trace,
+            hard_cap_factor: rc.hard_cap_factor,
+        }
+    }
+
+    /// A staggered-arrival cell (the `dynamic` figure).
+    pub fn staggered(
+        app: PaperApp,
+        stagger_us: u64,
+        policy: PolicyKind,
+        rc: &RunnerConfig,
+    ) -> Self {
+        Self {
+            shape: RunShape::Staggered { app, stagger_us },
+            policy,
+            machine: rc.machine,
+            scale: rc.scale,
+            seed: rc.seed,
+            trace: rc.trace,
+            hard_cap_factor: rc.hard_cap_factor,
+        }
+    }
+
+    /// The content-addressed identity of this run: FNV-1a over the
+    /// canonical encoding of every field above, salted with
+    /// [`RUN_SCHEMA_VERSION`].
+    pub fn key(&self) -> RunKey {
+        let mut e = Enc::new();
+        e.u32(RUN_SCHEMA_VERSION);
+        match &self.shape {
+            RunShape::Spec(spec) => {
+                e.u8(0);
+                encode_workload(&mut e, spec);
+            }
+            RunShape::Staggered { app, stagger_us } => {
+                e.u8(1);
+                e.str(app.name());
+                e.u64(*stagger_us);
+            }
+        }
+        encode_policy(&mut e, &self.policy);
+        encode_machine(&mut e, &self.machine);
+        e.f64(self.scale);
+        e.u64(self.seed);
+        encode_trace_mode(&mut e, self.trace);
+        e.f64(self.hard_cap_factor);
+        RunKey::from_encoded(e.into_bytes())
+    }
+
+    /// The [`RunnerConfig`] this cell resolves to (single-run, so
+    /// `workers` is irrelevant and pinned to 1).
+    fn runner_config(&self) -> RunnerConfig {
+        RunnerConfig {
+            machine: self.machine,
+            scale: self.scale,
+            seed: self.seed,
+            workers: 1,
+            trace: self.trace,
+            hard_cap_factor: self.hard_cap_factor,
+        }
+    }
+
+    /// Execute the run. Deterministic: same request, bit-identical
+    /// [`RunResult`].
+    pub fn execute(&self) -> RunResult {
+        let rc = self.runner_config();
+        match &self.shape {
+            RunShape::Spec(spec) => run_spec(spec, self.policy, &rc),
+            RunShape::Staggered { app, stagger_us } => {
+                crate::dynamic::staggered_run(*app, self.policy, *stagger_us, &rc)
+            }
+        }
+    }
+}
+
+/// Position marker into a [`Plan`], for per-figure declare/dedup deltas.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanMark {
+    declared: u64,
+    unique: usize,
+}
+
+/// Per-figure slice of a plan's declare/dedup accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellStats {
+    /// Cells the figure declared (including duplicates).
+    pub declared: u64,
+    /// Cells that were new to the plan.
+    pub unique: u64,
+}
+
+impl CellStats {
+    /// Declared cells that were already in the plan.
+    pub fn deduped(&self) -> u64 {
+        self.declared - self.unique
+    }
+}
+
+/// An ordered, deduplicated set of run cells.
+#[derive(Debug, Default)]
+pub struct Plan {
+    requests: Vec<RunRequest>,
+    keys: Vec<RunKey>,
+    index: HashMap<RunKey, usize>,
+    declared: u64,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare one cell. If an identical cell (by [`RunRequest::key`])
+    /// was already declared — by this figure or any other sharing the
+    /// plan — the existing [`CellId`] is returned and nothing is added.
+    pub fn cell(&mut self, req: RunRequest) -> CellId {
+        self.declared += 1;
+        let key = req.key();
+        if let Some(&i) = self.index.get(&key) {
+            return CellId(i);
+        }
+        let i = self.requests.len();
+        self.index.insert(key.clone(), i);
+        self.requests.push(req);
+        self.keys.push(key);
+        CellId(i)
+    }
+
+    /// Number of unique cells.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when no cell has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Total `cell()` calls, duplicates included.
+    pub fn declared(&self) -> u64 {
+        self.declared
+    }
+
+    /// Current position, for [`Plan::since`].
+    pub fn checkpoint(&self) -> PlanMark {
+        PlanMark {
+            declared: self.declared,
+            unique: self.requests.len(),
+        }
+    }
+
+    /// Declare/dedup deltas since `mark` — the per-figure numbers
+    /// recorded in each figure's manifest.
+    pub fn since(&self, mark: PlanMark) -> CellStats {
+        CellStats {
+            declared: self.declared - mark.declared,
+            unique: (self.requests.len() - mark.unique) as u64,
+        }
+    }
+}
+
+/// Executed results of a plan, indexed by [`CellId`].
+#[derive(Debug)]
+pub struct Executed {
+    results: Vec<Arc<RunResult>>,
+}
+
+impl Executed {
+    /// The result of one cell.
+    pub fn get(&self, id: CellId) -> &RunResult {
+        &self.results[id.0]
+    }
+
+    /// Shared handle to one cell's result.
+    pub fn get_arc(&self, id: CellId) -> Arc<RunResult> {
+        Arc::clone(&self.results[id.0])
+    }
+}
+
+/// Cumulative accounting of everything an [`Engine`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Cells declared on executed plans, duplicates included.
+    pub declared: u64,
+    /// Unique cells after plan-level dedup.
+    pub unique: u64,
+    /// Cells served by the run cache (memory or disk tier).
+    pub cache_hits: u64,
+    /// Cells the cache could not serve.
+    pub cache_misses: u64,
+    /// Runs actually executed by the pool.
+    pub executed: u64,
+    /// Work-stealing claims across pool chunks.
+    pub steals: u64,
+}
+
+impl ExecStats {
+    /// Declared cells eliminated by plan-level dedup.
+    pub fn deduped(&self) -> u64 {
+        self.declared - self.unique
+    }
+
+    /// Cache hit rate over unique cells, in `[0, 1]` (0 when nothing ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Stats accumulated since an earlier snapshot of the same engine
+    /// (e.g. the warm pass of `bench sweep`).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            declared: self.declared - earlier.declared,
+            unique: self.unique - earlier.unique,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            executed: self.executed - earlier.executed,
+            steals: self.steals - earlier.steals,
+        }
+    }
+
+    /// Record these stats into a metrics registry under the engine's
+    /// counter namespace (`cells.*`, `cache.*`, `pool.*`).
+    pub fn record(&self, reg: &mut busbw_metrics::MetricsRegistry) {
+        reg.inc_counter("cells.declared", self.declared);
+        reg.inc_counter("cells.deduped", self.deduped());
+        reg.inc_counter("cache.hits", self.cache_hits);
+        reg.inc_counter("cache.misses", self.cache_misses);
+        reg.inc_counter("pool.executed", self.executed);
+        reg.inc_counter("pool.steals", self.steals);
+        reg.set_gauge("cache.hit_rate", self.hit_rate());
+    }
+}
+
+/// The execution engine: a [`RunCache`] plus the work-stealing pool.
+///
+/// One engine lives for a whole `experiments` invocation, so its
+/// in-memory cache deduplicates across successive [`Engine::execute`]
+/// calls too (e.g. a figure re-planned by `trace <fig>` after `all`).
+#[derive(Debug)]
+pub struct Engine {
+    cache: RunCache,
+    stats: ExecStats,
+}
+
+impl Engine {
+    /// An engine over the given cache.
+    pub fn new(cache: RunCache) -> Self {
+        Self {
+            cache,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// An engine with a fresh memory-only cache — what the legacy
+    /// per-figure entry points use.
+    pub fn ephemeral() -> Self {
+        Self::new(RunCache::new(None, true))
+    }
+
+    /// Execute every cell of `plan` not already served by the cache, on
+    /// up to `workers` threads with work stealing, and return the results
+    /// indexed by [`CellId`].
+    pub fn execute(&mut self, plan: &Plan, workers: usize) -> Executed {
+        let mut slots: Vec<Option<Arc<RunResult>>> = vec![None; plan.requests.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, key) in plan.keys.iter().enumerate() {
+            match self.cache.get(key) {
+                Some((r, _tier)) => {
+                    self.stats.cache_hits += 1;
+                    slots[i] = Some(r);
+                }
+                None => {
+                    self.stats.cache_misses += 1;
+                    missing.push(i);
+                }
+            }
+        }
+        let (fresh, steal) = steal_map(&missing, workers, |&i| plan.requests[i].execute());
+        self.stats.executed += steal.executed;
+        self.stats.steals += steal.steals;
+        for (&i, r) in missing.iter().zip(fresh) {
+            let arc = Arc::new(r);
+            self.cache.put(plan.keys[i].clone(), Arc::clone(&arc));
+            slots[i] = Some(arc);
+        }
+        self.stats.declared += plan.declared;
+        self.stats.unique += plan.requests.len() as u64;
+        Executed {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every cell resolved"))
+                .collect(),
+        }
+    }
+
+    /// Everything this engine has done so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+}
+
+/// Plan, execute, and fold one figure on a throwaway engine — the shared
+/// implementation of the legacy per-figure entry points.
+pub fn run_figure<C, R>(
+    rc: &RunnerConfig,
+    declare: impl FnOnce(&mut Plan) -> C,
+    fold: impl FnOnce(&C, &Executed) -> R,
+) -> R {
+    let mut plan = Plan::new();
+    let cells = declare(&mut plan);
+    let executed = Engine::ephemeral().execute(&plan, crate::runner::effective_workers(rc));
+    fold(&cells, &executed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busbw_workloads::mix::fig2_set_b;
+
+    fn quick() -> RunnerConfig {
+        RunnerConfig {
+            scale: 0.05,
+            ..RunnerConfig::default()
+        }
+    }
+
+    #[test]
+    fn identical_cells_dedup_to_one_id() {
+        let rc = quick();
+        let mut plan = Plan::new();
+        let a = plan.cell(RunRequest::spec(
+            fig2_set_b(PaperApp::Cg),
+            PolicyKind::Linux,
+            &rc,
+        ));
+        let b = plan.cell(RunRequest::spec(
+            fig2_set_b(PaperApp::Cg),
+            PolicyKind::Linux,
+            &rc,
+        ));
+        let c = plan.cell(RunRequest::spec(
+            fig2_set_b(PaperApp::Cg),
+            PolicyKind::Window,
+            &rc,
+        ));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.declared(), 3);
+    }
+
+    #[test]
+    fn engine_counts_hits_on_replayed_plans() {
+        let rc = quick();
+        let mut plan = Plan::new();
+        let id = plan.cell(RunRequest::spec(
+            fig2_set_b(PaperApp::Volrend),
+            PolicyKind::Linux,
+            &rc,
+        ));
+        let mut engine = Engine::ephemeral();
+        let first = engine.execute(&plan, 1);
+        assert_eq!(engine.stats().cache_misses, 1);
+        assert_eq!(engine.stats().cache_hits, 0);
+        let second = engine.execute(&plan, 1);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.stats().executed, 1, "second pass served from cache");
+        // Cache-served result is the same allocation, hence bit-identical.
+        assert!(Arc::ptr_eq(&first.get_arc(id), &second.get_arc(id)));
+    }
+
+    #[test]
+    fn per_figure_marks_slice_the_accounting() {
+        let rc = quick();
+        let mut plan = Plan::new();
+        let m0 = plan.checkpoint();
+        plan.cell(RunRequest::spec(
+            fig2_set_b(PaperApp::Cg),
+            PolicyKind::Linux,
+            &rc,
+        ));
+        let fig1 = plan.since(m0);
+        assert_eq!(
+            fig1,
+            CellStats {
+                declared: 1,
+                unique: 1
+            }
+        );
+        let m1 = plan.checkpoint();
+        // A second "figure" re-declares the same cell plus one new one.
+        plan.cell(RunRequest::spec(
+            fig2_set_b(PaperApp::Cg),
+            PolicyKind::Linux,
+            &rc,
+        ));
+        plan.cell(RunRequest::spec(
+            fig2_set_b(PaperApp::Cg),
+            PolicyKind::Latest,
+            &rc,
+        ));
+        let fig2 = plan.since(m1);
+        assert_eq!(
+            fig2,
+            CellStats {
+                declared: 2,
+                unique: 1
+            }
+        );
+        assert_eq!(fig2.deduped(), 1);
+    }
+
+    #[test]
+    fn run_key_separates_every_tunable() {
+        let rc = quick();
+        let base = RunRequest::spec(fig2_set_b(PaperApp::Cg), PolicyKind::Linux, &rc);
+        let k = base.key();
+        let variants = [
+            RunRequest::spec(fig2_set_b(PaperApp::Mg), PolicyKind::Linux, &rc),
+            RunRequest::spec(fig2_set_b(PaperApp::Cg), PolicyKind::Latest, &rc),
+            RunRequest::spec(
+                fig2_set_b(PaperApp::Cg),
+                PolicyKind::Linux,
+                &RunnerConfig { seed: 43, ..rc },
+            ),
+            RunRequest::spec(
+                fig2_set_b(PaperApp::Cg),
+                PolicyKind::Linux,
+                &RunnerConfig { scale: 0.06, ..rc },
+            ),
+            RunRequest::spec(
+                fig2_set_b(PaperApp::Cg),
+                PolicyKind::Linux,
+                &RunnerConfig {
+                    hard_cap_factor: 50.0,
+                    ..rc
+                },
+            ),
+            RunRequest::spec(
+                fig2_set_b(PaperApp::Cg),
+                PolicyKind::Linux,
+                &RunnerConfig {
+                    trace: TraceMode::Collect,
+                    ..rc
+                },
+            ),
+            RunRequest::staggered(PaperApp::Cg, 100_000, PolicyKind::Linux, &rc),
+        ];
+        for v in &variants {
+            assert_ne!(v.key(), k, "{v:?} must not collide with the base key");
+        }
+        // But workers never enters the key: same request, same key.
+        assert_eq!(base.key(), k);
+    }
+}

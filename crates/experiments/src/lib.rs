@@ -26,23 +26,33 @@
 
 pub mod ablate;
 pub mod baselines;
+pub mod cache;
 pub mod dynamic;
 pub mod fig1;
 pub mod fig2;
+pub mod jobgraph;
+pub mod pool;
 pub mod robustness;
 pub mod runner;
+pub mod suite;
 pub mod validate;
 pub mod variance;
 
 pub use ablate::{ablate_fitness, ablate_quantum, ablate_smt, ablate_window};
 pub use baselines::baselines;
-pub use dynamic::{dynamic_arrivals, staggered_turnaround};
+pub use cache::{RunCache, RunKey, RUN_SCHEMA_VERSION};
+pub use dynamic::{dynamic_arrivals, staggered_run, staggered_turnaround};
 pub use fig1::{fig1a, fig1a_traced, fig1b, fig1b_traced};
 pub use fig2::{fig2, fig2_with_policies_traced, Fig2Set};
+pub use jobgraph::{
+    CellId, CellStats, Engine, ExecStats, Executed, Plan, PlanMark, RunRequest, RunShape,
+};
+pub use pool::{steal_map, StealStats};
 pub use robustness::robustness;
 pub use runner::{
     collect_metrics, effective_workers, merge_traces, par_map, run_spec, solo_turnaround_us,
     PolicyKind, RunCompletion, RunResult, RunnerConfig, TraceMode, UnfinishedApp,
 };
+pub use suite::{fold_suite, plan_suite, SuiteCells, SuiteFigure};
 pub use validate::{render as render_validation, validate, Claim};
 pub use variance::fig2b_variance;

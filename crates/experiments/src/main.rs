@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <command> [--scale X] [--seed N] [--out DIR] [--trace-out PATH]
+//!                       [--cache-dir DIR] [--no-cache]
 //!
 //! commands:
 //!   fig1a | fig1b | fig2a | fig2b | fig2c   one figure
@@ -17,23 +18,40 @@
 //! subcommand) the figure's runs also write a structured JSONL trace,
 //! merged deterministically across the parallel runner's workers; the
 //! figure numbers are identical to a traceless run.
+//!
+//! Every command routes its simulator runs through the sweep-wide job
+//! graph: cells are deduplicated by content-addressed run key, served
+//! from the run cache when possible, and executed on a work-stealing
+//! pool. `--cache-dir DIR` persists results across invocations (keyed by
+//! the canonical run encoding, so any parameter change misses);
+//! `--no-cache` disables caching entirely. Figure outputs are
+//! byte-identical for any `--workers` value and any cache state.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 
-use busbw_experiments::PolicyKind;
-use busbw_experiments::{
-    ablate_fitness, ablate_quantum, ablate_smt, ablate_window, baselines, collect_metrics,
-    dynamic_arrivals, fig1a, fig1a_traced, fig1b, fig1b_traced, fig2, fig2_with_policies_traced,
-    fig2b_variance, merge_traces, render_validation, robustness, validate, Fig2Set, RunResult,
-    RunnerConfig, TraceMode,
+use busbw_experiments::ablate::{
+    fold_fitness, fold_quantum, fold_smt, fold_window, plan_fitness, plan_quantum, plan_smt,
+    plan_window,
 };
-use busbw_metrics::{FigureSummary, Table};
-use busbw_trace::{git_describe, json, ArtifactSum, Manifest, TraceInfo};
+use busbw_experiments::baselines::{fold_baselines, plan_baselines};
+use busbw_experiments::dynamic::{fold_dynamic, plan_dynamic};
+use busbw_experiments::fig1::{fig1_results, fold_fig1a, fold_fig1b, plan_fig1};
+use busbw_experiments::fig2::{fig2_results, fold_fig2, plan_fig2};
+use busbw_experiments::robustness::{fold_robustness, plan_robustness};
+use busbw_experiments::validate::{fold_validate, plan_validate};
+use busbw_experiments::variance::{fold_variance, plan_variance};
+use busbw_experiments::{
+    collect_metrics, effective_workers, fold_suite, merge_traces, plan_suite, render_validation,
+    CellStats, Engine, ExecStats, Executed, Fig2Set, Plan, PolicyKind, RunCache, RunResult,
+    RunnerConfig, SuiteFigure, TraceMode,
+};
+use busbw_metrics::{FigureSummary, MetricsRegistry, Table};
+use busbw_trace::{fnv1a64, git_describe, json, ArtifactSum, Manifest, TraceInfo};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|dynamic|baselines|robustness|validate|variance|bench tick-rate|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH]"
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|dynamic|baselines|robustness|validate|variance|bench tick-rate|bench sweep|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -43,6 +61,8 @@ struct Args {
     rc: RunnerConfig,
     out: PathBuf,
     trace_out: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +76,8 @@ fn parse_args() -> Args {
     let mut rc = RunnerConfig::default();
     let mut out = PathBuf::from("results");
     let mut trace_out = None;
+    let mut cache_dir = None;
+    let mut no_cache = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -82,6 +104,10 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
+            "--cache-dir" => {
+                cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--no-cache" => no_cache = true,
             _ => usage(),
         }
     }
@@ -90,6 +116,8 @@ fn parse_args() -> Args {
         rc,
         out,
         trace_out,
+        cache_dir,
+        no_cache,
     }
 }
 
@@ -103,7 +131,7 @@ fn parse_args() -> Args {
 /// throughput *includes* the cost of every emission site — the number the
 /// ≤2 % tracing-overhead budget is checked against.
 fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf) {
-    use busbw_experiments::{effective_workers, par_map, run_spec};
+    use busbw_experiments::{par_map, run_spec};
     use busbw_workloads::mix::{fig1_solo, fig1_with_bbma, fig2_set_a, fig2_set_b, WorkloadSpec};
     use busbw_workloads::paper::PaperApp;
 
@@ -152,6 +180,88 @@ fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf) {
     std::fs::write("BENCH_tick.json", &json).expect("write BENCH_tick.json");
 }
 
+/// One pass of `bench sweep` as a JSON object body.
+fn sweep_pass_json(wall_s: f64, stats: &ExecStats) -> String {
+    format!(
+        "{{\"wall_s\": {:.6}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \"executed\": {}, \"steals\": {}}}",
+        wall_s,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate(),
+        stats.executed,
+        stats.steals
+    )
+}
+
+/// `bench sweep`: execute the full `all` plan twice on one engine — a
+/// cold pass (relative to the engine's cache state at startup: empty
+/// unless `--cache-dir` points at a warm directory) and a warm pass
+/// served from the run cache — and report wall time, dedup and cache
+/// counters, and whether the two passes folded byte-identical figures.
+/// Writes `BENCH_sweep.json` to the output directory and the working
+/// directory.
+fn bench_sweep(rc: &RunnerConfig, out: &PathBuf, engine: &mut Engine) {
+    let workers = effective_workers(rc);
+    let mut plan = Plan::new();
+    let cells = plan_suite(&mut plan, rc);
+    let digest = |figs: &[SuiteFigure]| -> u64 {
+        let mut buf = String::new();
+        for sf in figs {
+            buf.push_str(&Table::from_figure(&sf.fig).to_csv());
+        }
+        fnv1a64(buf.as_bytes())
+    };
+
+    let t0 = std::time::Instant::now();
+    let executed = engine.execute(&plan, workers);
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let cold = *engine.stats();
+    let cold_digest = digest(&fold_suite(&cells, &executed));
+
+    let t1 = std::time::Instant::now();
+    let executed = engine.execute(&plan, workers);
+    let warm_wall = t1.elapsed().as_secs_f64();
+    let warm = engine.stats().since(&cold);
+    let warm_digest = digest(&fold_suite(&cells, &executed));
+
+    let identical = cold_digest == warm_digest;
+    println!("== bench sweep (full `all` plan, cold + warm)\n");
+    println!(
+        "   cells: {} declared, {} unique, {} deduped; workers: {workers}",
+        plan.declared(),
+        plan.len(),
+        plan.declared() - plan.len() as u64
+    );
+    println!(
+        "   cold: {cold_wall:.3} s ({} executed, {} cache hits, {} steals)",
+        cold.executed, cold.cache_hits, cold.steals
+    );
+    println!(
+        "   warm: {warm_wall:.3} s ({} executed, {} cache hits, hit rate {:.0} %)",
+        warm.executed,
+        warm.cache_hits,
+        100.0 * warm.hit_rate()
+    );
+    println!("   figures: fnv1a64 {cold_digest:016x}, cold == warm: {identical}");
+    assert!(identical, "warm pass must fold byte-identical figures");
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"cells_declared\": {},\n  \"cells_unique\": {},\n  \"cells_deduped\": {},\n  \"cold\": {},\n  \"warm\": {},\n  \"outputs_identical\": {},\n  \"figures_fnv1a64\": \"{:016x}\"\n}}\n",
+        rc.scale,
+        rc.seed,
+        workers,
+        plan.declared(),
+        plan.len(),
+        plan.declared() - plan.len() as u64,
+        sweep_pass_json(cold_wall, &cold),
+        sweep_pass_json(warm_wall, &warm),
+        identical,
+        cold_digest
+    );
+    std::fs::create_dir_all(out).expect("create output dir");
+    std::fs::write(out.join("BENCH_sweep.json"), &json).expect("write BENCH_sweep.json");
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+}
+
 /// Context for the manifest written next to each figure's artifacts.
 struct EmitCtx {
     /// The command as typed (e.g. `fig2a`, `trace fig2a`).
@@ -172,6 +282,23 @@ impl EmitCtx {
             metrics_json: None,
         }
     }
+}
+
+/// Record the figure's cell accounting and the engine's cumulative
+/// cache/dedup/steal counters into `reg` (the numbers that land in the
+/// figure's manifest).
+fn record_exec(reg: &mut MetricsRegistry, figure: CellStats, engine: &Engine) {
+    reg.inc_counter("figure.cells.declared", figure.declared);
+    reg.inc_counter("figure.cells.unique", figure.unique);
+    reg.inc_counter("figure.cells.deduped", figure.deduped());
+    engine.stats().record(reg);
+}
+
+/// The exec-stats metrics snapshot as manifest JSON.
+fn exec_metrics_json(figure: CellStats, engine: &Engine) -> String {
+    let mut reg = MetricsRegistry::new();
+    record_exec(&mut reg, figure, engine);
+    reg.to_json()
 }
 
 fn emit(fig: &FigureSummary, out: &PathBuf, ctx: &EmitCtx) {
@@ -217,6 +344,26 @@ fn emit(fig: &FigureSummary, out: &PathBuf, ctx: &EmitCtx) {
     .expect("write manifest");
 }
 
+/// Plan one figure, execute it on the shared engine, fold, and emit with
+/// exec stats in the manifest.
+fn emit_figure<C>(
+    engine: &mut Engine,
+    ctx: &mut EmitCtx,
+    out: &PathBuf,
+    rc: &RunnerConfig,
+    declare: impl FnOnce(&mut Plan) -> C,
+    fold: impl FnOnce(&C, &Executed) -> FigureSummary,
+) {
+    let mut plan = Plan::new();
+    let mark = plan.checkpoint();
+    let cells = declare(&mut plan);
+    let stats = plan.since(mark);
+    let executed = engine.execute(&plan, effective_workers(rc));
+    let fig = fold(&cells, &executed);
+    ctx.metrics_json = Some(exec_metrics_json(stats, engine));
+    emit(&fig, out, ctx);
+}
+
 fn summary_table(figs: &[FigureSummary], out: &PathBuf) {
     let mut t = Table::new(&["Set", "Policy", "Max impr %", "Avg impr %", "Min impr %"]);
     for fig in figs {
@@ -237,25 +384,46 @@ fn summary_table(figs: &[FigureSummary], out: &PathBuf) {
     std::fs::write(out.join("summary.csv"), t.to_csv()).expect("write csv");
 }
 
-/// Run one of the five figures with per-run trace collection.
-fn traced_figure(exp: &str, rc: &RunnerConfig) -> Option<(FigureSummary, Vec<RunResult>)> {
+/// Run one of the five figures with per-run trace collection, through the
+/// shared engine (so traced runs hit the same cache as everything else —
+/// collected traces are cached under their own run key, never mixed with
+/// traceless results).
+fn traced_figure(
+    exp: &str,
+    rc: &RunnerConfig,
+    engine: &mut Engine,
+) -> Option<(FigureSummary, Vec<RunResult>, CellStats)> {
     let rc = RunnerConfig {
         trace: TraceMode::Collect,
         ..*rc
     };
-    Some(match exp {
-        "fig1a" => fig1a_traced(&rc),
-        "fig1b" => fig1b_traced(&rc),
-        "fig2a" => {
-            fig2_with_policies_traced(Fig2Set::A, &[PolicyKind::Latest, PolicyKind::Window], &rc)
-        }
-        "fig2b" => {
-            fig2_with_policies_traced(Fig2Set::B, &[PolicyKind::Latest, PolicyKind::Window], &rc)
-        }
-        "fig2c" => {
-            fig2_with_policies_traced(Fig2Set::C, &[PolicyKind::Latest, PolicyKind::Window], &rc)
-        }
+    let default_policies = [PolicyKind::Latest, PolicyKind::Window];
+    let mut plan = Plan::new();
+    let mark = plan.checkpoint();
+    enum Cells {
+        One(busbw_experiments::fig1::Fig1Cells, bool),
+        Two(busbw_experiments::fig2::Fig2Cells),
+    }
+    let cells = match exp {
+        "fig1a" => Cells::One(plan_fig1(&mut plan, &rc), true),
+        "fig1b" => Cells::One(plan_fig1(&mut plan, &rc), false),
+        "fig2a" => Cells::Two(plan_fig2(&mut plan, Fig2Set::A, &default_policies, &rc)),
+        "fig2b" => Cells::Two(plan_fig2(&mut plan, Fig2Set::B, &default_policies, &rc)),
+        "fig2c" => Cells::Two(plan_fig2(&mut plan, Fig2Set::C, &default_policies, &rc)),
         _ => return None,
+    };
+    let stats = plan.since(mark);
+    let executed = engine.execute(&plan, effective_workers(&rc));
+    Some(match cells {
+        Cells::One(c, panel_a) => {
+            let fig = if panel_a {
+                fold_fig1a(&c, &executed)
+            } else {
+                fold_fig1b(&c, &executed)
+            };
+            (fig, fig1_results(&c, &executed), stats)
+        }
+        Cells::Two(c) => (fold_fig2(&c, &executed), fig2_results(&c, &executed), stats),
     })
 }
 
@@ -284,9 +452,10 @@ fn run_traced(
     rc: &RunnerConfig,
     out: &PathBuf,
     trace_out: Option<&PathBuf>,
+    engine: &mut Engine,
 ) -> Vec<(usize, busbw_trace::TraceEvent)> {
     let mut ctx = EmitCtx::new(command, rc);
-    let Some((fig, results)) = traced_figure(exp, rc) else {
+    let Some((fig, results, stats)) = traced_figure(exp, rc, engine) else {
         eprintln!("`{exp}` does not support tracing (figures only: fig1a|fig1b|fig2a|fig2b|fig2c)");
         std::process::exit(2);
     };
@@ -300,7 +469,9 @@ fn run_traced(
         path: path.display().to_string(),
         events: merged.len() as u64,
     });
-    ctx.metrics_json = Some(collect_metrics(&fig, &results, &merged).to_json());
+    let mut reg = collect_metrics(&fig, &results, &merged);
+    record_exec(&mut reg, stats, engine);
+    ctx.metrics_json = Some(reg.to_json());
     emit(&fig, out, &ctx);
     println!("   trace: {} events -> {}", merged.len(), path.display());
     merged
@@ -310,14 +481,23 @@ fn main() {
     let args = parse_args();
     let rc = args.rc;
     let out = &args.out;
-    let ctx = EmitCtx::new(&args.command, &rc);
+    let mut engine = Engine::new(RunCache::new(args.cache_dir.clone(), !args.no_cache));
+    let mut ctx = EmitCtx::new(&args.command, &rc);
     let figure_ids = ["fig1a", "fig1b", "fig2a", "fig2b", "fig2c"];
+    let default_policies = [PolicyKind::Latest, PolicyKind::Window];
 
     // `--trace-out` turns any figure command into its traced flow; the
     // figure numbers are identical either way (tracing only observes).
     if let Some(path) = &args.trace_out {
         if figure_ids.contains(&args.command.as_str()) {
-            run_traced(&args.command, &args.command, &rc, out, Some(path));
+            run_traced(
+                &args.command,
+                &args.command,
+                &rc,
+                out,
+                Some(path),
+                &mut engine,
+            );
             return;
         }
         if !args.command.starts_with("trace ") {
@@ -327,7 +507,14 @@ fn main() {
     }
 
     if let Some(exp) = args.command.strip_prefix("trace ") {
-        let merged = run_traced(exp, &args.command, &rc, out, args.trace_out.as_ref());
+        let merged = run_traced(
+            exp,
+            &args.command,
+            &rc,
+            out,
+            args.trace_out.as_ref(),
+            &mut engine,
+        );
         // Validation: the manifest must parse and the trace be non-empty.
         let manifest_path = out.join(format!("{exp}.manifest.json"));
         let text = std::fs::read_to_string(&manifest_path).expect("read back manifest");
@@ -350,26 +537,101 @@ fn main() {
     }
 
     match args.command.as_str() {
-        "fig1a" => emit(&fig1a(&rc), out, &ctx),
-        "fig1b" => emit(&fig1b(&rc), out, &ctx),
-        "fig2a" => emit(&fig2(Fig2Set::A, &rc), out, &ctx),
-        "fig2b" => emit(&fig2(Fig2Set::B, &rc), out, &ctx),
-        "fig2c" => emit(&fig2(Fig2Set::C, &rc), out, &ctx),
+        "fig1a" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_fig1(p, &rc),
+            fold_fig1a,
+        ),
+        "fig1b" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_fig1(p, &rc),
+            fold_fig1b,
+        ),
+        "fig2a" | "fig2b" | "fig2c" => {
+            let set = match args.command.as_str() {
+                "fig2a" => Fig2Set::A,
+                "fig2b" => Fig2Set::B,
+                _ => Fig2Set::C,
+            };
+            emit_figure(
+                &mut engine,
+                &mut ctx,
+                out,
+                &rc,
+                |p| plan_fig2(p, set, &default_policies, &rc),
+                fold_fig2,
+            );
+        }
         "summary" => {
-            let figs: Vec<FigureSummary> = [Fig2Set::A, Fig2Set::B, Fig2Set::C]
+            // One plan for all three panels: shared cells execute once.
+            let mut plan = Plan::new();
+            let panels: Vec<_> = [Fig2Set::A, Fig2Set::B, Fig2Set::C]
                 .into_iter()
-                .map(|s| fig2(s, &rc))
+                .map(|s| plan_fig2(&mut plan, s, &default_policies, &rc))
                 .collect();
+            let executed = engine.execute(&plan, effective_workers(&rc));
+            let figs: Vec<FigureSummary> = panels.iter().map(|c| fold_fig2(c, &executed)).collect();
             summary_table(&figs, out);
         }
-        "ablate-window" => emit(&ablate_window(&rc), out, &ctx),
-        "ablate-quantum" => emit(&ablate_quantum(&rc), out, &ctx),
-        "ablate-fitness" => emit(&ablate_fitness(&rc), out, &ctx),
-        "ablate-smt" => emit(&ablate_smt(&rc), out, &ctx),
-        "dynamic" => emit(&dynamic_arrivals(&rc), out, &ctx),
-        "baselines" => emit(&baselines(&rc), out, &ctx),
+        "ablate-window" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_window(p, &rc),
+            fold_window,
+        ),
+        "ablate-quantum" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_quantum(p, &rc),
+            fold_quantum,
+        ),
+        "ablate-fitness" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_fitness(p, &rc),
+            fold_fitness,
+        ),
+        "ablate-smt" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_smt(p, &rc),
+            fold_smt,
+        ),
+        "dynamic" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_dynamic(p, &rc),
+            fold_dynamic,
+        ),
+        "baselines" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_baselines(p, &rc),
+            fold_baselines,
+        ),
         "validate" => {
-            let claims = validate(&rc);
+            let mut plan = Plan::new();
+            let cells = plan_validate(&mut plan, &rc);
+            let executed = engine.execute(&plan, effective_workers(&rc));
+            let claims = fold_validate(&cells, &executed);
             let (report, all) = render_validation(&claims);
             println!("== validate — reproduction gate\n");
             print!("{report}");
@@ -380,31 +642,49 @@ fn main() {
             }
         }
         "bench tick-rate" => bench_tick_rate(&rc, out),
-        "robustness" => emit(&robustness(10, 5, &rc), out, &ctx),
+        "bench sweep" => bench_sweep(&rc, out, &mut engine),
+        "robustness" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_robustness(p, 10, 5, &rc),
+            fold_robustness,
+        ),
         "variance" => {
             for p in [PolicyKind::Latest, PolicyKind::Window] {
-                let mut fig = fig2b_variance(p, 5, &rc);
-                fig.id = format!("variance-{}", p.label().to_lowercase());
-                emit(&fig, out, &ctx);
+                emit_figure(
+                    &mut engine,
+                    &mut ctx,
+                    out,
+                    &rc,
+                    |plan| plan_variance(plan, p, 5, &rc),
+                    |c, e| {
+                        let mut fig = fold_variance(c, e);
+                        fig.id = format!("variance-{}", p.label().to_lowercase());
+                        fig
+                    },
+                );
             }
         }
         "all" => {
-            emit(&fig1a(&rc), out, &ctx);
-            emit(&fig1b(&rc), out, &ctx);
-            let mut figs = Vec::new();
-            for s in [Fig2Set::A, Fig2Set::B, Fig2Set::C] {
-                let f = fig2(s, &rc);
-                emit(&f, out, &ctx);
-                figs.push(f);
+            // The whole sweep is ONE plan: every figure's cells
+            // deduplicated together and drained by a single
+            // work-stealing pool, no inter-figure barriers.
+            let mut plan = Plan::new();
+            let cells = plan_suite(&mut plan, &rc);
+            let executed = engine.execute(&plan, effective_workers(&rc));
+            let figs = fold_suite(&cells, &executed);
+            for sf in &figs[..5] {
+                ctx.metrics_json = Some(exec_metrics_json(sf.cells, &engine));
+                emit(&sf.fig, out, &ctx);
             }
-            summary_table(&figs, out);
-            emit(&ablate_window(&rc), out, &ctx);
-            emit(&ablate_quantum(&rc), out, &ctx);
-            emit(&ablate_fitness(&rc), out, &ctx);
-            emit(&ablate_smt(&rc), out, &ctx);
-            emit(&dynamic_arrivals(&rc), out, &ctx);
-            emit(&baselines(&rc), out, &ctx);
-            emit(&robustness(10, 5, &rc), out, &ctx);
+            let panels: Vec<FigureSummary> = figs[2..5].iter().map(|sf| sf.fig.clone()).collect();
+            summary_table(&panels, out);
+            for sf in &figs[5..] {
+                ctx.metrics_json = Some(exec_metrics_json(sf.cells, &engine));
+                emit(&sf.fig, out, &ctx);
+            }
         }
         _ => usage(),
     }

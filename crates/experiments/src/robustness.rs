@@ -7,33 +7,26 @@
 //! widths, burstiness — see [`busbw_workloads::synth`]), run each under
 //! every scheduler, and report the distribution of improvements over
 //! Linux.
+//!
+//! The trials are declared as job-graph cells — `trials × (1 + policies)`
+//! of them — so the whole experiment parallelizes across `--workers`
+//! instead of looping serially. The synthetic specs carry their work
+//! volume pre-scaled (the generator bakes `scale` into `work_us`), so the
+//! cells resolve with `scale = 1` and the ×200 trial hard cap folded into
+//! `hard_cap_factor`.
 
-use busbw_metrics::{improvement_pct, mean, ExperimentRow, FigureSummary};
-use busbw_sim::StopCondition;
-use busbw_workloads::mix::{build_machine, WorkloadSpec};
+use busbw_metrics::{improvement_pct, ExperimentRow, FigureSummary};
+use busbw_workloads::mix::WorkloadSpec;
 use busbw_workloads::synth::{generate, SynthConfig};
 
+use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
 use crate::runner::{PolicyKind, RunnerConfig};
 
-/// Mean turnaround (µs) of all finite jobs of `spec` under `policy`.
-fn run_random(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> f64 {
-    let built = build_machine(spec, rc.machine, rc.seed);
-    let mut machine = built.machine;
-    machine
-        .set_hard_cap_us((busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * 200.0) as u64);
-    let mut sched = policy.build();
-    let out = machine.run(
-        &mut *sched,
-        StopCondition::AppsFinished(built.measured_ids.clone()),
-    );
-    assert!(out.condition_met, "random workload hit the hard cap");
-    let ts: Vec<f64> = built
-        .measured_ids
-        .iter()
-        .map(|&id| machine.turnaround_us(id).unwrap() as f64)
-        .collect();
-    mean(&ts).expect("synth workloads always have measured jobs")
-}
+const ROBUSTNESS_POLICIES: [PolicyKind; 3] = [
+    PolicyKind::Latest,
+    PolicyKind::Window,
+    PolicyKind::ModelDriven,
+];
 
 /// Build a measured workload from a random population.
 fn random_spec(trial: u64, jobs: usize, rc: &RunnerConfig) -> WorkloadSpec {
@@ -51,26 +44,70 @@ fn random_spec(trial: u64, jobs: usize, rc: &RunnerConfig) -> WorkloadSpec {
     }
 }
 
-/// The robustness figure: per trial, improvement % of each policy over
-/// Linux; plus an aggregate row.
-pub fn robustness(trials: u64, jobs: usize, rc: &RunnerConfig) -> FigureSummary {
+/// Cell handles for the robustness figure: per trial, the Linux baseline
+/// then each policy.
+#[derive(Debug)]
+pub struct RobustnessCells {
+    trials: u64,
+    jobs: usize,
+    cells: Vec<CellId>,
+}
+
+/// Declare the robustness trials. Each trial's spec is generated here
+/// (deterministic per seed), and every run gets the robustness hard cap
+/// (×200 of the scaled solo work — random mixes can be adversarial).
+pub fn plan_robustness(
+    plan: &mut Plan,
+    trials: u64,
+    jobs: usize,
+    rc: &RunnerConfig,
+) -> RobustnessCells {
     assert!(trials >= 1);
-    let policies = [
-        PolicyKind::Latest,
-        PolicyKind::Window,
-        PolicyKind::ModelDriven,
-    ];
-    let mut rows = Vec::new();
-    let mut sums: Vec<f64> = vec![0.0; policies.len()];
-    let mut wins: Vec<u32> = vec![0; policies.len()];
+    // The synth specs are already scaled, so the cell runs at scale 1 with
+    // the trial budget folded into the cap factor (scale × 200 of the
+    // unscaled solo work = 200 × the scaled work volume).
+    let cell_rc = RunnerConfig {
+        scale: 1.0,
+        hard_cap_factor: rc.scale * 200.0,
+        ..*rc
+    };
+    let mut cells = Vec::new();
     for trial in 0..trials {
         let spec = random_spec(trial, jobs, rc);
-        let linux = run_random(&spec, PolicyKind::Linux, rc);
+        cells.push(plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Linux, &cell_rc)));
+        for p in ROBUSTNESS_POLICIES {
+            cells.push(plan.cell(RunRequest::spec(spec.clone(), p, &cell_rc)));
+        }
+    }
+    RobustnessCells {
+        trials,
+        jobs,
+        cells,
+    }
+}
+
+/// Mean turnaround of one cell, asserting the trial finished (a capped
+/// random workload is a generator bug, not a data point).
+fn trial_turnaround(executed: &Executed, id: CellId) -> f64 {
+    let r = executed.get(id);
+    assert!(
+        r.completion.is_finished(),
+        "random workload hit the hard cap"
+    );
+    r.mean_turnaround_us
+}
+
+/// Fold the robustness figure: per-trial improvements plus the win-rate
+/// aggregate row.
+pub fn fold_robustness(cells: &RobustnessCells, executed: &Executed) -> FigureSummary {
+    let per_trial = 1 + ROBUSTNESS_POLICIES.len();
+    let mut rows = Vec::new();
+    let mut wins: Vec<u32> = vec![0; ROBUSTNESS_POLICIES.len()];
+    for (trial, ids) in cells.cells.chunks_exact(per_trial).enumerate() {
+        let linux = trial_turnaround(executed, ids[0]);
         let mut values = Vec::new();
-        for (i, &p) in policies.iter().enumerate() {
-            let t = run_random(&spec, p, rc);
-            let imp = improvement_pct(linux, t);
-            sums[i] += imp;
+        for (i, &p) in ROBUSTNESS_POLICIES.iter().enumerate() {
+            let imp = improvement_pct(linux, trial_turnaround(executed, ids[i + 1]));
             if imp > 0.0 {
                 wins[i] += 1;
             }
@@ -83,17 +120,30 @@ pub fn robustness(trials: u64, jobs: usize, rc: &RunnerConfig) -> FigureSummary 
     }
     rows.push(ExperimentRow {
         app: "WIN RATE %".into(),
-        values: policies
+        values: ROBUSTNESS_POLICIES
             .iter()
             .enumerate()
-            .map(|(i, p)| (p.label(), 100.0 * wins[i] as f64 / trials as f64))
+            .map(|(i, p)| (p.label(), 100.0 * wins[i] as f64 / cells.trials as f64))
             .collect(),
     });
     FigureSummary {
         id: "robustness".into(),
-        title: format!("{trials} random {jobs}-job workloads — improvement % over Linux"),
+        title: format!(
+            "{} random {}-job workloads — improvement % over Linux",
+            cells.trials, cells.jobs
+        ),
         rows,
     }
+}
+
+/// The robustness figure: per trial, improvement % of each policy over
+/// Linux; plus an aggregate row.
+pub fn robustness(trials: u64, jobs: usize, rc: &RunnerConfig) -> FigureSummary {
+    run_figure(
+        rc,
+        |plan| plan_robustness(plan, trials, jobs, rc),
+        fold_robustness,
+    )
 }
 
 #[cfg(test)]

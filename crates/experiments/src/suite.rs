@@ -1,0 +1,229 @@
+//! The whole-sweep plan behind `experiments all`.
+//!
+//! Instead of running each figure's private parallel loop back to back —
+//! a barrier between every figure, and shared cells (the Figure 2C
+//! Linux baselines reappear in three ablations and the baselines figure)
+//! re-executed each time — `all` declares every figure's cells on **one**
+//! plan and drains the deduplicated set through a single
+//! [`Engine::execute`](crate::jobgraph::Engine::execute) call: one
+//! work-stealing pool across the whole sweep, no inter-figure barriers,
+//! every shared run executed once.
+//!
+//! Folding is pure and ordered, so the emitted figures are byte-identical
+//! to running each figure command on its own.
+
+use busbw_metrics::FigureSummary;
+
+use crate::ablate::{
+    fold_fitness, fold_quantum, fold_smt, fold_window, plan_fitness, plan_quantum, plan_smt,
+    plan_window, QuantumCells, SmtCells, WindowCells,
+};
+use crate::baselines::{fold_baselines, plan_baselines, BaselineCells};
+use crate::dynamic::{fold_dynamic, plan_dynamic, DynamicCells};
+use crate::fig1::{fold_fig1a, fold_fig1b, plan_fig1, Fig1Cells};
+use crate::fig2::{fold_fig2, plan_fig2, Fig2Cells, Fig2Set};
+use crate::jobgraph::{CellStats, Executed, Plan};
+use crate::robustness::{fold_robustness, plan_robustness, RobustnessCells};
+use crate::runner::{PolicyKind, RunnerConfig};
+
+/// Trial count of the `robustness` figure in the full sweep.
+pub const SUITE_ROBUSTNESS_TRIALS: u64 = 10;
+/// Jobs per robustness trial in the full sweep.
+pub const SUITE_ROBUSTNESS_JOBS: usize = 5;
+
+/// Cell handles (plus per-figure declare/dedup accounting) for every
+/// figure of the full sweep.
+#[derive(Debug)]
+pub struct SuiteCells {
+    fig1: Fig1Cells,
+    /// Shared by both Figure 1 panels — they fold one cell set.
+    fig1_stats: CellStats,
+    fig2: Vec<(Fig2Cells, CellStats)>,
+    window: (WindowCells, CellStats),
+    quantum: (QuantumCells, CellStats),
+    fitness: (Fig2Cells, CellStats),
+    smt: (SmtCells, CellStats),
+    dynamic: (DynamicCells, CellStats),
+    baselines: (BaselineCells, CellStats),
+    robustness: (RobustnessCells, CellStats),
+}
+
+/// One folded figure of the sweep, with the declare/dedup numbers that
+/// go into its manifest.
+#[derive(Debug)]
+pub struct SuiteFigure {
+    /// The folded figure, ready to emit.
+    pub fig: FigureSummary,
+    /// Cells this figure declared on the shared plan. Hits against cells
+    /// another figure already declared count as `deduped`; the two
+    /// Figure 1 panels share one cell set and report the same numbers.
+    pub cells: CellStats,
+}
+
+/// Declare every figure of the full sweep on one shared plan, in the
+/// order `experiments all` emits them.
+pub fn plan_suite(plan: &mut Plan, rc: &RunnerConfig) -> SuiteCells {
+    let mark = plan.checkpoint();
+    let fig1 = plan_fig1(plan, rc);
+    let fig1_stats = plan.since(mark);
+
+    let fig2 = [Fig2Set::A, Fig2Set::B, Fig2Set::C]
+        .into_iter()
+        .map(|set| {
+            let mark = plan.checkpoint();
+            let cells = plan_fig2(plan, set, &[PolicyKind::Latest, PolicyKind::Window], rc);
+            (cells, plan.since(mark))
+        })
+        .collect();
+
+    let mark = plan.checkpoint();
+    let window = plan_window(plan, rc);
+    let window = (window, plan.since(mark));
+
+    let mark = plan.checkpoint();
+    let quantum = plan_quantum(plan, rc);
+    let quantum = (quantum, plan.since(mark));
+
+    let mark = plan.checkpoint();
+    let fitness = plan_fitness(plan, rc);
+    let fitness = (fitness, plan.since(mark));
+
+    let mark = plan.checkpoint();
+    let smt = plan_smt(plan, rc);
+    let smt = (smt, plan.since(mark));
+
+    let mark = plan.checkpoint();
+    let dynamic = plan_dynamic(plan, rc);
+    let dynamic = (dynamic, plan.since(mark));
+
+    let mark = plan.checkpoint();
+    let baselines = plan_baselines(plan, rc);
+    let baselines = (baselines, plan.since(mark));
+
+    let mark = plan.checkpoint();
+    let robustness = plan_robustness(plan, SUITE_ROBUSTNESS_TRIALS, SUITE_ROBUSTNESS_JOBS, rc);
+    let robustness = (robustness, plan.since(mark));
+
+    SuiteCells {
+        fig1,
+        fig1_stats,
+        fig2,
+        window,
+        quantum,
+        fitness,
+        smt,
+        dynamic,
+        baselines,
+        robustness,
+    }
+}
+
+/// Fold every figure of the sweep from the executed cell set, in
+/// emission order: `fig1a`, `fig1b`, `fig2a..c`, the four ablations,
+/// `dynamic`, `baselines`, `robustness`.
+pub fn fold_suite(cells: &SuiteCells, executed: &Executed) -> Vec<SuiteFigure> {
+    let mut out = Vec::new();
+    out.push(SuiteFigure {
+        fig: fold_fig1a(&cells.fig1, executed),
+        cells: cells.fig1_stats,
+    });
+    out.push(SuiteFigure {
+        fig: fold_fig1b(&cells.fig1, executed),
+        cells: cells.fig1_stats,
+    });
+    for (c, stats) in &cells.fig2 {
+        out.push(SuiteFigure {
+            fig: fold_fig2(c, executed),
+            cells: *stats,
+        });
+    }
+    out.push(SuiteFigure {
+        fig: fold_window(&cells.window.0, executed),
+        cells: cells.window.1,
+    });
+    out.push(SuiteFigure {
+        fig: fold_quantum(&cells.quantum.0, executed),
+        cells: cells.quantum.1,
+    });
+    out.push(SuiteFigure {
+        fig: fold_fitness(&cells.fitness.0, executed),
+        cells: cells.fitness.1,
+    });
+    out.push(SuiteFigure {
+        fig: fold_smt(&cells.smt.0, executed),
+        cells: cells.smt.1,
+    });
+    out.push(SuiteFigure {
+        fig: fold_dynamic(&cells.dynamic.0, executed),
+        cells: cells.dynamic.1,
+    });
+    out.push(SuiteFigure {
+        fig: fold_baselines(&cells.baselines.0, executed),
+        cells: cells.baselines.1,
+    });
+    out.push(SuiteFigure {
+        fig: fold_robustness(&cells.robustness.0, executed),
+        cells: cells.robustness.1,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobgraph::Engine;
+    use crate::runner::effective_workers;
+
+    #[test]
+    fn suite_plan_dedups_across_figures() {
+        let rc = RunnerConfig::quick();
+        let mut plan = Plan::new();
+        let cells = plan_suite(&mut plan, &rc);
+        assert!(
+            (plan.declared() as usize) > plan.len(),
+            "cross-figure sharing must dedup cells: declared {} unique {}",
+            plan.declared(),
+            plan.len()
+        );
+        // The ablations re-declare Figure 2C cells, so at least the
+        // fitness ablation must report dedup.
+        assert!(cells.fitness.1.deduped() > 0, "{:?}", cells.fitness.1);
+        assert!(cells.baselines.1.deduped() > 0, "{:?}", cells.baselines.1);
+    }
+
+    #[test]
+    fn suite_figures_match_standalone_runs() {
+        // The single-plan sweep must fold byte-identical figures to the
+        // per-figure entry points (spot-check two that share cells).
+        let rc = RunnerConfig {
+            scale: 0.02,
+            ..RunnerConfig::default()
+        };
+        let mut plan = Plan::new();
+        let cells = plan_suite(&mut plan, &rc);
+        let executed = Engine::ephemeral().execute(&plan, effective_workers(&rc));
+        let figs = fold_suite(&cells, &executed);
+        let ids: Vec<&str> = figs.iter().map(|f| f.fig.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "fig1a",
+                "fig1b",
+                "fig2a",
+                "fig2b",
+                "fig2c",
+                "ablate-window",
+                "ablate-quantum",
+                "ablate-fitness",
+                "ablate-smt",
+                "dynamic",
+                "baselines",
+                "robustness"
+            ]
+        );
+        let standalone = crate::fig2::fig2(Fig2Set::C, &rc);
+        assert_eq!(format!("{standalone:?}"), format!("{:?}", figs[4].fig));
+        let standalone = crate::baselines::baselines(&rc);
+        assert_eq!(format!("{standalone:?}"), format!("{:?}", figs[10].fig));
+    }
+}

@@ -5,13 +5,21 @@
 //! suite and prints PASS/FAIL per claim — the command a CI pipeline runs
 //! to ensure a change to the simulator, the calibration, or the policies
 //! has not silently broken the reproduction.
+//!
+//! The suite declares all of its runs as job-graph cells up front — the
+//! Figure 2 panels, the solo/fig1 probes, the fitness and strawman
+//! cells — so they execute on the work-stealing pool with cross-claim
+//! dedup (e.g. the Window cells of the fitness claim are the same cells
+//! as the Figure 2 panels') instead of the old one-`run_spec`-at-a-time
+//! serial loop.
 
 use busbw_metrics::{improvement_pct, FigureSummary};
 use busbw_workloads::mix;
 use busbw_workloads::paper::PaperApp;
 
-use crate::fig2::{fig2, Fig2Set};
-use crate::runner::{run_spec, solo_turnaround_us, PolicyKind, RunnerConfig};
+use crate::fig2::{fold_fig2, plan_fig2, Fig2Cells, Fig2Set};
+use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
+use crate::runner::{PolicyKind, RunnerConfig};
 
 /// One validated claim.
 #[derive(Debug, Clone)]
@@ -40,17 +48,120 @@ fn spread(fig: &FigureSummary, series: &str) -> f64 {
     fig.series_max(series).unwrap_or(0.0) - fig.series_min(series).unwrap_or(0.0)
 }
 
-/// Run the full validation suite. Claims are grouped per figure; every
-/// run is deterministic for a given `rc`.
-pub fn validate(rc: &RunnerConfig) -> Vec<Claim> {
+/// The fitness-vs-round-robin aggregate cells.
+const FITNESS_CELLS: [(Fig2Set, PaperApp); 3] = [
+    (Fig2Set::B, PaperApp::Raytrace),
+    (Fig2Set::B, PaperApp::Cg),
+    (Fig2Set::C, PaperApp::Mg),
+];
+
+/// Cell handles for the whole validation suite.
+#[derive(Debug)]
+pub struct ValidateCells {
+    /// Solo run per app, `PaperApp::ALL` order (Fig. 1A rates).
+    solos: Vec<CellId>,
+    /// CG + 2×BBMA (saturation claim).
+    cg_bbma: CellId,
+    /// MG two-instance / +BBMA / +nBBMA (Fig. 1B slowdowns; the solo
+    /// denominator is `solos[MG]`).
+    mg_solo: CellId,
+    mg_two: CellId,
+    mg_bbma: CellId,
+    mg_nbbma: CellId,
+    /// The three Figure 2 panels with the default policies.
+    panels: Vec<(Fig2Set, Fig2Cells)>,
+    /// `(round_robin, window)` per [`FITNESS_CELLS`] entry.
+    fitness: Vec<(CellId, CellId)>,
+    /// `(linux, greedy)` for the strawman claim on set C / MG.
+    strawman: (CellId, CellId),
+}
+
+/// Declare every run the validation suite needs.
+pub fn plan_validate(plan: &mut Plan, rc: &RunnerConfig) -> ValidateCells {
+    let solos = PaperApp::ALL
+        .iter()
+        .map(|&app| plan.cell(RunRequest::spec(mix::fig1_solo(app), PolicyKind::Linux, rc)))
+        .collect::<Vec<_>>();
+    let cg_bbma = plan.cell(RunRequest::spec(
+        mix::fig1_with_bbma(PaperApp::Cg),
+        PolicyKind::Linux,
+        rc,
+    ));
+    let mg = PaperApp::ALL
+        .iter()
+        .position(|&a| a == PaperApp::Mg)
+        .expect("MG is in the suite");
+    let mg_solo = solos[mg];
+    let mg_two = plan.cell(RunRequest::spec(
+        mix::fig1_two_instances(PaperApp::Mg),
+        PolicyKind::Linux,
+        rc,
+    ));
+    let mg_bbma = plan.cell(RunRequest::spec(
+        mix::fig1_with_bbma(PaperApp::Mg),
+        PolicyKind::Linux,
+        rc,
+    ));
+    let mg_nbbma = plan.cell(RunRequest::spec(
+        mix::fig1_with_nbbma(PaperApp::Mg),
+        PolicyKind::Linux,
+        rc,
+    ));
+    let panels = [Fig2Set::A, Fig2Set::B, Fig2Set::C]
+        .into_iter()
+        .map(|s| {
+            (
+                s,
+                plan_fig2(plan, s, &[PolicyKind::Latest, PolicyKind::Window], rc),
+            )
+        })
+        .collect();
+    let fitness = FITNESS_CELLS
+        .iter()
+        .map(|&(set, app)| {
+            let spec = set.spec(app);
+            (
+                plan.cell(RunRequest::spec(
+                    spec.clone(),
+                    PolicyKind::RoundRobinGang,
+                    rc,
+                )),
+                plan.cell(RunRequest::spec(spec, PolicyKind::Window, rc)),
+            )
+        })
+        .collect();
+    let strawman_spec = Fig2Set::C.spec(PaperApp::Mg);
+    let strawman = (
+        plan.cell(RunRequest::spec(
+            strawman_spec.clone(),
+            PolicyKind::Linux,
+            rc,
+        )),
+        plan.cell(RunRequest::spec(strawman_spec, PolicyKind::GreedyPack, rc)),
+    );
+    ValidateCells {
+        solos,
+        cg_bbma,
+        mg_solo,
+        mg_two,
+        mg_bbma,
+        mg_nbbma,
+        panels,
+        fitness,
+        strawman,
+    }
+}
+
+/// Fold the executed cells into the claim list.
+pub fn fold_validate(cells: &ValidateCells, executed: &Executed) -> Vec<Claim> {
     let mut out = Vec::new();
 
     // ---- Figure 1A claims ----
-    let mut rates = Vec::new();
-    for app in PaperApp::ALL {
-        let r = run_spec(&mix::fig1_solo(app), PolicyKind::Linux, rc);
-        rates.push((app, r.measured_apps_rate));
-    }
+    let rates: Vec<(PaperApp, f64)> = PaperApp::ALL
+        .iter()
+        .zip(&cells.solos)
+        .map(|(&app, &id)| (app, executed.get(id).measured_apps_rate))
+        .collect();
     let non_bursty_sorted = rates
         .iter()
         .filter(|(a, _)| *a != PaperApp::Raytrace)
@@ -64,29 +175,19 @@ pub fn validate(rc: &RunnerConfig) -> Vec<Claim> {
         non_bursty_sorted,
         format!("{rates:?}"),
     ));
-    let bbma = run_spec(&mix::fig1_with_bbma(PaperApp::Cg), PolicyKind::Linux, rc);
+    let bbma_rate = executed.get(cells.cg_bbma).workload_rate;
     out.push(claim(
         "fig1a",
         "BBMA mixes drive the workload near saturation (>25 tx/µs)",
-        bbma.workload_rate > 25.0,
-        format!("{:.1} tx/µs", bbma.workload_rate),
+        bbma_rate > 25.0,
+        format!("{bbma_rate:.1} tx/µs"),
     ));
 
     // ---- Figure 1B claims ----
-    let solo = solo_turnaround_us(PaperApp::Mg, rc);
-    let two = run_spec(
-        &mix::fig1_two_instances(PaperApp::Mg),
-        PolicyKind::Linux,
-        rc,
-    )
-    .mean_turnaround_us
-        / solo;
-    let with_bbma = run_spec(&mix::fig1_with_bbma(PaperApp::Mg), PolicyKind::Linux, rc)
-        .mean_turnaround_us
-        / solo;
-    let with_nbbma = run_spec(&mix::fig1_with_nbbma(PaperApp::Mg), PolicyKind::Linux, rc)
-        .mean_turnaround_us
-        / solo;
+    let solo = executed.get(cells.mg_solo).mean_turnaround_us;
+    let two = executed.get(cells.mg_two).mean_turnaround_us / solo;
+    let with_bbma = executed.get(cells.mg_bbma).mean_turnaround_us / solo;
+    let with_nbbma = executed.get(cells.mg_nbbma).mean_turnaround_us / solo;
     out.push(claim(
         "fig1b",
         "two heavy instances lose ~41-61 %",
@@ -107,9 +208,10 @@ pub fn validate(rc: &RunnerConfig) -> Vec<Claim> {
     ));
 
     // ---- Figure 2 claims ----
-    let figs: Vec<(Fig2Set, FigureSummary)> = [Fig2Set::A, Fig2Set::B, Fig2Set::C]
-        .into_iter()
-        .map(|s| (s, fig2(s, rc)))
+    let figs: Vec<(Fig2Set, FigureSummary)> = cells
+        .panels
+        .iter()
+        .map(|(s, c)| (*s, fold_fig2(c, executed)))
         .collect();
     for (set, fig) in &figs {
         for series in ["Latest", "Window"] {
@@ -149,18 +251,11 @@ pub fn validate(rc: &RunnerConfig) -> Vec<Claim> {
 
     // ---- Ablation claim: fitness beats oblivious fills in aggregate ----
     let mut log_ratio = 0.0;
-    let cells = [
-        (Fig2Set::B, PaperApp::Raytrace),
-        (Fig2Set::B, PaperApp::Cg),
-        (Fig2Set::C, PaperApp::Mg),
-    ];
-    for (set, app) in cells {
-        let spec = set.spec(app);
-        let rr = run_spec(&spec, PolicyKind::RoundRobinGang, rc);
-        let win = run_spec(&spec, PolicyKind::Window, rc);
-        log_ratio += (rr.mean_turnaround_us / win.mean_turnaround_us).ln();
+    for &(rr, win) in &cells.fitness {
+        log_ratio +=
+            (executed.get(rr).mean_turnaround_us / executed.get(win).mean_turnaround_us).ln();
     }
-    let geo = (log_ratio / cells.len() as f64).exp();
+    let geo = (log_ratio / cells.fitness.len() as f64).exp();
     out.push(claim(
         "ablate-fitness",
         "Equation-1 fitness beats round-robin gang in aggregate",
@@ -169,20 +264,23 @@ pub fn validate(rc: &RunnerConfig) -> Vec<Claim> {
     ));
 
     // ---- Greedy strawman claim ----
-    let spec = Fig2Set::C.spec(PaperApp::Mg);
-    let linux = run_spec(&spec, PolicyKind::Linux, rc);
-    let greedy = run_spec(&spec, PolicyKind::GreedyPack, rc);
+    let (linux_id, greedy_id) = cells.strawman;
+    let linux = executed.get(linux_id).mean_turnaround_us;
+    let greedy = executed.get(greedy_id).mean_turnaround_us;
     out.push(claim(
         "ablate-fitness",
         "greedy bandwidth-packing is harmful",
-        greedy.mean_turnaround_us > linux.mean_turnaround_us,
-        format!(
-            "greedy {:+.1} % vs Linux",
-            improvement_pct(linux.mean_turnaround_us, greedy.mean_turnaround_us)
-        ),
+        greedy > linux,
+        format!("greedy {:+.1} % vs Linux", improvement_pct(linux, greedy)),
     ));
 
     out
+}
+
+/// Run the full validation suite. Claims are grouped per figure; every
+/// run is deterministic for a given `rc`.
+pub fn validate(rc: &RunnerConfig) -> Vec<Claim> {
+    run_figure(rc, |plan| plan_validate(plan, rc), fold_validate)
 }
 
 /// Render claims as a report; returns `(text, all_passed)`.
@@ -218,5 +316,20 @@ mod tests {
         let (report, all) = render(&claims);
         assert!(all, "reproduction claims failed:\n{report}");
         assert!(claims.len() >= 12);
+    }
+
+    #[test]
+    fn validation_plan_dedups_cross_claim_cells() {
+        // The fitness claim's Window cells and the strawman's Linux cell
+        // are already declared by the Figure 2 panels.
+        let rc = RunnerConfig::quick();
+        let mut plan = Plan::new();
+        plan_validate(&mut plan, &rc);
+        assert!(
+            (plan.declared() as usize) > plan.len(),
+            "expected cross-claim dedup: declared {} unique {}",
+            plan.declared(),
+            plan.len()
+        );
     }
 }

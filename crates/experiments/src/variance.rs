@@ -7,53 +7,107 @@
 //! with the strongest stochastic effects) across seeds and reports
 //! mean / min / max improvement per application — the error bars the
 //! paper did not have.
+//!
+//! The per-seed runs are declared as job-graph cells (2 × seeds × 11
+//! apps), so the sweep parallelizes across `--workers` like the figures
+//! instead of looping serially.
 
 use busbw_metrics::{improvement_pct, mean, ExperimentRow, FigureSummary};
 use busbw_workloads::paper::PaperApp;
 
 use crate::fig2::Fig2Set;
-use crate::runner::{run_spec, PolicyKind, RunnerConfig};
+use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
+use crate::runner::{PolicyKind, RunnerConfig};
+
+/// Cell handles for the variance figure: per app, `seeds` pairs of
+/// `(linux, policy)` cells at seed `rc.seed + k`.
+#[derive(Debug)]
+pub struct VarianceCells {
+    policy: PolicyKind,
+    seeds: u64,
+    per_app: Vec<Vec<(CellId, CellId)>>,
+}
+
+/// Declare the multi-seed Figure 2B cells for one policy.
+pub fn plan_variance(
+    plan: &mut Plan,
+    policy: PolicyKind,
+    seeds: u64,
+    rc: &RunnerConfig,
+) -> VarianceCells {
+    assert!(seeds >= 1, "need at least one seed");
+    let per_app = PaperApp::ALL
+        .iter()
+        .map(|&app| {
+            let spec = Fig2Set::B.spec(app);
+            (0..seeds)
+                .map(|k| {
+                    let rck = RunnerConfig {
+                        seed: rc.seed + k,
+                        ..*rc
+                    };
+                    (
+                        plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Linux, &rck)),
+                        plan.cell(RunRequest::spec(spec.clone(), policy, &rck)),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    VarianceCells {
+        policy,
+        seeds,
+        per_app,
+    }
+}
+
+/// Fold the variance figure: mean/min/max improvement per application.
+pub fn fold_variance(cells: &VarianceCells, executed: &Executed) -> FigureSummary {
+    let rows = PaperApp::ALL
+        .iter()
+        .zip(&cells.per_app)
+        .map(|(&app, pairs)| {
+            let imps: Vec<f64> = pairs
+                .iter()
+                .map(|&(linux, run)| {
+                    improvement_pct(
+                        executed.get(linux).mean_turnaround_us,
+                        executed.get(run).mean_turnaround_us,
+                    )
+                })
+                .collect();
+            let lo = imps.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = imps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            ExperimentRow {
+                app: app.name().to_string(),
+                values: vec![
+                    // `imps` has `seeds >= 1` entries, asserted at plan time.
+                    ("mean".into(), mean(&imps).expect("at least one seed")),
+                    ("min".into(), lo),
+                    ("max".into(), hi),
+                ],
+            }
+        })
+        .collect();
+    FigureSummary {
+        id: "variance".into(),
+        title: format!(
+            "Fig. 2B improvement % for {} across {} seeds (mean/min/max)",
+            cells.policy.label(),
+            cells.seeds
+        ),
+        rows,
+    }
+}
 
 /// Multi-seed Figure 2B for one policy: per app, mean[min..max] over
 /// `seeds` runs (seed `rc.seed + k`).
 pub fn fig2b_variance(policy: PolicyKind, seeds: u64, rc: &RunnerConfig) -> FigureSummary {
-    assert!(seeds >= 1, "need at least one seed");
-    let mut rows = Vec::new();
-    for app in PaperApp::ALL {
-        let spec = Fig2Set::B.spec(app);
-        let mut imps = Vec::new();
-        for k in 0..seeds {
-            let rck = RunnerConfig {
-                seed: rc.seed + k,
-                ..*rc
-            };
-            let linux = run_spec(&spec, PolicyKind::Linux, &rck);
-            let r = run_spec(&spec, policy, &rck);
-            imps.push(improvement_pct(
-                linux.mean_turnaround_us,
-                r.mean_turnaround_us,
-            ));
-        }
-        let lo = imps.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = imps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        rows.push(ExperimentRow {
-            app: app.name().to_string(),
-            values: vec![
-                // `imps` has `seeds >= 1` entries, asserted above.
-                ("mean".into(), mean(&imps).expect("at least one seed")),
-                ("min".into(), lo),
-                ("max".into(), hi),
-            ],
-        });
-    }
-    FigureSummary {
-        id: "variance".into(),
-        title: format!(
-            "Fig. 2B improvement % for {} across {seeds} seeds (mean/min/max)",
-            policy.label()
-        ),
-        rows,
-    }
+    run_figure(
+        rc,
+        |plan| plan_variance(plan, policy, seeds, rc),
+        fold_variance,
+    )
 }
 
 #[cfg(test)]
