@@ -9,7 +9,7 @@ use std::hint::black_box;
 
 use busbw_core::estimator::{BandwidthEstimator, QuantaWindowEstimator};
 use busbw_core::model::predict_set_value;
-use busbw_core::{fitness, select_gangs, Candidate, DemandTracker, LinuxLikeScheduler};
+use busbw_core::{fitness, linux_like, select_gangs, Candidate, DemandTracker};
 use busbw_metrics::MovingWindow;
 use busbw_sim::{
     AppDescriptor, BusConfig, BusModel, BusRequest, CacheConfig, CacheState, ConstantDemand, CpuId,
@@ -146,7 +146,7 @@ fn bench_machine(c: &mut Criterion) {
                     .collect();
                 m.add_app(AppDescriptor::new(format!("a{i}"), threads));
             }
-            let mut s = LinuxLikeScheduler::new();
+            let mut s = linux_like();
             black_box(m.run(&mut s, StopCondition::At(1_000_000)))
         })
     });

@@ -85,8 +85,9 @@ pub struct QuantaWindowEstimator {
 
 impl QuantaWindowEstimator {
     /// The paper's window length: 5 samples (2.5 quanta at 2 samples per
-    /// quantum).
-    pub const PAPER_WINDOW: usize = 5;
+    /// quantum). Sourced from the pipeline's paper constants so every
+    /// preset and default agrees on one definition.
+    pub const PAPER_WINDOW: usize = crate::pipeline::PAPER_WINDOW_SAMPLES;
 
     /// An estimator with the paper's 5-sample window.
     pub fn new() -> Self {

@@ -10,17 +10,27 @@
 //!   moving window of the last 5 counter samples, trading responsiveness
 //!   for robustness to bursts.
 //!
-//! Both run inside [`BusAwareScheduler`], a gang-like quantum scheduler:
-//! an application is given processors only if all of its threads fit; the
-//! job at the head of a circular list is always admitted (no starvation);
-//! remaining processors are filled by repeatedly picking the job with the
-//! highest [`fitness`] — the proximity between the job's bandwidth/thread
-//! and the still-available bus bandwidth per unallocated processor.
+//! Every scheduler here is a [`pipeline::PolicyStack`]: a composition of
+//! four stages — *estimate* (measure each job's bandwidth), *admit*
+//! (unconditional admissions, e.g. the paper's head-of-list rule), *select*
+//! (fill the remaining processors, e.g. by [`fitness`]), and *place* (map
+//! gangs onto cpus). The paper policies compose
+//! [`pipeline::ReconstructingEstimator`] + [`pipeline::HeadOfList`] +
+//! [`pipeline::FitnessSelector`] + [`pipeline::PackedPlacer`] via
+//! [`bus_aware`]: an application is given processors only if all of its
+//! threads fit; the job at the head of a circular list is always admitted
+//! (no starvation); remaining processors are filled by repeatedly picking
+//! the job with the highest [`fitness`] — the proximity between the job's
+//! bandwidth/thread and the still-available bus bandwidth per unallocated
+//! processor.
 //!
-//! The baseline is [`LinuxLikeScheduler`], a time-sharing scheduler with
-//! dynamic time slices, epochs, and cache-affinity bias modeled on the
-//! Linux 2.4 scheduler the paper compares against. [`oracle`] has further
-//! comparators (random gang, round-robin gang, greedy) for ablations.
+//! The baseline is [`linux_like`], a time-sharing scheduler with dynamic
+//! time slices, epochs, and cache-affinity bias modeled on the Linux 2.4
+//! scheduler the paper compares against ([`linux26::linux_o1`] models the
+//! newer O(1) scheduler). [`oracle`] has further comparators (random gang,
+//! round-robin gang, greedy) for ablations — all presets over the same
+//! stages, so any estimator/admission/selector/placer combination can
+//! also be composed directly.
 //!
 //! [`manager`] reproduces the paper's **user-level CPU manager** as real
 //! concurrent code: connection protocol, shared arena, block/unblock
@@ -39,6 +49,7 @@ pub mod linux26;
 pub mod manager;
 pub mod model;
 pub mod oracle;
+pub mod pipeline;
 pub mod reconstruct;
 pub mod sched;
 pub mod selection;
@@ -47,20 +58,22 @@ pub use estimator::{
     BandwidthEstimator, EwmaEstimator, LatestQuantumEstimator, QuantaWindowEstimator,
 };
 pub use fitness::{available_bbw_per_proc, fitness};
-pub use linux::{LinuxConfig, LinuxLikeScheduler};
-pub use linux26::{LinuxO1Scheduler, O1Config};
+pub use linux::{linux_like, linux_like_with_config, LinuxConfig, LinuxEpochSelector};
+pub use linux26::{linux_o1, linux_o1_with_config, LinuxO1Selector, O1Config};
 pub use model::{predict_set_value, ModelDrivenScheduler};
+pub use oracle::{greedy_pack, random_gang, round_robin_gang, round_robin_gang_with_quantum};
+pub use pipeline::{PolicyStack, SoloSelector};
 pub use reconstruct::{DemandTracker, Reconstruction};
-pub use sched::{BusAwareScheduler, PolicyConfig};
+pub use sched::{bus_aware, bus_aware_with_config, PolicyConfig};
 pub use selection::{select_gangs, select_gangs_report, Admission, Candidate};
 
 /// Convenience: the 'Latest Quantum' policy as a ready-to-run scheduler.
-pub fn latest_quantum() -> BusAwareScheduler {
-    BusAwareScheduler::new(Box::new(LatestQuantumEstimator::new()))
+pub fn latest_quantum() -> PolicyStack {
+    bus_aware(Box::new(LatestQuantumEstimator::new()))
 }
 
 /// Convenience: the 'Quanta Window' policy (5-sample window) as a
 /// ready-to-run scheduler.
-pub fn quanta_window() -> BusAwareScheduler {
-    BusAwareScheduler::new(Box::new(QuantaWindowEstimator::new()))
+pub fn quanta_window() -> PolicyStack {
+    bus_aware(Box::new(QuantaWindowEstimator::new()))
 }

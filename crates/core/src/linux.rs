@@ -1,4 +1,5 @@
-//! The baseline: a Linux 2.4-class time-sharing scheduler.
+//! The baseline: a Linux 2.4-class time-sharing scheduler, expressed as a
+//! pinned-placement [`crate::pipeline::Selector`] plus presets.
 //!
 //! The paper compares against "the standard Linux scheduler" of kernel
 //! 2.4.20. What matters for the comparison is reproduced here:
@@ -12,9 +13,12 @@
 //!   gets a goodness bonus on it, biasing the scheduler to keep threads
 //!   where their cache state lives;
 //! * **bandwidth obliviousness** — nothing in the selection looks at bus
-//!   traffic, so an application thread is happily co-scheduled with three
-//!   BBMA streamers, which is precisely the pathology of §5;
-//! * threads are scheduled **independently** (no gangs).
+//!   traffic (the preset stack uses the null estimator), so an application
+//!   thread is happily co-scheduled with three BBMA streamers, which is
+//!   precisely the pathology of §5;
+//! * threads are scheduled **independently** (no gangs) — the selector
+//!   returns a pinned thread→cpu schedule, bypassing admission and
+//!   placement.
 //!
 //! The model is a global-queue approximation of the per-cpu O(n) 2.4
 //! scheduler, invoked every `quantum_us` (the paper states the Linux
@@ -22,9 +26,14 @@
 
 use std::collections::BTreeMap;
 
-use busbw_sim::{Assignment, CpuId, Decision, MachineView, Scheduler, SimTime, ThreadId};
+use busbw_sim::{AppId, Assignment, CpuId, SimTime, ThreadId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::pipeline::{
+    NullEstimator, Open, PackedPlacer, PolicyStack, Selection, Selector, StageCtx,
+};
+use crate::selection::Candidate;
 
 /// Baseline configuration.
 #[derive(Debug, Clone, Copy)]
@@ -65,8 +74,10 @@ impl Default for LinuxConfig {
     }
 }
 
-/// The Linux-2.4-like baseline scheduler.
-pub struct LinuxLikeScheduler {
+/// The Linux-2.4 epoch/goodness selection as a pipeline stage: scores
+/// every (free cpu, runnable thread) pair by remaining slice + affinity
+/// bonus + seeded jitter and returns a [`Selection::Pinned`] schedule.
+pub struct LinuxEpochSelector {
     cfg: LinuxConfig,
     /// Remaining slice per thread (µs). May go slightly negative when a
     /// thread runs past its slice inside one scheduler interval.
@@ -79,13 +90,16 @@ pub struct LinuxLikeScheduler {
     rng: StdRng,
 }
 
-impl LinuxLikeScheduler {
-    /// Baseline with the paper's parameters.
+impl LinuxEpochSelector {
+    /// Selector with the paper's parameters.
     pub fn new() -> Self {
         Self::with_config(LinuxConfig::default())
     }
 
-    /// Baseline with custom parameters.
+    /// Selector with custom parameters.
+    ///
+    /// # Panics
+    /// Panics if the quantum is zero.
     pub fn with_config(cfg: LinuxConfig) -> Self {
         assert!(cfg.quantum_us > 0, "quantum must be positive");
         Self {
@@ -109,14 +123,25 @@ impl LinuxLikeScheduler {
     }
 }
 
-impl Default for LinuxLikeScheduler {
+impl Default for LinuxEpochSelector {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Scheduler for LinuxLikeScheduler {
-    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+impl Selector for LinuxEpochSelector {
+    fn label(&self) -> &'static str {
+        "linux-epoch"
+    }
+
+    fn select(
+        &mut self,
+        ctx: &StageCtx<'_, '_>,
+        _cands: &[Candidate<AppId>],
+        _admitted: &[usize],
+        _free: usize,
+    ) -> Selection {
+        let view = ctx.view;
         // Charge the threads that ran since the last invocation.
         let ran_for = (view.now - self.last_at_us) as i64;
         for t in &self.last_running {
@@ -194,23 +219,35 @@ impl Scheduler for LinuxLikeScheduler {
         }
 
         self.last_running = assignments.iter().map(|a| a.thread).collect();
-        Decision {
-            assignments,
-            next_resched_in_us: self.cfg.quantum_us,
-            sample_period_us: None,
-        }
+        Selection::Pinned(assignments)
     }
+}
 
-    fn name(&self) -> &str {
-        "Linux"
-    }
+/// The Linux-2.4-like baseline as a policy stack, with the paper's
+/// parameters: no estimation, open admission, epoch/goodness pinned
+/// selection every 100 ms.
+pub fn linux_like() -> PolicyStack {
+    linux_like_with_config(LinuxConfig::default())
+}
+
+/// [`linux_like`] with custom parameters.
+pub fn linux_like_with_config(cfg: LinuxConfig) -> PolicyStack {
+    PolicyStack::new(
+        "Linux",
+        cfg.quantum_us,
+        Box::new(NullEstimator),
+        Box::new(Open),
+        Box::new(LinuxEpochSelector::with_config(cfg)),
+        Box::new(PackedPlacer),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::SoloSelector;
     use busbw_sim::{
-        AppDescriptor, AppId, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY,
+        AppDescriptor, ConstantDemand, Machine, Scheduler, StopCondition, ThreadSpec, XEON_4WAY,
     };
     use std::collections::BTreeMap as Map;
 
@@ -225,7 +262,7 @@ mod tests {
     fn four_threads_four_cpus_all_run_continuously() {
         let mut m = Machine::new(XEON_4WAY);
         let a = add(&mut m, "a", 4, 0.5, 0.1, 300_000.0);
-        let mut s = LinuxLikeScheduler::new();
+        let mut s = linux_like();
         let out = m.run(&mut s, StopCondition::AppsFinished(vec![a]));
         assert!(out.condition_met);
         let t = m.turnaround_us(a).unwrap();
@@ -240,7 +277,8 @@ mod tests {
         for i in 0..4 {
             add(&mut m, &format!("a{i}"), 2, 0.2, 0.05, f64::INFINITY);
         }
-        let mut s = LinuxLikeScheduler::new();
+        // Drive the bare selector so the epoch counter stays observable.
+        let mut s = SoloSelector::new(LinuxEpochSelector::new(), LinuxConfig::default().quantum_us);
         let horizon = 4_000_000;
         m.run(&mut s, StopCondition::At(horizon));
         let v = m.view();
@@ -252,7 +290,11 @@ mod tests {
                 t.id
             );
         }
-        assert!(s.epochs() > 5, "epochs {}", s.epochs());
+        assert!(
+            s.selector().epochs() > 5,
+            "epochs {}",
+            s.selector().epochs()
+        );
     }
 
     #[test]
@@ -260,7 +302,7 @@ mod tests {
         let mut m = Machine::new(XEON_4WAY);
         add(&mut m, "a", 4, 0.5, 0.1, f64::INFINITY);
         // Isolate the affinity mechanism: no selection noise.
-        let mut s = LinuxLikeScheduler::with_config(LinuxConfig {
+        let mut s = linux_like_with_config(LinuxConfig {
             selection_jitter_us: 0,
             ..LinuxConfig::default()
         });
@@ -290,7 +332,7 @@ mod tests {
         let mut m = Machine::new(XEON_4WAY);
         add(&mut m, "heavy", 1, 23.6, 0.98, f64::INFINITY);
         add(&mut m, "light", 1, 0.01, 0.01, f64::INFINITY);
-        let mut s = LinuxLikeScheduler::new();
+        let mut s = linux_like();
         let d = s.schedule(&m.view());
         assert_eq!(d.assignments.len(), 2);
     }
@@ -304,7 +346,7 @@ mod tests {
         for i in 0..2 {
             add(&mut m, &format!("a{i}"), 3, 1.0, 0.2, f64::INFINITY);
         }
-        let mut s = LinuxLikeScheduler::new();
+        let mut s = linux_like();
         let mut saw_partial = false;
         for _ in 0..10 {
             let d = s.schedule(&m.view());
@@ -329,12 +371,19 @@ mod tests {
         let mut m = Machine::new(XEON_4WAY);
         let short = add(&mut m, "short", 4, 0.5, 0.1, 50_000.0);
         let long = add(&mut m, "long", 4, 0.5, 0.1, 400_000.0);
-        let mut s = LinuxLikeScheduler::new();
+        let mut s = linux_like();
         let out = m.run(&mut s, StopCondition::AppsFinished(vec![short, long]));
         assert!(out.condition_met);
         // Once `short` exits, `long` owns the machine: total runtime well
         // under full 2× time sharing.
         let t = m.turnaround_us(long).unwrap();
         assert!(t < 600_000, "long turnaround {t}");
+    }
+
+    #[test]
+    fn preset_reports_linux_name_and_stage_labels() {
+        let s = linux_like();
+        assert_eq!(s.name(), "Linux");
+        assert_eq!(s.stage_labels(), ["Null", "open", "linux-epoch", "packed"]);
     }
 }

@@ -29,7 +29,7 @@
 //!
 //! Everything here runs with *real* threads (see
 //! `examples/cpu_manager_demo.rs`); the deterministic simulator experiments
-//! use [`crate::BusAwareScheduler`], which shares the estimator and
+//! use the [`crate::bus_aware`] stacks, which share the estimator and
 //! selection logic with this manager.
 
 pub mod arena;

@@ -30,7 +30,6 @@ use busbw_perfmon::EventKind;
 use busbw_sim::{AppId, Decision, MachineView, Scheduler, SimTime};
 
 use crate::reconstruct::DemandTracker;
-use crate::sched::BusAwareScheduler;
 
 /// Empirical demand → memory-boundness curve for the paper's application
 /// population: light codes (< 1 tx/µs/thread) are nearly compute bound,
@@ -266,7 +265,7 @@ impl Scheduler for ModelDrivenScheduler {
         self.dilation_at_boundary = view.dilation_integral;
 
         Decision {
-            assignments: BusAwareScheduler::place(view, &selected),
+            assignments: crate::pipeline::place_packed(view, &selected),
             next_resched_in_us: self.quantum_us,
             sample_period_us: None,
         }
@@ -367,7 +366,7 @@ mod tests {
     fn end_to_end_beats_or_matches_greedy_packing() {
         // Sanity: on a heavy+light mix the model-driven scheduler should
         // finish apps at least as fast as deliberately saturating packing.
-        use crate::oracle::GreedyPackGang;
+        use crate::oracle::greedy_pack;
         let build = || {
             let mut m = Machine::new(XEON_4WAY);
             let mut measured = Vec::new();
@@ -393,7 +392,7 @@ mod tests {
         let t_md: u64 = meas1.iter().map(|&a| m1.turnaround_us(a).unwrap()).sum();
 
         let (mut m2, meas2) = build();
-        let mut gp = GreedyPackGang::new();
+        let mut gp = greedy_pack();
         let o2 = m2.run(&mut gp, StopCondition::AppsFinished(meas2.clone()));
         assert!(o2.condition_met);
         let t_gp: u64 = meas2.iter().map(|&a| m2.turnaround_us(a).unwrap()).sum();

@@ -1,282 +1,77 @@
 //! Ablation comparators: gang schedulers with the same admission
-//! machinery as [`crate::BusAwareScheduler`] but *different selection
-//! rules*. They isolate how much of the paper's win comes from the fitness
-//! heuristic itself versus from gang scheduling or mere rotation.
+//! machinery as the paper policies but *different selection rules*. They
+//! isolate how much of the paper's win comes from the fitness heuristic
+//! itself versus from gang scheduling or mere rotation. Each is a
+//! [`PolicyStack`] preset over the [`crate::pipeline`] stages, sharing the
+//! [`RawRateEstimator`] measurement path the monolithic comparators used
+//! to carry inline.
 //!
-//! * [`RoundRobinGang`] — gang scheduling + rotation only: admit jobs in
+//! * [`round_robin_gang`] — gang scheduling + rotation only: admit jobs in
 //!   list order while they fit. (What you get if you delete Equation (1).)
-//! * [`RandomGang`] — gang scheduling with uniformly random fill after the
-//!   head job (seeded, deterministic).
-//! * [`GreedyPackGang`] — admits the *highest-bandwidth* fitting job
-//!   first: a plausible-but-wrong heuristic that maximizes measured bus
-//!   utilization and therefore saturates; shows why "fill the bus" must
-//!   mean "approach, don't exceed".
+//! * [`random_gang`] — gang scheduling with uniformly random fill after
+//!   the head job (seeded, deterministic).
+//! * [`greedy_pack`] — admits the *highest-bandwidth* fitting job first: a
+//!   plausible-but-wrong heuristic that maximizes measured bus utilization
+//!   and therefore saturates; shows why "fill the bus" must mean
+//!   "approach, don't exceed".
 
-use busbw_sim::{AppId, Decision, MachineView, Scheduler, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use crate::pipeline::{
+    Fcfs, GreedySelector, NullSelector, PackedPlacer, PolicyStack, RandomSelector,
+    RawRateEstimator, StrictHead, PAPER_QUANTUM_US,
+};
 
-use busbw_perfmon::EventKind;
-
-use crate::sched::BusAwareScheduler;
-
-/// Shared bookkeeping for the comparator gang schedulers.
-struct GangCommon {
-    quantum_us: u64,
-    order: Vec<AppId>,
-    running: Vec<AppId>,
-    snapshot: BTreeMap<AppId, f64>,
-    last_boundary_us: SimTime,
-    dilation_at_boundary: f64,
-    /// Last measured per-thread rate (used by greedy).
-    rates: BTreeMap<AppId, f64>,
+/// Gang scheduling + rotation, first-fit in list order, with the paper's
+/// 200 ms quantum.
+pub fn round_robin_gang() -> PolicyStack {
+    round_robin_gang_with_quantum(PAPER_QUANTUM_US)
 }
 
-impl GangCommon {
-    fn new(quantum_us: u64) -> Self {
-        Self {
-            quantum_us,
-            order: Vec::new(),
-            running: Vec::new(),
-            snapshot: BTreeMap::new(),
-            last_boundary_us: 0,
-            dilation_at_boundary: 0.0,
-            rates: BTreeMap::new(),
-        }
-    }
-
-    fn app_tx(view: &MachineView<'_>, app: AppId) -> f64 {
-        view.app(app)
-            .map(|a| {
-                a.threads
-                    .iter()
-                    .map(|t| view.registry.total(t.key(), EventKind::BusTransactions))
-                    .sum()
-            })
-            .unwrap_or(0.0)
-    }
-
-    /// Measure, refresh, rotate. Returns the up-to-date job order.
-    fn pre_select(&mut self, view: &MachineView<'_>) {
-        let dt = view.now.saturating_sub(self.last_boundary_us);
-        if dt > 0 {
-            let lambda =
-                ((view.dilation_integral - self.dilation_at_boundary) / dt as f64).max(1.0);
-            for &app in &self.running {
-                let Some(info) = view.app(app) else { continue };
-                let total = Self::app_tx(view, app);
-                let before = self.snapshot.get(&app).copied().unwrap_or(0.0);
-                let rate =
-                    (total - before).max(0.0) / dt as f64 / info.width().max(1) as f64 * lambda;
-                self.rates.insert(app, rate);
-            }
-        }
-        let live = view.live_apps();
-        self.order.retain(|a| live.contains(a));
-        for a in live {
-            if !self.order.contains(&a) {
-                self.order.push(a);
-            }
-        }
-        let ran: Vec<AppId> = self
-            .order
-            .iter()
-            .copied()
-            .filter(|a| self.running.contains(a))
-            .collect();
-        self.order.retain(|a| !ran.contains(a));
-        self.order.extend(ran);
-    }
-
-    fn finish(&mut self, view: &MachineView<'_>, admitted: Vec<AppId>) -> Decision {
-        for &app in &admitted {
-            self.snapshot.insert(app, Self::app_tx(view, app));
-        }
-        self.running = admitted.clone();
-        self.last_boundary_us = view.now;
-        self.dilation_at_boundary = view.dilation_integral;
-        Decision {
-            assignments: BusAwareScheduler::place(view, &admitted),
-            next_resched_in_us: self.quantum_us,
-            sample_period_us: None,
-        }
-    }
+/// [`round_robin_gang`] with a custom quantum.
+pub fn round_robin_gang_with_quantum(quantum_us: u64) -> PolicyStack {
+    PolicyStack::new(
+        "RoundRobinGang",
+        quantum_us,
+        Box::new(RawRateEstimator::new()),
+        Box::new(Fcfs),
+        Box::new(NullSelector),
+        Box::new(PackedPlacer),
+    )
 }
 
-/// Gang scheduling + rotation, first-fit in list order.
-pub struct RoundRobinGang {
-    common: GangCommon,
+/// Gang scheduling with seeded random fill after the guaranteed head job,
+/// with the paper's 200 ms quantum.
+pub fn random_gang(seed: u64) -> PolicyStack {
+    PolicyStack::new(
+        "RandomGang",
+        PAPER_QUANTUM_US,
+        Box::new(RawRateEstimator::new()),
+        Box::new(StrictHead),
+        Box::new(RandomSelector::new(seed)),
+        Box::new(PackedPlacer),
+    )
 }
 
-impl RoundRobinGang {
-    /// With the paper's 200 ms quantum.
-    pub fn new() -> Self {
-        Self::with_quantum(200_000)
-    }
-
-    /// With a custom quantum.
-    pub fn with_quantum(quantum_us: u64) -> Self {
-        Self {
-            common: GangCommon::new(quantum_us),
-        }
-    }
-}
-
-impl Default for RoundRobinGang {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Scheduler for RoundRobinGang {
-    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
-        self.common.pre_select(view);
-        let mut free = view.num_cpus;
-        let mut admitted = Vec::new();
-        for &app in &self.common.order {
-            let w = view.app(app).map(|a| a.width()).unwrap_or(usize::MAX);
-            if w <= free {
-                admitted.push(app);
-                free -= w;
-                if free == 0 {
-                    break;
-                }
-            }
-        }
-        self.common.finish(view, admitted)
-    }
-
-    fn name(&self) -> &str {
-        "RoundRobinGang"
-    }
-}
-
-/// Gang scheduling with random fill after the guaranteed head job.
-pub struct RandomGang {
-    common: GangCommon,
-    rng: StdRng,
-}
-
-impl RandomGang {
-    /// Seeded random gang scheduler with the paper's 200 ms quantum.
-    pub fn new(seed: u64) -> Self {
-        Self {
-            common: GangCommon::new(200_000),
-            rng: StdRng::seed_from_u64(seed),
-        }
-    }
-}
-
-impl Scheduler for RandomGang {
-    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
-        self.common.pre_select(view);
-        let mut free = view.num_cpus;
-        let mut admitted = Vec::new();
-        // Head guarantee, as in the real policies.
-        if let Some(&head) = self.common.order.first() {
-            let w = view.app(head).map(|a| a.width()).unwrap_or(usize::MAX);
-            if w <= free {
-                admitted.push(head);
-                free -= w;
-            }
-        }
-        loop {
-            let fitting: Vec<AppId> = self
-                .common
-                .order
-                .iter()
-                .copied()
-                .filter(|a| {
-                    !admitted.contains(a)
-                        && view.app(*a).map(|i| i.width()).unwrap_or(usize::MAX) <= free
-                })
-                .collect();
-            if fitting.is_empty() {
-                break;
-            }
-            let pick = fitting[self.rng.gen_range(0..fitting.len())];
-            let w = view.app(pick).map(|a| a.width()).unwrap_or(0);
-            admitted.push(pick);
-            free -= w;
-        }
-        self.common.finish(view, admitted)
-    }
-
-    fn name(&self) -> &str {
-        "RandomGang"
-    }
-}
-
-/// Gang scheduling that greedily admits the highest-bandwidth fitting job —
-/// the "maximize utilization" strawman.
-pub struct GreedyPackGang {
-    common: GangCommon,
-}
-
-impl GreedyPackGang {
-    /// With the paper's 200 ms quantum.
-    pub fn new() -> Self {
-        Self {
-            common: GangCommon::new(200_000),
-        }
-    }
-}
-
-impl Default for GreedyPackGang {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Scheduler for GreedyPackGang {
-    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
-        self.common.pre_select(view);
-        let mut free = view.num_cpus;
-        let mut admitted = Vec::new();
-        if let Some(&head) = self.common.order.first() {
-            let w = view.app(head).map(|a| a.width()).unwrap_or(usize::MAX);
-            if w <= free {
-                admitted.push(head);
-                free -= w;
-            }
-        }
-        loop {
-            let best = self
-                .common
-                .order
-                .iter()
-                .copied()
-                .filter(|a| {
-                    !admitted.contains(a)
-                        && view.app(*a).map(|i| i.width()).unwrap_or(usize::MAX) <= free
-                })
-                .max_by(|a, b| {
-                    let ra = self.common.rates.get(a).copied().unwrap_or(0.0);
-                    let rb = self.common.rates.get(b).copied().unwrap_or(0.0);
-                    ra.total_cmp(&rb)
-                });
-            match best {
-                Some(app) => {
-                    let w = view.app(app).map(|a| a.width()).unwrap_or(0);
-                    admitted.push(app);
-                    free -= w;
-                }
-                None => break,
-            }
-        }
-        self.common.finish(view, admitted)
-    }
-
-    fn name(&self) -> &str {
-        "GreedyPack"
-    }
+/// Gang scheduling that greedily admits the highest-bandwidth fitting job
+/// — the "maximize utilization" strawman — with the paper's 200 ms
+/// quantum.
+pub fn greedy_pack() -> PolicyStack {
+    PolicyStack::new(
+        "GreedyPack",
+        PAPER_QUANTUM_US,
+        Box::new(RawRateEstimator::new()),
+        Box::new(StrictHead),
+        Box::new(GreedySelector),
+        Box::new(PackedPlacer),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use busbw_sim::{AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY};
+    use busbw_sim::{
+        AppDescriptor, AppId, ConstantDemand, Decision, Machine, Scheduler, StopCondition,
+        ThreadSpec, XEON_4WAY,
+    };
 
     fn add(m: &mut Machine, name: &str, n: usize, rate: f64) -> AppId {
         let threads = (0..n)
@@ -302,7 +97,7 @@ mod tests {
         let ids: Vec<AppId> = (0..3)
             .map(|i| add(&mut m, &format!("a{i}"), 2, 1.0))
             .collect();
-        let mut s = RoundRobinGang::new();
+        let mut s = round_robin_gang();
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..3 {
             let d = s.schedule(&m.view());
@@ -322,7 +117,7 @@ mod tests {
             for i in 0..4 {
                 add(&mut m, &format!("a{i}"), 2, 1.0);
             }
-            let mut s = RandomGang::new(seed);
+            let mut s = random_gang(seed);
             let mut picks = Vec::new();
             for _ in 0..6 {
                 let d = s.schedule(&m.view());
@@ -344,7 +139,7 @@ mod tests {
         let heavy = add(&mut m, "heavy", 2, 12.0);
         let _light = add(&mut m, "light", 2, 0.1);
         let heavy2 = add(&mut m, "heavy2", 2, 12.0);
-        let mut s = GreedyPackGang::new();
+        let mut s = greedy_pack();
         // Let it measure everyone once via rotation.
         for _ in 0..4 {
             let d = s.schedule(&m.view());
@@ -368,5 +163,24 @@ mod tests {
             );
         }
         assert!(saw_heavy_pair, "greedy never packed the two heavy jobs");
+    }
+
+    #[test]
+    fn comparator_presets_report_names_and_stages() {
+        assert_eq!(round_robin_gang().name(), "RoundRobinGang");
+        assert_eq!(
+            round_robin_gang().stage_labels(),
+            ["RawRate", "fcfs", "none", "packed"]
+        );
+        assert_eq!(random_gang(1).name(), "RandomGang");
+        assert_eq!(
+            random_gang(1).stage_labels(),
+            ["RawRate", "strict-head", "random", "packed"]
+        );
+        assert_eq!(greedy_pack().name(), "GreedyPack");
+        assert_eq!(
+            greedy_pack().stage_labels(),
+            ["RawRate", "strict-head", "greedy", "packed"]
+        );
     }
 }

@@ -1,0 +1,198 @@
+//! Admission stages: unconditional admissions made before any scoring.
+
+use busbw_sim::AppId;
+
+use super::{Admission, StageCtx};
+use crate::selection::{head_position, Candidate};
+
+/// The paper's head-of-list rule (§4): the first job in circular-list
+/// order that fits at all is admitted unconditionally, guaranteeing
+/// starvation freedom under rotation.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HeadOfList;
+
+impl Admission for HeadOfList {
+    fn label(&self) -> &'static str {
+        "head"
+    }
+
+    fn admit(
+        &mut self,
+        _ctx: &StageCtx<'_, '_>,
+        cands: &[Candidate<AppId>],
+        free: usize,
+    ) -> Vec<usize> {
+        head_position(cands, free).into_iter().collect()
+    }
+}
+
+/// A stricter head rule: only the literal list head is guaranteed — if it
+/// does not fit, nothing is admitted unconditionally. (The random and
+/// greedy comparator schedulers behave this way.)
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StrictHead;
+
+impl Admission for StrictHead {
+    fn label(&self) -> &'static str {
+        "strict-head"
+    }
+
+    fn admit(
+        &mut self,
+        _ctx: &StageCtx<'_, '_>,
+        cands: &[Candidate<AppId>],
+        free: usize,
+    ) -> Vec<usize> {
+        match cands.first() {
+            Some(c) if c.width > 0 && c.width <= free => vec![0],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// First-come-first-served: admit every fitting job in list order until
+/// the machine is full — gang scheduling with rotation and nothing else
+/// (the round-robin comparator).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Fcfs;
+
+impl Admission for Fcfs {
+    fn label(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn admit(
+        &mut self,
+        _ctx: &StageCtx<'_, '_>,
+        cands: &[Candidate<AppId>],
+        free: usize,
+    ) -> Vec<usize> {
+        let mut free = free;
+        let mut admitted = Vec::new();
+        for (i, c) in cands.iter().enumerate() {
+            if c.width > 0 && c.width <= free {
+                admitted.push(i);
+                free -= c.width;
+                if free == 0 {
+                    break;
+                }
+            }
+        }
+        admitted
+    }
+}
+
+/// Widest-gang-first priority admission: admit fitting jobs in decreasing
+/// width order (list order breaks ties), packing the machine before any
+/// bandwidth scoring runs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WidestFirst;
+
+impl Admission for WidestFirst {
+    fn label(&self) -> &'static str {
+        "widest"
+    }
+
+    fn admit(
+        &mut self,
+        _ctx: &StageCtx<'_, '_>,
+        cands: &[Candidate<AppId>],
+        free: usize,
+    ) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..cands.len()).filter(|&i| cands[i].width > 0).collect();
+        idx.sort_by(|&a, &b| cands[b].width.cmp(&cands[a].width).then(a.cmp(&b)));
+        let mut free = free;
+        let mut admitted = Vec::new();
+        for i in idx {
+            if cands[i].width <= free {
+                admitted.push(i);
+                free -= cands[i].width;
+                if free == 0 {
+                    break;
+                }
+            }
+        }
+        admitted
+    }
+}
+
+/// No unconditional admissions — everything is left to the selector (the
+/// Linux baselines, which schedule threads, not gangs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Open;
+
+impl Admission for Open {
+    fn label(&self) -> &'static str {
+        "open"
+    }
+
+    fn admit(
+        &mut self,
+        _ctx: &StageCtx<'_, '_>,
+        _cands: &[Candidate<AppId>],
+        _free: usize,
+    ) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busbw_sim::{Machine, XEON_4WAY};
+    use busbw_trace::EventBus;
+
+    fn cands(widths: &[usize]) -> Vec<Candidate<AppId>> {
+        widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Candidate {
+                key: AppId(i as u64),
+                width: w,
+                bbw_per_thread: 0.0,
+            })
+            .collect()
+    }
+
+    fn admit(a: &mut dyn Admission, widths: &[usize], free: usize) -> Vec<usize> {
+        let m = Machine::new(XEON_4WAY);
+        let view = m.view();
+        let bus = EventBus::off();
+        let ctx = StageCtx {
+            view: &view,
+            tracer: &bus,
+        };
+        a.admit(&ctx, &cands(widths), free)
+    }
+
+    #[test]
+    fn head_of_list_skips_oversized_heads() {
+        assert_eq!(admit(&mut HeadOfList, &[6, 2, 2], 4), vec![1]);
+        assert_eq!(admit(&mut HeadOfList, &[2, 2], 4), vec![0]);
+        assert!(admit(&mut HeadOfList, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn strict_head_admits_only_the_literal_head() {
+        assert_eq!(admit(&mut StrictHead, &[2, 2], 4), vec![0]);
+        assert!(admit(&mut StrictHead, &[6, 2], 4).is_empty());
+    }
+
+    #[test]
+    fn fcfs_fills_in_order() {
+        assert_eq!(admit(&mut Fcfs, &[2, 3, 2], 4), vec![0, 2]);
+        assert_eq!(admit(&mut Fcfs, &[1, 1, 1, 1, 1], 4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn widest_first_prefers_big_gangs_with_stable_ties() {
+        assert_eq!(admit(&mut WidestFirst, &[1, 3, 2], 4), vec![1, 0]);
+        // Tie on width: earlier index wins.
+        assert_eq!(admit(&mut WidestFirst, &[2, 2, 2], 4), vec![0, 1]);
+    }
+
+    #[test]
+    fn open_admits_nothing() {
+        assert!(admit(&mut Open, &[1, 1], 4).is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! Placer stages: mapping admitted gangs onto processors.
+
+use busbw_sim::{AppId, Assignment, CpuId, MachineView};
+
+use super::{Placer, StageCtx};
+
+/// Affinity-preserving placement of whole gangs: each thread takes its
+/// previous cpu if free, then its warmest cache, then the lowest free
+/// cpu. This is the placement every paper policy and comparator used
+/// before the pipeline split (it "packs" threads toward low cpu indices).
+pub fn place_packed(view: &MachineView<'_>, admitted: &[AppId]) -> Vec<Assignment> {
+    let mut free: Vec<bool> = vec![true; view.num_cpus];
+    let mut assignments = Vec::new();
+    let mut pending = Vec::new();
+
+    // Pass 1: honor last-cpu affinity.
+    for &app in admitted {
+        let Some(info) = view.app(app) else { continue };
+        for &tid in info.threads {
+            let Some(t) = view.thread(tid) else { continue };
+            if !t.is_runnable() {
+                continue;
+            }
+            match t.last_cpu {
+                Some(c) if free[c.0] => {
+                    free[c.0] = false;
+                    assignments.push(Assignment {
+                        thread: tid,
+                        cpu: c,
+                    });
+                }
+                _ => pending.push(tid),
+            }
+        }
+    }
+    // Pass 2: warmest cache, then lowest free cpu.
+    for tid in pending {
+        let warm = view.warmest_cpu(tid).map(|(c, _)| c).filter(|c| free[c.0]);
+        let cpu = warm.or_else(|| free.iter().position(|&f| f).map(CpuId));
+        if let Some(c) = cpu {
+            free[c.0] = false;
+            assignments.push(Assignment {
+                thread: tid,
+                cpu: c,
+            });
+        }
+    }
+    assignments
+}
+
+/// Collect the runnable threads of `admitted`, split into those whose
+/// last cpu is free (affinity hits, assigned immediately) and the rest.
+fn affinity_pass(
+    view: &MachineView<'_>,
+    admitted: &[AppId],
+    free: &mut [bool],
+    assignments: &mut Vec<Assignment>,
+) -> Vec<busbw_sim::ThreadId> {
+    let mut pending = Vec::new();
+    for &app in admitted {
+        let Some(info) = view.app(app) else { continue };
+        for &tid in info.threads {
+            let Some(t) = view.thread(tid) else { continue };
+            if !t.is_runnable() {
+                continue;
+            }
+            match t.last_cpu {
+                Some(c) if free[c.0] => {
+                    free[c.0] = false;
+                    assignments.push(Assignment {
+                        thread: tid,
+                        cpu: c,
+                    });
+                }
+                _ => pending.push(tid),
+            }
+        }
+    }
+    pending
+}
+
+/// [`place_packed`] as a stage — the default placer of every preset.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PackedPlacer;
+
+impl Placer for PackedPlacer {
+    fn label(&self) -> &'static str {
+        "packed"
+    }
+
+    fn place(&mut self, ctx: &StageCtx<'_, '_>, admitted: &[AppId]) -> Vec<Assignment> {
+        place_packed(ctx.view, admitted)
+    }
+}
+
+/// Spread threads across physical cores: after the affinity pass, each
+/// remaining thread goes to a free cpu on the core with the fewest busy
+/// hardware threads (lowest cpu index breaks ties). On a non-SMT machine
+/// every core has one cpu and this degenerates to lowest-free-cpu
+/// placement without the warmest-cache step.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScatterPlacer;
+
+impl Placer for ScatterPlacer {
+    fn label(&self) -> &'static str {
+        "scatter"
+    }
+
+    fn place(&mut self, ctx: &StageCtx<'_, '_>, admitted: &[AppId]) -> Vec<Assignment> {
+        let view = ctx.view;
+        let mut free: Vec<bool> = vec![true; view.num_cpus];
+        let mut assignments = Vec::new();
+        let pending = affinity_pass(view, admitted, &mut free, &mut assignments);
+        for tid in pending {
+            let busy_on_core = |cpu: usize| -> usize {
+                (0..view.num_cpus)
+                    .filter(|&o| view.core_of(CpuId(o)) == view.core_of(CpuId(cpu)) && !free[o])
+                    .count()
+            };
+            let cpu = (0..view.num_cpus)
+                .filter(|&c| free[c])
+                .min_by_key(|&c| (busy_on_core(c), c));
+            if let Some(c) = cpu {
+                free[c] = false;
+                assignments.push(Assignment {
+                    thread: tid,
+                    cpu: CpuId(c),
+                });
+            }
+        }
+        assignments
+    }
+}
+
+/// SMT-aware placement: after the affinity pass, prefer a free cpu on a
+/// fully idle core (no busy siblings), then the warmest cache, then the
+/// lowest free cpu — avoiding sibling contention before it starts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SmtAwarePlacer;
+
+impl Placer for SmtAwarePlacer {
+    fn label(&self) -> &'static str {
+        "smt"
+    }
+
+    fn place(&mut self, ctx: &StageCtx<'_, '_>, admitted: &[AppId]) -> Vec<Assignment> {
+        let view = ctx.view;
+        let mut free: Vec<bool> = vec![true; view.num_cpus];
+        let mut assignments = Vec::new();
+        let pending = affinity_pass(view, admitted, &mut free, &mut assignments);
+        for tid in pending {
+            let core_idle = |cpu: usize| -> bool {
+                (0..view.num_cpus)
+                    .filter(|&o| view.core_of(CpuId(o)) == view.core_of(CpuId(cpu)))
+                    .all(|o| free[o])
+            };
+            let idle_core_cpu = (0..view.num_cpus).find(|&c| free[c] && core_idle(c));
+            let cpu = idle_core_cpu
+                .or_else(|| view.warmest_cpu(tid).map(|(c, _)| c.0).filter(|&c| free[c]))
+                .or_else(|| free.iter().position(|&f| f));
+            if let Some(c) = cpu {
+                free[c] = false;
+                assignments.push(Assignment {
+                    thread: tid,
+                    cpu: CpuId(c),
+                });
+            }
+        }
+        assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use busbw_sim::{AppDescriptor, ConstantDemand, Machine, ThreadSpec, XEON_4WAY, XEON_4WAY_HT};
+    use busbw_trace::EventBus;
+
+    fn machine(cfg: busbw_sim::MachineConfig, widths: &[usize]) -> (Machine, Vec<AppId>) {
+        let mut m = Machine::new(cfg);
+        let ids = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let threads = (0..w)
+                    .map(|_| {
+                        ThreadSpec::new(f64::INFINITY, Box::new(ConstantDemand::new(1.0, 0.2)))
+                    })
+                    .collect();
+                m.add_app(AppDescriptor::new(format!("a{i}"), threads))
+            })
+            .collect();
+        (m, ids)
+    }
+
+    fn place(p: &mut dyn Placer, m: &Machine, admitted: &[AppId]) -> Vec<Assignment> {
+        let view = m.view();
+        let bus = EventBus::off();
+        let ctx = StageCtx {
+            view: &view,
+            tracer: &bus,
+        };
+        p.place(&ctx, admitted)
+    }
+
+    #[test]
+    fn packed_fills_lowest_cpus_first() {
+        let (m, ids) = machine(XEON_4WAY, &[2]);
+        let a = place(&mut PackedPlacer, &m, &ids);
+        let mut cpus: Vec<usize> = a.iter().map(|x| x.cpu.0).collect();
+        cpus.sort();
+        assert_eq!(cpus, vec![0, 1]);
+    }
+
+    #[test]
+    fn smt_aware_spreads_a_pair_across_idle_cores() {
+        // 8 hardware threads, 4 cores (siblings 0-1, 2-3, ...): a 2-thread
+        // gang must land on two different cores, not cpu 0 and 1.
+        let (m, ids) = machine(XEON_4WAY_HT, &[2]);
+        let a = place(&mut SmtAwarePlacer, &m, &ids);
+        assert_eq!(a.len(), 2);
+        let v = m.view();
+        assert_ne!(
+            v.core_of(a[0].cpu),
+            v.core_of(a[1].cpu),
+            "siblings shared a core: {a:?}"
+        );
+    }
+
+    #[test]
+    fn scatter_balances_threads_over_cores() {
+        let (m, ids) = machine(XEON_4WAY_HT, &[4]);
+        let a = place(&mut ScatterPlacer, &m, &ids);
+        assert_eq!(a.len(), 4);
+        let v = m.view();
+        let mut cores: Vec<usize> = a.iter().map(|x| v.core_of(x.cpu)).collect();
+        cores.sort();
+        cores.dedup();
+        assert_eq!(cores.len(), 4, "4 threads should land on 4 cores: {a:?}");
+    }
+
+    #[test]
+    fn placers_never_double_book_a_cpu() {
+        let (m, ids) = machine(XEON_4WAY, &[2, 2]);
+        for p in [
+            &mut PackedPlacer as &mut dyn Placer,
+            &mut ScatterPlacer,
+            &mut SmtAwarePlacer,
+        ] {
+            let a = place(p, &m, &ids);
+            let mut cpus: Vec<usize> = a.iter().map(|x| x.cpu.0).collect();
+            cpus.sort();
+            cpus.dedup();
+            assert_eq!(cpus.len(), a.len(), "double-booked cpu");
+        }
+    }
+}

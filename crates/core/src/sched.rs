@@ -1,32 +1,31 @@
-//! The bus-bandwidth-aware gang scheduler (§4 of the paper).
+//! The bus-bandwidth-aware gang scheduler (§4 of the paper), expressed as
+//! [`PolicyStack`] presets over the [`crate::pipeline`] stages.
 //!
-//! One scheduler implementation hosts both policies; they differ only in
-//! the [`BandwidthEstimator`] plugged in. Per scheduling quantum:
+//! One stack shape hosts both paper policies; they differ only in the
+//! [`BandwidthEstimator`] plugged in. Per scheduling quantum:
 //!
 //! 1. **Measure.** Counter samples are taken twice per quantum
 //!    ([`busbw_sim::Scheduler::on_sample`]); at the quantum boundary each
 //!    job that ran gets its per-thread transaction rate recorded
-//!    (equipartitioned over its threads, as in the paper).
+//!    (equipartitioned over its threads, as in the paper) — the
+//!    [`ReconstructingEstimator`] stage.
 //! 2. **Rotate.** Jobs that just ran move to the end of the (conceptually
-//!    circular) applications list.
+//!    circular) applications list — the stack's own bookkeeping.
 //! 3. **Select.** The head job is admitted unconditionally — this is the
-//!    paper's starvation-freedom guarantee. While free processors remain,
-//!    the list is re-traversed and the job maximizing
-//!    `fitness(ABBW/proc, BBW/thread)` among those that *fit* (gang
-//!    semantics: all threads or nothing) is admitted; `ABBW/proc` is
-//!    recomputed after every admission.
+//!    paper's starvation-freedom guarantee ([`HeadOfList`] admission).
+//!    While free processors remain, the list is re-traversed and the job
+//!    maximizing `fitness(ABBW/proc, BBW/thread)` among those that *fit*
+//!    (gang semantics: all threads or nothing) is admitted; `ABBW/proc`
+//!    is recomputed after every admission ([`FitnessSelector`]).
 //! 4. **Place.** Admitted gangs are placed with affinity: each thread
-//!    prefers its previous cpu, then its warmest cache, then any free cpu.
-
-use std::collections::BTreeMap;
-
-use busbw_perfmon::EventKind;
-use busbw_sim::{AppId, Assignment, CpuId, Decision, MachineView, Scheduler, SimTime};
-use busbw_trace::{EventBus, TraceEvent};
+//!    prefers its previous cpu, then its warmest cache, then any free cpu
+//!    ([`PackedPlacer`]).
 
 use crate::estimator::BandwidthEstimator;
-use crate::reconstruct::DemandTracker;
-use crate::selection::{select_gangs_report, Candidate};
+use crate::pipeline::{
+    FitnessSelector, HeadOfList, PackedPlacer, PolicyStack, ReconstructingEstimator,
+    PAPER_QUANTUM_US, PAPER_SAMPLES_PER_QUANTUM,
+};
 
 /// Configuration shared by both paper policies.
 #[derive(Debug, Clone, Copy)]
@@ -42,311 +41,50 @@ pub struct PolicyConfig {
 impl Default for PolicyConfig {
     fn default() -> Self {
         Self {
-            quantum_us: 200_000,
-            samples_per_quantum: 2,
+            quantum_us: PAPER_QUANTUM_US,
+            samples_per_quantum: PAPER_SAMPLES_PER_QUANTUM,
         }
     }
 }
 
-/// The gang-like, bandwidth-aware scheduler hosting a policy's estimator.
-pub struct BusAwareScheduler {
-    cfg: PolicyConfig,
+/// The paper's bandwidth-aware gang scheduler around an estimator, with
+/// the default (paper) configuration: head-of-list admission, fitness-max
+/// fill, packed affinity placement, 200 ms quantum sampled twice.
+pub fn bus_aware(estimator: Box<dyn BandwidthEstimator>) -> PolicyStack {
+    bus_aware_with_config(estimator, PolicyConfig::default())
+}
+
+/// [`bus_aware`] with a custom configuration (quantum ablations).
+///
+/// # Panics
+/// Panics if the quantum is zero or `samples_per_quantum` is zero.
+pub fn bus_aware_with_config(
     estimator: Box<dyn BandwidthEstimator>,
-    /// The applications list (head = next guaranteed job).
-    order: Vec<AppId>,
-    /// Jobs scheduled in the current quantum.
-    running: Vec<AppId>,
-    /// Per-app cumulative transaction totals at the last quantum boundary.
-    quantum_snapshot: BTreeMap<AppId, f64>,
-    /// Per-app cumulative transaction totals at the last counter sample.
-    sample_snapshot: BTreeMap<AppId, f64>,
-    last_boundary_us: SimTime,
-    last_sample_us: SimTime,
-    /// IOQ-dilation integral at the last quantum boundary / sample.
-    dilation_at_boundary: f64,
-    dilation_at_sample: f64,
-    /// Reconstructs bandwidth *requirements* from the consumption the
-    /// counters report (see [`crate::reconstruct`]).
-    demand: DemandTracker,
-    display_name: String,
-    /// Structured-trace handle (attached by the machine at run start, or
-    /// explicitly via [`BusAwareScheduler::set_tracer`]).
-    tracer: EventBus,
-}
-
-impl BusAwareScheduler {
-    /// Build a scheduler around an estimator with the default (paper)
-    /// configuration.
-    pub fn new(estimator: Box<dyn BandwidthEstimator>) -> Self {
-        Self::with_config(estimator, PolicyConfig::default())
-    }
-
-    /// Build with a custom configuration (quantum ablations).
-    pub fn with_config(estimator: Box<dyn BandwidthEstimator>, cfg: PolicyConfig) -> Self {
-        assert!(cfg.quantum_us > 0, "quantum must be positive");
-        assert!(
-            cfg.samples_per_quantum >= 1,
-            "need at least one sample per quantum"
-        );
-        let display_name = estimator.label().to_string();
-        Self {
-            cfg,
+    cfg: PolicyConfig,
+) -> PolicyStack {
+    let name = estimator.label().to_string();
+    PolicyStack::new(
+        name,
+        cfg.quantum_us,
+        Box::new(ReconstructingEstimator::with_samples(
             estimator,
-            order: Vec::new(),
-            running: Vec::new(),
-            quantum_snapshot: BTreeMap::new(),
-            sample_snapshot: BTreeMap::new(),
-            last_boundary_us: 0,
-            last_sample_us: 0,
-            dilation_at_boundary: 0.0,
-            dilation_at_sample: 0.0,
-            demand: DemandTracker::new(),
-            display_name,
-            tracer: EventBus::off(),
-        }
-    }
-
-    /// Attach a structured-trace bus. Per-quantum selections (head
-    /// admissions and fitness-scored gang admissions) and demand
-    /// reconstructions are emitted into it. Usually unnecessary: running
-    /// under a traced [`busbw_sim::Machine`] attaches its bus
-    /// automatically via [`Scheduler::attach_tracer`].
-    pub fn set_tracer(&mut self, tracer: EventBus) {
-        self.tracer = tracer;
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> PolicyConfig {
-        self.cfg
-    }
-
-    /// Current `BBW/thread` estimate for a job (for tests and reports).
-    pub fn estimate(&self, app: AppId) -> f64 {
-        self.estimator.estimate(app)
-    }
-
-    /// Total transactions issued so far by `app`'s threads.
-    fn app_tx(view: &MachineView<'_>, app: AppId) -> f64 {
-        view.app(app)
-            .map(|a| {
-                a.threads
-                    .iter()
-                    .map(|t| view.registry.total(t.key(), EventKind::BusTransactions))
-                    .sum()
-            })
-            .unwrap_or(0.0)
-    }
-
-    /// Keep `order` in sync with the machine's live applications: drop
-    /// finished jobs, append newly arrived ones.
-    fn refresh_job_list(&mut self, view: &MachineView<'_>) {
-        let live = view.live_apps();
-        let mut present: std::collections::BTreeSet<AppId> = live.iter().copied().collect();
-        self.order.retain(|a| present.contains(a));
-        for a in &self.order {
-            present.remove(a);
-        }
-        // Newly connected jobs go to the end of the circular list.
-        self.order.extend(present);
-        // Forget estimator state for dead jobs.
-        let live_set: std::collections::BTreeSet<AppId> = live.into_iter().collect();
-        let dead: Vec<AppId> = self
-            .quantum_snapshot
-            .keys()
-            .filter(|a| !live_set.contains(a))
-            .copied()
-            .collect();
-        for a in dead {
-            self.quantum_snapshot.remove(&a);
-            self.sample_snapshot.remove(&a);
-            self.estimator.forget(a);
-            self.demand.forget(a);
-        }
-    }
-
-    /// Record the finished quantum's bandwidth for every job that ran.
-    ///
-    /// Measurements are first passed through demand reconstruction: the
-    /// manager can tell from the workload's total transaction rate whether
-    /// the interval was saturated, and under saturation a measurement is
-    /// only a lower bound on the job's requirement.
-    fn settle_quantum(&mut self, view: &MachineView<'_>) {
-        let dt = view.now.saturating_sub(self.last_boundary_us);
-        if dt == 0 {
-            return;
-        }
-        let lambda = (view.dilation_integral - self.dilation_at_boundary) / dt as f64;
-        for &app in &self.running {
-            let Some(info) = view.app(app) else { continue };
-            let total = Self::app_tx(view, app);
-            let before = self.quantum_snapshot.get(&app).copied().unwrap_or(0.0);
-            let width = info.threads.len().max(1);
-            let per_thread = (total - before).max(0.0) / dt as f64 / width as f64;
-            let rec = self.demand.observe_detailed(app, per_thread, lambda);
-            if self.tracer.enabled() {
-                self.tracer.emit(TraceEvent::Reconstruct {
-                    at_us: view.now,
-                    app: app.0,
-                    measured_per_thread: rec.measured_per_thread,
-                    dilation: rec.dilation,
-                    demand_per_thread: rec.demand_per_thread,
-                });
-            }
-            self.estimator.record_quantum(app, rec.demand_per_thread);
-        }
-    }
-
-    /// §4 selection: head admitted by default, then fitness-driven fill
-    /// (shared with the real-thread CPU manager via [`crate::selection`]).
-    fn select(&self, view: &MachineView<'_>) -> Vec<AppId> {
-        let candidates: Vec<Candidate<AppId>> = self
-            .order
-            .iter()
-            .filter_map(|&app| {
-                view.app(app).map(|info| Candidate {
-                    key: app,
-                    width: info.width(),
-                    bbw_per_thread: self.estimator.estimate(app),
-                })
-            })
-            .collect();
-        let report = select_gangs_report(&candidates, view.num_cpus, view.bus_capacity);
-        if self.tracer.enabled() {
-            for adm in &report {
-                match adm.fitness {
-                    None => self.tracer.emit(TraceEvent::HeadAdmission {
-                        at_us: view.now,
-                        app: adm.key.0,
-                        width: adm.width,
-                    }),
-                    Some(f) => self.tracer.emit(TraceEvent::GangSelected {
-                        at_us: view.now,
-                        app: adm.key.0,
-                        width: adm.width,
-                        fitness: f,
-                        available_per_proc: adm.available_per_proc.unwrap_or(0.0),
-                    }),
-                }
-            }
-        }
-        report.into_iter().map(|a| a.key).collect()
-    }
-
-    /// Affinity-preserving placement of whole gangs.
-    pub(crate) fn place(view: &MachineView<'_>, admitted: &[AppId]) -> Vec<Assignment> {
-        let mut free: Vec<bool> = vec![true; view.num_cpus];
-        let mut assignments = Vec::new();
-        let mut pending = Vec::new();
-
-        // Pass 1: honor last-cpu affinity.
-        for &app in admitted {
-            let Some(info) = view.app(app) else { continue };
-            for &tid in info.threads {
-                let Some(t) = view.thread(tid) else { continue };
-                if !t.is_runnable() {
-                    continue;
-                }
-                match t.last_cpu {
-                    Some(c) if free[c.0] => {
-                        free[c.0] = false;
-                        assignments.push(Assignment {
-                            thread: tid,
-                            cpu: c,
-                        });
-                    }
-                    _ => pending.push(tid),
-                }
-            }
-        }
-        // Pass 2: warmest cache, then lowest free cpu.
-        for tid in pending {
-            let warm = view.warmest_cpu(tid).map(|(c, _)| c).filter(|c| free[c.0]);
-            let cpu = warm.or_else(|| free.iter().position(|&f| f).map(CpuId));
-            if let Some(c) = cpu {
-                free[c.0] = false;
-                assignments.push(Assignment {
-                    thread: tid,
-                    cpu: c,
-                });
-            }
-        }
-        assignments
-    }
-}
-
-impl Scheduler for BusAwareScheduler {
-    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
-        // 1. Measure the quantum that just ended.
-        self.settle_quantum(view);
-
-        // 2. Maintain the circular list: rotate jobs that ran to the end.
-        self.refresh_job_list(view);
-        let ran: Vec<AppId> = self
-            .order
-            .iter()
-            .copied()
-            .filter(|a| self.running.contains(a))
-            .collect();
-        self.order.retain(|a| !ran.contains(a));
-        self.order.extend(ran);
-
-        // 3. Select and 4. place.
-        let admitted = self.select(view);
-        let assignments = Self::place(view, &admitted);
-
-        // Snapshot counters for the jobs about to run.
-        for &app in &admitted {
-            let t = Self::app_tx(view, app);
-            self.quantum_snapshot.insert(app, t);
-            self.sample_snapshot.insert(app, t);
-        }
-        self.running = admitted;
-        self.last_boundary_us = view.now;
-        self.last_sample_us = view.now;
-        self.dilation_at_boundary = view.dilation_integral;
-        self.dilation_at_sample = view.dilation_integral;
-
-        Decision {
-            assignments,
-            next_resched_in_us: self.cfg.quantum_us,
-            sample_period_us: Some(self.cfg.quantum_us / self.cfg.samples_per_quantum as u64),
-        }
-    }
-
-    fn on_sample(&mut self, view: &MachineView<'_>) {
-        let dt = view.now.saturating_sub(self.last_sample_us);
-        if dt == 0 {
-            return;
-        }
-        let lambda = (view.dilation_integral - self.dilation_at_sample) / dt as f64;
-        for &app in &self.running {
-            let Some(info) = view.app(app) else { continue };
-            let total = Self::app_tx(view, app);
-            let before = self.sample_snapshot.get(&app).copied().unwrap_or(0.0);
-            let width = info.threads.len().max(1);
-            let per_thread = (total - before).max(0.0) / dt as f64 / width as f64;
-            let demand = self.demand.observe(app, per_thread, lambda);
-            self.estimator.record_sample(app, demand);
-            self.sample_snapshot.insert(app, total);
-        }
-        self.dilation_at_sample = view.dilation_integral;
-        self.last_sample_us = view.now;
-    }
-
-    fn attach_tracer(&mut self, tracer: &EventBus) {
-        self.tracer = tracer.clone();
-    }
-
-    fn name(&self) -> &str {
-        &self.display_name
-    }
+            cfg.samples_per_quantum,
+        )),
+        Box::new(HeadOfList),
+        Box::new(FitnessSelector),
+        Box::new(PackedPlacer),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::estimator::{LatestQuantumEstimator, QuantaWindowEstimator};
-    use busbw_sim::{AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec, XEON_4WAY};
+    use busbw_sim::{
+        AppDescriptor, AppId, ConstantDemand, Machine, Scheduler, StopCondition, ThreadSpec,
+        XEON_4WAY,
+    };
+    use std::collections::BTreeMap;
 
     fn app(m: &mut Machine, name: &str, nthreads: usize, rate: f64, mu: f64, work: f64) -> AppId {
         let threads = (0..nthreads)
@@ -355,12 +93,12 @@ mod tests {
         m.add_app(AppDescriptor::new(name, threads))
     }
 
-    fn latest() -> BusAwareScheduler {
-        BusAwareScheduler::new(Box::new(LatestQuantumEstimator::new()))
+    fn latest() -> PolicyStack {
+        bus_aware(Box::new(LatestQuantumEstimator::new()))
     }
 
-    fn window() -> BusAwareScheduler {
-        BusAwareScheduler::new(Box::new(QuantaWindowEstimator::new()))
+    fn window() -> PolicyStack {
+        bus_aware(Box::new(QuantaWindowEstimator::new()))
     }
 
     #[test]
@@ -490,7 +228,7 @@ mod tests {
                 StopCondition::At(m.now() + 200_000),
             );
         }
-        // settle_quantum happens on the *next* schedule call.
+        // The estimator settles on the *next* schedule call.
         let _ = s.schedule(&m.view());
         let est = s.estimate(a);
         assert!(
@@ -515,5 +253,17 @@ mod tests {
         for a in &d2.assignments {
             assert_eq!(placement1[&a.thread], a.cpu, "thread migrated needlessly");
         }
+    }
+
+    #[test]
+    fn preset_stack_reports_paper_defaults() {
+        let s = latest();
+        assert_eq!(s.name(), "Latest");
+        assert_eq!(s.quantum_us(), PolicyConfig::default().quantum_us);
+        assert_eq!(
+            s.stage_labels(),
+            ["Latest", "head", "fitness", "packed"],
+            "preset composes the paper stages"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! The §4 job-selection algorithm, independent of any execution substrate.
 //!
-//! Both the simulator-driven [`crate::BusAwareScheduler`] and the
+//! Both the simulator-driven [`crate::bus_aware`] stacks and the
 //! real-thread [`crate::manager::CpuManager`] select jobs the same way;
 //! this module is that shared core, so the algorithm is tested once and
 //! reused everywhere.
@@ -81,10 +81,7 @@ pub fn select_gangs_report<K: Copy + PartialEq>(
     let mut report: Vec<Admission<K>> = Vec::new();
 
     // Head-of-list guarantee: first job that can ever fit.
-    if let Some(i) = candidates
-        .iter()
-        .position(|c| c.width <= free && c.width > 0)
-    {
+    if let Some(i) = head_position(candidates, free) {
         free -= candidates[i].width;
         allocated_bbw += candidates[i].bbw_per_thread * candidates[i].width as f64;
         admitted.push(i);
@@ -97,11 +94,45 @@ pub fn select_gangs_report<K: Copy + PartialEq>(
         });
     }
 
-    while free > 0 {
-        let abbw = available_bbw_per_proc(bus_total, allocated_bbw, free);
+    fitness_fill(
+        candidates,
+        bus_total,
+        &mut free,
+        &mut allocated_bbw,
+        &mut admitted,
+        &mut report,
+    );
+
+    report
+}
+
+/// The head-of-list admission rule: index of the first candidate that can
+/// fit at all (the job carrying the starvation-freedom guarantee).
+pub(crate) fn head_position<K>(candidates: &[Candidate<K>], free: usize) -> Option<usize> {
+    candidates
+        .iter()
+        .position(|c| c.width <= free && c.width > 0)
+}
+
+/// The paper's fitness loop: while processors remain, recompute
+/// `ABBW/proc` over the unallocated processors and admit the fitting
+/// candidate with the highest fitness; stop when nothing fits. Appends
+/// admitted indices to `admitted` and scored [`Admission`]s to `report`,
+/// updating `free` and `allocated_bbw` in place so callers can seed the
+/// loop with prior admissions.
+pub(crate) fn fitness_fill<K: Copy + PartialEq>(
+    candidates: &[Candidate<K>],
+    bus_total: f64,
+    free: &mut usize,
+    allocated_bbw: &mut f64,
+    admitted: &mut Vec<usize>,
+    report: &mut Vec<Admission<K>>,
+) {
+    while *free > 0 {
+        let abbw = available_bbw_per_proc(bus_total, *allocated_bbw, *free);
         let mut best: Option<(f64, usize)> = None;
         for (i, c) in candidates.iter().enumerate() {
-            if admitted.contains(&i) || c.width == 0 || c.width > free {
+            if admitted.contains(&i) || c.width == 0 || c.width > *free {
                 continue;
             }
             let f = fitness(abbw, c.bbw_per_thread);
@@ -113,8 +144,8 @@ pub fn select_gangs_report<K: Copy + PartialEq>(
         }
         match best {
             Some((f, i)) => {
-                free -= candidates[i].width;
-                allocated_bbw += candidates[i].bbw_per_thread * candidates[i].width as f64;
+                *free -= candidates[i].width;
+                *allocated_bbw += candidates[i].bbw_per_thread * candidates[i].width as f64;
                 admitted.push(i);
                 report.push(Admission {
                     key: candidates[i].key,
@@ -127,8 +158,6 @@ pub fn select_gangs_report<K: Copy + PartialEq>(
             None => break,
         }
     }
-
-    report
 }
 
 #[cfg(test)]

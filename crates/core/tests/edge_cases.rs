@@ -2,7 +2,7 @@
 //! oversized gangs, and estimator plumbing end to end.
 
 use busbw_core::estimator::EwmaEstimator;
-use busbw_core::{latest_quantum, quanta_window, BusAwareScheduler, LinuxLikeScheduler};
+use busbw_core::{bus_aware, latest_quantum, linux_like, quanta_window, PolicyConfig};
 use busbw_sim::{
     AppDescriptor, AppId, ConstantDemand, Decision, Machine, MachineConfig, Scheduler,
     StopCondition, ThreadSpec, XEON_4WAY,
@@ -33,7 +33,7 @@ fn empty_machine_schedules_nothing_without_panicking() {
         assert!(d.assignments.is_empty());
         assert!(d.next_resched_in_us > 0);
     }
-    let mut linux = LinuxLikeScheduler::new();
+    let mut linux = linux_like();
     assert!(linux.schedule(&m.view()).assignments.is_empty());
 }
 
@@ -97,7 +97,7 @@ fn estimator_state_is_dropped_with_the_job() {
 fn ewma_estimator_works_end_to_end_in_the_scheduler() {
     let mut m = Machine::new(XEON_4WAY);
     let a = add(&mut m, "a", 2, 6.0, f64::INFINITY);
-    let mut s = BusAwareScheduler::new(Box::new(EwmaEstimator::matching_window(5)));
+    let mut s = bus_aware(Box::new(EwmaEstimator::matching_window(5)));
     assert_eq!(s.name(), "EWMA");
     // Drive with the real machine loop so on_sample fires.
     m.run(&mut s, StopCondition::At(1_600_000));
@@ -121,10 +121,10 @@ fn policies_survive_every_job_finishing() {
 
 #[test]
 fn sampling_contract_matches_paper_two_per_quantum() {
-    let s = latest_quantum();
-    let cfg = s.config();
+    let cfg = PolicyConfig::default();
     assert_eq!(cfg.quantum_us, 200_000);
     assert_eq!(cfg.samples_per_quantum, 2);
+    assert_eq!(latest_quantum().quantum_us(), cfg.quantum_us);
     let mut m = Machine::new(XEON_4WAY);
     add(&mut m, "a", 2, 2.0, f64::INFINITY);
     let mut s = latest_quantum();

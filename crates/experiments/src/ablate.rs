@@ -26,6 +26,7 @@ use busbw_workloads::paper::PaperApp;
 
 use crate::fig2::{fold_fig2, plan_fig2, Fig2Cells, Fig2Set};
 use crate::jobgraph::{run_figure, CellId, Executed, Plan, RunRequest};
+use crate::policy::{EstimatorKind, PlacerKind, SelectorKind, StackSpec};
 use crate::runner::{PolicyKind, RunnerConfig};
 
 /// Window lengths swept by [`ablate_window`].
@@ -294,6 +295,90 @@ pub fn ablate_smt(rc: &RunnerConfig) -> FigureSummary {
     run_figure(rc, |plan| plan_smt(plan, rc), fold_smt)
 }
 
+/// Estimators crossed by [`ablate_stages`].
+pub const STAGE_ESTIMATORS: [EstimatorKind; 2] = [
+    EstimatorKind::Latest,
+    EstimatorKind::Window(busbw_core::pipeline::PAPER_WINDOW_SAMPLES),
+];
+
+/// Placers crossed by [`ablate_stages`].
+pub const STAGE_PLACERS: [PlacerKind; 2] = [PlacerKind::Packed, PlacerKind::Scatter];
+
+/// Selectors crossed by [`ablate_stages`] (the random fill is seeded from
+/// the run config so the figure stays deterministic per seed).
+pub fn stage_selectors(rc: &RunnerConfig) -> [SelectorKind; 3] {
+    [
+        SelectorKind::Fitness,
+        SelectorKind::Random(rc.seed),
+        SelectorKind::Greedy,
+    ]
+}
+
+const STAGE_APP: PaperApp = PaperApp::Mg;
+
+/// Cell handles for the stage cross-product ablation: the Linux baseline
+/// plus one composed [`StackSpec`] cell per estimator × selector × placer
+/// combination.
+#[derive(Debug)]
+pub struct StageCells {
+    linux: CellId,
+    combos: Vec<(StackSpec, CellId)>,
+}
+
+/// Declare the stage cross-product on the set-C MG workload. Every cell
+/// is a [`PolicyKind::Stack`], so this sweep exercises exactly the same
+/// composition path as the `--policy` CLI grammar.
+pub fn plan_stages(plan: &mut Plan, rc: &RunnerConfig) -> StageCells {
+    let spec = Fig2Set::C.spec(STAGE_APP);
+    let linux = plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Linux, rc));
+    let mut combos = Vec::new();
+    for est in STAGE_ESTIMATORS {
+        for sel in stage_selectors(rc) {
+            for placer in STAGE_PLACERS {
+                let stack = StackSpec {
+                    estimator: est,
+                    selector: sel,
+                    placer,
+                    ..StackSpec::default()
+                };
+                let id = plan.cell(RunRequest::spec(spec.clone(), PolicyKind::Stack(stack), rc));
+                combos.push((stack, id));
+            }
+        }
+    }
+    StageCells { linux, combos }
+}
+
+/// Fold the stage cross-product: one row per composed stack, reporting
+/// its improvement over the Linux baseline.
+pub fn fold_stages(cells: &StageCells, executed: &Executed) -> FigureSummary {
+    let linux = executed.get(cells.linux).mean_turnaround_us;
+    let rows = cells
+        .combos
+        .iter()
+        .map(|&(stack, id)| ExperimentRow {
+            app: stack.label(),
+            values: vec![(
+                format!("{} impr %", STAGE_APP.name()),
+                improvement_pct(linux, executed.get(id).mean_turnaround_us),
+            )],
+        })
+        .collect();
+    FigureSummary {
+        id: "ablate-stages".into(),
+        title: "Set C (MG): estimator x selector x placer cross-product".into(),
+        rows,
+    }
+}
+
+/// Stage cross-product ablation: every estimator × selector × placer
+/// combination of the policy pipeline, composed through [`StackSpec`]
+/// exactly as the `--policy` CLI flag composes them, against the Linux
+/// baseline on the set-C MG workload.
+pub fn ablate_stages(rc: &RunnerConfig) -> FigureSummary {
+    run_figure(rc, |plan| plan_stages(plan, rc), fold_stages)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,5 +418,21 @@ mod tests {
             QUANTUM_APPS.len() * (1 + QUANTUM_SWEEP.len()),
             "quantum sweep: one Linux cell per app"
         );
+    }
+
+    #[test]
+    fn stage_cross_product_declares_every_combo_once() {
+        let rc = RunnerConfig::quick();
+        let mut plan = Plan::new();
+        let cells = plan_stages(&mut plan, &rc);
+        // One Linux baseline + the full estimator × selector × placer
+        // cross-product, each a distinct cell with a distinct label.
+        assert_eq!(
+            plan.len(),
+            1 + STAGE_ESTIMATORS.len() * stage_selectors(&rc).len() * STAGE_PLACERS.len()
+        );
+        let labels: std::collections::BTreeSet<String> =
+            cells.combos.iter().map(|(s, _)| s.label()).collect();
+        assert_eq!(labels.len(), cells.combos.len(), "labels must be distinct");
     }
 }

@@ -26,13 +26,17 @@ use busbw_trace::{fnv1a64, TraceEvent};
 use busbw_workloads::app::{AppSpec, Behavior};
 use busbw_workloads::mix::WorkloadSpec;
 
+use crate::policy::{AdmissionKind, EstimatorKind, PlacerKind, SelectorKind, StackSpec};
 use crate::runner::{PolicyKind, RunCompletion, RunResult, TraceMode, UnfinishedApp};
 
 /// Schema-version salt mixed into every run key and stamped on every
 /// cache file. Bump it whenever the [`RunResult`] layout, the canonical
 /// key encoding, or anything that feeds a run's numbers changes: old
 /// entries then simply stop matching (cache invalidation by content).
-pub const RUN_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `PolicyKind::Stack` joined the policy encoding, `StageDecision`
+/// joined the event codec, and [`RunResult`] grew stage timings.
+pub const RUN_SCHEMA_VERSION: u32 = 2;
 
 /// Magic bytes prefixing every on-disk cache entry.
 const MAGIC: &[u8; 8] = b"BBWRUN\x00\x01";
@@ -277,7 +281,52 @@ pub(crate) fn encode_policy(e: &mut Enc, p: &PolicyKind) {
         PolicyKind::GreedyPack => e.u8(7),
         PolicyKind::LinuxO1 => e.u8(8),
         PolicyKind::ModelDriven => e.u8(9),
+        PolicyKind::Stack(spec) => {
+            e.u8(10);
+            encode_stack_spec(e, &spec);
+        }
     }
+}
+
+/// Encode a composed stack: every stage choice with its payload, plus the
+/// quantum — substituting any single stage must change the run key.
+pub(crate) fn encode_stack_spec(e: &mut Enc, s: &StackSpec) {
+    match s.estimator {
+        EstimatorKind::Latest => e.u8(0),
+        EstimatorKind::Window(n) => {
+            e.u8(1);
+            e.usize(n);
+        }
+        EstimatorKind::Ewma(n) => {
+            e.u8(2);
+            e.usize(n);
+        }
+        EstimatorKind::Raw => e.u8(3),
+        EstimatorKind::Null => e.u8(4),
+    }
+    e.u8(match s.admission {
+        AdmissionKind::Head => 0,
+        AdmissionKind::StrictHead => 1,
+        AdmissionKind::Fcfs => 2,
+        AdmissionKind::Widest => 3,
+        AdmissionKind::Open => 4,
+    });
+    match s.selector {
+        SelectorKind::Fitness => e.u8(0),
+        SelectorKind::Random(seed) => {
+            e.u8(1);
+            e.u64(seed);
+        }
+        SelectorKind::Greedy => e.u8(2),
+        SelectorKind::Lookahead => e.u8(3),
+        SelectorKind::None => e.u8(4),
+    }
+    e.u8(match s.placer {
+        PlacerKind::Packed => 0,
+        PlacerKind::Scatter => 1,
+        PlacerKind::Smt => 2,
+    });
+    e.u64(s.quantum_us);
 }
 
 /// Encode a [`MachineConfig`]: every field that can change a run's
@@ -449,6 +498,16 @@ fn encode_event(e: &mut Enc, ev: &TraceEvent) {
             e.u64(*client);
             e.u64(*thread);
         }
+        TraceEvent::StageDecision {
+            at_us,
+            stage,
+            items,
+        } => {
+            e.u8(13);
+            e.u64(*at_us);
+            e.u8(stage.index() as u8);
+            e.usize(*items);
+        }
     }
 }
 
@@ -525,6 +584,15 @@ fn decode_event(d: &mut Dec) -> Result<TraceEvent, String> {
             client: d.u64()?,
             thread: d.u64()?,
         },
+        13 => TraceEvent::StageDecision {
+            at_us: d.u64()?,
+            stage: {
+                let i = d.u8()? as usize;
+                busbw_trace::PipelineStage::from_index(i)
+                    .ok_or_else(|| format!("bad pipeline stage index {i}"))?
+            },
+            items: d.usize()?,
+        },
         t => return Err(format!("unknown event tag {t}")),
     })
 }
@@ -562,6 +630,22 @@ pub fn encode_result(r: &RunResult) -> Vec<u8> {
     }
     e.u64(r.memo_hits);
     e.u64(r.memo_misses);
+    // Stage timings are wall-clock observations, not simulation outputs:
+    // a cache-served result replays the producing run's readings, which is
+    // as meaningful as any other run's (they never feed figure data).
+    match &r.stage_timings {
+        None => e.u8(0),
+        Some(t) => {
+            e.u8(1);
+            for s in &t.stages {
+                e.u64(s.calls);
+                e.u64(s.total_ns);
+                for &b in &s.buckets {
+                    e.u64(b);
+                }
+            }
+        }
+    }
     e.into_bytes()
 }
 
@@ -605,6 +689,21 @@ pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
     }
     let memo_hits = d.u64()?;
     let memo_misses = d.u64()?;
+    let stage_timings = match d.u8()? {
+        0 => None,
+        1 => {
+            let mut t = busbw_sim::StageTimings::default();
+            for s in t.stages.iter_mut() {
+                s.calls = d.u64()?;
+                s.total_ns = d.u64()?;
+                for b in s.buckets.iter_mut() {
+                    *b = d.u64()?;
+                }
+            }
+            Some(t)
+        }
+        t => return Err(format!("unknown stage-timings tag {t}")),
+    };
     d.done()?;
     Ok(RunResult {
         turnarounds_us,
@@ -619,6 +718,7 @@ pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
         tick_dt_hist,
         memo_hits,
         memo_misses,
+        stage_timings,
     })
 }
 
@@ -776,10 +876,21 @@ mod tests {
                     name: "CG \"x\"".into(),
                     progress_frac: 0.42,
                 },
+                TraceEvent::StageDecision {
+                    at_us: 600,
+                    stage: busbw_trace::PipelineStage::Select,
+                    items: 2,
+                },
             ],
             tick_dt_hist: hist,
             memo_hits: 7,
             memo_misses: 3,
+            stage_timings: {
+                let mut t = busbw_sim::StageTimings::default();
+                t.stages[0].record_ns(120);
+                t.stages[2].record_ns(9_999);
+                Some(t)
+            },
         }
     }
 
@@ -812,6 +923,7 @@ mod tests {
         assert_eq!(back.tick_dt_hist, r.tick_dt_hist);
         assert_eq!(back.memo_hits, 7);
         assert_eq!(back.memo_misses, 3);
+        assert_eq!(back.stage_timings, r.stage_timings);
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub fn staggered_run(
         tick_dt_hist: out.stats.tick_dt_hist,
         memo_hits,
         memo_misses,
+        stage_timings: sched.stage_timings().cloned(),
     }
 }
 

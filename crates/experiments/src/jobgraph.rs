@@ -234,6 +234,13 @@ impl Plan {
             unique: (self.requests.len() - mark.unique) as u64,
         }
     }
+
+    /// The unique cells declared since `mark`, as a [`CellId`] index
+    /// range. Cells deduped against an earlier figure are attributed to
+    /// the figure that first declared them, not to this range.
+    pub fn range_since(&self, mark: PlanMark) -> std::ops::Range<usize> {
+        mark.unique..self.requests.len()
+    }
 }
 
 /// Executed results of a plan, indexed by [`CellId`].
@@ -251,6 +258,20 @@ impl Executed {
     /// Shared handle to one cell's result.
     pub fn get_arc(&self, id: CellId) -> Arc<RunResult> {
         Arc::clone(&self.results[id.0])
+    }
+
+    /// Merge the per-stage wall-time histograms of every cell in `range`
+    /// (a [`Plan::range_since`] slice). Cells whose scheduler is not a
+    /// policy stack contribute nothing; an all-monolith range merges to
+    /// a timing set with zero calls.
+    pub fn merged_stage_timings(&self, range: std::ops::Range<usize>) -> busbw_sim::StageTimings {
+        let mut merged = busbw_sim::StageTimings::default();
+        for r in &self.results[range] {
+            if let Some(t) = &r.stage_timings {
+                merged.merge(t);
+            }
+        }
+        merged
     }
 }
 
@@ -533,5 +554,63 @@ mod tests {
         }
         // But workers never enters the key: same request, same key.
         assert_eq!(base.key(), k);
+    }
+
+    mod props {
+        use super::*;
+        use crate::policy::{AdmissionKind, EstimatorKind, PlacerKind, SelectorKind, StackSpec};
+        use proptest::prelude::*;
+
+        fn arb_stack() -> impl Strategy<Value = StackSpec> {
+            (
+                (0usize..5, 1usize..16),
+                0usize..5,
+                (0usize..5, 0u64..(1 << 48)),
+                0usize..3,
+                1u64..1_000_000,
+            )
+                .prop_map(|((e, n), a, (s, seed), p, quantum_us)| StackSpec {
+                    estimator: match e {
+                        0 => EstimatorKind::Latest,
+                        1 => EstimatorKind::Window(n),
+                        2 => EstimatorKind::Ewma(n),
+                        3 => EstimatorKind::Raw,
+                        _ => EstimatorKind::Null,
+                    },
+                    admission: [
+                        AdmissionKind::Head,
+                        AdmissionKind::StrictHead,
+                        AdmissionKind::Fcfs,
+                        AdmissionKind::Widest,
+                        AdmissionKind::Open,
+                    ][a],
+                    selector: match s {
+                        0 => SelectorKind::Fitness,
+                        1 => SelectorKind::Random(seed),
+                        2 => SelectorKind::Greedy,
+                        3 => SelectorKind::Lookahead,
+                        _ => SelectorKind::None,
+                    },
+                    placer: [PlacerKind::Packed, PlacerKind::Scatter, PlacerKind::Smt][p],
+                    quantum_us,
+                })
+        }
+
+        proptest! {
+            /// Substituting any stage (or the quantum) of a composed
+            /// stack changes the run key; identical stacks collide.
+            #[test]
+            fn stage_substitution_changes_the_run_key(a in arb_stack(), b in arb_stack()) {
+                let rc = quick();
+                let key = |s: StackSpec| {
+                    RunRequest::spec(fig2_set_b(PaperApp::Cg), PolicyKind::Stack(s), &rc).key()
+                };
+                if a == b {
+                    prop_assert_eq!(key(a), key(b));
+                } else {
+                    prop_assert_ne!(key(a), key(b));
+                }
+            }
+        }
     }
 }

@@ -12,6 +12,7 @@
 //! | `ablate-quantum` | §5 — quantum-length sensitivity (100 vs 200 ms and beyond) |
 //! | `ablate-fitness` | design ablation — fitness vs round-robin/random/greedy gangs |
 //! | `ablate-smt` | §6 future work — the same policies with Hyperthreading enabled |
+//! | `ablate-stages` | pipeline ablation — estimator × selector × placer cross-product |
 //! | `dynamic` | open-system extension — staggered job arrivals |
 //! | `robustness` | random job populations — win-rate of each policy over Linux |
 //! | `baselines` | Linux 2.4-like vs O(1)-like vs the policies vs model-driven |
@@ -31,6 +32,7 @@ pub mod dynamic;
 pub mod fig1;
 pub mod fig2;
 pub mod jobgraph;
+pub mod policy;
 pub mod pool;
 pub mod robustness;
 pub mod runner;
@@ -38,7 +40,7 @@ pub mod suite;
 pub mod validate;
 pub mod variance;
 
-pub use ablate::{ablate_fitness, ablate_quantum, ablate_smt, ablate_window};
+pub use ablate::{ablate_fitness, ablate_quantum, ablate_smt, ablate_stages, ablate_window};
 pub use baselines::baselines;
 pub use cache::{RunCache, RunKey, RUN_SCHEMA_VERSION};
 pub use dynamic::{dynamic_arrivals, staggered_run, staggered_turnaround};
@@ -47,6 +49,7 @@ pub use fig2::{fig2, fig2_with_policies_traced, Fig2Set};
 pub use jobgraph::{
     CellId, CellStats, Engine, ExecStats, Executed, Plan, PlanMark, RunRequest, RunShape,
 };
+pub use policy::{AdmissionKind, EstimatorKind, PlacerKind, SelectorKind, StackSpec};
 pub use pool::{steal_map, StealStats};
 pub use robustness::robustness;
 pub use runner::{

@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! experiments <command> [--scale X] [--seed N] [--out DIR] [--trace-out PATH]
-//!                       [--cache-dir DIR] [--no-cache]
+//!                       [--cache-dir DIR] [--no-cache] [--policy SPEC]
 //!
 //! commands:
 //!   fig1a | fig1b | fig2a | fig2b | fig2c   one figure
 //!   trace <figure>                           one figure + validated trace
 //!   summary                                  §5 max/avg table (needs fig2 runs)
-//!   ablate-window | ablate-quantum | ablate-fitness
+//!   ablate-window | ablate-quantum | ablate-fitness | ablate-smt
+//!   ablate --stages                          estimator x selector x placer sweep
+//!   bench tick-rate [--guard PCT]            throughput + pipeline-overhead guard
 //!   all                                      everything above
 //! ```
+//!
+//! `--policy` composes the fig2/summary scheduler from pipeline stages,
+//! e.g. `--policy estimator=window:5,selector=fitness,placer=packed`; see
+//! [`StackSpec`] for the grammar. `--guard PCT` makes `bench tick-rate`
+//! assert that driving the selection logic through the composed pipeline
+//! costs less than PCT % versus calling it directly.
 //!
 //! Output goes to stdout and, per figure, to `<out>/<id>.txt`,
 //! `<out>/<id>.csv` and a machine-readable `<out>/<id>.manifest.json`
@@ -31,8 +39,8 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use busbw_experiments::ablate::{
-    fold_fitness, fold_quantum, fold_smt, fold_window, plan_fitness, plan_quantum, plan_smt,
-    plan_window,
+    fold_fitness, fold_quantum, fold_smt, fold_stages, fold_window, plan_fitness, plan_quantum,
+    plan_smt, plan_stages, plan_window,
 };
 use busbw_experiments::baselines::{fold_baselines, plan_baselines};
 use busbw_experiments::dynamic::{fold_dynamic, plan_dynamic};
@@ -44,14 +52,15 @@ use busbw_experiments::variance::{fold_variance, plan_variance};
 use busbw_experiments::{
     collect_metrics, effective_workers, fold_suite, merge_traces, plan_suite, render_validation,
     CellStats, Engine, ExecStats, Executed, Fig2Set, Plan, PolicyKind, RunCache, RunResult,
-    RunnerConfig, SuiteFigure, TraceMode,
+    RunnerConfig, StackSpec, SuiteFigure, TraceMode,
 };
 use busbw_metrics::{FigureSummary, MetricsRegistry, Table};
+use busbw_sim::{StageTimings, STAGE_BUCKET_BOUNDS_NS};
 use busbw_trace::{fnv1a64, git_describe, json, ArtifactSum, Manifest, TraceInfo};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|dynamic|baselines|robustness|validate|variance|bench tick-rate|bench sweep|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache]"
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|baselines|robustness|validate|variance|bench tick-rate|bench sweep|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly"
     );
     std::process::exit(2);
 }
@@ -63,6 +72,8 @@ struct Args {
     trace_out: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
+    policy: Option<StackSpec>,
+    guard_pct: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -72,12 +83,24 @@ fn parse_args() -> Args {
         // `bench <what>` / `trace <figure>` — two-word commands.
         let sub = args.next().unwrap_or_else(|| usage());
         command = format!("{command} {sub}");
+    } else if command == "ablate" {
+        // `ablate --stages` and friends alias the one-word spellings.
+        command = match args.next().as_deref() {
+            Some("--stages") => "ablate-stages".into(),
+            Some("--window") => "ablate-window".into(),
+            Some("--quantum") => "ablate-quantum".into(),
+            Some("--fitness") => "ablate-fitness".into(),
+            Some("--smt") => "ablate-smt".into(),
+            _ => usage(),
+        };
     }
     let mut rc = RunnerConfig::default();
     let mut out = PathBuf::from("results");
     let mut trace_out = None;
     let mut cache_dir = None;
     let mut no_cache = false;
+    let mut policy = None;
+    let mut guard_pct = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -108,6 +131,20 @@ fn parse_args() -> Args {
                 cache_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
             "--no-cache" => no_cache = true,
+            "--policy" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                policy = Some(StackSpec::parse(&spec).unwrap_or_else(|e| {
+                    eprintln!("--policy: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            "--guard" => {
+                guard_pct = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             _ => usage(),
         }
     }
@@ -118,6 +155,8 @@ fn parse_args() -> Args {
         trace_out,
         cache_dir,
         no_cache,
+        policy,
+        guard_pct,
     }
 }
 
@@ -130,7 +169,83 @@ fn parse_args() -> Args {
 /// The runs execute with a null-sink tracer attached, so the reported
 /// throughput *includes* the cost of every emission site — the number the
 /// ≤2 % tracing-overhead budget is checked against.
-fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf) {
+///
+/// With `--guard PCT` it also measures the policy-pipeline indirection:
+/// the same workload is run under the Linux preset stack and under a
+/// [`SoloSelector`](busbw_core::SoloSelector) driving the identical
+/// selector directly (same decisions, no estimate/admit/place framing or
+/// per-stage timing), interleaved min-of-N, and the run asserts the
+/// overhead stays under PCT %.
+fn pipeline_overhead_pct(rc: &RunnerConfig) -> (f64, f64, f64) {
+    use busbw_core::{linux_like, LinuxConfig, LinuxEpochSelector, SoloSelector};
+    use busbw_sim::{AppDescriptor, ConstantDemand, Machine, StopCondition, ThreadSpec};
+
+    // A fixed simulated horizon of endless-work gangs: both schedulers
+    // make identical decisions every quantum, the run is long enough
+    // (tens of milliseconds of wall time) for sub-percent timing
+    // resolution, and the measurement is independent of `--scale`.
+    let build = || {
+        let mut m = Machine::new(rc.machine);
+        for i in 0..4 {
+            let threads = (0..2)
+                .map(|_| ThreadSpec::new(f64::INFINITY, Box::new(ConstantDemand::new(5.0, 0.6))))
+                .collect();
+            m.add_app(AppDescriptor::new(format!("a{i}"), threads));
+        }
+        m
+    };
+    // On-CPU nanoseconds of the calling thread (Linux schedstat), which
+    // excludes preemption and steal time — the dominant noise when
+    // benchmarking inside shared containers/CI runners.
+    let thread_cpu_ns = || -> Option<u64> {
+        let s = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+        s.split_whitespace().next()?.parse().ok()
+    };
+    let run = |stack: bool| {
+        let mut machine = build();
+        let stop = StopCondition::At(15_000_000);
+        let cpu0 = thread_cpu_ns();
+        let t = std::time::Instant::now();
+        if stack {
+            machine.run(&mut linux_like(), stop);
+        } else {
+            let mut solo =
+                SoloSelector::new(LinuxEpochSelector::new(), LinuxConfig::default().quantum_us);
+            machine.run(&mut solo, stop);
+        }
+        let wall = t.elapsed().as_secs_f64();
+        match (cpu0, thread_cpu_ns()) {
+            (Some(a), Some(b)) if b > a => (b - a) as f64 / 1e9,
+            _ => wall,
+        }
+    };
+    // One discarded warmup pair, then back-to-back (stack, direct) pairs
+    // in alternating order so neither side systematically runs first.
+    // Each pair shares its ambient load, so its overhead ratio is nearly
+    // noise-free; the median across pairs discards the few pairs a
+    // scheduling burst lands inside. Minima are reported for reference.
+    run(true);
+    run(false);
+    let (mut best_stack, mut best_solo) = (f64::INFINITY, f64::INFINITY);
+    let mut overheads: Vec<f64> = (0..15)
+        .map(|i| {
+            let (stack, solo) = if i % 2 == 0 {
+                let s = run(true);
+                (s, run(false))
+            } else {
+                let d = run(false);
+                (run(true), d)
+            };
+            best_stack = best_stack.min(stack);
+            best_solo = best_solo.min(solo);
+            100.0 * (stack - solo) / solo
+        })
+        .collect();
+    overheads.sort_by(f64::total_cmp);
+    (best_stack, best_solo, overheads[overheads.len() / 2])
+}
+
+fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf, guard_pct: Option<f64>) {
     use busbw_experiments::{par_map, run_spec};
     use busbw_workloads::mix::{fig1_solo, fig1_with_bbma, fig2_set_a, fig2_set_b, WorkloadSpec};
     use busbw_workloads::paper::PaperApp;
@@ -163,8 +278,21 @@ fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf) {
         "   simulated µs per wall second: {:.0}",
         sim_us as f64 / wall
     );
+    let mut guard_json = String::new();
+    if let Some(pct) = guard_pct {
+        let (stack_s, solo_s, overhead) = pipeline_overhead_pct(&rc);
+        println!("\n   pipeline guard: stack {stack_s:.4} s vs direct selector {solo_s:.4} s");
+        println!("   pipeline indirection: {overhead:+.2} % (budget < {pct} %)");
+        guard_json = format!(
+            ",\n  \"pipeline_stack_wall_s\": {stack_s:.6},\n  \"pipeline_direct_wall_s\": {solo_s:.6},\n  \"pipeline_overhead_pct\": {overhead:.3},\n  \"pipeline_guard_pct\": {pct}"
+        );
+        assert!(
+            overhead < pct,
+            "policy-pipeline indirection {overhead:.2} % exceeds the {pct} % guard"
+        );
+    }
     let json = format!(
-        "{{\n  \"bench\": \"tick-rate\",\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"runs\": {},\n  \"wall_s\": {:.6},\n  \"ticks\": {},\n  \"sim_elapsed_us\": {},\n  \"ticks_per_sec\": {:.1},\n  \"sim_us_per_wall_s\": {:.1}\n}}\n",
+        "{{\n  \"bench\": \"tick-rate\",\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"runs\": {},\n  \"wall_s\": {:.6},\n  \"ticks\": {},\n  \"sim_elapsed_us\": {},\n  \"ticks_per_sec\": {:.1},\n  \"sim_us_per_wall_s\": {:.1}{}\n}}\n",
         rc.scale,
         rc.seed,
         workers,
@@ -173,7 +301,8 @@ fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf) {
         ticks,
         sim_us,
         tps,
-        sim_us as f64 / wall
+        sim_us as f64 / wall,
+        guard_json
     );
     std::fs::create_dir_all(out).expect("create output dir");
     std::fs::write(out.join("BENCH_tick.json"), &json).expect("write BENCH_tick.json");
@@ -294,10 +423,42 @@ fn record_exec(reg: &mut MetricsRegistry, figure: CellStats, engine: &Engine) {
     engine.stats().record(reg);
 }
 
-/// The exec-stats metrics snapshot as manifest JSON.
-fn exec_metrics_json(figure: CellStats, engine: &Engine) -> String {
+/// Record the per-stage wall-time histograms of a figure's policy-stack
+/// runs into `reg`: per stage a call counter, a total-time counter, and a
+/// duration histogram over the canonical nanosecond buckets. Monolithic
+/// schedulers report no timings; a figure with none contributes nothing.
+fn record_stage_timings(reg: &mut MetricsRegistry, timings: &StageTimings) {
+    if !timings.any_calls() {
+        return;
+    }
+    let bounds: Vec<f64> = STAGE_BUCKET_BOUNDS_NS.iter().map(|&b| b as f64).collect();
+    for (name, t) in timings.named() {
+        reg.inc_counter(&format!("stage.{name}.calls"), t.calls);
+        reg.inc_counter(&format!("stage.{name}.total_ns"), t.total_ns);
+        let h = reg.histogram(&format!("stage.{name}.ns"), &bounds);
+        for (i, &n) in t.buckets.iter().enumerate() {
+            if n > 0 {
+                // Re-record each bucket at a value inside it: the bound
+                // itself for the bounded buckets, past the last bound for
+                // the overflow bucket.
+                let v = STAGE_BUCKET_BOUNDS_NS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(2 * STAGE_BUCKET_BOUNDS_NS[STAGE_BUCKET_BOUNDS_NS.len() - 1]);
+                h.record_n(v as f64, n);
+            }
+        }
+    }
+}
+
+/// The exec-stats metrics snapshot (plus any per-stage wall-time
+/// histograms) as manifest JSON.
+fn exec_metrics_json(figure: CellStats, engine: &Engine, timings: Option<&StageTimings>) -> String {
     let mut reg = MetricsRegistry::new();
     record_exec(&mut reg, figure, engine);
+    if let Some(t) = timings {
+        record_stage_timings(&mut reg, t);
+    }
     reg.to_json()
 }
 
@@ -360,7 +521,8 @@ fn emit_figure<C>(
     let stats = plan.since(mark);
     let executed = engine.execute(&plan, effective_workers(rc));
     let fig = fold(&cells, &executed);
-    ctx.metrics_json = Some(exec_metrics_json(stats, engine));
+    let timings = executed.merged_stage_timings(plan.range_since(mark));
+    ctx.metrics_json = Some(exec_metrics_json(stats, engine, Some(&timings)));
     emit(&fig, out, ctx);
 }
 
@@ -391,13 +553,14 @@ fn summary_table(figs: &[FigureSummary], out: &PathBuf) {
 fn traced_figure(
     exp: &str,
     rc: &RunnerConfig,
+    policies: &[PolicyKind],
     engine: &mut Engine,
 ) -> Option<(FigureSummary, Vec<RunResult>, CellStats)> {
     let rc = RunnerConfig {
         trace: TraceMode::Collect,
         ..*rc
     };
-    let default_policies = [PolicyKind::Latest, PolicyKind::Window];
+    let default_policies = policies;
     let mut plan = Plan::new();
     let mark = plan.checkpoint();
     enum Cells {
@@ -407,9 +570,9 @@ fn traced_figure(
     let cells = match exp {
         "fig1a" => Cells::One(plan_fig1(&mut plan, &rc), true),
         "fig1b" => Cells::One(plan_fig1(&mut plan, &rc), false),
-        "fig2a" => Cells::Two(plan_fig2(&mut plan, Fig2Set::A, &default_policies, &rc)),
-        "fig2b" => Cells::Two(plan_fig2(&mut plan, Fig2Set::B, &default_policies, &rc)),
-        "fig2c" => Cells::Two(plan_fig2(&mut plan, Fig2Set::C, &default_policies, &rc)),
+        "fig2a" => Cells::Two(plan_fig2(&mut plan, Fig2Set::A, default_policies, &rc)),
+        "fig2b" => Cells::Two(plan_fig2(&mut plan, Fig2Set::B, default_policies, &rc)),
+        "fig2c" => Cells::Two(plan_fig2(&mut plan, Fig2Set::C, default_policies, &rc)),
         _ => return None,
     };
     let stats = plan.since(mark);
@@ -450,12 +613,13 @@ fn run_traced(
     exp: &str,
     command: &str,
     rc: &RunnerConfig,
+    policies: &[PolicyKind],
     out: &PathBuf,
     trace_out: Option<&PathBuf>,
     engine: &mut Engine,
 ) -> Vec<(usize, busbw_trace::TraceEvent)> {
     let mut ctx = EmitCtx::new(command, rc);
-    let Some((fig, results, stats)) = traced_figure(exp, rc, engine) else {
+    let Some((fig, results, stats)) = traced_figure(exp, rc, policies, engine) else {
         eprintln!("`{exp}` does not support tracing (figures only: fig1a|fig1b|fig2a|fig2b|fig2c)");
         std::process::exit(2);
     };
@@ -471,6 +635,13 @@ fn run_traced(
     });
     let mut reg = collect_metrics(&fig, &results, &merged);
     record_exec(&mut reg, stats, engine);
+    let mut timings = StageTimings::default();
+    for r in &results {
+        if let Some(t) = &r.stage_timings {
+            timings.merge(t);
+        }
+    }
+    record_stage_timings(&mut reg, &timings);
     ctx.metrics_json = Some(reg.to_json());
     emit(&fig, out, &ctx);
     println!("   trace: {} events -> {}", merged.len(), path.display());
@@ -484,7 +655,12 @@ fn main() {
     let mut engine = Engine::new(RunCache::new(args.cache_dir.clone(), !args.no_cache));
     let mut ctx = EmitCtx::new(&args.command, &rc);
     let figure_ids = ["fig1a", "fig1b", "fig2a", "fig2b", "fig2c"];
-    let default_policies = [PolicyKind::Latest, PolicyKind::Window];
+    // `--policy` swaps the fig2/summary panels' policy list for one
+    // scheduler composed from pipeline stages.
+    let default_policies: Vec<PolicyKind> = match args.policy {
+        Some(spec) => vec![PolicyKind::Stack(spec)],
+        None => vec![PolicyKind::Latest, PolicyKind::Window],
+    };
 
     // `--trace-out` turns any figure command into its traced flow; the
     // figure numbers are identical either way (tracing only observes).
@@ -494,6 +670,7 @@ fn main() {
                 &args.command,
                 &args.command,
                 &rc,
+                &default_policies,
                 out,
                 Some(path),
                 &mut engine,
@@ -511,6 +688,7 @@ fn main() {
             exp,
             &args.command,
             &rc,
+            &default_policies,
             out,
             args.trace_out.as_ref(),
             &mut engine,
@@ -611,6 +789,14 @@ fn main() {
             |p| plan_smt(p, &rc),
             fold_smt,
         ),
+        "ablate-stages" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| plan_stages(p, &rc),
+            fold_stages,
+        ),
         "dynamic" => emit_figure(
             &mut engine,
             &mut ctx,
@@ -641,7 +827,7 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        "bench tick-rate" => bench_tick_rate(&rc, out),
+        "bench tick-rate" => bench_tick_rate(&rc, out, args.guard_pct),
         "bench sweep" => bench_sweep(&rc, out, &mut engine),
         "robustness" => emit_figure(
             &mut engine,
@@ -675,15 +861,21 @@ fn main() {
             let cells = plan_suite(&mut plan, &rc);
             let executed = engine.execute(&plan, effective_workers(&rc));
             let figs = fold_suite(&cells, &executed);
+            let emit_suite_figure = |sf: &SuiteFigure, ctx: &mut EmitCtx| {
+                // Per-stage wall-time histograms cover the cells this
+                // figure first declared (deduped cells are attributed to
+                // the figure that declared them first).
+                let timings = executed.merged_stage_timings(sf.range.clone());
+                ctx.metrics_json = Some(exec_metrics_json(sf.cells, &engine, Some(&timings)));
+                emit(&sf.fig, out, ctx);
+            };
             for sf in &figs[..5] {
-                ctx.metrics_json = Some(exec_metrics_json(sf.cells, &engine));
-                emit(&sf.fig, out, &ctx);
+                emit_suite_figure(sf, &mut ctx);
             }
             let panels: Vec<FigureSummary> = figs[2..5].iter().map(|sf| sf.fig.clone()).collect();
             summary_table(&panels, out);
             for sf in &figs[5..] {
-                ctx.metrics_json = Some(exec_metrics_json(sf.cells, &engine));
-                emit(&sf.fig, out, &ctx);
+                emit_suite_figure(sf, &mut ctx);
             }
         }
         _ => usage(),

@@ -11,10 +11,11 @@ use std::sync::Mutex;
 
 use busbw_core::estimator::{LatestQuantumEstimator, QuantaWindowEstimator};
 use busbw_core::model::ModelDrivenScheduler;
-use busbw_core::oracle::{GreedyPackGang, RandomGang, RoundRobinGang};
-use busbw_core::sched::{BusAwareScheduler, PolicyConfig};
-use busbw_core::{LinuxLikeScheduler, LinuxO1Scheduler};
-use busbw_sim::{MachineConfig, Scheduler, StopCondition, TickDtHist, XEON_4WAY};
+use busbw_core::{
+    bus_aware, bus_aware_with_config, greedy_pack, linux_like, linux_o1, random_gang,
+    round_robin_gang, PolicyConfig,
+};
+use busbw_sim::{MachineConfig, Scheduler, StageTimings, StopCondition, TickDtHist, XEON_4WAY};
 use busbw_trace::{EventBus, NullSink, TraceEvent};
 use busbw_workloads::mix::{build_machine, fig1_solo, WorkloadSpec};
 use busbw_workloads::paper::PaperApp;
@@ -43,6 +44,9 @@ pub enum PolicyKind {
     LinuxO1,
     /// The §6 future-work comparator: model-driven quantum optimization.
     ModelDriven,
+    /// An arbitrary four-stage stack composed from the CLI
+    /// (`--policy estimator=…,selector=…,placer=…`) or the stage ablation.
+    Stack(crate::policy::StackSpec),
 }
 
 impl PolicyKind {
@@ -59,34 +63,33 @@ impl PolicyKind {
             PolicyKind::GreedyPack => "Greedy".into(),
             PolicyKind::LinuxO1 => "LinuxO1".into(),
             PolicyKind::ModelDriven => "ModelDriven".into(),
+            PolicyKind::Stack(spec) => spec.label(),
         }
     }
 
-    /// Instantiate the scheduler.
+    /// Instantiate the scheduler (a [`busbw_core::PolicyStack`] preset for
+    /// every kind but the model-driven comparator).
     pub fn build(&self) -> Box<dyn Scheduler> {
         match *self {
-            PolicyKind::Linux => Box::new(LinuxLikeScheduler::new()),
-            PolicyKind::Latest => Box::new(BusAwareScheduler::new(Box::new(
-                LatestQuantumEstimator::new(),
-            ))),
-            PolicyKind::Window => Box::new(BusAwareScheduler::new(Box::new(
-                QuantaWindowEstimator::new(),
-            ))),
-            PolicyKind::WindowN(n) => Box::new(BusAwareScheduler::new(Box::new(
-                QuantaWindowEstimator::with_window(n),
-            ))),
-            PolicyKind::LatestWithQuantum(q) => Box::new(BusAwareScheduler::with_config(
+            PolicyKind::Linux => Box::new(linux_like()),
+            PolicyKind::Latest => Box::new(bus_aware(Box::new(LatestQuantumEstimator::new()))),
+            PolicyKind::Window => Box::new(bus_aware(Box::new(QuantaWindowEstimator::new()))),
+            PolicyKind::WindowN(n) => {
+                Box::new(bus_aware(Box::new(QuantaWindowEstimator::with_window(n))))
+            }
+            PolicyKind::LatestWithQuantum(q) => Box::new(bus_aware_with_config(
                 Box::new(LatestQuantumEstimator::new()),
                 PolicyConfig {
                     quantum_us: q,
-                    samples_per_quantum: 2,
+                    ..PolicyConfig::default()
                 },
             )),
-            PolicyKind::RoundRobinGang => Box::new(RoundRobinGang::new()),
-            PolicyKind::RandomGang(seed) => Box::new(RandomGang::new(seed)),
-            PolicyKind::GreedyPack => Box::new(GreedyPackGang::new()),
-            PolicyKind::LinuxO1 => Box::new(LinuxO1Scheduler::new()),
+            PolicyKind::RoundRobinGang => Box::new(round_robin_gang()),
+            PolicyKind::RandomGang(seed) => Box::new(random_gang(seed)),
+            PolicyKind::GreedyPack => Box::new(greedy_pack()),
+            PolicyKind::LinuxO1 => Box::new(linux_o1()),
             PolicyKind::ModelDriven => Box::new(ModelDrivenScheduler::new()),
+            PolicyKind::Stack(spec) => Box::new(spec.build()),
         }
     }
 }
@@ -263,6 +266,10 @@ pub struct RunResult {
     pub memo_hits: u64,
     /// Λ-solve memo misses of the bus model.
     pub memo_misses: u64,
+    /// Per-stage wall-time accounting when the policy is a pipeline stack
+    /// (`None` for schedulers that expose no stage breakdown). Wall-clock
+    /// derived: excluded from the cache codec and the manifest checksum.
+    pub stage_timings: Option<StageTimings>,
 }
 
 /// Run `spec` under `policy` and measure the marked instances.
@@ -296,6 +303,7 @@ pub fn run_spec(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> R
         &mut *sched,
         StopCondition::AppsFinished(built.measured_ids.clone()),
     );
+    let stage_timings = sched.stage_timings().cloned();
 
     let mut unfinished = Vec::new();
     let mut turnarounds = Vec::with_capacity(built.measured_ids.len());
@@ -357,6 +365,7 @@ pub fn run_spec(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> R
         tick_dt_hist: out.stats.tick_dt_hist,
         memo_hits,
         memo_misses,
+        stage_timings,
     }
 }
 
@@ -583,10 +592,26 @@ mod tests {
             PolicyKind::GreedyPack,
             PolicyKind::LinuxO1,
             PolicyKind::ModelDriven,
+            PolicyKind::Stack(crate::policy::StackSpec::default()),
         ] {
             let s = p.build();
             assert!(!s.name().is_empty());
             assert!(!p.label().is_empty());
         }
+    }
+
+    #[test]
+    fn pipeline_runs_report_stage_timings() {
+        let r = run_spec(&fig2_set_b(PaperApp::Volrend), PolicyKind::Latest, &rc());
+        let t = r.stage_timings.expect("preset stacks expose timings");
+        assert!(t.any_calls());
+        assert!(t.stages.iter().all(|s| s.calls > 0), "{t:?}");
+        // The model-driven comparator is not a stack and reports none.
+        let r = run_spec(
+            &fig2_set_b(PaperApp::Volrend),
+            PolicyKind::ModelDriven,
+            &rc(),
+        );
+        assert!(r.stage_timings.is_none());
     }
 }

@@ -14,9 +14,11 @@
 
 use busbw_metrics::FigureSummary;
 
+use std::ops::Range;
+
 use crate::ablate::{
-    fold_fitness, fold_quantum, fold_smt, fold_window, plan_fitness, plan_quantum, plan_smt,
-    plan_window, QuantumCells, SmtCells, WindowCells,
+    fold_fitness, fold_quantum, fold_smt, fold_stages, fold_window, plan_fitness, plan_quantum,
+    plan_smt, plan_stages, plan_window, QuantumCells, SmtCells, StageCells, WindowCells,
 };
 use crate::baselines::{fold_baselines, plan_baselines, BaselineCells};
 use crate::dynamic::{fold_dynamic, plan_dynamic, DynamicCells};
@@ -46,6 +48,12 @@ pub struct SuiteCells {
     dynamic: (DynamicCells, CellStats),
     baselines: (BaselineCells, CellStats),
     robustness: (RobustnessCells, CellStats),
+    stages: (StageCells, CellStats),
+    /// Unique-cell ranges, one per emitted figure in emission order
+    /// (both Figure 1 panels share the first range). A cell deduped
+    /// against an earlier figure belongs to the range of the figure that
+    /// first declared it.
+    ranges: Vec<Range<usize>>,
 }
 
 /// One folded figure of the sweep, with the declare/dedup numbers that
@@ -58,20 +66,31 @@ pub struct SuiteFigure {
     /// another figure already declared count as `deduped`; the two
     /// Figure 1 panels share one cell set and report the same numbers.
     pub cells: CellStats,
+    /// The unique cells this figure first declared, as a
+    /// [`CellId`](crate::jobgraph::CellId) index range — feed it to
+    /// [`Executed::merged_stage_timings`](crate::jobgraph::Executed::merged_stage_timings)
+    /// for the figure's per-stage wall-time histograms.
+    pub range: Range<usize>,
 }
 
 /// Declare every figure of the full sweep on one shared plan, in the
 /// order `experiments all` emits them.
 pub fn plan_suite(plan: &mut Plan, rc: &RunnerConfig) -> SuiteCells {
+    let mut ranges = Vec::new();
+
     let mark = plan.checkpoint();
     let fig1 = plan_fig1(plan, rc);
     let fig1_stats = plan.since(mark);
+    // Both Figure 1 panels fold the same cell set: one range, twice.
+    ranges.push(plan.range_since(mark));
+    ranges.push(plan.range_since(mark));
 
     let fig2 = [Fig2Set::A, Fig2Set::B, Fig2Set::C]
         .into_iter()
         .map(|set| {
             let mark = plan.checkpoint();
             let cells = plan_fig2(plan, set, &[PolicyKind::Latest, PolicyKind::Window], rc);
+            ranges.push(plan.range_since(mark));
             (cells, plan.since(mark))
         })
         .collect();
@@ -79,30 +98,42 @@ pub fn plan_suite(plan: &mut Plan, rc: &RunnerConfig) -> SuiteCells {
     let mark = plan.checkpoint();
     let window = plan_window(plan, rc);
     let window = (window, plan.since(mark));
+    ranges.push(plan.range_since(mark));
 
     let mark = plan.checkpoint();
     let quantum = plan_quantum(plan, rc);
     let quantum = (quantum, plan.since(mark));
+    ranges.push(plan.range_since(mark));
 
     let mark = plan.checkpoint();
     let fitness = plan_fitness(plan, rc);
     let fitness = (fitness, plan.since(mark));
+    ranges.push(plan.range_since(mark));
 
     let mark = plan.checkpoint();
     let smt = plan_smt(plan, rc);
     let smt = (smt, plan.since(mark));
+    ranges.push(plan.range_since(mark));
 
     let mark = plan.checkpoint();
     let dynamic = plan_dynamic(plan, rc);
     let dynamic = (dynamic, plan.since(mark));
+    ranges.push(plan.range_since(mark));
 
     let mark = plan.checkpoint();
     let baselines = plan_baselines(plan, rc);
     let baselines = (baselines, plan.since(mark));
+    ranges.push(plan.range_since(mark));
 
     let mark = plan.checkpoint();
     let robustness = plan_robustness(plan, SUITE_ROBUSTNESS_TRIALS, SUITE_ROBUSTNESS_JOBS, rc);
     let robustness = (robustness, plan.since(mark));
+    ranges.push(plan.range_since(mark));
+
+    let mark = plan.checkpoint();
+    let stages = plan_stages(plan, rc);
+    let stages = (stages, plan.since(mark));
+    ranges.push(plan.range_since(mark));
 
     SuiteCells {
         fig1,
@@ -115,57 +146,40 @@ pub fn plan_suite(plan: &mut Plan, rc: &RunnerConfig) -> SuiteCells {
         dynamic,
         baselines,
         robustness,
+        stages,
+        ranges,
     }
 }
 
 /// Fold every figure of the sweep from the executed cell set, in
-/// emission order: `fig1a`, `fig1b`, `fig2a..c`, the four ablations,
-/// `dynamic`, `baselines`, `robustness`.
+/// emission order: `fig1a`, `fig1b`, `fig2a..c`, the ablations,
+/// `dynamic`, `baselines`, `robustness`, `ablate-stages`.
 pub fn fold_suite(cells: &SuiteCells, executed: &Executed) -> Vec<SuiteFigure> {
-    let mut out = Vec::new();
-    out.push(SuiteFigure {
-        fig: fold_fig1a(&cells.fig1, executed),
-        cells: cells.fig1_stats,
-    });
-    out.push(SuiteFigure {
-        fig: fold_fig1b(&cells.fig1, executed),
-        cells: cells.fig1_stats,
-    });
+    let mut figs: Vec<(FigureSummary, CellStats)> = Vec::new();
+    figs.push((fold_fig1a(&cells.fig1, executed), cells.fig1_stats));
+    figs.push((fold_fig1b(&cells.fig1, executed), cells.fig1_stats));
     for (c, stats) in &cells.fig2 {
-        out.push(SuiteFigure {
-            fig: fold_fig2(c, executed),
-            cells: *stats,
-        });
+        figs.push((fold_fig2(c, executed), *stats));
     }
-    out.push(SuiteFigure {
-        fig: fold_window(&cells.window.0, executed),
-        cells: cells.window.1,
-    });
-    out.push(SuiteFigure {
-        fig: fold_quantum(&cells.quantum.0, executed),
-        cells: cells.quantum.1,
-    });
-    out.push(SuiteFigure {
-        fig: fold_fitness(&cells.fitness.0, executed),
-        cells: cells.fitness.1,
-    });
-    out.push(SuiteFigure {
-        fig: fold_smt(&cells.smt.0, executed),
-        cells: cells.smt.1,
-    });
-    out.push(SuiteFigure {
-        fig: fold_dynamic(&cells.dynamic.0, executed),
-        cells: cells.dynamic.1,
-    });
-    out.push(SuiteFigure {
-        fig: fold_baselines(&cells.baselines.0, executed),
-        cells: cells.baselines.1,
-    });
-    out.push(SuiteFigure {
-        fig: fold_robustness(&cells.robustness.0, executed),
-        cells: cells.robustness.1,
-    });
-    out
+    figs.push((fold_window(&cells.window.0, executed), cells.window.1));
+    figs.push((fold_quantum(&cells.quantum.0, executed), cells.quantum.1));
+    figs.push((fold_fitness(&cells.fitness.0, executed), cells.fitness.1));
+    figs.push((fold_smt(&cells.smt.0, executed), cells.smt.1));
+    figs.push((fold_dynamic(&cells.dynamic.0, executed), cells.dynamic.1));
+    figs.push((
+        fold_baselines(&cells.baselines.0, executed),
+        cells.baselines.1,
+    ));
+    figs.push((
+        fold_robustness(&cells.robustness.0, executed),
+        cells.robustness.1,
+    ));
+    figs.push((fold_stages(&cells.stages.0, executed), cells.stages.1));
+    debug_assert_eq!(figs.len(), cells.ranges.len());
+    figs.into_iter()
+        .zip(cells.ranges.iter().cloned())
+        .map(|((fig, cells), range)| SuiteFigure { fig, cells, range })
+        .collect()
 }
 
 #[cfg(test)]
@@ -218,9 +232,18 @@ mod tests {
                 "ablate-smt",
                 "dynamic",
                 "baselines",
-                "robustness"
+                "robustness",
+                "ablate-stages"
             ]
         );
+        // Each figure's unique-cell range is attributable: the ranges
+        // tile the plan without overlap.
+        let mut covered = 0;
+        for f in &figs {
+            assert!(f.range.start <= f.range.end);
+            covered = covered.max(f.range.end);
+        }
+        assert_eq!(covered, plan.len(), "ranges must cover the whole plan");
         let standalone = crate::fig2::fig2(Fig2Set::C, &rc);
         assert_eq!(format!("{standalone:?}"), format!("{:?}", figs[4].fig));
         let standalone = crate::baselines::baselines(&rc);

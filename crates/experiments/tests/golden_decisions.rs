@@ -1,0 +1,128 @@
+//! Golden-decision pinned sequences: every preset policy must reproduce,
+//! bit for bit, the `Decision` stream the pre-pipeline monolithic
+//! schedulers produced on fixed workloads. The hashes below were captured
+//! from the monoliths immediately before the pipeline refactor; a change
+//! to any rotation rule, tie-break, RNG draw order, estimator feed, or
+//! placement pass shows up here as a hash mismatch.
+
+use busbw_experiments::PolicyKind;
+use busbw_sim::{Decision, MachineView, Scheduler, StopCondition, XEON_4WAY};
+use busbw_workloads::mix::{build_machine, fig2_set_a, fig2_set_b, WorkloadSpec};
+use busbw_workloads::paper::{PaperApp, DEFAULT_SOLO_WORK_US};
+
+const SCALE: f64 = 0.05;
+const SEED: u64 = 42;
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Wraps a scheduler and folds every `Decision` it emits (placements in
+/// order, the requested quantum and sample period, and the decision time)
+/// into one FNV-1a hash.
+struct DecisionHasher {
+    inner: Box<dyn Scheduler>,
+    hash: u64,
+    calls: u64,
+}
+
+impl DecisionHasher {
+    fn new(inner: Box<dyn Scheduler>) -> Self {
+        DecisionHasher {
+            inner,
+            hash: 0xcbf2_9ce4_8422_2325,
+            calls: 0,
+        }
+    }
+}
+
+impl Scheduler for DecisionHasher {
+    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+        let d = self.inner.schedule(view);
+        self.calls += 1;
+        fnv(&mut self.hash, &view.now.to_le_bytes());
+        fnv(&mut self.hash, &(d.assignments.len() as u64).to_le_bytes());
+        for a in &d.assignments {
+            fnv(&mut self.hash, &a.thread.0.to_le_bytes());
+            fnv(&mut self.hash, &(a.cpu.0 as u64).to_le_bytes());
+        }
+        fnv(&mut self.hash, &d.next_resched_in_us.to_le_bytes());
+        fnv(
+            &mut self.hash,
+            &d.sample_period_us.unwrap_or(0).to_le_bytes(),
+        );
+        d
+    }
+
+    fn on_sample(&mut self, view: &MachineView<'_>) {
+        self.inner.on_sample(view);
+    }
+}
+
+/// Drive `policy` over `spec` exactly as `run_spec` would (same scale,
+/// seed, and hard cap) and return (decision count, decision-stream hash).
+fn decision_hash(spec: &WorkloadSpec, policy: PolicyKind) -> (u64, u64) {
+    let scaled = spec.clone().scaled(SCALE);
+    let built = build_machine(&scaled, XEON_4WAY, SEED);
+    let mut machine = built.machine;
+    machine.set_hard_cap_us((DEFAULT_SOLO_WORK_US * SCALE * 100.0) as u64);
+    let mut sched = DecisionHasher::new(policy.build());
+    machine.run(&mut sched, StopCondition::AppsFinished(built.measured_ids));
+    (sched.calls, sched.hash)
+}
+
+/// The pinned (policy, workload) → (calls, hash) table. Captured from the
+/// pre-refactor monolithic schedulers; the pipeline presets must match.
+fn golden() -> Vec<(PolicyKind, &'static str, u64, u64)> {
+    vec![
+        (PolicyKind::Linux, "a", 17, 0xf741d12b8f711074),
+        (PolicyKind::Linux, "b", 9, 0x90212e2b43ec37a0),
+        (PolicyKind::Latest, "a", 7, 0x1990b7730bfbf7b0),
+        (PolicyKind::Latest, "b", 3, 0x049ef4382947e781),
+        (PolicyKind::Window, "a", 7, 0x1990b7730bfbf7b0),
+        (PolicyKind::Window, "b", 3, 0x049ef4382947e781),
+        (PolicyKind::WindowN(3), "a", 7, 0x021c9d0c8758ea73),
+        (
+            PolicyKind::LatestWithQuantum(100_000),
+            "b",
+            7,
+            0xe13b8261a6cafca7,
+        ),
+        (PolicyKind::RoundRobinGang, "a", 5, 0xb83915bdef2d3c6e),
+        (PolicyKind::RoundRobinGang, "b", 5, 0xb83915bdef2d3c6e),
+        (PolicyKind::RandomGang(SEED), "a", 9, 0x11022960afec2b2e),
+        (PolicyKind::RandomGang(SEED), "b", 4, 0x11597f0a837ea8df),
+        (PolicyKind::GreedyPack, "a", 10, 0xb898c84a580d7b91),
+        (PolicyKind::GreedyPack, "b", 3, 0x1c345db63a1b5f38),
+        (PolicyKind::LinuxO1, "a", 53, 0x16d50ea921e93c11),
+        (PolicyKind::LinuxO1, "b", 50, 0xe2c5ba9cacc3daec),
+        (PolicyKind::ModelDriven, "a", 4, 0x3dff88fcdf56cc55),
+        (PolicyKind::ModelDriven, "b", 4, 0xdfea792ad6b054f1),
+    ]
+}
+
+fn spec_for(tag: &str) -> WorkloadSpec {
+    match tag {
+        "a" => fig2_set_a(PaperApp::Cg),
+        "b" => fig2_set_b(PaperApp::Mg),
+        other => panic!("unknown workload tag {other}"),
+    }
+}
+
+#[test]
+fn presets_reproduce_pre_refactor_decision_sequences() {
+    let mut failures = Vec::new();
+    for (policy, tag, want_calls, want_hash) in golden() {
+        let (calls, hash) = decision_hash(&spec_for(tag), policy);
+        println!("(PolicyKind::{policy:?}, \"{tag}\", {calls}, 0x{hash:016x}),");
+        if (calls, hash) != (want_calls, want_hash) {
+            failures.push(format!(
+                "{policy:?}/{tag}: got ({calls}, 0x{hash:016x}), want ({want_calls}, 0x{want_hash:016x})"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{failures:#?}");
+}

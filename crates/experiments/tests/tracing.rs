@@ -2,7 +2,7 @@
 //! sequence of a tiny deterministic run, worker-count invariance of the
 //! merged stream, and the hardened (non-panicking) hard-cap path.
 
-use busbw_core::LinuxLikeScheduler;
+use busbw_core::linux_like;
 use busbw_experiments::{
     merge_traces, par_map, run_spec, Fig2Set, PolicyKind, RunCompletion, RunnerConfig, TraceMode,
 };
@@ -32,7 +32,7 @@ fn two_app_two_quantum_event_sequence_is_pinned() {
     let (bus, handle) = EventBus::memory();
     let mut m = two_app_machine();
     m.set_tracer(bus);
-    let mut sched = LinuxLikeScheduler::new();
+    let mut sched = linux_like();
     // Exactly two Linux quanta (100 ms each).
     let out = m.run(&mut sched, StopCondition::At(200_000));
     assert!(out.condition_met);
@@ -42,17 +42,26 @@ fn two_app_two_quantum_event_sequence_is_pinned() {
         .iter()
         .map(|e| format!("{}@{}", e.kind(), e.at_us()))
         .collect();
-    // The pinned sequence: both threads placed at t=0, one phase edge
+    // The pinned sequence: the four pipeline stages report at each
+    // reschedule, both threads are placed at t=0, one phase edge fires
     // per thread as its (zero-rate) demand is first observed, a single
     // Λ solve (constant demand never re-emits), and the re-placements at
-    // the 100 ms quantum boundary. Any change to the tick loop's
-    // emission points shows up here verbatim.
+    // the 100 ms quantum boundary. Any change to the tick loop's (or the
+    // policy pipeline's) emission points shows up here verbatim.
     let want = [
+        "stage_decision@0",
+        "stage_decision@0",
+        "stage_decision@0",
+        "stage_decision@0",
         "placement@0",
         "placement@0",
         "phase_edge@0",
         "phase_edge@0",
         "bus_solve@0",
+        "stage_decision@100000",
+        "stage_decision@100000",
+        "stage_decision@100000",
+        "stage_decision@100000",
         "placement@100000",
         "placement@100000",
     ];

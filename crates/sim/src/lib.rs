@@ -43,6 +43,7 @@ pub mod config;
 pub mod demand;
 pub mod ids;
 pub mod machine;
+pub mod stage;
 pub mod stats;
 pub mod testkit;
 pub mod thread;
@@ -60,6 +61,7 @@ pub use machine::{
     AppDescriptor, AppInfo, AppReport, Assignment, Decision, Machine, MachineView, RunOutcome,
     Scheduler, StopCondition, ThreadInfo,
 };
+pub use stage::{StageTiming, StageTimings, STAGE_BUCKET_BOUNDS_NS, STAGE_NAMES};
 pub use stats::{BusPressureStats, RunStats, TickDtHist};
 pub use thread::{ThreadSpec, ThreadState};
 pub use trace::{QuantumRecord, ScheduleTrace, Traced};

@@ -171,6 +171,9 @@ pub struct MachineView<'a> {
     pub bus_capacity: f64,
     /// The performance-counter registry (what a perfctr client reads).
     pub registry: &'a Registry,
+    /// Hardware threads per physical core (1 = no SMT). Placement stages
+    /// need this to prefer spreading gangs across idle cores.
+    pub smt_threads_per_core: usize,
     /// Time-integral of bus dilation (µs·Λ) — the simulated IOQ-occupancy
     /// PMU reading; see [`Machine`] internals.
     pub dilation_integral: f64,
@@ -212,6 +215,11 @@ impl<'a> MachineView<'a> {
     /// The cpu where `thread` has the warmest cache state, if any.
     pub fn warmest_cpu(&self, thread: ThreadId) -> Option<(CpuId, f64)> {
         self.cache.warmest_cpu(thread)
+    }
+
+    /// The physical core a cpu (hardware thread) belongs to.
+    pub fn core_of(&self, cpu: CpuId) -> usize {
+        cpu.0 / self.smt_threads_per_core.max(1)
     }
 
     /// All applications that still have runnable work, in id order.
@@ -266,6 +274,12 @@ pub trait Scheduler {
     /// Display name for reports.
     fn name(&self) -> &str {
         "scheduler"
+    }
+
+    /// Per-stage wall-time accounting, for schedulers built as a policy
+    /// pipeline. Monolithic schedulers return `None` (the default).
+    fn stage_timings(&self) -> Option<&crate::stage::StageTimings> {
+        None
     }
 }
 
@@ -505,6 +519,7 @@ impl Machine {
             num_cpus: self.cfg.num_cpus,
             bus_capacity: self.bus.nominal_capacity(),
             registry: &self.registry,
+            smt_threads_per_core: self.cfg.smt_threads_per_core,
             dilation_integral: self.dilation_integral,
             threads: &self.threads,
             apps: &self.apps,

@@ -2,6 +2,56 @@
 
 use crate::json::{escape_into, push_f64};
 
+/// One stage of a composable scheduling pipeline (see
+/// `busbw-core::pipeline`): the four-step decomposition every reschedule
+/// walks through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// Bandwidth estimation: settle the finished interval's measurements.
+    Estimate,
+    /// Admission: the unconditional head-of-list (or FCFS/priority) step.
+    Admit,
+    /// Selection: fill the remaining processors (fitness, random, …).
+    Select,
+    /// Placement: map admitted gangs onto cpus.
+    Place,
+}
+
+impl PipelineStage {
+    /// All stages, in pipeline order.
+    pub const ALL: [PipelineStage; 4] = [
+        PipelineStage::Estimate,
+        PipelineStage::Admit,
+        PipelineStage::Select,
+        PipelineStage::Place,
+    ];
+
+    /// Stable lowercase name (matches `busbw_sim::STAGE_NAMES`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PipelineStage::Estimate => "estimate",
+            PipelineStage::Admit => "admit",
+            PipelineStage::Select => "select",
+            PipelineStage::Place => "place",
+        }
+    }
+
+    /// Index in pipeline order (0..4).
+    pub fn index(self) -> usize {
+        match self {
+            PipelineStage::Estimate => 0,
+            PipelineStage::Admit => 1,
+            PipelineStage::Select => 2,
+            PipelineStage::Place => 3,
+        }
+    }
+
+    /// Inverse of [`PipelineStage::index`].
+    pub fn from_index(i: usize) -> Option<PipelineStage> {
+        PipelineStage::ALL.get(i).copied()
+    }
+}
+
 /// One structured trace event.
 ///
 /// Variants cover the three instrumented layers (simulator, scheduler,
@@ -159,6 +209,19 @@ pub enum TraceEvent {
         /// Gated thread id.
         thread: u64,
     },
+    /// Scheduler: one pipeline stage completed during a reschedule. The
+    /// payload is deliberately deterministic (no wall-clock readings) so
+    /// merged traces stay invariant under worker counts; stage wall times
+    /// live in the metrics registry instead.
+    StageDecision {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// Which stage completed.
+        stage: PipelineStage,
+        /// Items the stage produced (candidates estimated, gangs
+        /// admitted/selected, threads placed).
+        items: usize,
+    },
 }
 
 impl TraceEvent {
@@ -178,6 +241,7 @@ impl TraceEvent {
             TraceEvent::MgrDisconnect { .. } => "mgr_disconnect",
             TraceEvent::MgrGate { .. } => "mgr_gate",
             TraceEvent::MgrSignalReorder { .. } => "mgr_signal_reorder",
+            TraceEvent::StageDecision { .. } => "stage_decision",
         }
     }
 
@@ -193,7 +257,8 @@ impl TraceEvent {
             | TraceEvent::HeadAdmission { at_us, .. }
             | TraceEvent::GangSelected { at_us, .. }
             | TraceEvent::Reconstruct { at_us, .. }
-            | TraceEvent::RunUnfinished { at_us, .. } => at_us,
+            | TraceEvent::RunUnfinished { at_us, .. }
+            | TraceEvent::StageDecision { at_us, .. } => at_us,
             TraceEvent::MgrConnect { .. }
             | TraceEvent::MgrDisconnect { .. }
             | TraceEvent::MgrGate { .. }
@@ -318,6 +383,9 @@ impl TraceEvent {
             TraceEvent::MgrSignalReorder { client, thread } => {
                 let _ = write!(out, ",\"client\":{client},\"thread\":{thread}");
             }
+            TraceEvent::StageDecision { stage, items, .. } => {
+                let _ = write!(out, ",\"stage\":\"{}\",\"items\":{items}", stage.as_str());
+            }
         }
         out.push('}');
     }
@@ -407,6 +475,11 @@ mod tests {
             TraceEvent::MgrSignalReorder {
                 client: 11,
                 thread: 3,
+            },
+            TraceEvent::StageDecision {
+                at_us: 1000,
+                stage: PipelineStage::Select,
+                items: 3,
             },
         ]
     }

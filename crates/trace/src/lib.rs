@@ -40,6 +40,6 @@ mod manifest;
 mod sink;
 
 pub use bus::{EventBus, RECENT_CAPACITY};
-pub use event::TraceEvent;
+pub use event::{PipelineStage, TraceEvent};
 pub use manifest::{fnv1a64, git_describe, ArtifactSum, Manifest, TraceInfo};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, NullSink, TraceSink};

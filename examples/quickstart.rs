@@ -10,7 +10,7 @@
 //! runs it under the Linux-like baseline and under both paper policies,
 //! and prints the mean application turnaround per scheduler.
 
-use busbw::core::{latest_quantum, quanta_window, LinuxLikeScheduler};
+use busbw::core::{latest_quantum, linux_like, quanta_window};
 use busbw::metrics::improvement_pct;
 use busbw::sim::{Scheduler, StopCondition, XEON_4WAY};
 use busbw::workloads::{mix, paper::PaperApp};
@@ -41,7 +41,7 @@ fn run_with(label: &str, mut sched: Box<dyn Scheduler>) -> f64 {
 
 fn main() {
     println!("workload: 2x CG + 2x BBMA + 2x nBBMA on a 4-way Xeon-class SMP\n");
-    let linux = run_with("Linux", Box::new(LinuxLikeScheduler::new()));
+    let linux = run_with("Linux", Box::new(linux_like()));
     let latest = run_with("Latest", Box::new(latest_quantum()));
     let window = run_with("Window", Box::new(quanta_window()));
     println!(

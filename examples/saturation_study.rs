@@ -9,14 +9,14 @@
 //! configurations of Figure 1 and prints rates and slowdowns, plus a
 //! demand sweep that locates the saturation knee of the simulated bus.
 
-use busbw::core::LinuxLikeScheduler;
+use busbw::core::linux_like;
 use busbw::sim::{BusConfig, BusModel, BusRequest, FsbBus, StopCondition, ThreadId, XEON_4WAY};
 use busbw::workloads::{mix, paper::PaperApp};
 
 fn run(spec: &busbw::workloads::WorkloadSpec) -> (f64, f64) {
     let built = mix::build_machine(&spec.clone().scaled(0.25), XEON_4WAY, 7);
     let mut machine = built.machine;
-    let mut sched = LinuxLikeScheduler::new();
+    let mut sched = linux_like();
     let out = machine.run(
         &mut sched,
         StopCondition::AppsFinished(built.measured_ids.clone()),

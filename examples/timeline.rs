@@ -11,7 +11,7 @@
 //! are kept apart from the saturating background whenever the fitness
 //! rule can arrange it.
 
-use busbw::core::{quanta_window, LinuxLikeScheduler};
+use busbw::core::{linux_like, quanta_window};
 use busbw::sim::{Scheduler, StopCondition, Traced, XEON_4WAY};
 use busbw::workloads::{mix, paper::PaperApp};
 
@@ -47,6 +47,6 @@ fn main() {
         "workload: 2x{} + 2xBBMA + 2xnBBMA (set C, 1/20 scale)\n",
         app.name()
     );
-    show("Linux 2.4-like baseline", LinuxLikeScheduler::new(), app);
+    show("Linux 2.4-like baseline", linux_like(), app);
     show("Quanta Window policy", quanta_window(), app);
 }

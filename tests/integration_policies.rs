@@ -1,6 +1,6 @@
 //! Cross-crate integration: workloads → simulator → policies → metrics.
 
-use busbw::core::{latest_quantum, quanta_window, LinuxLikeScheduler};
+use busbw::core::{latest_quantum, linux_like, quanta_window};
 use busbw::perfmon::EventKind;
 use busbw::sim::{Machine, Scheduler, StopCondition, ThreadState, XEON_4WAY};
 use busbw::workloads::{mix, paper::PaperApp};
@@ -24,7 +24,7 @@ fn run_set_c(app: PaperApp, mut sched: Box<dyn Scheduler>, seed: u64) -> (Machin
 
 #[test]
 fn both_policies_beat_linux_on_a_heavy_set_c_workload() {
-    let (_, linux) = run_set_c(PaperApp::Cg, Box::new(LinuxLikeScheduler::new()), 42);
+    let (_, linux) = run_set_c(PaperApp::Cg, Box::new(linux_like()), 42);
     let (_, latest) = run_set_c(PaperApp::Cg, Box::new(latest_quantum()), 42);
     let (_, window) = run_set_c(PaperApp::Cg, Box::new(quanta_window()), 42);
     let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len() as f64;
@@ -63,7 +63,7 @@ fn counters_account_for_all_bus_traffic() {
     let spec = mix::fig1_with_bbma(PaperApp::Mg).scaled(0.1);
     let built = mix::build_machine(&spec, XEON_4WAY, 3);
     let mut machine = built.machine;
-    let mut sched = LinuxLikeScheduler::new();
+    let mut sched = linux_like();
     let out = machine.run(
         &mut sched,
         StopCondition::AppsFinished(built.measured_ids.clone()),
@@ -118,7 +118,7 @@ fn nbbma_background_is_harmless_and_bbma_background_is_not() {
         let spec = mix::fig1_solo(PaperApp::Fmm).scaled(0.1);
         let built = mix::build_machine(&spec, XEON_4WAY, 11);
         let mut m = built.machine;
-        let mut s = LinuxLikeScheduler::new();
+        let mut s = linux_like();
         m.run(
             &mut s,
             StopCondition::AppsFinished(built.measured_ids.clone()),
@@ -129,7 +129,7 @@ fn nbbma_background_is_harmless_and_bbma_background_is_not() {
         let spec = mk(PaperApp::Fmm).scaled(0.1);
         let built = mix::build_machine(&spec, XEON_4WAY, 11);
         let mut m = built.machine;
-        let mut s = LinuxLikeScheduler::new();
+        let mut s = linux_like();
         m.run(
             &mut s,
             StopCondition::AppsFinished(built.measured_ids.clone()),
