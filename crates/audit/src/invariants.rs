@@ -1,0 +1,726 @@
+//! The built-in invariant catalog.
+//!
+//! Each type here is one executable property; see the crate docs for the
+//! table mapping names to paper sections. All of them are pure observers:
+//! none mutates the machine, the scheduler, or the trace stream.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use busbw_core::estimator::{
+    BandwidthEstimator, EwmaEstimator, LatestQuantumEstimator, QuantaWindowEstimator,
+};
+use busbw_sim::{AppId, Decision, MachineView, SimTime, StageSnapshot};
+use busbw_trace::{validate_stream, TraceEvent};
+use rand::{Rng, SeedableRng};
+
+use crate::{Invariant, Violation};
+
+/// Relative slack on the bus-capacity bound: the Λ solve works in `f64`
+/// and the tick loop accumulates shares, so allow rounding noise but
+/// nothing more.
+const CAPACITY_REL_TOL: f64 = 1e-6;
+
+/// The full built-in catalog, in the order the crate docs list it.
+pub fn builtin_invariants() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(NoDoubleAllocation),
+        Box::new(CpuBounds),
+        Box::new(GangIntegrity),
+        Box::new(StageCoherence),
+        Box::new(BusCapacity),
+        Box::new(MonotonicTrace),
+        Box::new(EstimatorRange),
+        Box::new(CacheConsistency),
+    ]
+}
+
+/// No processor double-allocation: a decision names each cpu at most once
+/// and each thread at most once.
+pub struct NoDoubleAllocation;
+
+impl Invariant for NoDoubleAllocation {
+    fn name(&self) -> &'static str {
+        "no-double-allocation"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "machine model (§2): one hardware context runs one thread per quantum"
+    }
+
+    fn check_decision(
+        &mut self,
+        view: &MachineView<'_>,
+        decision: &Decision,
+        _snapshot: Option<&StageSnapshot>,
+        out: &mut Vec<Violation>,
+    ) {
+        let mut cpus = BTreeSet::new();
+        let mut threads = BTreeSet::new();
+        for a in &decision.assignments {
+            if !cpus.insert(a.cpu.0) {
+                out.push(Violation {
+                    invariant: self.name(),
+                    at_us: view.now,
+                    detail: format!("cpu {} assigned twice", a.cpu.0),
+                });
+            }
+            if !threads.insert(a.thread.0) {
+                out.push(Violation {
+                    invariant: self.name(),
+                    at_us: view.now,
+                    detail: format!("thread {} assigned twice", a.thread.0),
+                });
+            }
+        }
+    }
+}
+
+/// Allocated CPUs stay within the machine: every cpu id is in range and
+/// the total allocation cannot exceed the processor count.
+pub struct CpuBounds;
+
+impl Invariant for CpuBounds {
+    fn name(&self) -> &'static str {
+        "cpu-bounds"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "machine model (§2): the testbed has a fixed processor count"
+    }
+
+    fn check_decision(
+        &mut self,
+        view: &MachineView<'_>,
+        decision: &Decision,
+        _snapshot: Option<&StageSnapshot>,
+        out: &mut Vec<Violation>,
+    ) {
+        for a in &decision.assignments {
+            if a.cpu.0 >= view.num_cpus {
+                out.push(Violation {
+                    invariant: self.name(),
+                    at_us: view.now,
+                    detail: format!(
+                        "cpu {} out of range (machine has {})",
+                        a.cpu.0, view.num_cpus
+                    ),
+                });
+            }
+        }
+        if decision.assignments.len() > view.num_cpus {
+            out.push(Violation {
+                invariant: self.name(),
+                at_us: view.now,
+                detail: format!(
+                    "{} allocations exceed {} processors",
+                    decision.assignments.len(),
+                    view.num_cpus
+                ),
+            });
+        }
+    }
+}
+
+/// Gang integrity: every application the pipeline committed as a gang has
+/// *all* of its runnable threads placed — admitted apps run whole, never
+/// partially (the paper's co-scheduling premise).
+///
+/// Needs a [`StageSnapshot`] (introspection mode) and only applies to
+/// gang selections; pinned schedules (the Linux baselines) deliberately
+/// timeshare threads independently.
+pub struct GangIntegrity;
+
+impl Invariant for GangIntegrity {
+    fn name(&self) -> &'static str {
+        "gang-integrity"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§3: gang scheduling — all threads of a scheduled application execute together"
+    }
+
+    fn check_decision(
+        &mut self,
+        view: &MachineView<'_>,
+        decision: &Decision,
+        snapshot: Option<&StageSnapshot>,
+        out: &mut Vec<Violation>,
+    ) {
+        let Some(snap) = snapshot else { return };
+        if snap.pinned {
+            return;
+        }
+        let placed: BTreeSet<u64> = decision.assignments.iter().map(|a| a.thread.0).collect();
+        for &app in &snap.committed {
+            let Some(info) = view.app(app) else { continue };
+            for &t in info.threads {
+                let runnable = view.thread(t).is_some_and(|ti| ti.is_runnable());
+                if runnable && !placed.contains(&t.0) {
+                    out.push(Violation {
+                        invariant: self.name(),
+                        at_us: view.now,
+                        detail: format!(
+                            "app {} committed as a gang but runnable thread {} is not placed",
+                            app.0, t.0
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Stage-pipeline coherence: the committed set is exactly
+/// `admitted_head ∪ selected_extra` (in that order, duplicate-free), every
+/// committed app was a candidate, the placed threads belong to committed
+/// apps, and the committed widths fit the machine.
+pub struct StageCoherence;
+
+impl Invariant for StageCoherence {
+    fn name(&self) -> &'static str {
+        "stage-coherence"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "pipeline contract (DESIGN §11): selector output ⊆ admission output ⊆ candidates"
+    }
+
+    fn check_decision(
+        &mut self,
+        view: &MachineView<'_>,
+        decision: &Decision,
+        snapshot: Option<&StageSnapshot>,
+        out: &mut Vec<Violation>,
+    ) {
+        let Some(snap) = snapshot else { return };
+        let mut fail = |detail: String| {
+            out.push(Violation {
+                invariant: "stage-coherence",
+                at_us: view.now,
+                detail,
+            });
+        };
+        let committed: BTreeSet<AppId> = snap.committed.iter().copied().collect();
+        if committed.len() != snap.committed.len() {
+            fail(format!(
+                "committed set has duplicates: {:?}",
+                snap.committed
+            ));
+        }
+        let candidates: BTreeSet<AppId> = snap.candidates.iter().copied().collect();
+        for app in &committed {
+            if !candidates.contains(app) {
+                fail(format!("app {} committed but was never a candidate", app.0));
+            }
+        }
+        if !snap.pinned {
+            let expected: Vec<AppId> = snap
+                .admitted_head
+                .iter()
+                .chain(snap.selected_extra.iter())
+                .copied()
+                .collect();
+            if snap.committed != expected {
+                fail(format!(
+                    "committed {:?} is not admitted head {:?} ++ selected extra {:?}",
+                    snap.committed, snap.admitted_head, snap.selected_extra
+                ));
+            }
+            let width: usize = committed
+                .iter()
+                .filter_map(|&a| view.app(a).map(|i| i.width()))
+                .sum();
+            if width > view.num_cpus {
+                fail(format!(
+                    "committed gang widths total {width} > {} processors",
+                    view.num_cpus
+                ));
+            }
+        }
+        // Placed threads must belong to committed apps, gang or pinned.
+        for a in &decision.assignments {
+            let Some(t) = view.thread(a.thread) else {
+                continue;
+            };
+            if !committed.contains(&t.app) {
+                fail(format!(
+                    "thread {} of uncommitted app {} was placed",
+                    a.thread.0, t.app.0
+                ));
+            }
+        }
+    }
+}
+
+/// Bus-capacity conservation: traffic issued in a tick never exceeds the
+/// sustained capacity × tick length (beyond `f64` rounding slack). The
+/// Λ-dilation solve exists precisely to enforce this, so a violation
+/// means the solve or the share accounting regressed.
+pub struct BusCapacity;
+
+impl Invariant for BusCapacity {
+    fn name(&self) -> &'static str {
+        "bus-capacity"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§2: sustained bus bandwidth is 29.5 transactions/µs (STREAM-measured ceiling)"
+    }
+
+    fn check_tick(
+        &mut self,
+        now: SimTime,
+        dt_us: u64,
+        issued_tx: f64,
+        capacity_tx_per_us: f64,
+        out: &mut Vec<Violation>,
+    ) {
+        if !capacity_tx_per_us.is_finite() {
+            return; // UnlimitedBus: nothing to conserve.
+        }
+        let budget = capacity_tx_per_us * dt_us as f64;
+        if issued_tx > budget * (1.0 + CAPACITY_REL_TOL) + CAPACITY_REL_TOL {
+            out.push(Violation {
+                invariant: self.name(),
+                at_us: now,
+                detail: format!(
+                    "issued {issued_tx:.3} tx in {dt_us}µs exceeds capacity budget {budget:.3} tx"
+                ),
+            });
+        }
+    }
+}
+
+/// Monotonic trace timestamps and balanced stage cycles, delegated to
+/// [`busbw_trace::validate_stream`] (which documents why retrospective
+/// `app_finished` timestamps are exempt).
+pub struct MonotonicTrace;
+
+impl Invariant for MonotonicTrace {
+    fn name(&self) -> &'static str {
+        "monotonic-trace"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "trace contract (DESIGN §9): deterministic, replayable event streams"
+    }
+
+    fn check_events(&mut self, events: &[TraceEvent], out: &mut Vec<Violation>) {
+        for v in validate_stream(events) {
+            out.push(Violation {
+                invariant: self.name(),
+                at_us: events.get(v.index).map_or(0, TraceEvent::at_us),
+                detail: format!("event {}: {}", v.index, v.detail),
+            });
+        }
+    }
+}
+
+/// Estimator range soundness: fed any sample stream, an estimator's
+/// estimate stays within the min/max of the (sanitized) samples it
+/// actually recorded — Equations 1 and 2 are selections/averages of
+/// measurements, so they can never extrapolate beyond them.
+pub struct EstimatorRange;
+
+/// Drive `est` with `samples` (via both `record_sample` and
+/// `record_quantum`, so quantum-fed and sample-fed estimators both see
+/// the stream) and check the final estimate lies within the min/max of
+/// the sanitized samples — the trailing `window` of them when
+/// `window_hint` is set, the whole stream otherwise. Returns the
+/// violation if the estimate escapes the range.
+///
+/// Public so seeded-fault tests can aim it at a deliberately broken
+/// estimator.
+pub fn check_estimator_range(
+    est: &mut dyn BandwidthEstimator,
+    samples: &[f64],
+    window_hint: Option<usize>,
+) -> Option<Violation> {
+    let app = AppId(0);
+    for &s in samples {
+        est.record_sample(app, s);
+        est.record_quantum(app, s);
+    }
+    // Mirror the production boundary: non-finite rates are dropped,
+    // negatives clamp to zero (crate busbw-core, `sanitize_rate`).
+    let clean: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.is_finite())
+        .map(|s| s.max(0.0))
+        .collect();
+    let got = est.estimate(app);
+    if clean.is_empty() {
+        return (got != 0.0).then(|| Violation {
+            invariant: "estimator-range",
+            at_us: 0,
+            detail: format!(
+                "{}: estimate {got} from zero recorded samples (expected 0.0)",
+                est.label()
+            ),
+        });
+    }
+    let tail = window_hint.map_or(&clean[..], |w| &clean[clean.len().saturating_sub(w)..]);
+    let (lo, hi) = tail
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &s| {
+            (lo.min(s), hi.max(s))
+        });
+    let slack = 1e-9 * hi.max(1.0);
+    (got < lo - slack || got > hi + slack).then(|| Violation {
+        invariant: "estimator-range",
+        at_us: 0,
+        detail: format!(
+            "{}: estimate {got} outside recorded sample range [{lo}, {hi}]",
+            est.label()
+        ),
+    })
+}
+
+impl Invariant for EstimatorRange {
+    fn name(&self) -> &'static str {
+        "estimator-range"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4, Eq. 1–2: BBW estimates are selections/averages of counter measurements"
+    }
+
+    fn self_check(&mut self, seed: u64, out: &mut Vec<Violation>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for round in 0..16 {
+            let len = rng.gen_range(1..40usize);
+            let samples: Vec<f64> = (0..len)
+                .map(|_| {
+                    if rng.gen_bool(0.1) {
+                        // Poison injections: must be rejected at the
+                        // recording boundary, not leak into estimates.
+                        [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0][rng.gen_range(0..4usize)]
+                    } else {
+                        rng.gen_range(0.0..40.0)
+                    }
+                })
+                .collect();
+            let window = rng.gen_range(1..8usize);
+            let cases: [(Box<dyn BandwidthEstimator>, Option<usize>); 4] = [
+                (Box::new(LatestQuantumEstimator::new()), Some(1)),
+                (Box::new(QuantaWindowEstimator::new()), Some(5)),
+                (
+                    Box::new(QuantaWindowEstimator::with_window(window)),
+                    Some(window),
+                ),
+                (Box::new(EwmaEstimator::matching_window(window)), None),
+            ];
+            for (mut est, hint) in cases {
+                if let Some(mut v) = check_estimator_range(est.as_mut(), &samples, hint) {
+                    v.detail = format!("self-check round {round}: {}", v.detail);
+                    out.push(v);
+                }
+            }
+        }
+    }
+}
+
+/// Run-key / byte-equality consistency. This invariant has no live hook:
+/// the differential fuzzer drives it through
+/// [`crate::Auditor::check_byte_identity`], comparing artifacts from
+/// executions that shared a run key (serial vs parallel vs cache-warm).
+/// Installed in the catalog so audits report it alongside the others.
+pub struct CacheConsistency;
+
+impl Invariant for CacheConsistency {
+    fn name(&self) -> &'static str {
+        "cache-consistency"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "determinism contract (DESIGN §10): one run key ⇒ one byte-exact result"
+    }
+}
+
+/// Per-decision repetition guard used by negative tests: counts how many
+/// decisions each invariant flagged, keyed by invariant name.
+pub fn count_by_invariant(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
+    let mut m = BTreeMap::new();
+    for v in violations {
+        *m.entry(v.invariant).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Auditor;
+    use busbw_sim::{
+        AppDescriptor, Assignment, AuditHook, ConstantDemand, CpuId, Machine, ThreadId, ThreadSpec,
+        XEON_4WAY,
+    };
+    use busbw_trace::PipelineStage;
+
+    /// A 4-cpu machine with two 2-thread gangs (apps 0 and 1; threads
+    /// 0,1 and 2,3).
+    fn two_gang_machine() -> Machine {
+        let mut m = Machine::new(XEON_4WAY);
+        for name in ["a", "b"] {
+            m.add_app(AppDescriptor::new(
+                name,
+                (0..2)
+                    .map(|_| ThreadSpec::new(50_000.0, Box::new(ConstantDemand::new(1.0, 0.2))))
+                    .collect(),
+            ));
+        }
+        m
+    }
+
+    fn assign(thread: u64, cpu: usize) -> Assignment {
+        Assignment {
+            thread: ThreadId(thread),
+            cpu: CpuId(cpu),
+        }
+    }
+
+    fn decision(assignments: Vec<Assignment>) -> Decision {
+        Decision {
+            assignments,
+            next_resched_in_us: 200_000,
+            sample_period_us: None,
+        }
+    }
+
+    /// A snapshot for both gangs committed via head admission.
+    fn both_committed() -> StageSnapshot {
+        StageSnapshot {
+            candidates: vec![AppId(0), AppId(1)],
+            admitted_head: vec![AppId(0), AppId(1)],
+            selected_extra: vec![],
+            pinned: false,
+            committed: vec![AppId(0), AppId(1)],
+        }
+    }
+
+    #[test]
+    fn clean_decision_passes_every_builtin() {
+        let m = two_gang_machine();
+        let mut aud = Auditor::with_builtins();
+        let d = decision(vec![assign(0, 0), assign(1, 1), assign(2, 2), assign(3, 3)]);
+        aud.on_decision(&m.view(), &d, Some(&both_committed()));
+        aud.on_tick(0, 100, 1000.0, XEON_4WAY.bus.capacity_tx_per_us);
+        assert!(aud.is_clean(), "{:?}", aud.violations());
+    }
+
+    #[test]
+    fn double_booked_cpu_fires_no_double_allocation() {
+        let m = two_gang_machine();
+        let mut aud = Auditor::with_builtins();
+        // Threads 0 and 1 both pinned to cpu 0: the seeded double-booking
+        // placer fault.
+        let d = decision(vec![assign(0, 0), assign(1, 0)]);
+        aud.on_decision(&m.view(), &d, None);
+        let counts = count_by_invariant(aud.violations());
+        assert_eq!(counts.get("no-double-allocation"), Some(&1));
+    }
+
+    #[test]
+    fn repeated_thread_fires_no_double_allocation() {
+        let m = two_gang_machine();
+        let mut aud = Auditor::with_builtins();
+        let d = decision(vec![assign(0, 0), assign(0, 1)]);
+        aud.on_decision(&m.view(), &d, None);
+        assert!(count_by_invariant(aud.violations()).contains_key("no-double-allocation"));
+    }
+
+    #[test]
+    fn out_of_range_cpu_fires_cpu_bounds() {
+        let m = two_gang_machine();
+        let mut aud = Auditor::with_builtins();
+        let d = decision(vec![assign(0, 7)]);
+        aud.on_decision(&m.view(), &d, None);
+        assert!(count_by_invariant(aud.violations()).contains_key("cpu-bounds"));
+    }
+
+    #[test]
+    fn half_placed_gang_fires_gang_integrity() {
+        let m = two_gang_machine();
+        let mut aud = Auditor::with_builtins();
+        // App 1 committed but only thread 2 placed; thread 3 is runnable
+        // and left off-cpu.
+        let d = decision(vec![assign(0, 0), assign(1, 1), assign(2, 2)]);
+        aud.on_decision(&m.view(), &d, Some(&both_committed()));
+        let counts = count_by_invariant(aud.violations());
+        assert_eq!(counts.get("gang-integrity"), Some(&1));
+    }
+
+    #[test]
+    fn committed_set_mismatch_fires_stage_coherence() {
+        let m = two_gang_machine();
+        let mut aud = Auditor::with_builtins();
+        let snap = StageSnapshot {
+            candidates: vec![AppId(0)],
+            admitted_head: vec![AppId(0)],
+            selected_extra: vec![],
+            pinned: false,
+            // App 1 committed without ever being admitted or a candidate.
+            committed: vec![AppId(0), AppId(1)],
+        };
+        let d = decision(vec![assign(0, 0), assign(1, 1), assign(2, 2), assign(3, 3)]);
+        aud.on_decision(&m.view(), &d, Some(&snap));
+        let counts = count_by_invariant(aud.violations());
+        assert!(counts.get("stage-coherence").is_some_and(|&n| n >= 2)); // not-a-candidate + head++extra mismatch
+    }
+
+    #[test]
+    fn uncommitted_placement_fires_stage_coherence() {
+        let m = two_gang_machine();
+        let mut aud = Auditor::with_builtins();
+        let snap = StageSnapshot {
+            candidates: vec![AppId(0), AppId(1)],
+            admitted_head: vec![AppId(0)],
+            selected_extra: vec![],
+            pinned: false,
+            committed: vec![AppId(0)],
+        };
+        // Thread 2 belongs to app 1, which was not committed.
+        let d = decision(vec![assign(0, 0), assign(1, 1), assign(2, 2)]);
+        aud.on_decision(&m.view(), &d, Some(&snap));
+        assert!(count_by_invariant(aud.violations()).contains_key("stage-coherence"));
+    }
+
+    #[test]
+    fn oversubscribed_bus_fires_bus_capacity() {
+        let mut aud = Auditor::with_builtins();
+        let cap = XEON_4WAY.bus.capacity_tx_per_us;
+        aud.on_tick(500, 100, cap * 100.0 * 1.01, cap);
+        let counts = count_by_invariant(aud.violations());
+        assert_eq!(counts.get("bus-capacity"), Some(&1));
+        // Exactly at budget (within tolerance) is fine.
+        let mut clean = Auditor::with_builtins();
+        clean.on_tick(500, 100, cap * 100.0, cap);
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn unlimited_bus_is_exempt_from_bus_capacity() {
+        let mut aud = Auditor::with_builtins();
+        aud.on_tick(0, 100, 1e12, f64::INFINITY);
+        assert!(aud.is_clean());
+    }
+
+    #[test]
+    fn rewinding_trace_fires_monotonic_trace() {
+        let mut aud = Auditor::with_builtins();
+        let ev = vec![
+            TraceEvent::StageDecision {
+                at_us: 500,
+                stage: PipelineStage::Estimate,
+                items: 0,
+            },
+            TraceEvent::StageDecision {
+                at_us: 400, // clock rewound
+                stage: PipelineStage::Admit,
+                items: 0,
+            },
+            TraceEvent::StageDecision {
+                at_us: 500,
+                stage: PipelineStage::Select,
+                items: 0,
+            },
+            TraceEvent::StageDecision {
+                at_us: 500,
+                stage: PipelineStage::Place,
+                items: 0,
+            },
+        ];
+        aud.check_events(&ev);
+        let counts = count_by_invariant(aud.violations());
+        assert_eq!(counts.get("monotonic-trace"), Some(&1));
+    }
+
+    #[test]
+    fn dangling_stage_cycle_fires_monotonic_trace() {
+        let mut aud = Auditor::with_builtins();
+        let ev = vec![TraceEvent::StageDecision {
+            at_us: 0,
+            stage: PipelineStage::Estimate,
+            items: 0,
+        }];
+        aud.check_events(&ev);
+        assert!(count_by_invariant(aud.violations()).contains_key("monotonic-trace"));
+    }
+
+    /// The seeded estimator fault: reports double the latest sample, so
+    /// any nonzero stream escapes the recorded range.
+    struct DoublingEstimator {
+        latest: f64,
+    }
+
+    impl BandwidthEstimator for DoublingEstimator {
+        fn record_sample(&mut self, _app: AppId, rate: f64) {
+            if rate.is_finite() {
+                self.latest = rate.max(0.0);
+            }
+        }
+
+        fn record_quantum(&mut self, _app: AppId, _rate: f64) {}
+
+        fn estimate(&self, _app: AppId) -> f64 {
+            self.latest * 2.0
+        }
+
+        fn forget(&mut self, _app: AppId) {}
+
+        fn label(&self) -> &'static str {
+            "Doubling"
+        }
+    }
+
+    #[test]
+    fn broken_estimator_fires_estimator_range() {
+        let mut est = DoublingEstimator { latest: 0.0 };
+        let v = check_estimator_range(&mut est, &[4.0, 8.0], None)
+            .expect("doubling estimator must escape the sample range");
+        assert_eq!(v.invariant, "estimator-range");
+        assert!(v.detail.contains("Doubling"), "{}", v.detail);
+    }
+
+    #[test]
+    fn real_estimators_survive_the_self_check() {
+        let mut aud = Auditor::with_builtins();
+        for seed in [0, 42, 1234] {
+            aud.self_check(seed);
+        }
+        assert!(aud.is_clean(), "{:?}", aud.violations());
+    }
+
+    #[test]
+    fn byte_divergence_fires_cache_consistency() {
+        let mut aud = Auditor::with_builtins();
+        aud.check_byte_identity("unit test artifact", b"same-prefix-A", b"same-prefix-B");
+        let v = &aud.violations()[0];
+        assert_eq!(v.invariant, "cache-consistency");
+        assert!(v.detail.contains("offset 12"), "{}", v.detail);
+        let mut clean = Auditor::with_builtins();
+        clean.check_byte_identity("identical", b"x", b"x");
+        assert!(clean.is_clean());
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_complete() {
+        let aud = Auditor::with_builtins();
+        let names: Vec<_> = aud.catalog().iter().map(|(n, _)| *n).collect();
+        let unique: BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        for n in [
+            "no-double-allocation",
+            "cpu-bounds",
+            "gang-integrity",
+            "stage-coherence",
+            "bus-capacity",
+            "monotonic-trace",
+            "estimator-range",
+            "cache-consistency",
+        ] {
+            assert!(names.contains(&n), "missing invariant {n}");
+        }
+        assert!(names.len() >= 8);
+    }
+}

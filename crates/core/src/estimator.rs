@@ -18,6 +18,22 @@ use std::collections::{BTreeMap, VecDeque};
 
 use busbw_sim::AppId;
 
+/// Clamp a measured rate into the estimators' valid domain, or reject it.
+///
+/// Negative rates clamp to zero (a counter delta can only under-read).
+/// Non-finite rates are dropped entirely: `rate.max(0.0)` passes `+∞`
+/// through and silently maps `NaN` to `0.0` (`f64::max` ignores NaN), and
+/// either would poison `Fitness = 1000/(1+|ABBW/proc − BBW/thread|)` and
+/// the `total_cmp`-ordered selectors downstream, so a poisoned sample must
+/// never enter the bookkeeping at all — the previous estimate stands.
+fn sanitize_rate(rate: f64) -> Option<f64> {
+    if rate.is_finite() {
+        Some(rate.max(0.0))
+    } else {
+        None
+    }
+}
+
 /// Turns per-sample and per-quantum bandwidth measurements into the
 /// `BBW/thread` estimate used by the fitness function.
 pub trait BandwidthEstimator: Send {
@@ -59,7 +75,10 @@ impl BandwidthEstimator for LatestQuantumEstimator {
     }
 
     fn record_quantum(&mut self, app: AppId, rate: f64) {
-        self.latest.insert(app, rate.max(0.0));
+        let Some(rate) = sanitize_rate(rate) else {
+            return;
+        };
+        self.latest.insert(app, rate);
     }
 
     fn estimate(&self, app: AppId) -> f64 {
@@ -120,8 +139,11 @@ impl Default for QuantaWindowEstimator {
 
 impl BandwidthEstimator for QuantaWindowEstimator {
     fn record_sample(&mut self, app: AppId, rate: f64) {
+        let Some(rate) = sanitize_rate(rate) else {
+            return;
+        };
         let q = self.samples.entry(app).or_default();
-        q.push_back(rate.max(0.0));
+        q.push_back(rate);
         while q.len() > self.window {
             q.pop_front();
         }
@@ -192,7 +214,9 @@ impl EwmaEstimator {
 
 impl BandwidthEstimator for EwmaEstimator {
     fn record_sample(&mut self, app: AppId, rate: f64) {
-        let rate = rate.max(0.0);
+        let Some(rate) = sanitize_rate(rate) else {
+            return;
+        };
         let e = self.est.entry(app).or_insert(rate);
         *e += self.alpha * (rate - *e);
     }
@@ -285,6 +309,42 @@ mod tests {
         let mut l = LatestQuantumEstimator::new();
         l.record_quantum(A, -3.0);
         assert_eq!(l.estimate(A), 0.0);
+    }
+
+    #[test]
+    fn non_finite_rates_are_rejected_not_recorded() {
+        // `+∞` survives `rate.max(0.0)` and NaN is silently swallowed by
+        // NaN-ignoring `f64::max`; both must be dropped at the boundary so
+        // the previous (finite) estimate stands.
+        for poison in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let mut l = LatestQuantumEstimator::new();
+            l.record_quantum(A, 5.0);
+            l.record_quantum(A, poison);
+            assert_eq!(l.estimate(A), 5.0, "Latest poisoned by {poison}");
+
+            let mut w = QuantaWindowEstimator::with_window(3);
+            w.record_sample(A, 5.0);
+            w.record_sample(A, poison);
+            assert_eq!(w.estimate(A), 5.0, "Window poisoned by {poison}");
+
+            let mut e = EwmaEstimator::new(0.5);
+            e.record_sample(A, 5.0);
+            e.record_sample(A, poison);
+            assert_eq!(e.estimate(A), 5.0, "EWMA poisoned by {poison}");
+        }
+    }
+
+    #[test]
+    fn non_finite_first_sample_leaves_app_unmeasured() {
+        let mut l = LatestQuantumEstimator::new();
+        l.record_quantum(A, f64::INFINITY);
+        assert_eq!(l.estimate(A), 0.0);
+        let mut w = QuantaWindowEstimator::new();
+        w.record_sample(A, f64::NAN);
+        assert_eq!(w.estimate(A), 0.0);
+        let mut e = EwmaEstimator::new(0.3);
+        e.record_sample(A, f64::INFINITY);
+        assert_eq!(e.estimate(A), 0.0);
     }
 
     #[test]

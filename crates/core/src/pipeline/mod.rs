@@ -40,7 +40,7 @@ pub use selectors::{
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use busbw_sim::{AppId, Assignment, Decision, MachineView, Scheduler, StageTimings};
+use busbw_sim::{AppId, Assignment, Decision, MachineView, Scheduler, StageSnapshot, StageTimings};
 use busbw_trace::{EventBus, PipelineStage, TraceEvent};
 
 use crate::selection::Candidate;
@@ -177,6 +177,11 @@ pub struct PolicyStack {
     known: BTreeSet<AppId>,
     tracer: EventBus,
     timings: StageTimings,
+    /// When true, [`Scheduler::stage_snapshot`] captures what each stage
+    /// decided on every reschedule (auditor introspection). Off by default
+    /// so the normal path allocates nothing extra.
+    introspect: bool,
+    snapshot: Option<StageSnapshot>,
 }
 
 impl PolicyStack {
@@ -205,6 +210,8 @@ impl PolicyStack {
             known: BTreeSet::new(),
             tracer: EventBus::off(),
             timings: StageTimings::default(),
+            introspect: false,
+            snapshot: None,
         }
     }
 
@@ -338,6 +345,14 @@ impl Scheduler for PolicyStack {
 
         // Stage 4 — place.
         let t_place = Instant::now();
+        let (pinned, selected_extra) = if self.introspect {
+            match &selection {
+                Selection::Gangs(extra) => (false, extra.iter().map(|&i| cands[i].key).collect()),
+                Selection::Pinned(_) => (true, Vec::new()),
+            }
+        } else {
+            (false, Vec::new())
+        };
         let (admitted, assignments) = match selection {
             Selection::Gangs(extra) => {
                 let admitted: Vec<AppId> = head
@@ -370,6 +385,15 @@ impl Scheduler for PolicyStack {
         let t_commit = Instant::now();
         self.estimator.commit(&ctx, &admitted);
         self.known.extend(admitted.iter().copied());
+        if self.introspect {
+            self.snapshot = Some(StageSnapshot {
+                candidates: cands.iter().map(|c| c.key).collect(),
+                admitted_head: head.iter().map(|&i| cands[i].key).collect(),
+                selected_extra,
+                pinned,
+                committed: admitted.clone(),
+            });
+        }
         self.running = admitted;
         est_ns += t_commit.elapsed().as_nanos() as u64;
         self.timings.stages[0].record_ns(est_ns);
@@ -402,6 +426,17 @@ impl Scheduler for PolicyStack {
 
     fn stage_timings(&self) -> Option<&StageTimings> {
         Some(&self.timings)
+    }
+
+    fn set_introspect(&mut self, on: bool) {
+        self.introspect = on;
+        if !on {
+            self.snapshot = None;
+        }
+    }
+
+    fn stage_snapshot(&self) -> Option<&StageSnapshot> {
+        self.snapshot.as_ref()
     }
 }
 

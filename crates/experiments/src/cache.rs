@@ -125,6 +125,29 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
 
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Read a length prefix for a sequence whose elements occupy at least
+    /// `min_elem_bytes` each, rejecting counts that cannot possibly fit in
+    /// the remaining buffer. The check runs **before** any allocation, so
+    /// an adversarial or bit-flipped prefix can neither reserve huge
+    /// buffers nor spin a long decode loop — it fails immediately.
+    fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, String> {
+        let n = self.usize()?;
+        let fits = n
+            .checked_mul(min_elem_bytes.max(1))
+            .is_some_and(|total| total <= self.remaining());
+        if !fits {
+            return Err(format!(
+                "sequence length {n} cannot fit in {} remaining bytes",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
     fn u8(&mut self) -> Result<u8, String> {
         Ok(self.take(1)?[0])
     }
@@ -652,8 +675,8 @@ pub fn encode_result(r: &RunResult) -> Vec<u8> {
 /// Deserialize a cache payload produced by [`encode_result`].
 pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
     let mut d = Dec::new(bytes);
-    let n = d.usize()?;
-    let mut turnarounds_us = Vec::with_capacity(n.min(1024));
+    let n = d.seq_len(8)?;
+    let mut turnarounds_us = Vec::with_capacity(n);
     for _ in 0..n {
         turnarounds_us.push(d.f64()?);
     }
@@ -666,8 +689,9 @@ pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
     let completion = match d.u8()? {
         0 => RunCompletion::Finished,
         1 => {
-            let n = d.usize()?;
-            let mut unfinished = Vec::with_capacity(n.min(1024));
+            // Each entry is a length-prefixed name (≥ 4 bytes) + one f64.
+            let n = d.seq_len(12)?;
+            let mut unfinished = Vec::with_capacity(n);
             for _ in 0..n {
                 unfinished.push(UnfinishedApp {
                     name: d.str()?,
@@ -678,8 +702,9 @@ pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
         }
         t => return Err(format!("unknown completion tag {t}")),
     };
-    let n = d.usize()?;
-    let mut events = Vec::with_capacity(n.min(1 << 16));
+    // The smallest event is a tag byte + its at_us timestamp.
+    let n = d.seq_len(9)?;
+    let mut events = Vec::with_capacity(n);
     for _ in 0..n {
         events.push(decode_event(&mut d)?);
     }
@@ -735,6 +760,16 @@ pub enum CacheTier {
     Disk,
 }
 
+/// How a disk entry failed to serve a lookup.
+enum EntryReject {
+    /// A different schema version or a different key's bytes: the entry is
+    /// well-formed but simply not ours (stale store, digest collision).
+    Stale,
+    /// Bad magic, truncated header, or a payload that fails to decode —
+    /// the file is damaged. Counted in [`RunCache::corrupt_count`].
+    Corrupt,
+}
+
 /// In-memory + optional on-disk store of [`RunResult`]s keyed by
 /// [`RunKey`].
 #[derive(Debug, Default)]
@@ -742,6 +777,10 @@ pub struct RunCache {
     mem: HashMap<RunKey, Arc<RunResult>>,
     dir: Option<PathBuf>,
     enabled: bool,
+    /// Disk entries rejected as damaged (vs merely stale). Every corrupt
+    /// read degrades to a miss; this counter makes the degradation
+    /// observable as the `cache.corrupt` metric.
+    corrupt: u64,
 }
 
 impl RunCache {
@@ -753,12 +792,18 @@ impl RunCache {
             mem: HashMap::new(),
             dir,
             enabled,
+            corrupt: 0,
         }
     }
 
     /// True when lookups can ever hit.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Disk entries rejected as damaged since this cache was created.
+    pub fn corrupt_count(&self) -> u64 {
+        self.corrupt
     }
 
     fn file_for(&self, key: &RunKey) -> Option<PathBuf> {
@@ -779,25 +824,33 @@ impl RunCache {
         }
         let path = self.file_for(key)?;
         let data = std::fs::read(&path).ok()?;
-        let result = Self::parse_entry(key, &data)?;
+        let result = match Self::parse_entry(key, &data) {
+            Ok(r) => r,
+            Err(EntryReject::Stale) => return None,
+            Err(EntryReject::Corrupt) => {
+                self.corrupt += 1;
+                return None;
+            }
+        };
         let arc = Arc::new(result);
         self.mem.insert(key.clone(), Arc::clone(&arc));
         Some((arc, CacheTier::Disk))
     }
 
-    fn parse_entry(key: &RunKey, data: &[u8]) -> Option<RunResult> {
+    fn parse_entry(key: &RunKey, data: &[u8]) -> Result<RunResult, EntryReject> {
         let mut d = Dec::new(data);
-        if d.take(MAGIC.len()).ok()? != MAGIC {
-            return None;
+        if d.take(MAGIC.len()).map_err(|_| EntryReject::Corrupt)? != MAGIC {
+            return Err(EntryReject::Corrupt);
         }
-        if d.u32().ok()? != RUN_SCHEMA_VERSION {
-            return None;
+        if d.u32().map_err(|_| EntryReject::Corrupt)? != RUN_SCHEMA_VERSION {
+            return Err(EntryReject::Stale);
         }
-        let key_len = d.u32().ok()? as usize;
-        if d.take(key_len).ok()? != key.encoded() {
-            return None; // digest collision or stale entry: treat as miss
+        let key_len = d.u32().map_err(|_| EntryReject::Corrupt)? as usize;
+        if d.take(key_len).map_err(|_| EntryReject::Corrupt)? != key.encoded() {
+            // Digest collision or a stale store: well-formed, just not ours.
+            return Err(EntryReject::Stale);
         }
-        decode_result(&data[d.pos..]).ok()
+        decode_result(&data[d.pos..]).map_err(|_| EntryReject::Corrupt)
     }
 
     /// Store a result under `key` in memory and, when a directory is
@@ -967,12 +1020,66 @@ mod tests {
         let (_, tier) = c2.get(&key).expect("mem hit");
         assert_eq!(tier, CacheTier::Memory);
 
-        // Corrupt the file: the entry degrades to a miss.
+        // Corrupt the file: the entry degrades to a miss, and the damage
+        // is counted.
         let path = dir.join(format!("{}.run", key.hex()));
+        let pristine = std::fs::read(&path).unwrap();
         std::fs::write(&path, b"garbage").unwrap();
         let mut c3 = RunCache::new(Some(dir.clone()), true);
         assert!(c3.get(&key).is_none());
+        assert_eq!(c3.corrupt_count(), 1);
 
+        std::fs::write(&path, &pristine).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_flip_fuzz_never_panics_and_counts_damage() {
+        // Write one valid disk entry, then re-read it under systematic
+        // single-byte flips and truncations. Every read must either miss
+        // cleanly or produce *some* decoded result — never panic, never
+        // over-allocate on a poisoned length prefix. (A flip in a payload
+        // f64 can still decode; only the key bytes are identity-checked.)
+        let dir = std::env::temp_dir().join(format!("busbw-cache-fuzz-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = RunKey::from_encoded(vec![7, 7, 7]);
+        let mut seed_cache = RunCache::new(Some(dir.clone()), true);
+        seed_cache.put(key.clone(), Arc::new(sample_result()));
+        let path = dir.join(format!("{}.run", key.hex()));
+        let pristine = std::fs::read(&path).unwrap();
+
+        let mut rejected = 0u64;
+        let mut corrupt_total = 0u64;
+        // Flip one byte at a time across the whole file (stride 3 keeps
+        // the loop fast while still covering header, key, lengths, and
+        // payload), plus a sweep of truncation lengths.
+        for pos in (0..pristine.len()).step_by(3) {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut mutated = pristine.clone();
+                mutated[pos] ^= mask;
+                std::fs::write(&path, &mutated).unwrap();
+                let mut c = RunCache::new(Some(dir.clone()), true);
+                if c.get(&key).is_none() {
+                    rejected += 1;
+                }
+                corrupt_total += c.corrupt_count();
+            }
+        }
+        for cut in (0..pristine.len()).step_by(7) {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            let mut c = RunCache::new(Some(dir.clone()), true);
+            assert!(c.get(&key).is_none(), "truncation at {cut} cannot hit");
+            corrupt_total += c.corrupt_count();
+        }
+        assert!(rejected > 0, "some flips must be rejected");
+        assert!(corrupt_total > 0, "damaged entries must tick the counter");
+
+        // The pristine bytes still hit afterwards: rejection is per-read,
+        // not sticky.
+        std::fs::write(&path, &pristine).unwrap();
+        let mut c = RunCache::new(Some(dir.clone()), true);
+        assert!(c.get(&key).is_some());
+        assert_eq!(c.corrupt_count(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -286,6 +286,9 @@ pub struct ExecStats {
     pub cache_hits: u64,
     /// Cells the cache could not serve.
     pub cache_misses: u64,
+    /// Damaged disk entries rejected by the cache decoder (each one also
+    /// counts as a miss).
+    pub cache_corrupt: u64,
     /// Runs actually executed by the pool.
     pub executed: u64,
     /// Work-stealing claims across pool chunks.
@@ -316,6 +319,7 @@ impl ExecStats {
             unique: self.unique - earlier.unique,
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
+            cache_corrupt: self.cache_corrupt - earlier.cache_corrupt,
             executed: self.executed - earlier.executed,
             steals: self.steals - earlier.steals,
         }
@@ -328,6 +332,7 @@ impl ExecStats {
         reg.inc_counter("cells.deduped", self.deduped());
         reg.inc_counter("cache.hits", self.cache_hits);
         reg.inc_counter("cache.misses", self.cache_misses);
+        reg.inc_counter("cache.corrupt", self.cache_corrupt);
         reg.inc_counter("pool.executed", self.executed);
         reg.inc_counter("pool.steals", self.steals);
         reg.set_gauge("cache.hit_rate", self.hit_rate());
@@ -388,6 +393,7 @@ impl Engine {
         }
         self.stats.declared += plan.declared;
         self.stats.unique += plan.requests.len() as u64;
+        self.stats.cache_corrupt = self.cache.corrupt_count();
         Executed {
             results: slots
                 .into_iter()

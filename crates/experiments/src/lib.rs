@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod audit;
 pub mod baselines;
 pub mod cache;
 pub mod dynamic;
@@ -41,6 +42,10 @@ pub mod validate;
 pub mod variance;
 
 pub use ablate::{ablate_fitness, ablate_quantum, ablate_smt, ablate_stages, ablate_window};
+pub use audit::{
+    check_cell, check_cell_differential, fuzz_cell, mix_from_names, run_audit, shrink, AuditConfig,
+    FuzzCell,
+};
 pub use baselines::baselines;
 pub use cache::{RunCache, RunKey, RUN_SCHEMA_VERSION};
 pub use dynamic::{dynamic_arrivals, staggered_run, staggered_turnaround};

@@ -11,6 +11,7 @@
 //!   ablate-window | ablate-quantum | ablate-fitness | ablate-smt
 //!   ablate --stages                          estimator x selector x placer sweep
 //!   bench tick-rate [--guard PCT]            throughput + pipeline-overhead guard
+//!   audit [--fuzz N]                         invariant catalog + differential fuzzer
 //!   all                                      everything above
 //! ```
 //!
@@ -34,6 +35,14 @@
 //! the canonical run encoding, so any parameter change misses);
 //! `--no-cache` disables caching entirely. Figure outputs are
 //! byte-identical for any `--workers` value and any cache state.
+//!
+//! `audit` runs the [`busbw_audit`] invariant catalog: estimator
+//! self-checks, every preset policy over one mix per §5 set, and `--fuzz
+//! N` random policy-stack × workload-mix cells, each checked serially
+//! and differentially against the multi-worker and cache-warm engine.
+//! Any violation is delta-debugged down to a minimal reproducer written
+//! to `<out>/repro.json`, and the process exits non-zero. `audit`
+//! defaults to `--scale 0.1` (pass `--scale` to override).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -51,8 +60,8 @@ use busbw_experiments::validate::{fold_validate, plan_validate};
 use busbw_experiments::variance::{fold_variance, plan_variance};
 use busbw_experiments::{
     collect_metrics, effective_workers, fold_suite, merge_traces, plan_suite, render_validation,
-    CellStats, Engine, ExecStats, Executed, Fig2Set, Plan, PolicyKind, RunCache, RunResult,
-    RunnerConfig, StackSpec, SuiteFigure, TraceMode,
+    run_audit, AuditConfig, CellStats, Engine, ExecStats, Executed, Fig2Set, Plan, PolicyKind,
+    RunCache, RunResult, RunnerConfig, StackSpec, SuiteFigure, TraceMode,
 };
 use busbw_metrics::{FigureSummary, MetricsRegistry, Table};
 use busbw_sim::{StageTimings, STAGE_BUCKET_BOUNDS_NS};
@@ -60,7 +69,7 @@ use busbw_trace::{fnv1a64, git_describe, json, ArtifactSum, Manifest, TraceInfo}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|baselines|robustness|validate|variance|bench tick-rate|bench sweep|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly"
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|baselines|robustness|validate|variance|bench tick-rate|bench sweep|audit|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT] [--fuzz N]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly\n  --fuzz N (audit) sets the number of random differential cells; audit\n  defaults to --scale 0.1 and writes <out>/repro.json on failure"
     );
     std::process::exit(2);
 }
@@ -74,6 +83,8 @@ struct Args {
     no_cache: bool,
     policy: Option<StackSpec>,
     guard_pct: Option<f64>,
+    fuzz: usize,
+    scale_set: bool,
 }
 
 fn parse_args() -> Args {
@@ -101,6 +112,8 @@ fn parse_args() -> Args {
     let mut no_cache = false;
     let mut policy = None;
     let mut guard_pct = None;
+    let mut fuzz = 25;
+    let mut scale_set = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -108,6 +121,7 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+                scale_set = true;
             }
             "--seed" => {
                 rc.seed = args
@@ -145,6 +159,12 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--fuzz" => {
+                fuzz = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             _ => usage(),
         }
     }
@@ -157,6 +177,8 @@ fn parse_args() -> Args {
         no_cache,
         policy,
         guard_pct,
+        fuzz,
+        scale_set,
     }
 }
 
@@ -829,6 +851,25 @@ fn main() {
         }
         "bench tick-rate" => bench_tick_rate(&rc, out, args.guard_pct),
         "bench sweep" => bench_sweep(&rc, out, &mut engine),
+        "audit" => {
+            // Audited cells are many and tiny; default to a light scale
+            // unless the user pinned one explicitly. The differential leg
+            // compares serial against multi-worker execution, so keep at
+            // least a few workers even on small machines.
+            let workers = if rc.workers != 0 {
+                rc.workers
+            } else {
+                effective_workers(&rc).max(4)
+            };
+            let cfg = AuditConfig {
+                fuzz: args.fuzz,
+                seed: rc.seed,
+                scale: if args.scale_set { rc.scale } else { 0.1 },
+                workers,
+                out: out.clone(),
+            };
+            std::process::exit(run_audit(&cfg));
+        }
         "robustness" => emit_figure(
             &mut engine,
             &mut ctx,

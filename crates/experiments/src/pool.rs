@@ -13,7 +13,9 @@
 //! to a serial map for any worker count; parallelism and stealing only
 //! change the order work is *done*.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// What the pool did while draining one batch.
@@ -68,6 +70,13 @@ where
     let cursors: Vec<AtomicUsize> = bounds.iter().map(|&(lo, _)| AtomicUsize::new(lo)).collect();
     let steals = AtomicU64::new(0);
     let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    // Panic containment: a job that panics must fail the whole batch
+    // cleanly — catch the unwind so the worker thread keeps draining the
+    // shared cursors (peers would otherwise spin on chunks nobody
+    // advances), record the first payload, and re-raise it after every
+    // worker has joined.
+    let aborted = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
     std::thread::scope(|s| {
         for w in 0..workers {
@@ -76,6 +85,8 @@ where
             let steals = &steals;
             let done = &done;
             let f = &f;
+            let aborted = &aborted;
+            let first_panic = &first_panic;
             s.spawn(move || loop {
                 // Own chunk first, then victims in round-robin order.
                 let mut claimed = None;
@@ -91,13 +102,30 @@ where
                     }
                 }
                 let Some(i) = claimed else { break };
-                let r = f(&items[i]);
-                done.lock().expect("worker panicked").push((i, r));
+                if aborted.load(Ordering::Relaxed) {
+                    // Drain without executing: the batch is already doomed,
+                    // but the cursors must still run dry so every worker
+                    // exits its claim loop.
+                    continue;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                    Ok(r) => done.lock().unwrap_or_else(|e| e.into_inner()).push((i, r)),
+                    Err(payload) => {
+                        aborted.store(true, Ordering::Relaxed);
+                        let mut slot = first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                }
             });
         }
     });
 
-    let mut v = done.into_inner().expect("worker panicked");
+    if let Some(payload) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        resume_unwind(payload);
+    }
+    let mut v = done.into_inner().unwrap_or_else(|e| e.into_inner());
     v.sort_by_key(|&(i, _)| i);
     (
         v.into_iter().map(|(_, r)| r).collect(),
@@ -155,6 +183,44 @@ mod tests {
         let items: Vec<u32> = (0..7).collect();
         let (out, _) = steal_map(&items, 3, |&x| x + 100);
         assert_eq!(out, (100..107).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_fails_the_batch_cleanly_and_reraises() {
+        // One bad cell out of 64: the call must terminate (no worker left
+        // spinning on a stuck cursor, no poisoned-mutex double panic) and
+        // re-raise the original payload after all workers joined.
+        let items: Vec<u64> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            steal_map(&items, 4, |&i| {
+                if i == 13 {
+                    panic!("bad cell 13");
+                }
+                i * 2
+            })
+        }));
+        let payload = result.expect_err("the panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic payload is a string");
+        assert!(msg.contains("bad cell 13"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn panicking_job_in_serial_mode_propagates_too() {
+        let items = vec![1u32, 2, 3];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            steal_map(&items, 1, |&x| {
+                if x == 2 {
+                    panic!("serial bad cell");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -268,7 +268,8 @@ pub struct RunResult {
     pub memo_misses: u64,
     /// Per-stage wall-time accounting when the policy is a pipeline stack
     /// (`None` for schedulers that expose no stage breakdown). Wall-clock
-    /// derived: excluded from the cache codec and the manifest checksum.
+    /// derived: a cache hit replays the producing run's readings, and the
+    /// manifest checksum excludes them.
     pub stage_timings: Option<StageTimings>,
 }
 
@@ -282,6 +283,19 @@ pub struct RunResult {
 /// [`TraceEvent::RunUnfinished`] is emitted per unfinished app when a
 /// tracer is attached.
 pub fn run_spec(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> RunResult {
+    run_spec_hooked(spec, policy, rc, None)
+}
+
+/// [`run_spec`] with an optional [`busbw_sim::AuditHook`] observing the
+/// run (see `Machine::run_audited`). The audited path is what
+/// `experiments audit` drives; `hook = None` is the plain `run_spec` and
+/// produces bit-identical results to it.
+pub fn run_spec_hooked(
+    spec: &WorkloadSpec,
+    policy: PolicyKind,
+    rc: &RunnerConfig,
+    hook: Option<&mut dyn busbw_sim::AuditHook>,
+) -> RunResult {
     let scaled = spec.clone().scaled(rc.scale);
     let built = build_machine(&scaled, rc.machine, rc.seed);
     let mut machine = built.machine;
@@ -299,9 +313,10 @@ pub fn run_spec(spec: &WorkloadSpec, policy: PolicyKind, rc: &RunnerConfig) -> R
         }
     }
     let mut sched = policy.build();
-    let out = machine.run(
+    let out = machine.run_audited(
         &mut *sched,
         StopCondition::AppsFinished(built.measured_ids.clone()),
+        hook,
     );
     let stage_timings = sched.stage_timings().cloned();
 

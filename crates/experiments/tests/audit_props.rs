@@ -1,0 +1,50 @@
+//! Property test behind `experiments audit`'s preset suite: every
+//! built-in invariant holds for every preset policy across randomized
+//! paper-workload mixes at 1/10 scale. The negative direction (each
+//! invariant fires on a seeded fault) lives in the audit crate's unit
+//! tests and `src/audit.rs`.
+
+use busbw_audit::Auditor;
+use busbw_experiments::mix_from_names;
+use busbw_experiments::runner::{run_spec_hooked, PolicyKind, RunnerConfig, TraceMode};
+use busbw_workloads::paper::PaperApp;
+use proptest::prelude::*;
+
+const PRESETS: [PolicyKind; 7] = [
+    PolicyKind::Latest,
+    PolicyKind::Window,
+    PolicyKind::Linux,
+    PolicyKind::LinuxO1,
+    PolicyKind::RoundRobinGang,
+    PolicyKind::RandomGang(7),
+    PolicyKind::GreedyPack,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn presets_are_invariant_clean_on_random_mixes(
+        policy_idx in 0..PRESETS.len(),
+        app_idxs in proptest::collection::vec(0..PaperApp::ALL.len(), 2..4),
+        seed in 0u64..10_000,
+    ) {
+        let names: Vec<&str> = app_idxs.iter().map(|&i| PaperApp::ALL[i].name()).collect();
+        let mix = mix_from_names(&names).expect("paper names are known");
+        let rc = RunnerConfig {
+            scale: 0.1,
+            seed,
+            trace: TraceMode::Collect,
+            ..RunnerConfig::default()
+        };
+        let mut auditor = Auditor::with_builtins();
+        let result = run_spec_hooked(&mix, PRESETS[policy_idx], &rc, Some(&mut auditor));
+        auditor.check_events(&result.events);
+        let violations = auditor.take_violations();
+        prop_assert!(
+            violations.is_empty(),
+            "{} over {names:?} (seed {seed}): {:?}",
+            PRESETS[policy_idx].label(),
+            violations
+        );
+    }
+}

@@ -58,10 +58,10 @@ pub use config::{BusConfig, MachineConfig, XEON_4WAY, XEON_4WAY_HT};
 pub use demand::{ConstantDemand, Demand, DemandModel};
 pub use ids::{AppId, CpuId, SimTime, ThreadId};
 pub use machine::{
-    AppDescriptor, AppInfo, AppReport, Assignment, Decision, Machine, MachineView, RunOutcome,
-    Scheduler, StopCondition, ThreadInfo,
+    AppDescriptor, AppInfo, AppReport, Assignment, AuditHook, Decision, Machine, MachineView,
+    RunOutcome, Scheduler, StopCondition, ThreadInfo,
 };
-pub use stage::{StageTiming, StageTimings, STAGE_BUCKET_BOUNDS_NS, STAGE_NAMES};
+pub use stage::{StageSnapshot, StageTiming, StageTimings, STAGE_BUCKET_BOUNDS_NS, STAGE_NAMES};
 pub use stats::{BusPressureStats, RunStats, TickDtHist};
 pub use thread::{ThreadSpec, ThreadState};
 pub use trace::{QuantumRecord, ScheduleTrace, Traced};

@@ -27,6 +27,7 @@ use crate::bus::{BusModel, BusOutcome, BusRequest};
 use crate::cache::CacheState;
 use crate::config::MachineConfig;
 use crate::ids::{AppId, CpuId, SimTime, ThreadId};
+use crate::stage::StageSnapshot;
 use crate::stats::RunStats;
 use crate::thread::{SimThread, ThreadSpec, ThreadState};
 
@@ -281,6 +282,44 @@ pub trait Scheduler {
     fn stage_timings(&self) -> Option<&crate::stage::StageTimings> {
         None
     }
+
+    /// Ask the scheduler to (stop) recording a [`StageSnapshot`] per
+    /// reschedule. [`Machine::run_audited`] switches this on exactly when
+    /// an audit hook is attached; schedulers without stage structure
+    /// ignore it (the default).
+    fn set_introspect(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// The stage snapshot of the most recent [`Scheduler::schedule`] call,
+    /// if the scheduler is pipelined and introspection is on. Monolithic
+    /// schedulers return `None` (the default).
+    fn stage_snapshot(&self) -> Option<&StageSnapshot> {
+        None
+    }
+}
+
+/// Observer attached to [`Machine::run_audited`]'s hook points.
+///
+/// The hooks are purely observational — the machine never reads anything
+/// back — and both fire on the hot path, so implementations should do
+/// cheap bookkeeping and defer reporting to after the run. When no hook
+/// is attached the cost is a single `Option` branch per decision/tick.
+pub trait AuditHook {
+    /// A scheduling decision was produced and is about to be applied.
+    /// `snapshot` is the scheduler's stage introspection, when available
+    /// (pipelined schedulers under [`Scheduler::set_introspect`]).
+    fn on_decision(
+        &mut self,
+        view: &MachineView<'_>,
+        decision: &Decision,
+        snapshot: Option<&StageSnapshot>,
+    );
+
+    /// A tick advanced the machine: `issued_tx` bus transactions were
+    /// issued over `dt_us` starting at `now`, against a bus whose nominal
+    /// sustained capacity is `capacity_tx_per_us`.
+    fn on_tick(&mut self, now: SimTime, dt_us: u64, issued_tx: f64, capacity_tx_per_us: f64);
 }
 
 /// When a [`Machine::run`] should stop.
@@ -578,7 +617,22 @@ impl Machine {
 
     /// Drive the machine under `sched` until `stop` (or the hard cap).
     pub fn run(&mut self, sched: &mut dyn Scheduler, stop: StopCondition) -> RunOutcome {
+        self.run_audited(sched, stop, None)
+    }
+
+    /// [`Machine::run`] with an optional [`AuditHook`] observing every
+    /// scheduling decision (before it is applied, so a violating decision
+    /// is recorded even if `apply` rejects it) and every tick's issued bus
+    /// traffic. With `hook = None` this *is* `run`: the only overhead is
+    /// one `Option` branch per decision and per tick.
+    pub fn run_audited(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        stop: StopCondition,
+        mut hook: Option<&mut (dyn AuditHook + '_)>,
+    ) -> RunOutcome {
         sched.attach_tracer(&self.tracer);
+        sched.set_introspect(hook.is_some());
         let mut stats = RunStats::default();
         let started_at = self.now;
         let cap_at = started_at.saturating_add(self.hard_cap_us);
@@ -613,6 +667,9 @@ impl Machine {
                     decision.next_resched_in_us > 0,
                     "scheduler must request a positive quantum"
                 );
+                if let Some(h) = hook.as_deref_mut() {
+                    h.on_decision(&self.view(), &decision, sched.stage_snapshot());
+                }
                 self.apply(&decision, &mut stats);
                 stats.schedule_calls += 1;
                 next_resched = self.now + decision.next_resched_in_us;
@@ -633,7 +690,7 @@ impl Machine {
                 dt_limit = dt_limit.min(t.saturating_sub(self.now).max(1));
             }
             dt_limit = dt_limit.min(cap_at.saturating_sub(self.now).max(1));
-            let app_finished = self.tick(dt_limit, &mut stats);
+            let app_finished = self.tick(dt_limit, &mut stats, hook.as_deref_mut());
             if app_finished {
                 resched_requested = true;
             }
@@ -727,17 +784,30 @@ impl Machine {
     /// Advance up to `dt_limit` µs: one nominal tick, or — when every
     /// input to the tick is provably static — a coarsened jump of several
     /// nominal ticks at once. Returns true if any application finished.
-    fn tick(&mut self, dt_limit: u64, stats: &mut RunStats) -> bool {
+    fn tick(
+        &mut self,
+        dt_limit: u64,
+        stats: &mut RunStats,
+        hook: Option<&mut (dyn AuditHook + '_)>,
+    ) -> bool {
         // The scratch is moved out for the duration of the tick so the
         // borrow checker sees the buffers and `self` as disjoint.
         let mut s = std::mem::take(&mut self.scratch);
-        let finished = self.tick_inner(dt_limit, stats, &mut s);
+        let finished = self.tick_inner(dt_limit, stats, &mut s, hook);
         self.scratch = s;
         finished
     }
 
-    fn tick_inner(&mut self, dt_limit: u64, stats: &mut RunStats, s: &mut TickScratch) -> bool {
+    fn tick_inner(
+        &mut self,
+        dt_limit: u64,
+        stats: &mut RunStats,
+        s: &mut TickScratch,
+        hook: Option<&mut (dyn AuditHook + '_)>,
+    ) -> bool {
         stats.ticks += 1;
+        let tick_started_at = self.now;
+        let bus_capacity = self.bus.nominal_capacity();
         let n_threads = self.threads.len();
         let trace_on = self.tracer.enabled();
         if trace_on && self.traced_demand.len() < n_threads {
@@ -996,6 +1066,9 @@ impl Machine {
             stats.bus.peak_dilation = outcome.dilation;
         }
         self.dilation_integral += outcome.dilation.max(1.0) * dt_f;
+        if let Some(h) = hook {
+            h.on_tick(tick_started_at, dt, issued_this_tick, bus_capacity);
+        }
 
         self.now += dt;
 

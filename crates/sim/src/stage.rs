@@ -8,8 +8,36 @@
 //! run. Wall-clock readings are inherently non-deterministic, so they never
 //! feed back into scheduling decisions or simulated state.
 
+use crate::ids::AppId;
+
 /// Canonical stage names, in pipeline order.
 pub const STAGE_NAMES: [&str; 4] = ["estimate", "admit", "select", "place"];
+
+/// What a pipelined scheduler decided at each stage of its most recent
+/// reschedule — observational introspection for auditors.
+///
+/// Populated only when a [`crate::machine::Scheduler`] has been switched
+/// into introspection mode (see [`crate::machine::Scheduler::set_introspect`]);
+/// the normal scheduling path never allocates it, so golden-decision
+/// behavior is untouched. Invariant checkers use it to verify stage
+/// coherence (selector output ⊆ admission output ⊆ candidates) and gang
+/// integrity without re-deriving the pipeline's internal state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Every candidate the estimate stage enumerated, in list order.
+    pub candidates: Vec<AppId>,
+    /// Jobs the admission stage granted unconditionally (the head set).
+    pub admitted_head: Vec<AppId>,
+    /// Jobs the selector added beyond the head set (empty for pinned
+    /// selections).
+    pub selected_extra: Vec<AppId>,
+    /// Whether the selector returned a pinned thread→cpu schedule (the
+    /// Linux baselines) instead of gangs.
+    pub pinned: bool,
+    /// The committed set for the quantum, in head-then-extra order (for
+    /// pinned selections: first-seen order of the assigned threads' apps).
+    pub committed: Vec<AppId>,
+}
 
 /// Histogram bucket upper bounds in nanoseconds (log-spaced); one overflow
 /// bucket is appended, giving [`StageTiming::buckets`] its 8 slots.

@@ -38,8 +38,10 @@ mod event;
 pub mod json;
 mod manifest;
 mod sink;
+pub mod validate;
 
 pub use bus::{EventBus, RECENT_CAPACITY};
 pub use event::{PipelineStage, TraceEvent};
 pub use manifest::{fnv1a64, git_describe, ArtifactSum, Manifest, TraceInfo};
 pub use sink::{JsonlSink, MemoryHandle, MemorySink, NullSink, TraceSink};
+pub use validate::{validate_stream, StreamViolation};

@@ -1,0 +1,214 @@
+//! Structural validation of a captured trace stream.
+//!
+//! [`validate_stream`] checks the two stream-level invariants every
+//! well-formed per-run trace must satisfy:
+//!
+//! 1. **Monotonic timestamps** — `at_us` never decreases from one event to
+//!    the next, *excluding* the kinds that legitimately carry retrospective
+//!    or wall-clock times: `app_finished` / `run_unfinished` report
+//!    sub-tick completion times (several apps finishing inside one
+//!    coarsened tick are emitted in app-id order with arbitrary finish
+//!    times), and `mgr_*` events carry wall-time and report `at_us = 0`.
+//! 2. **Balanced stage cycles** — `stage_decision` events appear in strict
+//!    estimate→admit→select→place order and the stream never ends with a
+//!    reschedule cycle left open. A scheduler that skipped a stage, emitted
+//!    one twice, or was torn down mid-decision shows up here.
+//!
+//! The checks run on raw in-memory event slices (what
+//! [`crate::MemorySink`] collects), so auditors can validate a live run
+//! without round-tripping through JSONL.
+
+use crate::event::{PipelineStage, TraceEvent};
+
+/// One structural defect found in a trace stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamViolation {
+    /// Index of the offending event in the validated slice.
+    pub index: usize,
+    /// Human-readable description of what was wrong.
+    pub detail: String,
+}
+
+/// Whether an event participates in the strict-monotonicity check.
+///
+/// `app_finished` and `run_unfinished` carry retrospective sub-tick
+/// completion times (see module docs) and the `mgr_*` kinds carry
+/// wall-clock time reported as 0, so none of them constrain — or are
+/// constrained by — the stream clock.
+fn clocked(ev: &TraceEvent) -> bool {
+    !matches!(
+        ev,
+        TraceEvent::AppFinished { .. }
+            | TraceEvent::RunUnfinished { .. }
+            | TraceEvent::MgrConnect { .. }
+            | TraceEvent::MgrDisconnect { .. }
+            | TraceEvent::MgrGate { .. }
+            | TraceEvent::MgrSignalReorder { .. }
+    )
+}
+
+/// Validate a trace stream; returns every violation found (empty = clean).
+///
+/// Violations carry the event index so a caller can splice the offending
+/// window out of a long stream for a bug report.
+pub fn validate_stream(events: &[TraceEvent]) -> Vec<StreamViolation> {
+    let mut out = Vec::new();
+    let mut last_at: Option<u64> = None;
+    // Position inside the estimate→admit→select→place cycle: the stage
+    // index we expect next (0 when no cycle is open).
+    let mut cycle_pos = 0usize;
+    let mut cycle_opened_at = 0usize;
+
+    for (i, ev) in events.iter().enumerate() {
+        if clocked(ev) {
+            let at = ev.at_us();
+            if let Some(prev) = last_at {
+                if at < prev {
+                    out.push(StreamViolation {
+                        index: i,
+                        detail: format!(
+                            "{} at t={at} after clock already reached t={prev}",
+                            ev.kind()
+                        ),
+                    });
+                }
+            }
+            last_at = Some(last_at.map_or(at, |p| p.max(at)));
+        }
+        if let TraceEvent::StageDecision { stage, .. } = ev {
+            if stage.index() != cycle_pos {
+                out.push(StreamViolation {
+                    index: i,
+                    detail: format!(
+                        "stage '{}' out of order: expected '{}' (cycle opened at event {})",
+                        stage.as_str(),
+                        PipelineStage::from_index(cycle_pos)
+                            .map_or("<cycle start>", PipelineStage::as_str),
+                        cycle_opened_at,
+                    ),
+                });
+            }
+            if stage.index() == 0 {
+                cycle_opened_at = i;
+            }
+            // Resync on the observed stage so one slip reports once
+            // instead of cascading through the rest of the stream.
+            cycle_pos = (stage.index() + 1) % 4;
+        }
+    }
+    if cycle_pos != 0 {
+        out.push(StreamViolation {
+            index: events.len().saturating_sub(1),
+            detail: format!(
+                "stream ends mid-cycle: expected '{}' next (cycle opened at event {})",
+                PipelineStage::from_index(cycle_pos).map_or("<cycle start>", PipelineStage::as_str),
+                cycle_opened_at,
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(at_us: u64, stage: PipelineStage) -> TraceEvent {
+        TraceEvent::StageDecision {
+            at_us,
+            stage,
+            items: 0,
+        }
+    }
+
+    fn bus_solve(at_us: u64) -> TraceEvent {
+        TraceEvent::BusSolve {
+            at_us,
+            lambda: 1.0,
+            utilization: 0.0,
+            saturated: false,
+            requesters: 0,
+        }
+    }
+
+    fn full_cycle(at_us: u64) -> Vec<TraceEvent> {
+        PipelineStage::ALL
+            .iter()
+            .map(|&s| stage(at_us, s))
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_passes() {
+        let mut ev = full_cycle(0);
+        ev.push(bus_solve(100));
+        ev.extend(full_cycle(200_000));
+        assert!(validate_stream(&ev).is_empty());
+    }
+
+    #[test]
+    fn decreasing_timestamp_is_flagged() {
+        let ev = vec![bus_solve(500), bus_solve(400)];
+        let v = validate_stream(&ev);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].index, 1);
+        assert!(v[0].detail.contains("t=400"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn retrospective_app_finished_is_tolerated() {
+        // Two apps finishing inside one coarse tick: emitted in app-id
+        // order, finish times out of order, and both behind the clock.
+        let ev = vec![
+            TraceEvent::CoarseJump {
+                at_us: 1_000_000,
+                dt_us: 500_000,
+                ticks_covered: 5,
+            },
+            TraceEvent::AppFinished {
+                at_us: 800_000,
+                app: 0,
+                turnaround_us: 800_000,
+            },
+            TraceEvent::AppFinished {
+                at_us: 700_000,
+                app: 1,
+                turnaround_us: 700_000,
+            },
+            bus_solve(1_000_000),
+        ];
+        assert!(validate_stream(&ev).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_stage_is_flagged_once_and_resyncs() {
+        let mut ev = vec![
+            stage(0, PipelineStage::Estimate),
+            // Select where Admit belongs: one violation …
+            stage(0, PipelineStage::Select),
+            stage(0, PipelineStage::Place),
+        ];
+        ev.extend(full_cycle(200_000)); // … then a clean cycle after resync.
+        let v = validate_stream(&ev);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].index, 1);
+        assert!(v[0].detail.contains("'select'"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn dangling_cycle_is_flagged() {
+        let ev = vec![
+            stage(0, PipelineStage::Estimate),
+            stage(0, PipelineStage::Admit),
+        ];
+        let v = validate_stream(&ev);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("ends mid-cycle"), "{}", v[0].detail);
+        assert!(v[0].detail.contains("'select'"), "{}", v[0].detail);
+    }
+
+    #[test]
+    fn empty_stream_is_clean() {
+        assert!(validate_stream(&[]).is_empty());
+    }
+}
