@@ -31,6 +31,7 @@ pub fn builtin_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(MonotonicTrace),
         Box::new(EstimatorRange),
         Box::new(CacheConsistency),
+        Box::new(ExecPathEquivalence),
     ]
 }
 
@@ -434,6 +435,27 @@ impl Invariant for CacheConsistency {
 
     fn paper_ref(&self) -> &'static str {
         "determinism contract (DESIGN §10): one run key ⇒ one byte-exact result"
+    }
+}
+
+/// Execution-path equivalence: the machine's event-driven inner loop
+/// (replay fast path + stepped/batched Λ solves) and the legacy per-tick
+/// loop must produce byte-identical run-codec output for the same run
+/// key. Like [`CacheConsistency`] this invariant has no live hook — the
+/// differential fuzzer drives it through
+/// [`crate::Auditor::check_byte_identity_as`], comparing a per-tick
+/// re-execution and a batched-engine execution against the event-driven
+/// baseline. Installed in the catalog so audits report it alongside the
+/// others.
+pub struct ExecPathEquivalence;
+
+impl Invariant for ExecPathEquivalence {
+    fn name(&self) -> &'static str {
+        "exec-path-equivalence"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "event-driven engine (DESIGN §13): every execution mode ⇒ one byte-exact result"
     }
 }
 

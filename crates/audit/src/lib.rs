@@ -22,6 +22,7 @@
 //! | `monotonic-trace` | post-run events | trace clock monotone, stage cycles balanced |
 //! | `estimator-range` | self-check | estimate within min/max of its own samples (paper §4) |
 //! | `cache-consistency` | differential runs | equal run keys ⇒ byte-equal results |
+//! | `exec-path-equivalence` | differential runs | per-tick, event-driven, and batched executions byte-agree |
 //!
 //! The decision hook fires *before* the machine applies the decision, so
 //! a violating schedule is recorded as a structured [`Violation`] even
@@ -155,8 +156,23 @@ impl Auditor {
 
     /// Differential check: two executions that shared a run key must have
     /// produced byte-identical artifacts. `what` labels the artifact
-    /// (e.g. `"fig2a csv, serial vs 4 workers"`).
+    /// (e.g. `"fig2a csv, serial vs 4 workers"`). Fires as
+    /// `cache-consistency`; use [`Auditor::check_byte_identity_as`] to
+    /// attribute a divergence to another differential invariant.
     pub fn check_byte_identity(&mut self, what: &str, baseline: &[u8], other: &[u8]) {
+        self.check_byte_identity_as("cache-consistency", what, baseline, other);
+    }
+
+    /// [`Auditor::check_byte_identity`] attributed to a named differential
+    /// invariant (e.g. `exec-path-equivalence` for per-tick vs
+    /// event-driven vs batched-engine executions of one run key).
+    pub fn check_byte_identity_as(
+        &mut self,
+        invariant: &'static str,
+        what: &str,
+        baseline: &[u8],
+        other: &[u8],
+    ) {
         if baseline == other {
             return;
         }
@@ -166,7 +182,7 @@ impl Auditor {
             .position(|(a, b)| a != b)
             .unwrap_or_else(|| baseline.len().min(other.len()));
         self.violations.push(Violation {
-            invariant: "cache-consistency",
+            invariant,
             at_us: 0,
             detail: format!(
                 "{what}: byte divergence at offset {diverge} (lengths {} vs {})",

@@ -165,7 +165,7 @@ impl CpuManager {
                         arena,
                         update_period_us: self.cfg.quantum_us / self.cfg.samples_per_quantum as u64,
                     });
-                    if self.tracer.enabled() {
+                    if self.tracer.emits() {
                         self.tracer.emit(TraceEvent::MgrConnect {
                             client: id.0,
                             threads: 0,
@@ -198,7 +198,7 @@ impl CpuManager {
                         self.estimator.forget(busbw_sim::AppId(app.0));
                         self.demand.forget(busbw_sim::AppId(app.0));
                         self.running.retain(|&r| r != app);
-                        if self.tracer.enabled() {
+                        if self.tracer.emits() {
                             self.tracer
                                 .emit(TraceEvent::MgrDisconnect { client: app.0 });
                         }
@@ -229,7 +229,7 @@ impl CpuManager {
                 g.deliver(Signal::Unblock);
                 g.deliver(Signal::Block);
                 signalled += 1;
-                if self.tracer.enabled() {
+                if self.tracer.emits() {
                     self.tracer.emit(TraceEvent::MgrSignalReorder {
                         client: app.0,
                         thread: ti as u64,
@@ -318,7 +318,7 @@ impl CpuManager {
         // the client library's `forward` covers the paper's
         // one-thread-forwards-to-siblings variant.
         let selected_set: BTreeMap<ClientId, ()> = selected.iter().map(|&s| (s, ())).collect();
-        let trace_on = self.tracer.enabled();
+        let trace_on = self.tracer.emits();
         for j in &mut self.jobs {
             let should_run = selected_set.contains_key(&j.id);
             match (j.blocked, should_run) {

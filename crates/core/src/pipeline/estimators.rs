@@ -95,7 +95,7 @@ impl Estimator for ReconstructingEstimator {
             let width = info.threads.len().max(1);
             let per_thread = (total - before).max(0.0) / dt as f64 / width as f64;
             let rec = self.demand.observe_detailed(app, per_thread, lambda);
-            if ctx.tracer.enabled() {
+            if ctx.tracer.emits() {
                 ctx.tracer.emit(TraceEvent::Reconstruct {
                     at_us: view.now,
                     app: app.0,

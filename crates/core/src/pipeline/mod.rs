@@ -269,7 +269,7 @@ impl PolicyStack {
     }
 
     fn emit_stage(&self, at_us: u64, stage: PipelineStage, items: usize) {
-        if self.tracer.enabled() {
+        if self.tracer.emits() {
             self.tracer.emit(TraceEvent::StageDecision {
                 at_us,
                 stage,
@@ -321,7 +321,7 @@ impl Scheduler for PolicyStack {
         let used: usize = head.iter().map(|&i| cands[i].width).sum();
         debug_assert!(used <= view.num_cpus, "admission overcommitted");
         let free = view.num_cpus.saturating_sub(used);
-        if tracer.enabled() {
+        if tracer.emits() {
             for &i in &head {
                 tracer.emit(TraceEvent::HeadAdmission {
                     at_us: view.now,

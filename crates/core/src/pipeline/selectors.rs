@@ -47,7 +47,7 @@ impl Selector for FitnessSelector {
             &mut all,
             &mut report,
         );
-        if ctx.tracer.enabled() {
+        if ctx.tracer.emits() {
             for adm in &report {
                 ctx.tracer.emit(TraceEvent::GangSelected {
                     at_us: ctx.view.now,

@@ -154,10 +154,11 @@ fn canonical_bytes(result: &RunResult) -> Vec<u8> {
 }
 
 /// The full differential check for one cell: audited serial run, then
-/// the same cell through the engine with `workers` threads, then a warm
-/// re-execution of the same plan — asserting invariant cleanliness,
-/// byte-identical codec output, identical CSV rows, and all-hit warm
-/// passes.
+/// the same cell re-executed with the legacy per-tick inner loop, then
+/// through the engine with `workers` threads (serial-solve and
+/// batch-solve modes), then a warm re-execution of the same plan —
+/// asserting invariant cleanliness, byte-identical codec output,
+/// identical CSV rows, and all-hit warm passes.
 pub fn check_cell_differential(cell: &FuzzCell, workers: usize) -> Vec<Violation> {
     let mut violations = check_cell(cell);
     let Some(mix) = mix_from_names(&cell.mix) else {
@@ -171,9 +172,43 @@ pub fn check_cell_differential(cell: &FuzzCell, workers: usize) -> Vec<Violation
     let baseline_csv = csv_line(&baseline);
 
     let mut auditor = Auditor::with_builtins();
+
+    // Execution-path differential: the event-driven baseline above vs the
+    // legacy quantized per-tick loop. `exec` is deliberately absent from
+    // the run-cache key, so this equivalence is what makes every cached
+    // result valid for both modes.
+    let rc_per_tick = RunnerConfig {
+        exec: busbw_sim::ExecMode::PerTick,
+        ..rc
+    };
+    let per_tick = run_spec_hooked(&mix, PolicyKind::Stack(cell.stack), &rc_per_tick, None);
+    auditor.check_byte_identity_as(
+        "exec-path-equivalence",
+        &format!("cell {:?}: event-driven vs per-tick", cell.mix),
+        &baseline_bytes,
+        &canonical_bytes(&per_tick),
+    );
+    auditor.check_byte_identity_as(
+        "exec-path-equivalence",
+        &format!("cell {:?}: event-driven vs per-tick CSV row", cell.mix),
+        baseline_csv.as_bytes(),
+        csv_line(&per_tick).as_bytes(),
+    );
+
     let mut plan = Plan::new();
     let id = plan.cell(RunRequest::spec(mix, PolicyKind::Stack(cell.stack), &rc));
     let mut engine = Engine::ephemeral();
+
+    // Batched-engine differential: the same cell driven through the
+    // lockstep SoA batch solver on a fresh engine (its own cache, so the
+    // run actually executes batched instead of hitting `engine`'s cache).
+    let batched = Engine::ephemeral().execute_batched(&plan, workers);
+    auditor.check_byte_identity_as(
+        "exec-path-equivalence",
+        &format!("cell {:?}: serial vs batched engine", cell.mix),
+        &baseline_bytes,
+        &canonical_bytes(batched.get(id)),
+    );
 
     let cold = engine.execute(&plan, workers);
     auditor.check_byte_identity(

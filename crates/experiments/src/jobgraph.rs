@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use busbw_sim::MachineConfig;
+use busbw_sim::{BatchSolver, MachineConfig, StepEvent};
 use busbw_workloads::mix::WorkloadSpec;
 use busbw_workloads::paper::PaperApp;
 
@@ -26,7 +26,10 @@ use crate::cache::{
     RUN_SCHEMA_VERSION,
 };
 use crate::pool::steal_map;
-use crate::runner::{run_spec, PolicyKind, RunResult, RunnerConfig, TraceMode};
+use crate::runner::{
+    finalize_run, prepare_run, run_spec, PolicyKind, PreparedRun, RunResult, RunnerConfig,
+    TraceMode,
+};
 
 /// Handle to one declared cell of a [`Plan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,7 +127,8 @@ impl RunRequest {
     }
 
     /// The [`RunnerConfig`] this cell resolves to (single-run, so
-    /// `workers` is irrelevant and pinned to 1).
+    /// `workers` is irrelevant and pinned to 1; `exec` is not part of the
+    /// cell identity because both modes are bit-identical).
     fn runner_config(&self) -> RunnerConfig {
         RunnerConfig {
             machine: self.machine,
@@ -133,6 +137,7 @@ impl RunRequest {
             workers: 1,
             trace: self.trace,
             hard_cap_factor: self.hard_cap_factor,
+            ..RunnerConfig::default()
         }
     }
 
@@ -402,6 +407,129 @@ impl Engine {
         }
     }
 
+    /// [`Engine::execute`] with every cache-missing [`RunShape::Spec`]
+    /// cell driven in lockstep through the machine's stepped API
+    /// ([`busbw_sim::Machine::run_begin`]) over one shared
+    /// [`BatchSolver`]: each round collects the pending Λ solves of all
+    /// live runs into SoA lanes, solves them in a single Newton stream
+    /// (sharing the cross-batch warm-start memo between cells), and
+    /// resumes each run with its lane's λ. Results are bit-identical to
+    /// [`Engine::execute`] — a solver lane reproduces
+    /// [`busbw_sim::solve_lambda`] exactly, and lockstep interleaving
+    /// never reorders work *within* a run. Staggered cells (the `dynamic`
+    /// figure) fall back to the per-cell path on the stealing pool.
+    pub fn execute_batched(&mut self, plan: &Plan, workers: usize) -> Executed {
+        struct LiveRun {
+            slot: usize,
+            prep: PreparedRun,
+            cur: busbw_sim::RunCursor,
+            out: Option<busbw_sim::RunOutcome>,
+        }
+
+        let mut slots: Vec<Option<Arc<RunResult>>> = vec![None; plan.requests.len()];
+        let mut spec_missing: Vec<usize> = Vec::new();
+        let mut other_missing: Vec<usize> = Vec::new();
+        for (i, key) in plan.keys.iter().enumerate() {
+            match self.cache.get(key) {
+                Some((r, _tier)) => {
+                    self.stats.cache_hits += 1;
+                    slots[i] = Some(r);
+                }
+                None => {
+                    self.stats.cache_misses += 1;
+                    match plan.requests[i].shape {
+                        RunShape::Spec(_) => spec_missing.push(i),
+                        RunShape::Staggered { .. } => other_missing.push(i),
+                    }
+                }
+            }
+        }
+
+        let mut live: Vec<LiveRun> = spec_missing
+            .iter()
+            .map(|&i| {
+                let req = &plan.requests[i];
+                let RunShape::Spec(spec) = &req.shape else {
+                    unreachable!("spec_missing holds only Spec cells")
+                };
+                let mut prep = prepare_run(spec, req.policy, &req.runner_config());
+                let stop = prep.stop_condition();
+                let PreparedRun {
+                    ref mut machine,
+                    ref mut sched,
+                    ..
+                } = prep;
+                let cur = machine.run_begin(&mut **sched, stop, false);
+                LiveRun {
+                    slot: i,
+                    prep,
+                    cur,
+                    out: None,
+                }
+            })
+            .collect();
+
+        let mut solver = BatchSolver::new();
+        let mut lanes: Vec<(usize, usize)> = Vec::new();
+        loop {
+            solver.clear(); // keeps the cross-batch warm-start memo
+            lanes.clear();
+            for (j, run) in live.iter_mut().enumerate() {
+                if run.out.is_some() {
+                    continue;
+                }
+                let LiveRun { prep, cur, out, .. } = run;
+                let PreparedRun {
+                    ref mut machine,
+                    ref mut sched,
+                    ..
+                } = prep;
+                match machine.run_step(&mut **sched, cur, None) {
+                    StepEvent::NeedSolve(job) => {
+                        lanes.push((j, solver.push_lane(cur.pending_requests(), job)));
+                    }
+                    StepEvent::Done(o) => *out = Some(o),
+                }
+            }
+            if lanes.is_empty() {
+                break; // every live run reached Done
+            }
+            solver.solve_all();
+            for &(j, lane) in &lanes {
+                let run = &mut live[j];
+                run.prep
+                    .machine
+                    .run_step_complete(&mut run.cur, solver.lambda(lane), None);
+            }
+        }
+        self.stats.executed += live.len() as u64;
+        for run in live {
+            let out = run.out.expect("lockstep loop drains every run");
+            let arc = Arc::new(finalize_run(run.prep, out));
+            self.cache.put(plan.keys[run.slot].clone(), Arc::clone(&arc));
+            slots[run.slot] = Some(arc);
+        }
+
+        let (fresh, steal) = steal_map(&other_missing, workers, |&i| plan.requests[i].execute());
+        self.stats.executed += steal.executed;
+        self.stats.steals += steal.steals;
+        for (&i, r) in other_missing.iter().zip(fresh) {
+            let arc = Arc::new(r);
+            self.cache.put(plan.keys[i].clone(), Arc::clone(&arc));
+            slots[i] = Some(arc);
+        }
+
+        self.stats.declared += plan.declared;
+        self.stats.unique += plan.requests.len() as u64;
+        self.stats.cache_corrupt = self.cache.corrupt_count();
+        Executed {
+            results: slots
+                .into_iter()
+                .map(|s| s.expect("every cell resolved"))
+                .collect(),
+        }
+    }
+
     /// Everything this engine has done so far.
     pub fn stats(&self) -> &ExecStats {
         &self.stats
@@ -476,6 +604,46 @@ mod tests {
         assert_eq!(engine.stats().executed, 1, "second pass served from cache");
         // Cache-served result is the same allocation, hence bit-identical.
         assert!(Arc::ptr_eq(&first.get_arc(id), &second.get_arc(id)));
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_to_serial_engine() {
+        let rc = quick();
+        let mut plan = Plan::new();
+        let mut ids = Vec::new();
+        for (app, policy) in [
+            (PaperApp::Cg, PolicyKind::Linux),
+            (PaperApp::Cg, PolicyKind::Window),
+            (PaperApp::Volrend, PolicyKind::Latest),
+            (PaperApp::Mg, PolicyKind::GreedyPack),
+        ] {
+            ids.push(plan.cell(RunRequest::spec(fig2_set_b(app), policy, &rc)));
+        }
+        // One staggered cell exercises the per-cell fallback path.
+        ids.push(plan.cell(RunRequest::staggered(
+            PaperApp::Cg,
+            50_000,
+            PolicyKind::Linux,
+            &rc,
+        )));
+        let serial = Engine::ephemeral().execute(&plan, 1);
+        let mut engine = Engine::ephemeral();
+        let batched = engine.execute_batched(&plan, 1);
+        assert_eq!(engine.stats().executed, plan.len() as u64);
+        for &id in &ids {
+            let (a, b) = (serial.get(id), batched.get(id));
+            assert_eq!(a.turnarounds_us.len(), b.turnarounds_us.len());
+            for (x, y) in a.turnarounds_us.iter().zip(&b.turnarounds_us) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.workload_rate.to_bits(), b.workload_rate.to_bits());
+            assert_eq!(a.ticks, b.ticks);
+            assert_eq!(a.sim_elapsed_us, b.sim_elapsed_us);
+            assert_eq!(a.tick_dt_hist, b.tick_dt_hist);
+        }
+        // A re-execute in either mode is a pure cache hit.
+        let again = engine.execute_batched(&plan, 1);
+        assert!(Arc::ptr_eq(&batched.get_arc(ids[0]), &again.get_arc(ids[0])));
     }
 
     #[test]

@@ -267,7 +267,19 @@ fn pipeline_overhead_pct(rc: &RunnerConfig) -> (f64, f64, f64) {
     (best_stack, best_solo, overheads[overheads.len() / 2])
 }
 
+/// Extract one numeric field from the flat JSON objects bench writes
+/// (no nesting, no string values containing the key pattern).
+fn bench_field(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = json[json.find(&pat)? + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf, guard_pct: Option<f64>) {
+    use busbw_experiments::jobgraph::{Engine, Plan, RunRequest};
     use busbw_experiments::{par_map, run_spec};
     use busbw_workloads::mix::{fig1_solo, fig1_with_bbma, fig2_set_a, fig2_set_b, WorkloadSpec};
     use busbw_workloads::paper::PaperApp;
@@ -300,6 +312,75 @@ fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf, guard_pct: Option<f64>) {
         "   simulated µs per wall second: {:.0}",
         sim_us as f64 / wall
     );
+
+    // The same slice through the batched sweep engine: every pending Λ
+    // solve of the four runs lands in one shared SoA Newton stream.
+    let mut plan = Plan::new();
+    let cell_ids: Vec<_> = jobs
+        .iter()
+        .map(|(s, p)| plan.cell(RunRequest::spec(s.clone(), *p, &rc)))
+        .collect();
+    let t1 = std::time::Instant::now();
+    let batched = Engine::ephemeral().execute_batched(&plan, workers);
+    let batched_wall = t1.elapsed().as_secs_f64();
+    let batched_ticks: u64 = cell_ids.iter().map(|&id| batched.get(id).ticks).sum();
+    assert_eq!(
+        batched_ticks, ticks,
+        "batched engine must reproduce the serial tick counts"
+    );
+    let batched_tps = batched_ticks as f64 / batched_wall;
+    println!("   batched engine: wall {batched_wall:.3} s, ticks/sec: {batched_tps:.0}");
+
+    // Regression gate: compare against the committed working-copy
+    // baseline before overwriting it. A tick-count difference means the
+    // simulation itself changed (the bench artifacts are deterministic);
+    // with `--guard` that, or a >10 % throughput drop, fails the run.
+    let baseline = std::fs::read_to_string("BENCH_tick.json").ok();
+    let mut baseline_json = String::new();
+    if let Some(base) = baseline.as_deref() {
+        let comparable = bench_field(base, "scale") == Some(rc.scale)
+            && bench_field(base, "seed") == Some(rc.seed as f64)
+            && bench_field(base, "runs") == Some(jobs.len() as f64);
+        match (
+            comparable,
+            bench_field(base, "ticks_per_sec"),
+            bench_field(base, "ticks"),
+            bench_field(base, "sim_elapsed_us"),
+        ) {
+            (true, Some(base_tps), Some(base_ticks), Some(base_sim_us)) => {
+                let ratio = tps / base_tps;
+                println!(
+                    "\n   baseline: {base_tps:.0} ticks/sec ({}× {})",
+                    format_args!("{ratio:.2}"),
+                    if ratio >= 1.0 { "faster" } else { "slower" },
+                );
+                baseline_json = format!(
+                    ",\n  \"baseline_ticks_per_sec\": {base_tps:.1},\n  \"speedup_vs_baseline\": {ratio:.3}"
+                );
+                let artifacts_match =
+                    base_ticks == ticks as f64 && base_sim_us == sim_us as f64;
+                if !artifacts_match {
+                    println!(
+                        "   baseline artifact mismatch: ticks {base_ticks} → {ticks}, sim_us {base_sim_us} → {sim_us}"
+                    );
+                }
+                if guard_pct.is_some() {
+                    assert!(
+                        artifacts_match,
+                        "bench artifacts diverged from the committed baseline \
+                         (ticks {base_ticks} vs {ticks}, sim_us {base_sim_us} vs {sim_us})"
+                    );
+                    assert!(
+                        ratio >= 0.9,
+                        "tick throughput regressed >10 % vs the committed baseline: \
+                         {tps:.0} vs {base_tps:.0} ticks/sec"
+                    );
+                }
+            }
+            _ => println!("\n   baseline BENCH_tick.json not comparable (different scale/seed/runs); gate skipped"),
+        }
+    }
+
     let mut guard_json = String::new();
     if let Some(pct) = guard_pct {
         let (stack_s, solo_s, overhead) = pipeline_overhead_pct(&rc);
@@ -314,7 +395,7 @@ fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf, guard_pct: Option<f64>) {
         );
     }
     let json = format!(
-        "{{\n  \"bench\": \"tick-rate\",\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"runs\": {},\n  \"wall_s\": {:.6},\n  \"ticks\": {},\n  \"sim_elapsed_us\": {},\n  \"ticks_per_sec\": {:.1},\n  \"sim_us_per_wall_s\": {:.1}{}\n}}\n",
+        "{{\n  \"bench\": \"tick-rate\",\n  \"scale\": {},\n  \"seed\": {},\n  \"workers\": {},\n  \"runs\": {},\n  \"wall_s\": {:.6},\n  \"ticks\": {},\n  \"sim_elapsed_us\": {},\n  \"ticks_per_sec\": {:.1},\n  \"sim_us_per_wall_s\": {:.1},\n  \"batched_wall_s\": {:.6},\n  \"batched_ticks_per_sec\": {:.1}{}{}\n}}\n",
         rc.scale,
         rc.seed,
         workers,
@@ -324,11 +405,31 @@ fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf, guard_pct: Option<f64>) {
         sim_us,
         tps,
         sim_us as f64 / wall,
+        batched_wall,
+        batched_tps,
+        baseline_json,
         guard_json
     );
     std::fs::create_dir_all(out).expect("create output dir");
     std::fs::write(out.join("BENCH_tick.json"), &json).expect("write BENCH_tick.json");
     std::fs::write("BENCH_tick.json", &json).expect("write BENCH_tick.json");
+
+    // Append one line per invocation to the history sidecar so throughput
+    // is trendable across runs without separate tooling.
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let hist = format!(
+        "{{\"unix_time\": {ts}, \"scale\": {}, \"seed\": {}, \"workers\": {workers}, \"ticks\": {ticks}, \"wall_s\": {wall:.6}, \"ticks_per_sec\": {tps:.1}, \"batched_ticks_per_sec\": {batched_tps:.1}}}\n",
+        rc.scale, rc.seed
+    );
+    for path in [out.join("BENCH_tick_history.jsonl"), "BENCH_tick_history.jsonl".into()] {
+        use std::io::Write as _;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = f.write_all(hist.as_bytes());
+        }
+    }
 }
 
 /// One pass of `bench sweep` as a JSON object body.

@@ -15,8 +15,10 @@ use busbw_core::{
     bus_aware, bus_aware_with_config, greedy_pack, linux_like, linux_o1, random_gang,
     round_robin_gang, PolicyConfig,
 };
-use busbw_sim::{MachineConfig, Scheduler, StageTimings, StopCondition, TickDtHist, XEON_4WAY};
-use busbw_trace::{EventBus, NullSink, TraceEvent};
+use busbw_sim::{
+    ExecMode, MachineConfig, Scheduler, StageTimings, StopCondition, TickDtHist, XEON_4WAY,
+};
+use busbw_trace::{EventBus, MemoryHandle, NullSink, TraceEvent};
 use busbw_workloads::mix::{build_machine, fig1_solo, WorkloadSpec};
 use busbw_workloads::paper::PaperApp;
 
@@ -100,8 +102,10 @@ pub enum TraceMode {
     /// No tracer attached at all (the zero-cost default).
     #[default]
     Off,
-    /// A [`NullSink`] tracer: every emission site is exercised but events
-    /// are discarded. Used to measure tracing overhead (`bench tick-rate`).
+    /// A [`NullSink`] tracer attached: exercises bus wiring (attach,
+    /// flush) but the sink discards, so hot emission sites skip event
+    /// construction entirely (see [`busbw_trace::EventBus::emits`]). Used
+    /// by `bench tick-rate` for an attached-but-silent configuration.
     Null,
     /// An in-memory sink per run; events come back in
     /// [`RunResult::events`] for merging and serialization.
@@ -128,6 +132,11 @@ pub struct RunnerConfig {
     /// is abandoned and reported as unfinished. 100 is far beyond any
     /// plausible schedule; tests shrink it to exercise the censored path.
     pub hard_cap_factor: f64,
+    /// Inner-loop execution mode of every machine built by this runner.
+    /// Both modes are bit-identical (the audit fuzzer enforces it), so
+    /// this is deliberately **not** part of the run-cache key: a cached
+    /// result produced under either mode answers for both.
+    pub exec: ExecMode,
 }
 
 impl Default for RunnerConfig {
@@ -139,6 +148,7 @@ impl Default for RunnerConfig {
             workers: 0,
             trace: TraceMode::Off,
             hard_cap_factor: 100.0,
+            exec: ExecMode::EventDriven,
         }
     }
 }
@@ -296,9 +306,49 @@ pub fn run_spec_hooked(
     rc: &RunnerConfig,
     hook: Option<&mut dyn busbw_sim::AuditHook>,
 ) -> RunResult {
+    let mut p = prepare_run(spec, policy, rc);
+    let stop = p.stop_condition();
+    let PreparedRun {
+        ref mut machine,
+        ref mut sched,
+        ..
+    } = p;
+    let out = machine.run_audited(&mut **sched, stop, hook);
+    finalize_run(p, out)
+}
+
+/// A run built and wired (machine, workload, tracer, scheduler) but not
+/// yet driven: the unit the batched sweep engine advances in lockstep
+/// through the machine's stepped API ([`busbw_sim::Machine::run_begin`]).
+/// Serial callers go through [`run_spec`], which drives the same
+/// preparation to completion in one call.
+pub struct PreparedRun {
+    pub(crate) machine: busbw_sim::Machine,
+    pub(crate) sched: Box<dyn Scheduler>,
+    measured_ids: Vec<busbw_sim::AppId>,
+    handle: Option<MemoryHandle>,
+}
+
+impl PreparedRun {
+    /// The stop condition of this run (all measured instances finished).
+    pub(crate) fn stop_condition(&self) -> StopCondition {
+        StopCondition::AppsFinished(self.measured_ids.clone())
+    }
+}
+
+/// Build the machine, workload, tracer, and scheduler for one run
+/// without driving it. [`finalize_run`] folds the finished machine into
+/// a [`RunResult`]; `prepare → drive → finalize` is bit-identical to
+/// [`run_spec`] however the drive is interleaved with other runs.
+pub(crate) fn prepare_run(
+    spec: &WorkloadSpec,
+    policy: PolicyKind,
+    rc: &RunnerConfig,
+) -> PreparedRun {
     let scaled = spec.clone().scaled(rc.scale);
     let built = build_machine(&scaled, rc.machine, rc.seed);
     let mut machine = built.machine;
+    machine.set_exec_mode(rc.exec);
     machine.set_hard_cap_us(
         (busbw_workloads::paper::DEFAULT_SOLO_WORK_US * rc.scale * rc.hard_cap_factor) as u64,
     );
@@ -312,18 +362,30 @@ pub fn run_spec_hooked(
             handle = Some(h);
         }
     }
-    let mut sched = policy.build();
-    let out = machine.run_audited(
-        &mut *sched,
-        StopCondition::AppsFinished(built.measured_ids.clone()),
-        hook,
-    );
+    let sched = policy.build();
+    PreparedRun {
+        machine,
+        sched,
+        measured_ids: built.measured_ids,
+        handle,
+    }
+}
+
+/// Fold a driven run into its [`RunResult`] (censoring, rates, memo and
+/// tick accounting). Shared verbatim by the serial and batched paths.
+pub(crate) fn finalize_run(p: PreparedRun, out: busbw_sim::RunOutcome) -> RunResult {
+    let PreparedRun {
+        machine,
+        sched,
+        measured_ids,
+        handle,
+    } = p;
     let stage_timings = sched.stage_timings().cloned();
 
     let mut unfinished = Vec::new();
-    let mut turnarounds = Vec::with_capacity(built.measured_ids.len());
+    let mut turnarounds = Vec::with_capacity(measured_ids.len());
     let mut measured_apps_rate = 0.0;
-    for &id in &built.measured_ids {
+    for &id in &measured_ids {
         let t_us = match machine.turnaround_us(id) {
             Some(t) => t as f64,
             None => {
@@ -341,7 +403,7 @@ pub fn run_spec_hooked(
                 } else {
                     0.0
                 };
-                if machine.tracer().enabled() {
+                if machine.tracer().emits() {
                     machine.tracer().emit(TraceEvent::RunUnfinished {
                         at_us: out.stopped_at,
                         app: id.0,

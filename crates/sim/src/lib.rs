@@ -50,16 +50,16 @@ pub mod thread;
 pub mod trace;
 
 pub use bus::{
-    BusModel, BusOutcome, BusRequest, BusShare, FsbBus, MaxMinFairBus, ProportionalBus,
-    UnlimitedBus,
+    solve_lambda, BatchSolver, BusModel, BusOutcome, BusRequest, BusShare, FsbBus, MaxMinFairBus,
+    ProportionalBus, SolveJob, UnlimitedBus,
 };
 pub use cache::{CacheConfig, CacheState};
 pub use config::{BusConfig, MachineConfig, XEON_4WAY, XEON_4WAY_HT};
 pub use demand::{ConstantDemand, Demand, DemandModel};
 pub use ids::{AppId, CpuId, SimTime, ThreadId};
 pub use machine::{
-    AppDescriptor, AppInfo, AppReport, Assignment, AuditHook, Decision, Machine, MachineView,
-    RunOutcome, Scheduler, StopCondition, ThreadInfo,
+    AppDescriptor, AppInfo, AppReport, Assignment, AuditHook, Decision, ExecMode, Machine,
+    MachineView, RunCursor, RunOutcome, Scheduler, StepEvent, StopCondition, ThreadInfo,
 };
 pub use stage::{StageSnapshot, StageTiming, StageTimings, STAGE_BUCKET_BOUNDS_NS, STAGE_NAMES};
 pub use stats::{BusPressureStats, RunStats, TickDtHist};

@@ -23,7 +23,7 @@
 use busbw_perfmon::{EventKind, Registry};
 use busbw_trace::{EventBus, TraceEvent};
 
-use crate::bus::{BusModel, BusOutcome, BusRequest};
+use crate::bus::{BusModel, BusOutcome, BusRequest, SolveJob};
 use crate::cache::CacheState;
 use crate::config::MachineConfig;
 use crate::ids::{AppId, CpuId, SimTime, ThreadId};
@@ -412,8 +412,14 @@ struct TickScratch {
     /// Parallel to `reqs`: is the requester spin-waiting at its barrier?
     req_spin: Vec<bool>,
     /// Parallel to `reqs`: demand-constant horizons (virtual µs, wall µs).
+    /// Only populated by the full rebuild path; the replay fast path
+    /// leaves them stale, which is safe because it refuses exactly the
+    /// ticks whose commit would read them (the coarsening gate).
     req_virt_h: Vec<f64>,
     req_wall_h: Vec<f64>,
+    /// Were all placed, non-spinning threads at full cache warmth this
+    /// tick? Feeds the coarsening gate in the commit phase.
+    all_warm: bool,
     /// Arbitration result (shares reused tick to tick).
     outcome: BusOutcome,
 }
@@ -429,9 +435,149 @@ impl Default for TickScratch {
             req_spin: Vec::new(),
             req_virt_h: Vec::new(),
             req_wall_h: Vec::new(),
+            all_warm: true,
             outcome: BusOutcome::empty(0.0),
         }
     }
+}
+
+/// Execution mode of the inner loop.
+///
+/// Both modes produce bit-identical results — the audit fuzzer checks the
+/// full run codec byte-for-byte — they differ only in how much work each
+/// simulated tick costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Event-driven (the default): between demand-change events the
+    /// machine replays the previous tick's request build from a cache
+    /// keyed on the next predicted event (barrier spin flips, demand
+    /// phase edges via [`crate::demand::DemandModel::next_change`],
+    /// wall-clock switch
+    /// points, placements, completions), skipping placement scans and
+    /// demand-model queries whose answers provably cannot have changed.
+    #[default]
+    EventDriven,
+    /// The legacy path: rebuild everything from scratch every tick. Kept
+    /// as the differential baseline for the audit fuzzer.
+    PerTick,
+}
+
+/// The event-driven replay cache: a validated snapshot of the last full
+/// request build, plus the predicted invalidation edges.
+///
+/// One entry per bus request, in placement (cpu) order. The cached
+/// quantities are exactly those whose recomputation the fast path skips:
+/// the pre-boost demand `(rate, µ)` (demand-model queries), the SMT
+/// factor (placement scan), and the spin flag. Quantities that evolve
+/// every tick — cache warmth boosts and speed multipliers — are *not*
+/// cached; the fast path recomputes them with the identical expressions,
+/// so the rebuilt requests are bit-identical to what the full path would
+/// produce. Any observable change (progress crossing a predicted demand
+/// edge, the wall clock crossing a switch point, a spin flag flipping, a
+/// new placement, a thread finishing, a tracer change) invalidates the
+/// snapshot and the next tick takes the full rebuild path, which
+/// repopulates it.
+#[derive(Debug, Default)]
+struct ReplayCache {
+    valid: bool,
+    /// Cpu index per request.
+    cpu: Vec<usize>,
+    /// Thread index per request.
+    tid: Vec<usize>,
+    /// Pre-boost demand rate per request.
+    rate: Vec<f64>,
+    /// Demand memory-boundness per request.
+    mu: Vec<f64>,
+    /// Replay is valid only while `progress < vt_guard` (virtual µs).
+    vt_guard: Vec<f64>,
+    /// … and while `now < wall_guard` (wall µs).
+    wall_guard: Vec<f64>,
+    /// Spin flag per request at snapshot time.
+    spin: Vec<bool>,
+    /// Thread cache sensitivity per request.
+    sens: Vec<f64>,
+    /// SMT speed factor per request (placement-static).
+    smt: Vec<f64>,
+}
+
+impl ReplayCache {
+    fn clear(&mut self) {
+        self.valid = false;
+        self.cpu.clear();
+        self.tid.clear();
+        self.rate.clear();
+        self.mu.clear();
+        self.vt_guard.clear();
+        self.wall_guard.clear();
+        self.spin.clear();
+        self.sens.clear();
+        self.smt.clear();
+    }
+}
+
+/// Pull a predicted change edge strictly below itself by a relative +
+/// absolute margin. The margins dwarf the few-ulp rounding of
+/// `now + horizon` style edge arithmetic, so a cached demand is never
+/// replayed *past* its true change point — at worst the fast path gives
+/// up one tick early and the full rebuild re-queries the model (which is
+/// always byte-safe). Integer-valued edges (the burst process's switch
+/// instant) lose nothing: for integers `now < edge − ε ⇔ now < edge`
+/// whenever ε < 1.
+#[inline]
+fn guard_edge(edge: f64) -> f64 {
+    if edge.is_finite() {
+        edge - (1e-9 + 1e-12 * edge.abs())
+    } else {
+        edge
+    }
+}
+
+/// Loop state of a stepped run (see [`Machine::run_begin`]).
+///
+/// Opaque to drivers: park it between [`Machine::run_step`] calls and
+/// read [`RunCursor::pending_requests`] while a solve is outstanding.
+#[derive(Debug)]
+pub struct RunCursor {
+    stop: StopCondition,
+    stats: RunStats,
+    started_at: SimTime,
+    cap_at: SimTime,
+    next_resched: SimTime,
+    sample_period: Option<u64>,
+    next_sample: Option<SimTime>,
+    resched_requested: bool,
+    pending: Option<PendingTick>,
+}
+
+impl RunCursor {
+    /// The bus requests of the tick parked behind a
+    /// [`StepEvent::NeedSolve`] — the solver lane's input vector.
+    ///
+    /// # Panics
+    /// Panics if no solve is pending.
+    pub fn pending_requests(&self) -> &[BusRequest] {
+        &self.pending.as_ref().expect("no solve pending").s.reqs
+    }
+}
+
+/// A prepared tick parked while its Λ solve runs out-of-line.
+#[derive(Debug)]
+struct PendingTick {
+    s: TickScratch,
+    dt_limit: u64,
+}
+
+/// Why [`Machine::run_step`] returned control.
+#[derive(Debug)]
+pub enum StepEvent {
+    /// The run hit a saturated-bus tick whose Λ the bus model memo could
+    /// not answer: solve for [`RunCursor::pending_requests`] with these
+    /// parameters (any way that is bit-equal to
+    /// [`crate::bus::solve_lambda`]) and resume with
+    /// [`Machine::run_step_complete`].
+    NeedSolve(SolveJob),
+    /// The run finished; the cursor is spent.
+    Done(RunOutcome),
 }
 
 /// The simulated SMP.
@@ -453,6 +599,13 @@ pub struct Machine {
     /// phases over an interval (Λ̄ = Δintegral / Δt).
     dilation_integral: f64,
     scratch: TickScratch,
+    /// Inner-loop execution mode (event-driven by default).
+    exec: ExecMode,
+    /// Event-driven replay snapshot (see [`ReplayCache`]).
+    replay: ReplayCache,
+    /// Ticks served by the replay fast path (diagnostics only — not part
+    /// of [`RunStats`], so both execution modes stay codec-identical).
+    replay_ticks: u64,
     /// Structured-trace emission handle (disabled by default; a disabled
     /// bus costs one branch per emission site).
     tracer: EventBus,
@@ -486,6 +639,9 @@ impl Machine {
             hard_cap_us: 1_000_000_000, // 1000 simulated seconds
             dilation_integral: 0.0,
             scratch: TickScratch::default(),
+            exec: ExecMode::default(),
+            replay: ReplayCache::default(),
+            replay_ticks: 0,
             tracer: EventBus::off(),
             traced_demand: Vec::new(),
             traced_dilation: 0.0,
@@ -499,6 +655,28 @@ impl Machine {
         self.tracer = tracer;
         self.traced_demand.clear();
         self.traced_dilation = 0.0;
+        // Phase-edge detection restarts from NaN sentinels; the next tick
+        // must take the full path so re-observed demands emit.
+        self.replay.valid = false;
+    }
+
+    /// Select the inner-loop execution mode (see [`ExecMode`]). Takes
+    /// effect from the next tick; both modes produce bit-identical runs.
+    pub fn set_exec_mode(&mut self, exec: ExecMode) {
+        self.exec = exec;
+        self.replay.valid = false;
+    }
+
+    /// The current inner-loop execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
+    }
+
+    /// Ticks served by the event-driven replay fast path so far (0 in
+    /// [`ExecMode::PerTick`]). Diagnostics for benches; not part of the
+    /// run statistics.
+    pub fn replay_ticks(&self) -> u64 {
+        self.replay_ticks
     }
 
     /// The attached trace bus (disabled unless [`Machine::set_tracer`]
@@ -548,6 +726,7 @@ impl Machine {
             finished_at: None,
             barrier_interval_us: desc.barrier_interval_us,
         });
+        self.replay.valid = false;
         app_id
     }
 
@@ -625,43 +804,96 @@ impl Machine {
     /// is recorded even if `apply` rejects it) and every tick's issued bus
     /// traffic. With `hook = None` this *is* `run`: the only overhead is
     /// one `Option` branch per decision and per tick.
+    ///
+    /// Implemented on top of the stepped API ([`Machine::run_begin`] /
+    /// [`Machine::run_step`] / [`Machine::run_step_complete`]) so the
+    /// serial path and the batched engine drive the *same* loop — any
+    /// drift between them would be a compile error, not a silent
+    /// divergence.
     pub fn run_audited(
         &mut self,
         sched: &mut dyn Scheduler,
         stop: StopCondition,
         mut hook: Option<&mut (dyn AuditHook + '_)>,
     ) -> RunOutcome {
-        sched.attach_tracer(&self.tracer);
-        sched.set_introspect(hook.is_some());
-        let mut stats = RunStats::default();
-        let started_at = self.now;
-        let cap_at = started_at.saturating_add(self.hard_cap_us);
-
-        let mut next_resched = self.now; // schedule immediately
-        let mut sample_period: Option<u64> = None;
-        let mut next_sample: Option<SimTime> = None;
-        let mut resched_requested = false;
-
-        let condition_met = loop {
-            if self.stop_met(&stop) {
-                break true;
+        let mut cur = self.run_begin(sched, stop, hook.is_some());
+        loop {
+            match self.run_step(sched, &mut cur, hook.as_deref_mut()) {
+                StepEvent::NeedSolve(job) => {
+                    let lambda =
+                        crate::bus::solve_lambda(cur.pending_requests(), job.cap, job.warm);
+                    self.run_step_complete(&mut cur, lambda, hook.as_deref_mut());
+                }
+                StepEvent::Done(out) => return out,
             }
-            if self.now >= cap_at {
-                break false;
+        }
+    }
+
+    /// Start a stepped run: the cursor carries all loop state between
+    /// [`Machine::run_step`] calls, so many machines can be advanced in
+    /// lockstep by one driver (the batched sweep engine).
+    pub fn run_begin(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        stop: StopCondition,
+        introspect: bool,
+    ) -> RunCursor {
+        sched.attach_tracer(&self.tracer);
+        sched.set_introspect(introspect);
+        let started_at = self.now;
+        RunCursor {
+            stop,
+            stats: RunStats::default(),
+            started_at,
+            cap_at: started_at.saturating_add(self.hard_cap_us),
+            next_resched: self.now, // schedule immediately
+            sample_period: None,
+            next_sample: None,
+            resched_requested: false,
+            pending: None,
+        }
+    }
+
+    /// Advance the run until it either finishes or hits a tick whose bus
+    /// arbitration needs an iterative Λ solve. In the latter case the
+    /// prepared tick parks in the cursor and `NeedSolve` carries the
+    /// [`SolveJob`]; obtain λ (via [`crate::bus::solve_lambda`] or a
+    /// [`crate::bus::BatchSolver`] lane over
+    /// [`RunCursor::pending_requests`]) and resume with
+    /// [`Machine::run_step_complete`].
+    ///
+    /// # Panics
+    /// Panics if a previous `NeedSolve` has not been completed.
+    pub fn run_step(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        cur: &mut RunCursor,
+        mut hook: Option<&mut (dyn AuditHook + '_)>,
+    ) -> StepEvent {
+        assert!(
+            cur.pending.is_none(),
+            "run_step called with an unresolved solve pending"
+        );
+        loop {
+            if self.stop_met(&cur.stop) {
+                return StepEvent::Done(self.finish_run(cur, true));
+            }
+            if self.now >= cur.cap_at {
+                return StepEvent::Done(self.finish_run(cur, false));
             }
 
             // Sampling fires before rescheduling so a sample landing on the
             // quantum boundary (the paper's second sample per quantum) is
             // visible to the scheduling decision it precedes.
-            if let (Some(ns), Some(p)) = (next_sample, sample_period) {
+            if let (Some(ns), Some(p)) = (cur.next_sample, cur.sample_period) {
                 if self.now >= ns {
                     sched.on_sample(&self.view());
-                    stats.sample_calls += 1;
-                    next_sample = Some(self.now + p.max(self.cfg.tick_us));
+                    cur.stats.sample_calls += 1;
+                    cur.next_sample = Some(self.now + p.max(self.cfg.tick_us));
                 }
             }
 
-            if self.now >= next_resched || resched_requested {
+            if self.now >= cur.next_resched || cur.resched_requested {
                 let decision = sched.schedule(&self.view());
                 assert!(
                     decision.next_resched_in_us > 0,
@@ -670,37 +902,74 @@ impl Machine {
                 if let Some(h) = hook.as_deref_mut() {
                     h.on_decision(&self.view(), &decision, sched.stage_snapshot());
                 }
-                self.apply(&decision, &mut stats);
-                stats.schedule_calls += 1;
-                next_resched = self.now + decision.next_resched_in_us;
-                sample_period = decision.sample_period_us;
-                next_sample = sample_period.map(|p| self.now + p.max(self.cfg.tick_us));
-                resched_requested = false;
+                self.apply(&decision, &mut cur.stats);
+                cur.stats.schedule_calls += 1;
+                cur.next_resched = self.now + decision.next_resched_in_us;
+                cur.sample_period = decision.sample_period_us;
+                cur.next_sample = cur
+                    .sample_period
+                    .map(|p| self.now + p.max(self.cfg.tick_us));
+                cur.resched_requested = false;
             }
 
             // The window until the next timer (reschedule, sample, timed
             // stop, hard cap). A tick never crosses it; within it the
             // machine is free to coarsen — advance multiple nominal ticks
             // in one jump — when the tick's inputs are provably static.
-            let mut dt_limit = next_resched.saturating_sub(self.now).max(1);
-            if let Some(ns) = next_sample {
+            let mut dt_limit = cur.next_resched.saturating_sub(self.now).max(1);
+            if let Some(ns) = cur.next_sample {
                 dt_limit = dt_limit.min(ns.saturating_sub(self.now).max(1));
             }
-            if let StopCondition::At(t) = stop {
+            if let StopCondition::At(t) = cur.stop {
                 dt_limit = dt_limit.min(t.saturating_sub(self.now).max(1));
             }
-            dt_limit = dt_limit.min(cap_at.saturating_sub(self.now).max(1));
-            let app_finished = self.tick(dt_limit, &mut stats, hook.as_deref_mut());
-            if app_finished {
-                resched_requested = true;
-            }
-        };
+            dt_limit = dt_limit.min(cur.cap_at.saturating_sub(self.now).max(1));
 
-        stats.elapsed_us = self.now - started_at;
+            // The scratch is moved out for the duration of the tick so the
+            // borrow checker sees the buffers and `self` as disjoint.
+            let mut s = std::mem::take(&mut self.scratch);
+            match self.tick_prepare(dt_limit, &mut cur.stats, &mut s) {
+                Some(job) => {
+                    cur.pending = Some(PendingTick { s, dt_limit });
+                    return StepEvent::NeedSolve(job);
+                }
+                None => {
+                    let app_finished =
+                        self.tick_commit(dt_limit, &mut cur.stats, &mut s, hook.as_deref_mut());
+                    self.scratch = s;
+                    if app_finished {
+                        cur.resched_requested = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Complete the solve a [`StepEvent::NeedSolve`] asked for and commit
+    /// the parked tick. `lambda_sat` must be bit-equal to
+    /// [`crate::bus::solve_lambda`] on the pending job — a
+    /// [`crate::bus::BatchSolver`] lane satisfies this by construction.
+    pub fn run_step_complete(
+        &mut self,
+        cur: &mut RunCursor,
+        lambda_sat: f64,
+        hook: Option<&mut (dyn AuditHook + '_)>,
+    ) {
+        let mut p = cur.pending.take().expect("no solve pending");
+        self.bus.finish_solve(&p.s.reqs, lambda_sat, &mut p.s.outcome);
+        let app_finished = self.tick_commit(p.dt_limit, &mut cur.stats, &mut p.s, hook);
+        self.scratch = p.s;
+        if app_finished {
+            cur.resched_requested = true;
+        }
+    }
+
+    fn finish_run(&mut self, cur: &mut RunCursor, condition_met: bool) -> RunOutcome {
+        cur.stats.elapsed_us = self.now - cur.started_at;
         RunOutcome {
             stopped_at: self.now,
             condition_met,
-            stats,
+            stats: std::mem::take(&mut cur.stats),
         }
     }
 
@@ -723,6 +992,9 @@ impl Machine {
 
     /// Validate and apply a scheduling decision.
     fn apply(&mut self, d: &Decision, stats: &mut RunStats) {
+        // Placement changes (even re-placements of the same set: the
+        // preempt/place cycle below re-runs cold-start accounting).
+        self.replay.valid = false;
         let mut cpu_used = vec![false; self.cfg.num_cpus];
         let mut seen = std::collections::BTreeSet::new();
         for a in &d.assignments {
@@ -769,7 +1041,7 @@ impl Machine {
                 t.last_cpu = Some(a.cpu);
             }
             self.registry.add(a.thread.key(), EventKind::QuantaRun, 1.0);
-            if self.tracer.enabled() {
+            if self.tracer.emits() {
                 self.tracer.emit(TraceEvent::Placement {
                     at_us: self.now,
                     cpu: a.cpu.0,
@@ -781,54 +1053,33 @@ impl Machine {
         }
     }
 
-    /// Advance up to `dt_limit` µs: one nominal tick, or — when every
-    /// input to the tick is provably static — a coarsened jump of several
-    /// nominal ticks at once. Returns true if any application finished.
-    fn tick(
-        &mut self,
-        dt_limit: u64,
-        stats: &mut RunStats,
-        hook: Option<&mut (dyn AuditHook + '_)>,
-    ) -> bool {
-        // The scratch is moved out for the duration of the tick so the
-        // borrow checker sees the buffers and `self` as disjoint.
-        let mut s = std::mem::take(&mut self.scratch);
-        let finished = self.tick_inner(dt_limit, stats, &mut s, hook);
-        self.scratch = s;
-        finished
-    }
-
-    fn tick_inner(
+    /// First half of a tick: build the bus-request vector (replaying the
+    /// cached build when provably unchanged) and start arbitration.
+    /// Returns `Some(job)` when the bus needs an out-of-line Λ solve —
+    /// complete it (bit-equal to [`crate::bus::solve_lambda`]), feed λ to
+    /// [`crate::bus::BusModel::finish_solve`], then call
+    /// [`Machine::tick_commit`]. Returns `None` when arbitration finished
+    /// inline (memo hit, unsaturated, or idle).
+    fn tick_prepare(
         &mut self,
         dt_limit: u64,
         stats: &mut RunStats,
         s: &mut TickScratch,
-        hook: Option<&mut (dyn AuditHook + '_)>,
-    ) -> bool {
+    ) -> Option<SolveJob> {
         stats.ticks += 1;
-        let tick_started_at = self.now;
-        let bus_capacity = self.bus.nominal_capacity();
         let n_threads = self.threads.len();
-        let trace_on = self.tracer.enabled();
+        let trace_on = self.tracer.emits();
         if trace_on && self.traced_demand.len() < n_threads {
             // NaN sentinels make the first observed demand of every
             // thread register as a phase edge.
             self.traced_demand.resize(n_threads, (f64::NAN, f64::NAN));
         }
 
-        // Current placement.
-        s.placement.clear();
-        s.placement.resize(self.cfg.num_cpus, None);
-        for t in &self.threads {
-            if let ThreadState::Running(c) = t.state {
-                s.placement[c.0] = Some(t.id);
-            }
-        }
-
         // Barrier caps: a thread may not run ahead of its slowest
         // unfinished sibling by more than the app's barrier interval.
         // Threads at their cap spin-wait: they hold the cpu but demand no
-        // bus bandwidth and make no progress.
+        // bus bandwidth and make no progress. (Computed before the replay
+        // attempt — the spin guards need fresh caps.)
         s.barrier_cap.clear();
         s.barrier_cap.resize(n_threads, f64::INFINITY);
         for rec in &self.apps {
@@ -849,6 +1100,24 @@ impl Machine {
             }
         }
 
+        // Event-driven fast path: if every cached request is still inside
+        // its predicted-constant region, rebuild the request vector from
+        // the snapshot without touching placement scans or demand models.
+        if self.exec == ExecMode::EventDriven && self.replay.valid && self.try_replay(dt_limit, s)
+        {
+            self.replay_ticks += 1;
+            return self.bus.begin(&s.reqs, &mut s.outcome);
+        }
+
+        // Current placement.
+        s.placement.clear();
+        s.placement.resize(self.cfg.num_cpus, None);
+        for t in &self.threads {
+            if let ThreadState::Running(c) = t.state {
+                s.placement[c.0] = Some(t.id);
+            }
+        }
+
         // SMT: count busy hardware threads per physical core; siblings
         // sharing a core split its (slightly super-unit) throughput.
         let cores = self.cfg.num_cpus / self.cfg.smt_threads_per_core.max(1);
@@ -861,7 +1130,10 @@ impl Machine {
         }
 
         // Collect demands (with cache-cold boosts) plus the per-request
-        // metadata the coarsening gate needs.
+        // metadata the coarsening gate needs, re-arming the replay
+        // snapshot as we go (event-driven mode only).
+        let record = self.exec == ExecMode::EventDriven;
+        self.replay.clear();
         s.reqs.clear();
         s.req_spin.clear();
         s.req_virt_h.clear();
@@ -888,19 +1160,26 @@ impl Machine {
                 all_warm = false;
             }
             let t = &mut self.threads[ti];
-            let (d, cs, virt_h, wall_h) = if spinning {
+            let sens = t.cache_sensitivity;
+            let (d, cs, virt_h, wall_h, edge_v, edge_w) = if spinning {
                 // Spin-wait on a cached flag: no bus traffic, no progress.
+                // The demand model is never queried while spinning, so the
+                // snapshot needs no demand edges either — spin-flip guards
+                // cover invalidation.
                 (
                     crate::demand::Demand::ZERO,
                     0.0,
+                    f64::INFINITY,
+                    f64::INFINITY,
                     f64::INFINITY,
                     f64::INFINITY,
                 )
             } else {
                 let d = t.model.demand_at(t.progress_us, self.now);
                 let (virt_h, wall_h) = t.model.constant_for(t.progress_us, self.now);
-                let cs = self.cache.speed_multiplier(cpu, *tid, t.cache_sensitivity) * smt;
-                (d, cs, virt_h, wall_h)
+                let (edge_v, edge_w) = t.model.next_change(t.progress_us, self.now);
+                let cs = self.cache.speed_multiplier(cpu, *tid, sens) * smt;
+                (d, cs, virt_h, wall_h, edge_v, edge_w)
             };
             if trace_on && !spinning {
                 let cur = (d.rate, d.mu);
@@ -923,9 +1202,110 @@ impl Machine {
             s.req_virt_h.push(virt_h);
             s.req_wall_h.push(wall_h);
             s.cache_speed[ti] = cs;
+            if record {
+                self.replay.cpu.push(cpu_idx);
+                self.replay.tid.push(ti);
+                self.replay.rate.push(d.rate);
+                self.replay.mu.push(d.mu);
+                self.replay.vt_guard.push(guard_edge(edge_v));
+                self.replay.wall_guard.push(guard_edge(edge_w));
+                self.replay.spin.push(spinning);
+                self.replay.sens.push(sens);
+                self.replay.smt.push(smt);
+            }
         }
+        s.all_warm = all_warm;
+        self.replay.valid = record;
 
-        self.bus.arbitrate_into(&s.reqs, &mut s.outcome);
+        self.bus.begin(&s.reqs, &mut s.outcome)
+    }
+
+    /// Attempt the event-driven fast path: verify every snapshot guard,
+    /// then rebuild `s.reqs`/`s.req_spin`/`s.cache_speed` bit-identically
+    /// to what the full build would produce. Returns false (leaving the
+    /// scratch untouched beyond the barrier caps) when any guard fails —
+    /// the caller then takes the full rebuild, which is always safe.
+    fn try_replay(&mut self, dt_limit: u64, s: &mut TickScratch) -> bool {
+        let r = &self.replay;
+        let n = r.cpu.len();
+        let mut all_warm = true;
+        for i in 0..n {
+            let ti = r.tid[i];
+            let t = &self.threads[ti];
+            // A spin flip (either direction) changes the request shape.
+            let spin_now = t.progress_us >= s.barrier_cap[ti];
+            if spin_now != r.spin[i] {
+                return false;
+            }
+            if !spin_now {
+                // Strictly inside the guarded-constant region in both
+                // dimensions, else the demand model must be re-queried.
+                if !(t.progress_us < r.vt_guard[i] && (self.now as f64) < r.wall_guard[i]) {
+                    return false;
+                }
+                if self.cache.warmth(CpuId(r.cpu[i]), ThreadId(ti as u64)) != 1.0 {
+                    all_warm = false;
+                }
+            }
+        }
+        // The coarsening window scan in the commit phase reads the
+        // per-request horizons, which replay leaves stale. Its gate is
+        // exactly `non-empty ∧ all_warm ∧ wide window`; refuse those ticks
+        // so the full path recomputes fresh horizons (and coarsens, which
+        // amortizes the rebuild anyway).
+        if n > 0 && all_warm && dt_limit > 2 * self.cfg.tick_us {
+            return false;
+        }
+        s.reqs.clear();
+        s.req_spin.clear();
+        for i in 0..n {
+            let cpu = CpuId(r.cpu[i]);
+            let ti = r.tid[i];
+            let tid = ThreadId(ti as u64);
+            if r.spin[i] {
+                // Identical to the full path's spin request: ZERO demand,
+                // unit boost (0.0 · 1.0 = 0.0 exactly), zero cache speed.
+                s.reqs.push(BusRequest {
+                    thread: tid,
+                    rate: 0.0,
+                    mu: 0.0,
+                });
+                s.req_spin.push(true);
+                s.cache_speed[ti] = 0.0;
+            } else {
+                // Warmth-dependent factors are recomputed with the exact
+                // expressions of the full path; only the demand query and
+                // placement scan are skipped.
+                let boost = self.cache.demand_multiplier(cpu, tid);
+                let cs = self.cache.speed_multiplier(cpu, tid, r.sens[i]) * r.smt[i];
+                s.reqs.push(BusRequest {
+                    thread: tid,
+                    rate: r.rate[i] * boost,
+                    mu: r.mu[i],
+                });
+                s.req_spin.push(false);
+                s.cache_speed[ti] = cs;
+            }
+        }
+        s.all_warm = all_warm;
+        true
+    }
+
+    /// Second half of a tick: choose the (possibly coarsened) step width,
+    /// integrate progress, caches, and bus accounting over it, and detect
+    /// completions. Requires `s.outcome` to hold finished arbitration for
+    /// `s.reqs`. Returns true if any application finished.
+    fn tick_commit(
+        &mut self,
+        dt_limit: u64,
+        stats: &mut RunStats,
+        s: &mut TickScratch,
+        hook: Option<&mut (dyn AuditHook + '_)>,
+    ) -> bool {
+        let trace_on = self.tracer.emits();
+        let tick_started_at = self.now;
+        let bus_capacity = self.bus.nominal_capacity();
+        let all_warm = s.all_warm;
         if trace_on && !s.reqs.is_empty() && s.outcome.dilation != self.traced_dilation {
             // Emitted on Λ change only: memoized re-solves that reuse the
             // previous dilation stay silent, keeping trace volume
@@ -1075,6 +1455,9 @@ impl Machine {
         // App completion.
         let mut any_app_finished = false;
         if any_thread_finished {
+            // A finished thread leaves its cpu, changing the request
+            // shape; the snapshot is dead.
+            self.replay.valid = false;
             for (i, rec) in self.apps.iter_mut().enumerate() {
                 if rec.finished_at.is_none()
                     && rec
@@ -1449,5 +1832,121 @@ mod tests {
         assert!(out.condition_met);
         let t = m.turnaround_us(app).unwrap();
         assert!((500_000..=515_000).contains(&t), "turnaround {t}");
+    }
+
+    /// Virtual-time two-phase square wave with honest horizons.
+    struct TwoPhase;
+    impl crate::demand::DemandModel for TwoPhase {
+        fn demand_at(&mut self, vt_us: f64, _wall_us: u64) -> crate::demand::Demand {
+            if vt_us.rem_euclid(40_000.0) < 25_000.0 {
+                crate::demand::Demand::new(20.0, 0.9)
+            } else {
+                crate::demand::Demand::new(1.0, 0.1)
+            }
+        }
+        fn mean_rate(&self) -> f64 {
+            (20.0 * 25_000.0 + 1.0 * 15_000.0) / 40_000.0
+        }
+        fn constant_for(&self, vt_us: f64, _wall_us: u64) -> (f64, f64) {
+            let pos = vt_us.rem_euclid(40_000.0);
+            let h = if pos < 25_000.0 {
+                25_000.0 - pos
+            } else {
+                40_000.0 - pos
+            };
+            (h, f64::INFINITY)
+        }
+    }
+
+    /// Wall-clock square wave with exact integer switch edges.
+    struct WallSquare;
+    impl crate::demand::DemandModel for WallSquare {
+        fn demand_at(&mut self, _vt_us: f64, wall_us: u64) -> crate::demand::Demand {
+            if (wall_us / 30_000) % 2 == 0 {
+                crate::demand::Demand::new(15.0, 0.8)
+            } else {
+                crate::demand::Demand::new(2.0, 0.2)
+            }
+        }
+        fn mean_rate(&self) -> f64 {
+            8.5
+        }
+        fn constant_for(&self, _vt_us: f64, wall_us: u64) -> (f64, f64) {
+            (f64::INFINITY, (30_000 - wall_us % 30_000) as f64)
+        }
+        fn next_change(&self, _vt_us: f64, wall_us: u64) -> (f64, f64) {
+            (f64::INFINITY, (wall_us - wall_us % 30_000 + 30_000) as f64)
+        }
+    }
+
+    /// A mix exercising every replay guard: virtual-time phase edges,
+    /// wall-clock switches, a barrier gang that spins, saturated and
+    /// unsaturated bus regimes, cache warm-up and coarsened jumps.
+    fn mixed_machine() -> Machine {
+        let mut m = Machine::new(XEON_4WAY);
+        m.add_app(AppDescriptor::new(
+            "phase",
+            vec![ThreadSpec::new(900_000.0, Box::new(TwoPhase))],
+        ));
+        m.add_app(AppDescriptor::new(
+            "wall",
+            vec![ThreadSpec::new(900_000.0, Box::new(WallSquare))],
+        ));
+        let mut gang = AppDescriptor::new(
+            "gang",
+            vec![
+                ThreadSpec::new(700_000.0, Box::new(ConstantDemand::new(6.0, 0.9))),
+                ThreadSpec::new(700_000.0, Box::new(ConstantDemand::new(6.0, 0.1))),
+            ],
+        );
+        gang.barrier_interval_us = Some(5_000.0);
+        m.add_app(gang);
+        m
+    }
+
+    #[test]
+    fn event_driven_and_per_tick_runs_are_bit_identical() {
+        let run = |exec: ExecMode| {
+            let mut m = mixed_machine();
+            m.set_exec_mode(exec);
+            let mut s = GreedyScheduler { quantum: 30_000 };
+            let out = m.run(&mut s, StopCondition::At(1_500_000));
+            let progress: Vec<u64> = m
+                .view()
+                .threads()
+                .map(|t| t.progress_us.to_bits())
+                .collect();
+            // Debug formatting of f64 round-trips the exact value, so a
+            // string compare of the stats is a bit compare.
+            (format!("{out:?}"), progress, m.bus_memo_stats())
+        };
+        let ed = run(ExecMode::EventDriven);
+        let pt = run(ExecMode::PerTick);
+        assert_eq!(ed.0, pt.0, "run stats diverged between exec modes");
+        assert_eq!(ed.1, pt.1, "thread progress diverged between exec modes");
+        assert_eq!(ed.2, pt.2, "bus memo behaviour diverged between exec modes");
+    }
+
+    #[test]
+    fn replay_fast_path_actually_engages() {
+        // Short quanta keep `dt_limit ≤ 2·tick`, so the coarsening bail
+        // never triggers and steady regions must replay. Each 2-tick
+        // quantum costs one full rebuild (the reschedule invalidates the
+        // snapshot), so the ceiling is 50%; anything near it means the
+        // steady regions replayed.
+        let mut m = mixed_machine();
+        let mut s = GreedyScheduler { quantum: 200 };
+        let out = m.run(&mut s, StopCondition::At(400_000));
+        assert!(
+            m.replay_ticks() * 5 >= out.stats.ticks * 2,
+            "replay served {} of {} ticks",
+            m.replay_ticks(),
+            out.stats.ticks
+        );
+        // And never in the per-tick mode.
+        let mut m2 = mixed_machine();
+        m2.set_exec_mode(ExecMode::PerTick);
+        m2.run(&mut GreedyScheduler { quantum: 200 }, StopCondition::At(400_000));
+        assert_eq!(m2.replay_ticks(), 0);
     }
 }

@@ -15,12 +15,14 @@ pub const RECENT_CAPACITY: usize = 512;
 /// so one bus can be shared by the machine, the scheduler, and the CPU
 /// manager of a single run. The disabled bus ([`EventBus::off`], also
 /// `Default`) costs one branch per emission site — callers are expected
-/// to guard event *construction* with [`EventBus::enabled`]:
+/// to guard event *construction* with [`EventBus::emits`] (which is also
+/// false for an enabled bus whose sink discards, e.g.
+/// [`crate::NullSink`]):
 ///
 /// ```
 /// # use busbw_trace::{EventBus, TraceEvent};
 /// # let tracer = EventBus::off();
-/// if tracer.enabled() {
+/// if tracer.emits() {
 ///     tracer.emit(TraceEvent::CoarseJump { at_us: 0, dt_us: 500, ticks_covered: 5 });
 /// }
 /// ```
@@ -31,6 +33,10 @@ pub struct EventBus {
 
 struct Inner {
     state: Mutex<BusState>,
+    /// Sink's [`TraceSink::records`] sampled at construction: false for a
+    /// sink that provably discards everything, so hot paths can skip
+    /// emission without taking the state lock.
+    emits: bool,
 }
 
 struct BusState {
@@ -46,12 +52,14 @@ impl EventBus {
 
     /// An enabled bus feeding `sink`.
     pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        let emits = sink.records();
         Self {
             inner: Some(Arc::new(Inner {
                 state: Mutex::new(BusState {
                     sink,
                     ring: Ring::new(RECENT_CAPACITY),
                 }),
+                emits,
             })),
         }
     }
@@ -69,9 +77,23 @@ impl EventBus {
         self.inner.is_some()
     }
 
-    /// Record one event (no-op when disabled).
+    /// Whether emitted events are observable anywhere: enabled *and* the
+    /// sink records ([`TraceSink::records`]). Hot emission sites should
+    /// gate on this rather than [`EventBus::enabled`] — a bus over a
+    /// [`crate::NullSink`] is enabled but emits nothing, so per-event
+    /// construction, locking, and ring bookkeeping can all be skipped.
+    #[inline]
+    pub fn emits(&self) -> bool {
+        matches!(&self.inner, Some(inner) if inner.emits)
+    }
+
+    /// Record one event (no-op when disabled or the sink discards — see
+    /// [`EventBus::emits`]; a non-recording sink also keeps no ring).
     pub fn emit(&self, ev: TraceEvent) {
         if let Some(inner) = &self.inner {
+            if !inner.emits {
+                return;
+            }
             let mut st = inner.state.lock().expect("trace bus poisoned");
             st.sink.record(&ev);
             st.ring.push(ev);
@@ -169,9 +191,30 @@ mod tests {
     fn disabled_bus_is_inert() {
         let bus = EventBus::off();
         assert!(!bus.enabled());
+        assert!(!bus.emits());
         bus.emit(ev(1));
         assert!(bus.recent().is_empty());
         bus.flush();
+    }
+
+    #[test]
+    fn null_sink_bus_is_enabled_but_does_not_emit() {
+        let bus = EventBus::new(Box::new(crate::NullSink));
+        assert!(bus.enabled(), "attached bus must report enabled");
+        assert!(!bus.emits(), "discarding sink must not force emission");
+        bus.emit(ev(1));
+        // Nothing observable anywhere: no ring either.
+        assert!(bus.recent().is_empty());
+        bus.flush();
+    }
+
+    #[test]
+    fn recording_sink_bus_emits() {
+        let (bus, handle) = EventBus::memory();
+        assert!(bus.enabled() && bus.emits());
+        bus.emit(ev(3));
+        assert_eq!(handle.len(), 1);
+        assert_eq!(bus.recent().len(), 1);
     }
 
     #[test]

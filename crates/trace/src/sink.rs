@@ -16,15 +16,29 @@ pub trait TraceSink: Send {
     /// Flush any buffered output (called when the owning bus is
     /// finished; a no-op for unbuffered sinks).
     fn flush_sink(&mut self) {}
+
+    /// Whether recorded events are observable anywhere (default true).
+    /// A sink that provably discards everything returns false, letting
+    /// the owning bus skip event construction and dispatch entirely on
+    /// hot paths ([`crate::EventBus::emits`]).
+    fn records(&self) -> bool {
+        true
+    }
 }
 
-/// Discards every event. Exists to measure the overhead of an *enabled*
-/// bus (event construction + dispatch) without I/O.
+/// Discards every event. Exists to exercise the full bus plumbing
+/// (construction, attachment, flush) without I/O; hot emission sites may
+/// skip it entirely via [`TraceSink::records`], so it measures the
+/// *attached-but-silent* configuration, not per-event dispatch.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
 
 impl TraceSink for NullSink {
     fn record(&mut self, _ev: &TraceEvent) {}
+
+    fn records(&self) -> bool {
+        false
+    }
 }
 
 /// Shared read handle for a [`MemorySink`]'s collected events.

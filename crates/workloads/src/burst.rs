@@ -127,14 +127,23 @@ impl DemandModel for TwoStateBurst {
     }
 
     fn constant_for(&self, _vt_us: f64, wall_us: u64) -> (f64, f64) {
-        // Constant until the next state switch. If the caller's clock is
-        // already past `next_switch_us` (demand_at not yet called for this
-        // instant), the horizon collapses to 0 — "don't coarsen" — which
-        // is always safe.
+        // This model is driven purely by wall time, so per the trait
+        // contract the *virtual* horizon is infinite and only the wall
+        // horizon is bounded: constant until the next state switch. If
+        // the caller's clock is already past `next_switch_us` (demand_at
+        // not yet called for this instant), the horizon collapses to 0 —
+        // "don't coarsen" — which is always safe.
         (
             f64::INFINITY,
             self.next_switch_us.saturating_sub(wall_us) as f64,
         )
+    }
+
+    fn next_change(&self, _vt_us: f64, _wall_us: u64) -> (f64, f64) {
+        // The switch instant is held exactly as an integer; returning it
+        // directly avoids the `wall_us + horizon` rounding of the default
+        // and lets the event-driven machine compare `now < edge` exactly.
+        (f64::INFINITY, self.next_switch_us as f64)
     }
 }
 
@@ -220,5 +229,23 @@ mod tests {
     #[should_panic(expected = "sojourn means")]
     fn zero_sojourn_rejected() {
         TwoStateBurst::new(1.0, 0.5, 1.0, 1.0, 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn next_change_is_the_exact_switch_instant() {
+        let mut m = TwoStateBurst::raytrace(10.0, 0.8, 42);
+        let d0 = m.demand_at(0.0, 0);
+        let (virt_edge, wall_edge) = m.next_change(0.0, 0);
+        assert_eq!(virt_edge, f64::INFINITY);
+        let switch = wall_edge as u64;
+        // Demand is unchanged strictly before the edge and switched at it.
+        assert_eq!(m.demand_at(0.0, switch - 1), d0);
+        assert_ne!(m.demand_at(0.0, switch), d0);
+        // And the edge agrees with the relative horizon at any earlier
+        // wall clock.
+        let mut m2 = TwoStateBurst::raytrace(10.0, 0.8, 42);
+        let _ = m2.demand_at(0.0, 0);
+        let (_, h) = m2.constant_for(0.0, 100);
+        assert_eq!(100.0 + h, wall_edge);
     }
 }

@@ -99,8 +99,10 @@ impl DemandModel for CyclicPhases {
     }
 
     fn constant_for(&self, vt_us: f64, _wall_us: u64) -> (f64, f64) {
-        // Demand is constant until the current phase's virtual-time edge;
-        // the wall clock never matters to this model.
+        // This model is driven purely by virtual time, so per the trait
+        // contract the wall horizon is infinite: demand is constant until
+        // the current phase's virtual-time edge, no matter how much wall
+        // time passes (a descheduled thread stays frozen mid-phase).
         let mut pos = vt_us.rem_euclid(self.cycle_len);
         for p in &self.phases {
             if pos < p.len_us {

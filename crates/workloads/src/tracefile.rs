@@ -130,7 +130,9 @@ impl DemandModel for TraceDemand {
     }
 
     fn constant_for(&self, vt_us: f64, _wall_us: u64) -> (f64, f64) {
-        // Constant until the current segment's virtual-time edge.
+        // Replayed over virtual time only, so per the trait contract the
+        // wall horizon is infinite: constant until the current segment's
+        // virtual-time edge.
         let mut pos = vt_us.rem_euclid(self.total_us);
         for s in &self.segments {
             if pos < s.duration_us {
