@@ -9,6 +9,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use busbw_core::estimator::{
     BandwidthEstimator, EwmaEstimator, LatestQuantumEstimator, QuantaWindowEstimator,
 };
+use busbw_core::manager::{AppRuntime, ArenaSnapshot, CpuManager, ManagerConfig, SeqlockArena};
 use busbw_sim::{AppId, Decision, MachineView, SimTime, StageSnapshot};
 use busbw_trace::{validate_stream, TraceEvent};
 use rand::{Rng, SeedableRng};
@@ -30,6 +31,8 @@ pub fn builtin_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(BusCapacity),
         Box::new(MonotonicTrace),
         Box::new(EstimatorRange),
+        Box::new(ManagerArenaCoherence),
+        Box::new(ManagerLifecycle),
         Box::new(CacheConsistency),
         Box::new(ExecPathEquivalence),
     ]
@@ -421,6 +424,186 @@ impl Invariant for EstimatorRange {
     }
 }
 
+/// Check a sequence of arena reads for seqlock coherence: the publish
+/// sequence must never rewind, two reads under the same sequence must be
+/// field-identical (a changed field without a publish means a torn write
+/// bypassed the seqlock bracket), and published rates must be finite and
+/// non-negative.
+///
+/// Public so seeded-fault tests can aim it at reads taken around
+/// `SeqlockArena::publish_torn_rate`.
+pub fn check_arena_coherence(reads: &[ArenaSnapshot]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut fail = |at_us: u64, detail: String| {
+        out.push(Violation {
+            invariant: "manager-arena-coherence",
+            at_us,
+            detail,
+        });
+    };
+    for s in reads {
+        if !s.rate_tx_per_us.is_finite() || s.rate_tx_per_us < 0.0 {
+            fail(
+                s.updated_at_us,
+                format!("published rate {} is not a valid tx/µs", s.rate_tx_per_us),
+            );
+        }
+    }
+    for w in reads.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if b.seq < a.seq {
+            fail(
+                b.updated_at_us,
+                format!("publish sequence rewound: {} after {}", b.seq, a.seq),
+            );
+        }
+        if a.seq == b.seq && a != b {
+            fail(
+                b.updated_at_us,
+                format!(
+                    "fields changed under unchanged publish seq {}: torn write bypassed the \
+                     seqlock (rate {} -> {}, total {} -> {})",
+                    a.seq,
+                    a.rate_tx_per_us,
+                    b.rate_tx_per_us,
+                    a.total_transactions,
+                    b.total_transactions
+                ),
+            );
+        }
+    }
+    out
+}
+
+/// Shared-arena coherence of the CPU manager's publish path (the daemon
+/// side the simulator-facing invariants never touch). The self-check
+/// drives the *real* `core::manager` stack — `AppRuntime::publish_sample`
+/// through a live [`CpuManager`] — plus a raw seqlock publish/read
+/// interleave, and runs [`check_arena_coherence`] over every snapshot
+/// observed.
+pub struct ManagerArenaCoherence;
+
+impl Invariant for ManagerArenaCoherence {
+    fn name(&self) -> &'static str {
+        "manager-arena-coherence"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "§4: the shared arena is read without locks — the seqlock bracket makes torn rates impossible"
+    }
+
+    fn self_check(&mut self, seed: u64, out: &mut Vec<Violation>) {
+        // Leg 1: raw seqlock publish/read interleave.
+        let arena = SeqlockArena::new();
+        let mut reads = vec![arena.read()];
+        let base = (seed % 7 + 1) as f64;
+        for i in 1..=16u64 {
+            arena.publish(ArenaSnapshot {
+                seq: i,
+                threads: 2,
+                total_transactions: i as f64 * base * 1000.0,
+                rate_tx_per_us: base,
+                updated_at_us: i * 50_000,
+            });
+            reads.push(arena.read());
+            reads.push(arena.read()); // repeated read under one seq
+        }
+        out.extend(check_arena_coherence(&reads));
+
+        // Leg 2: the real client publish path through a live manager.
+        let (mut mgr, handle) = CpuManager::new(
+            ManagerConfig::default(),
+            Box::new(LatestQuantumEstimator::new()),
+        );
+        let pending =
+            AppRuntime::request_connect(&handle, "audit-self-check").expect("manager alive");
+        mgr.pump();
+        let mut rt = pending.complete().expect("manager acked connect");
+        let t = rt.register_thread().expect("manager alive");
+        mgr.pump();
+        let mut reads = Vec::new();
+        for k in 1..=10u64 {
+            t.count_transactions(1_000 * (seed % 5 + 1) * k);
+            reads.push(rt.publish_sample(k * 100_000));
+            reads.push(rt.publish_sample(k * 100_000)); // zero-dt republish
+        }
+        mgr.sample();
+        mgr.quantum();
+        out.extend(check_arena_coherence(&reads));
+        rt.disconnect();
+        mgr.pump();
+    }
+}
+
+/// Open-system client lifecycle: in a `ClientArrived` / `ClientShed` /
+/// `ClientDeparted` stream (the managerd serve trace), every departure
+/// names a previously admitted client, no client arrives or departs
+/// twice, and the reported turnaround equals departure minus arrival
+/// time. Streams without client events pass vacuously.
+pub struct ManagerLifecycle;
+
+impl Invariant for ManagerLifecycle {
+    fn name(&self) -> &'static str {
+        "manager-lifecycle"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "open-system serve (DESIGN §14): each departure matches exactly one admitted arrival"
+    }
+
+    fn check_events(&mut self, events: &[TraceEvent], out: &mut Vec<Violation>) {
+        let mut fail = |at_us: u64, detail: String| {
+            out.push(Violation {
+                invariant: "manager-lifecycle",
+                at_us,
+                detail,
+            });
+        };
+        let mut arrived: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut departed: BTreeSet<u64> = BTreeSet::new();
+        for ev in events {
+            match *ev {
+                TraceEvent::ClientArrived {
+                    at_us,
+                    client,
+                    width,
+                } => {
+                    if width == 0 {
+                        fail(at_us, format!("client {client} admitted with zero threads"));
+                    }
+                    if arrived.insert(client, at_us).is_some() {
+                        fail(at_us, format!("client {client} arrived twice"));
+                    }
+                }
+                TraceEvent::ClientDeparted {
+                    at_us,
+                    client,
+                    turnaround_us,
+                } => match arrived.get(&client) {
+                    None => fail(
+                        at_us,
+                        format!("client {client} departed without ever arriving"),
+                    ),
+                    Some(&arr) => {
+                        if !departed.insert(client) {
+                            fail(at_us, format!("client {client} departed twice"));
+                        } else if at_us.checked_sub(arr) != Some(turnaround_us) {
+                            fail(
+                                at_us,
+                                format!(
+                                    "client {client}: turnaround {turnaround_us}µs but arrived \
+                                     at {arr}µs and departed at {at_us}µs"
+                                ),
+                            );
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+    }
+}
+
 /// Run-key / byte-equality consistency. This invariant has no live hook:
 /// the differential fuzzer drives it through
 /// [`crate::Auditor::check_byte_identity`], comparing artifacts from
@@ -739,10 +922,131 @@ mod tests {
             "bus-capacity",
             "monotonic-trace",
             "estimator-range",
+            "manager-arena-coherence",
+            "manager-lifecycle",
             "cache-consistency",
         ] {
             assert!(names.contains(&n), "missing invariant {n}");
         }
-        assert!(names.len() >= 8);
+        assert!(names.len() >= 10);
+    }
+
+    #[test]
+    fn torn_rate_write_fires_manager_arena_coherence() {
+        // The seeded seqlock fault: mutate the published rate without the
+        // odd/even bracket. Successive reads observe different fields
+        // under one unchanged sequence — exactly what the coherence check
+        // exists to catch.
+        let arena = SeqlockArena::new();
+        arena.publish(ArenaSnapshot {
+            seq: 1,
+            threads: 2,
+            total_transactions: 1_000.0,
+            rate_tx_per_us: 4.0,
+            updated_at_us: 100_000,
+        });
+        let before = arena.read();
+        arena.publish_torn_rate(99.0);
+        let after = arena.read();
+        assert_eq!(before.seq, after.seq, "torn write must not bump the seq");
+        let violations = check_arena_coherence(&[before, after]);
+        let counts = count_by_invariant(&violations);
+        assert_eq!(counts.get("manager-arena-coherence"), Some(&1));
+        assert!(
+            violations[0].detail.contains("torn write"),
+            "{}",
+            violations[0].detail
+        );
+        // A bracketed publish of the same change is coherent.
+        let clean_arena = SeqlockArena::new();
+        clean_arena.publish(before);
+        let a = clean_arena.read();
+        clean_arena.publish(ArenaSnapshot {
+            seq: 2,
+            rate_tx_per_us: 99.0,
+            ..before
+        });
+        let b = clean_arena.read();
+        assert!(check_arena_coherence(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn manager_publish_path_self_check_is_clean() {
+        let mut inv = ManagerArenaCoherence;
+        let mut out = Vec::new();
+        for seed in [0, 3, 42] {
+            inv.self_check(seed, &mut out);
+        }
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn ghost_and_double_departures_fire_manager_lifecycle() {
+        let mut aud = Auditor::with_builtins();
+        let ev = vec![
+            TraceEvent::ClientArrived {
+                at_us: 100,
+                client: 0,
+                width: 2,
+            },
+            // Ghost: client 7 never arrived.
+            TraceEvent::ClientDeparted {
+                at_us: 200,
+                client: 7,
+                turnaround_us: 100,
+            },
+            TraceEvent::ClientDeparted {
+                at_us: 300,
+                client: 0,
+                turnaround_us: 200,
+            },
+            // Double departure of client 0.
+            TraceEvent::ClientDeparted {
+                at_us: 400,
+                client: 0,
+                turnaround_us: 300,
+            },
+        ];
+        aud.check_events(&ev);
+        let counts = count_by_invariant(aud.violations());
+        assert_eq!(counts.get("manager-lifecycle"), Some(&2));
+    }
+
+    #[test]
+    fn turnaround_mismatch_fires_manager_lifecycle() {
+        let mut aud = Auditor::with_builtins();
+        let ev = vec![
+            TraceEvent::ClientArrived {
+                at_us: 100,
+                client: 3,
+                width: 1,
+            },
+            TraceEvent::ClientDeparted {
+                at_us: 500,
+                client: 3,
+                turnaround_us: 999, // should be 400
+            },
+        ];
+        aud.check_events(&ev);
+        assert!(count_by_invariant(aud.violations()).contains_key("manager-lifecycle"));
+    }
+
+    #[test]
+    fn real_open_serve_stream_passes_the_lifecycle_check() {
+        // Drive the actual managerd event loop and audit its trace: the
+        // positive leg of the seeded-fault pair above.
+        let cfg = busbw_managerd::OpenConfig {
+            arrivals: busbw_managerd::ArrivalProcess::Poisson { rate_per_s: 60.0 },
+            duration_us: 1_500_000,
+            seed: 11,
+            queue_capacity: 4,
+            collect_events: true,
+            ..busbw_managerd::OpenConfig::default()
+        };
+        let out = busbw_managerd::serve(&cfg, Box::new(LatestQuantumEstimator::new()));
+        assert!(out.served > 0, "serve produced no departures to audit");
+        let mut aud = Auditor::with_builtins();
+        aud.check_events(&out.events);
+        assert!(aud.is_clean(), "{:?}", aud.violations());
     }
 }

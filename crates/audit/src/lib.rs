@@ -21,6 +21,8 @@
 //! | `bus-capacity` | every tick | issued traffic ≤ sustained capacity × dt (paper §2) |
 //! | `monotonic-trace` | post-run events | trace clock monotone, stage cycles balanced |
 //! | `estimator-range` | self-check | estimate within min/max of its own samples (paper §4) |
+//! | `manager-arena-coherence` | self-check | seqlock arena publishes are torn-write-free on the real `core::manager` path (paper §4) |
+//! | `manager-lifecycle` | post-run events | open-serve departures match admitted arrivals, turnarounds consistent |
 //! | `cache-consistency` | differential runs | equal run keys ⇒ byte-equal results |
 //! | `exec-path-equivalence` | differential runs | per-tick, event-driven, and batched executions byte-agree |
 //!
@@ -33,7 +35,7 @@
 
 pub mod invariants;
 
-pub use invariants::{builtin_invariants, check_estimator_range};
+pub use invariants::{builtin_invariants, check_arena_coherence, check_estimator_range};
 
 use busbw_sim::{AuditHook, Decision, MachineView, SimTime, StageSnapshot};
 use busbw_trace::TraceEvent;

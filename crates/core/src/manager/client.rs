@@ -113,6 +113,7 @@ impl PendingConnect {
             seq: 0,
             last_total: 0.0,
             last_publish_us: 0,
+            last_rate: 0.0,
         })
     }
 }
@@ -127,6 +128,7 @@ pub struct AppRuntime {
     seq: u64,
     last_total: f64,
     last_publish_us: u64,
+    last_rate: f64,
 }
 
 impl AppRuntime {
@@ -224,7 +226,11 @@ impl AppRuntime {
             .sum();
         let dt = now_us.saturating_sub(self.last_publish_us);
         let rate = if dt == 0 {
-            0.0
+            // Two publishes in the same microsecond (trivial under a
+            // virtual clock): no interval to rate over, so carry the
+            // previous rate instead of publishing a spurious 0 that would
+            // drag the estimator's window down.
+            self.last_rate
         } else {
             (total - self.last_total).max(0.0) / dt as f64
         };
@@ -239,6 +245,7 @@ impl AppRuntime {
         self.arena.publish(snap);
         self.last_total = total;
         self.last_publish_us = now_us;
+        self.last_rate = rate;
         snap
     }
 
@@ -341,6 +348,37 @@ mod tests {
         let s2 = app.publish_sample(200_000);
         assert_eq!(s2.rate_tx_per_us, 0.0);
         assert_eq!(s2.seq, 2);
+    }
+
+    #[test]
+    fn zero_dt_publish_carries_previous_rate() {
+        let (mut m, h) = pair();
+        let mut app = connect(&mut m, &h, "demo");
+        let t = register(&mut app);
+        m.pump();
+        t.count_transactions(600_000);
+        let s1 = app.publish_sample(100_000);
+        assert!((s1.rate_tx_per_us - 6.0).abs() < 1e-9);
+        // A second publish at the same microsecond has no interval to
+        // rate over: it must repeat the previous rate, not report 0
+        // (which would poison the estimator's window).
+        t.count_transactions(50);
+        let s2 = app.publish_sample(100_000);
+        assert_eq!(s2.rate_tx_per_us, s1.rate_tx_per_us);
+        assert_eq!(s2.seq, 2);
+        // The next real interval rates normally again.
+        t.count_transactions(50);
+        let s3 = app.publish_sample(100_010);
+        assert!((s3.rate_tx_per_us - 5.0).abs() < 1e-9);
+        // The very first publish at t=0 also has dt == 0; with no prior
+        // rate it reports 0 and stays finite.
+        let mut fresh = connect(&mut m, &h, "fresh");
+        let tf = register(&mut fresh);
+        m.pump();
+        tf.count_transactions(1_000);
+        let s0 = fresh.publish_sample(0);
+        assert_eq!(s0.rate_tx_per_us, 0.0);
+        assert!(s0.rate_tx_per_us.is_finite());
     }
 
     #[test]

@@ -69,6 +69,19 @@ impl SeqlockArena {
         f.seq.store(seq.wrapping_add(2), Ordering::Release);
     }
 
+    /// Fault injection for the runtime auditor (`busbw-audit`): store a
+    /// new rate **without** the odd/even sequence bracket — the torn
+    /// write the seqlock protocol exists to prevent. Readers observe the
+    /// mutated field under an unchanged even sequence, which the audit
+    /// arena-coherence check flags. Never call this outside seeded-fault
+    /// tests.
+    #[doc(hidden)]
+    pub fn publish_torn_rate(&self, rate_tx_per_us: f64) {
+        self.f
+            .rate_bits
+            .store(rate_tx_per_us.to_bits(), Ordering::Release);
+    }
+
     /// Read a consistent snapshot (any number of concurrent readers).
     /// Lock-free: retries while a write is in flight.
     pub fn read(&self) -> ArenaSnapshot {

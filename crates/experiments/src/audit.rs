@@ -147,7 +147,7 @@ pub fn check_cell(cell: &FuzzCell) -> Vec<Violation> {
 /// replays on cache hits — they legitimately differ between a fresh run
 /// and the run that produced a cached entry, and they never feed figure
 /// data, so the differential checker excludes them from identity.
-fn canonical_bytes(result: &RunResult) -> Vec<u8> {
+pub(crate) fn canonical_bytes(result: &RunResult) -> Vec<u8> {
     let mut stripped = result.clone();
     stripped.stage_timings = None;
     encode_result(&stripped)

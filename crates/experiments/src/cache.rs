@@ -36,7 +36,11 @@ use crate::runner::{PolicyKind, RunCompletion, RunResult, TraceMode, UnfinishedA
 ///
 /// v2: `PolicyKind::Stack` joined the policy encoding, `StageDecision`
 /// joined the event codec, and [`RunResult`] grew stage timings.
-pub const RUN_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the open-system manager runs joined — `RunShape::Open` in the key
+/// encoding, `ClientArrived`/`ClientShed`/`ClientDeparted` in the event
+/// codec, and [`RunResult`] grew optional [`OpenStats`].
+pub const RUN_SCHEMA_VERSION: u32 = 3;
 
 /// Magic bytes prefixing every on-disk cache entry.
 const MAGIC: &[u8; 8] = b"BBWRUN\x00\x01";
@@ -531,6 +535,36 @@ fn encode_event(e: &mut Enc, ev: &TraceEvent) {
             e.u8(stage.index() as u8);
             e.usize(*items);
         }
+        TraceEvent::ClientArrived {
+            at_us,
+            client,
+            width,
+        } => {
+            e.u8(14);
+            e.u64(*at_us);
+            e.u64(*client);
+            e.usize(*width);
+        }
+        TraceEvent::ClientShed {
+            at_us,
+            arrival,
+            live,
+        } => {
+            e.u8(15);
+            e.u64(*at_us);
+            e.u64(*arrival);
+            e.usize(*live);
+        }
+        TraceEvent::ClientDeparted {
+            at_us,
+            client,
+            turnaround_us,
+        } => {
+            e.u8(16);
+            e.u64(*at_us);
+            e.u64(*client);
+            e.u64(*turnaround_us);
+        }
     }
 }
 
@@ -616,6 +650,21 @@ fn decode_event(d: &mut Dec) -> Result<TraceEvent, String> {
             },
             items: d.usize()?,
         },
+        14 => TraceEvent::ClientArrived {
+            at_us: d.u64()?,
+            client: d.u64()?,
+            width: d.usize()?,
+        },
+        15 => TraceEvent::ClientShed {
+            at_us: d.u64()?,
+            arrival: d.u64()?,
+            live: d.usize()?,
+        },
+        16 => TraceEvent::ClientDeparted {
+            at_us: d.u64()?,
+            client: d.u64()?,
+            turnaround_us: d.u64()?,
+        },
         t => return Err(format!("unknown event tag {t}")),
     })
 }
@@ -667,6 +716,18 @@ pub fn encode_result(r: &RunResult) -> Vec<u8> {
                     e.u64(b);
                 }
             }
+        }
+    }
+    match &r.open {
+        None => e.u8(0),
+        Some(o) => {
+            e.u8(1);
+            e.u64(o.arrived);
+            e.u64(o.shed);
+            e.u64(o.served);
+            e.u64(o.duration_us);
+            e.u64(o.overhead_us);
+            e.f64(o.mean_slowdown);
         }
     }
     e.into_bytes()
@@ -729,6 +790,18 @@ pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
         }
         t => return Err(format!("unknown stage-timings tag {t}")),
     };
+    let open = match d.u8()? {
+        0 => None,
+        1 => Some(crate::runner::OpenStats {
+            arrived: d.u64()?,
+            shed: d.u64()?,
+            served: d.u64()?,
+            duration_us: d.u64()?,
+            overhead_us: d.u64()?,
+            mean_slowdown: d.f64()?,
+        }),
+        t => return Err(format!("unknown open-stats tag {t}")),
+    };
     d.done()?;
     Ok(RunResult {
         turnarounds_us,
@@ -744,6 +817,7 @@ pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
         memo_hits,
         memo_misses,
         stage_timings,
+        open,
     })
 }
 
@@ -934,6 +1008,21 @@ mod tests {
                     stage: busbw_trace::PipelineStage::Select,
                     items: 2,
                 },
+                TraceEvent::ClientArrived {
+                    at_us: 700,
+                    client: 4,
+                    width: 2,
+                },
+                TraceEvent::ClientShed {
+                    at_us: 710,
+                    arrival: 5,
+                    live: 8,
+                },
+                TraceEvent::ClientDeparted {
+                    at_us: 720,
+                    client: 4,
+                    turnaround_us: 20,
+                },
             ],
             tick_dt_hist: hist,
             memo_hits: 7,
@@ -944,6 +1033,14 @@ mod tests {
                 t.stages[2].record_ns(9_999);
                 Some(t)
             },
+            open: Some(crate::runner::OpenStats {
+                arrived: 120,
+                shed: 7,
+                served: 110,
+                duration_us: 5_000_000,
+                overhead_us: 31_415,
+                mean_slowdown: f64::consts_hack(),
+            }),
         }
     }
 
@@ -977,6 +1074,11 @@ mod tests {
         assert_eq!(back.memo_hits, 7);
         assert_eq!(back.memo_misses, 3);
         assert_eq!(back.stage_timings, r.stage_timings);
+        assert_eq!(back.open, r.open);
+        assert_eq!(
+            back.open.unwrap().mean_slowdown.to_bits(),
+            r.open.unwrap().mean_slowdown.to_bits()
+        );
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub fn staggered_run(
         memo_hits,
         memo_misses,
         stage_timings: sched.stage_timings().cloned(),
+        open: None,
     }
 }
 

@@ -51,6 +51,9 @@ pub enum RunShape {
         /// Arrival offset of the first instance, µs.
         stagger_us: u64,
     },
+    /// A fully open managerd serve: live arrivals through the real
+    /// `core::manager` stack ([`crate::open::open_run`] semantics).
+    Open(crate::open::OpenSpec),
 }
 
 /// One fully-resolved run: shape + policy + every [`RunnerConfig`] field
@@ -100,6 +103,22 @@ impl RunRequest {
         }
     }
 
+    /// An open managerd-serve cell (the `open` figure). The estimator
+    /// stack lives inside [`crate::open::OpenSpec`], so the simulator
+    /// policy slot is pinned to the Linux baseline — it never runs and
+    /// exists only to keep the request shape uniform.
+    pub fn open(spec: crate::open::OpenSpec, rc: &RunnerConfig) -> Self {
+        Self {
+            shape: RunShape::Open(spec),
+            policy: PolicyKind::Linux,
+            machine: rc.machine,
+            scale: rc.scale,
+            seed: rc.seed,
+            trace: rc.trace,
+            hard_cap_factor: rc.hard_cap_factor,
+        }
+    }
+
     /// The content-addressed identity of this run: FNV-1a over the
     /// canonical encoding of every field above, salted with
     /// [`RUN_SCHEMA_VERSION`].
@@ -115,6 +134,10 @@ impl RunRequest {
                 e.u8(1);
                 e.str(app.name());
                 e.u64(*stagger_us);
+            }
+            RunShape::Open(spec) => {
+                e.u8(2);
+                spec.encode(&mut e);
             }
         }
         encode_policy(&mut e, &self.policy);
@@ -150,6 +173,7 @@ impl RunRequest {
             RunShape::Staggered { app, stagger_us } => {
                 crate::dynamic::staggered_run(*app, self.policy, *stagger_us, &rc)
             }
+            RunShape::Open(spec) => crate::open::open_run(spec, &rc),
         }
     }
 }
@@ -439,7 +463,7 @@ impl Engine {
                     self.stats.cache_misses += 1;
                     match plan.requests[i].shape {
                         RunShape::Spec(_) => spec_missing.push(i),
-                        RunShape::Staggered { .. } => other_missing.push(i),
+                        RunShape::Staggered { .. } | RunShape::Open(_) => other_missing.push(i),
                     }
                 }
             }
@@ -506,7 +530,8 @@ impl Engine {
         for run in live {
             let out = run.out.expect("lockstep loop drains every run");
             let arc = Arc::new(finalize_run(run.prep, out));
-            self.cache.put(plan.keys[run.slot].clone(), Arc::clone(&arc));
+            self.cache
+                .put(plan.keys[run.slot].clone(), Arc::clone(&arc));
             slots[run.slot] = Some(arc);
         }
 
@@ -643,7 +668,10 @@ mod tests {
         }
         // A re-execute in either mode is a pure cache hit.
         let again = engine.execute_batched(&plan, 1);
-        assert!(Arc::ptr_eq(&batched.get_arc(ids[0]), &again.get_arc(ids[0])));
+        assert!(Arc::ptr_eq(
+            &batched.get_arc(ids[0]),
+            &again.get_arc(ids[0])
+        ));
     }
 
     #[test]
@@ -722,6 +750,15 @@ mod tests {
                 },
             ),
             RunRequest::staggered(PaperApp::Cg, 100_000, PolicyKind::Linux, &rc),
+            RunRequest::open(
+                crate::open::OpenSpec {
+                    arrivals: busbw_managerd::ArrivalProcess::Poisson { rate_per_s: 30.0 },
+                    duration_us: 10_000_000,
+                    stack: crate::open::OpenStack::Latest,
+                    queue_capacity: 8,
+                },
+                &rc,
+            ),
         ];
         for v in &variants {
             assert_ne!(v.key(), k, "{v:?} must not collide with the base key");

@@ -14,6 +14,7 @@
 //! | `ablate-smt` | §6 future work — the same policies with Hyperthreading enabled |
 //! | `ablate-stages` | pipeline ablation — estimator × selector × placer cross-product |
 //! | `dynamic` | open-system extension — staggered job arrivals |
+//! | `open` | open-system managerd serve — turnaround tails (p50/p99/p999), shed rate, manager overhead vs offered load |
 //! | `robustness` | random job populations — win-rate of each policy over Linux |
 //! | `baselines` | Linux 2.4-like vs O(1)-like vs the policies vs model-driven |
 //! | `validate` | the reproduction gate: every EXPERIMENTS.md claim, PASS/FAIL |
@@ -33,6 +34,7 @@ pub mod dynamic;
 pub mod fig1;
 pub mod fig2;
 pub mod jobgraph;
+pub mod open;
 pub mod policy;
 pub mod pool;
 pub mod robustness;
@@ -53,6 +55,10 @@ pub use fig1::{fig1a, fig1a_traced, fig1b, fig1b_traced};
 pub use fig2::{fig2, fig2_with_policies_traced, Fig2Set};
 pub use jobgraph::{
     CellId, CellStats, Engine, ExecStats, Executed, Plan, PlanMark, RunRequest, RunShape,
+};
+pub use open::{
+    fold_open, open_run, open_tail_latency, parse_arrivals, parse_duration, plan_open, OpenCells,
+    OpenSpec, OpenStack,
 };
 pub use policy::{AdmissionKind, EstimatorKind, PlacerKind, SelectorKind, StackSpec};
 pub use pool::{steal_map, StealStats};

@@ -12,6 +12,7 @@
 //!   ablate --stages                          estimator x selector x placer sweep
 //!   bench tick-rate [--guard PCT]            throughput + pipeline-overhead guard
 //!   audit [--fuzz N]                         invariant catalog + differential fuzzer
+//!   open [--arrivals SPEC] [--duration S]    open-system managerd tail-latency figure
 //!   all                                      everything above
 //! ```
 //!
@@ -69,7 +70,7 @@ use busbw_trace::{fnv1a64, git_describe, json, ArtifactSum, Manifest, TraceInfo}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|baselines|robustness|validate|variance|bench tick-rate|bench sweep|audit|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT] [--fuzz N]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly\n  --fuzz N (audit) sets the number of random differential cells; audit\n  defaults to --scale 0.1 and writes <out>/repro.json on failure"
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|open|baselines|robustness|validate|variance|bench tick-rate|bench sweep|audit|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT] [--fuzz N] [--arrivals SPEC] [--duration S]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly\n  --fuzz N (audit) sets the number of random differential cells; audit\n  defaults to --scale 0.1 and writes <out>/repro.json on failure\n  --arrivals SPEC (open) picks the arrival process:\n  poisson:<rate|small> | pareto:<rate|small>[:alpha] |\n  diurnal:<rate|small>[:period_s] | trace:diurnal (rates in clients/s)\n  --duration S (open) sets the unscaled horizon in seconds (or `short`)"
     );
     std::process::exit(2);
 }
@@ -85,6 +86,8 @@ struct Args {
     guard_pct: Option<f64>,
     fuzz: usize,
     scale_set: bool,
+    arrivals: busbw_managerd::ArrivalProcess,
+    duration_us: u64,
 }
 
 fn parse_args() -> Args {
@@ -114,6 +117,10 @@ fn parse_args() -> Args {
     let mut guard_pct = None;
     let mut fuzz = 25;
     let mut scale_set = false;
+    let mut arrivals = busbw_managerd::ArrivalProcess::Poisson {
+        rate_per_s: busbw_experiments::open::SMALL_RATE_PER_S,
+    };
+    let mut duration_us = busbw_experiments::open::SHORT_DURATION_US;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--scale" => {
@@ -165,6 +172,20 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--arrivals" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                arrivals = busbw_experiments::parse_arrivals(&spec).unwrap_or_else(|e| {
+                    eprintln!("--arrivals: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--duration" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                duration_us = busbw_experiments::parse_duration(&spec).unwrap_or_else(|e| {
+                    eprintln!("--duration: {e}");
+                    std::process::exit(2);
+                });
+            }
             _ => usage(),
         }
     }
@@ -179,6 +200,8 @@ fn parse_args() -> Args {
         guard_pct,
         fuzz,
         scale_set,
+        arrivals,
+        duration_us,
     }
 }
 
@@ -424,9 +447,16 @@ fn bench_tick_rate(rc: &RunnerConfig, out: &PathBuf, guard_pct: Option<f64>) {
         "{{\"unix_time\": {ts}, \"scale\": {}, \"seed\": {}, \"workers\": {workers}, \"ticks\": {ticks}, \"wall_s\": {wall:.6}, \"ticks_per_sec\": {tps:.1}, \"batched_ticks_per_sec\": {batched_tps:.1}}}\n",
         rc.scale, rc.seed
     );
-    for path in [out.join("BENCH_tick_history.jsonl"), "BENCH_tick_history.jsonl".into()] {
+    for path in [
+        out.join("BENCH_tick_history.jsonl"),
+        "BENCH_tick_history.jsonl".into(),
+    ] {
         use std::io::Write as _;
-        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
             let _ = f.write_all(hist.as_bytes());
         }
     }
@@ -927,6 +957,22 @@ fn main() {
             &rc,
             |p| plan_dynamic(p, &rc),
             fold_dynamic,
+        ),
+        "open" => emit_figure(
+            &mut engine,
+            &mut ctx,
+            out,
+            &rc,
+            |p| {
+                busbw_experiments::plan_open(
+                    p,
+                    &rc,
+                    args.arrivals,
+                    args.duration_us,
+                    busbw_experiments::open::DEFAULT_QUEUE_CAPACITY,
+                )
+            },
+            busbw_experiments::fold_open,
         ),
         "baselines" => emit_figure(
             &mut engine,

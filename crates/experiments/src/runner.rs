@@ -281,6 +281,52 @@ pub struct RunResult {
     /// derived: a cache hit replays the producing run's readings, and the
     /// manifest checksum excludes them.
     pub stage_timings: Option<StageTimings>,
+    /// Open-system accounting when the run was an open managerd serve
+    /// (`None` for the closed-batch workloads).
+    pub open: Option<OpenStats>,
+}
+
+/// Accounting of one open-system managerd run (see `busbw_managerd`):
+/// how many clients arrived, were shed by overload admission control, or
+/// were served to completion, plus the manager's modeled overhead — the
+/// numbers behind the shed-rate and 4.5 %-bound columns of
+/// `experiments open`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenStats {
+    /// Clients the arrival process offered.
+    pub arrived: u64,
+    /// Clients rejected because the accept queue was full.
+    pub shed: u64,
+    /// Clients served to completion (departed before the horizon).
+    pub served: u64,
+    /// Virtual duration of the serve, µs.
+    pub duration_us: u64,
+    /// Modeled manager work (pump/sample/quantum bookkeeping), virtual µs.
+    pub overhead_us: u64,
+    /// Mean slowdown (turnaround ÷ solo service time) over served clients
+    /// (0 when none were served).
+    pub mean_slowdown: f64,
+}
+
+impl OpenStats {
+    /// Manager overhead as a percentage of the serve duration — the
+    /// number the paper bounds at ≈4.5 % (§4).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.duration_us == 0 {
+            0.0
+        } else {
+            100.0 * self.overhead_us as f64 / self.duration_us as f64
+        }
+    }
+
+    /// Fraction of arrivals shed, ∈ [0, 1].
+    pub fn shed_rate(&self) -> f64 {
+        if self.arrived == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.arrived as f64
+        }
+    }
 }
 
 /// Run `spec` under `policy` and measure the marked instances.
@@ -443,6 +489,7 @@ pub(crate) fn finalize_run(p: PreparedRun, out: busbw_sim::RunOutcome) -> RunRes
         memo_hits,
         memo_misses,
         stage_timings,
+        open: None,
     }
 }
 

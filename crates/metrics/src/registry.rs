@@ -93,6 +93,55 @@ impl Histogram {
         }
     }
 
+    /// Deterministic fixed-bucket quantile estimate: the value below
+    /// which a fraction `q` of the recorded samples fall, linearly
+    /// interpolated inside the bucket that crosses the target rank and
+    /// clamped to the observed `[min, max]` (so the overflow bucket and
+    /// the open lower end never extrapolate past real samples).
+    ///
+    /// `q` is clamped to `[0, 1]`; `q == 0` reports the observed
+    /// minimum and `q == 1` the observed maximum. Returns `None` before
+    /// the first sample. Depends only on recorded counts, never on
+    /// insertion order — identical streams give identical answers.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let prev = cum;
+            cum += n;
+            if cum as f64 >= target {
+                let upper = self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or(self.max)
+                    .min(self.max);
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                }
+                .min(upper);
+                let frac = (target - prev as f64) / n as f64;
+                return Some((lower + (upper - lower) * frac).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Per-bucket `(upper_bound, count)` pairs; the overflow bucket
     /// reports `f64::INFINITY` as its bound.
     pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
@@ -393,6 +442,65 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn non_monotone_bounds_rejected() {
         Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::new(vec![1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        h.record(7.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_endpoints_report_observed_min_and_max() {
+        let mut h = Histogram::new(vec![10.0, 100.0]);
+        h.record(3.0);
+        h.record(42.0);
+        h.record(999.0); // overflow bucket
+        assert_eq!(h.quantile(0.0), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(999.0));
+        // Out-of-range q clamps to the endpoints.
+        assert_eq!(h.quantile(-0.5), Some(3.0));
+        assert_eq!(h.quantile(2.0), Some(999.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_and_is_monotone() {
+        let mut h = Histogram::new(vec![10.0, 20.0, 30.0, 40.0]);
+        // 100 samples spread uniformly: 25 per bounded bucket.
+        for i in 0..100u64 {
+            h.record(0.4 * i as f64 + 0.2);
+        }
+        // Median lands mid-stream; fixed-bucket interpolation is only
+        // bucket-accurate, so allow one bucket of slack.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((10.0..=30.0).contains(&p50), "p50 = {p50}");
+        // Quantiles never decrease in q and never escape [min, max].
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0).unwrap();
+            assert!(v >= prev, "quantile not monotone at q={}", i as f64 / 20.0);
+            assert!((0.2..=39.8 + 1e-9).contains(&v));
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_of_overflow_heavy_stream_stays_within_samples() {
+        let mut h = Histogram::new(vec![1.0]);
+        h.record_n(1e6, 1000); // everything in the overflow bucket
+        assert_eq!(h.quantile(0.999), Some(1e6));
+        assert_eq!(h.quantile(0.5), Some(1e6));
     }
 
     #[test]

@@ -1105,7 +1105,10 @@ mod tests {
                 "k={k}: λ={lambda}, expected ≈{k}"
             );
             let issued = reqs[0].rate * dilated_speed(1.0, lambda);
-            assert!(issued <= cap * (1.0 + 1e-12), "over-issue: {issued} > {cap}");
+            assert!(
+                issued <= cap * (1.0 + 1e-12),
+                "over-issue: {issued} > {cap}"
+            );
         }
     }
 

@@ -956,7 +956,8 @@ impl Machine {
         hook: Option<&mut (dyn AuditHook + '_)>,
     ) {
         let mut p = cur.pending.take().expect("no solve pending");
-        self.bus.finish_solve(&p.s.reqs, lambda_sat, &mut p.s.outcome);
+        self.bus
+            .finish_solve(&p.s.reqs, lambda_sat, &mut p.s.outcome);
         let app_finished = self.tick_commit(p.dt_limit, &mut cur.stats, &mut p.s, hook);
         self.scratch = p.s;
         if app_finished {
@@ -1103,8 +1104,7 @@ impl Machine {
         // Event-driven fast path: if every cached request is still inside
         // its predicted-constant region, rebuild the request vector from
         // the snapshot without touching placement scans or demand models.
-        if self.exec == ExecMode::EventDriven && self.replay.valid && self.try_replay(dt_limit, s)
-        {
+        if self.exec == ExecMode::EventDriven && self.replay.valid && self.try_replay(dt_limit, s) {
             self.replay_ticks += 1;
             return self.bus.begin(&s.reqs, &mut s.outcome);
         }
@@ -1862,7 +1862,7 @@ mod tests {
     struct WallSquare;
     impl crate::demand::DemandModel for WallSquare {
         fn demand_at(&mut self, _vt_us: f64, wall_us: u64) -> crate::demand::Demand {
-            if (wall_us / 30_000) % 2 == 0 {
+            if (wall_us / 30_000).is_multiple_of(2) {
                 crate::demand::Demand::new(15.0, 0.8)
             } else {
                 crate::demand::Demand::new(2.0, 0.2)
@@ -1946,7 +1946,10 @@ mod tests {
         // And never in the per-tick mode.
         let mut m2 = mixed_machine();
         m2.set_exec_mode(ExecMode::PerTick);
-        m2.run(&mut GreedyScheduler { quantum: 200 }, StopCondition::At(400_000));
+        m2.run(
+            &mut GreedyScheduler { quantum: 200 },
+            StopCondition::At(400_000),
+        );
         assert_eq!(m2.replay_ticks(), 0);
     }
 }

@@ -209,6 +209,38 @@ pub enum TraceEvent {
         /// Gated thread id.
         thread: u64,
     },
+    /// Manager (open system): a client arrived and was admitted by the
+    /// managerd accept queue. Unlike the wall-time `Mgr*` events these
+    /// happen in the open server's deterministic virtual time.
+    ClientArrived {
+        /// Virtual arrival time, µs.
+        at_us: u64,
+        /// Admitted client id.
+        client: u64,
+        /// Gang width (threads the client will register).
+        width: usize,
+    },
+    /// Manager (open system): a client arrived while the accept queue was
+    /// full and was shed by the overload admission control.
+    ClientShed {
+        /// Virtual arrival time, µs.
+        at_us: u64,
+        /// Sequential arrival index of the shed client (shed clients
+        /// never get a manager id).
+        arrival: u64,
+        /// Live clients when the shed decision was made.
+        live: usize,
+    },
+    /// Manager (open system): a client completed its work and
+    /// disconnected.
+    ClientDeparted {
+        /// Virtual departure time, µs.
+        at_us: u64,
+        /// Departing client id.
+        client: u64,
+        /// Turnaround (departure − arrival), µs.
+        turnaround_us: u64,
+    },
     /// Scheduler: one pipeline stage completed during a reschedule. The
     /// payload is deliberately deterministic (no wall-clock readings) so
     /// merged traces stay invariant under worker counts; stage wall times
@@ -241,6 +273,9 @@ impl TraceEvent {
             TraceEvent::MgrDisconnect { .. } => "mgr_disconnect",
             TraceEvent::MgrGate { .. } => "mgr_gate",
             TraceEvent::MgrSignalReorder { .. } => "mgr_signal_reorder",
+            TraceEvent::ClientArrived { .. } => "client_arrived",
+            TraceEvent::ClientShed { .. } => "client_shed",
+            TraceEvent::ClientDeparted { .. } => "client_departed",
             TraceEvent::StageDecision { .. } => "stage_decision",
         }
     }
@@ -258,6 +293,9 @@ impl TraceEvent {
             | TraceEvent::GangSelected { at_us, .. }
             | TraceEvent::Reconstruct { at_us, .. }
             | TraceEvent::RunUnfinished { at_us, .. }
+            | TraceEvent::ClientArrived { at_us, .. }
+            | TraceEvent::ClientShed { at_us, .. }
+            | TraceEvent::ClientDeparted { at_us, .. }
             | TraceEvent::StageDecision { at_us, .. } => at_us,
             TraceEvent::MgrConnect { .. }
             | TraceEvent::MgrDisconnect { .. }
@@ -383,6 +421,22 @@ impl TraceEvent {
             TraceEvent::MgrSignalReorder { client, thread } => {
                 let _ = write!(out, ",\"client\":{client},\"thread\":{thread}");
             }
+            TraceEvent::ClientArrived { client, width, .. } => {
+                let _ = write!(out, ",\"client\":{client},\"width\":{width}");
+            }
+            TraceEvent::ClientShed { arrival, live, .. } => {
+                let _ = write!(out, ",\"arrival\":{arrival},\"live\":{live}");
+            }
+            TraceEvent::ClientDeparted {
+                client,
+                turnaround_us,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"client\":{client},\"turnaround_us\":{turnaround_us}"
+                );
+            }
             TraceEvent::StageDecision { stage, items, .. } => {
                 let _ = write!(out, ",\"stage\":\"{}\",\"items\":{items}", stage.as_str());
             }
@@ -475,6 +529,21 @@ mod tests {
             TraceEvent::MgrSignalReorder {
                 client: 11,
                 thread: 3,
+            },
+            TraceEvent::ClientArrived {
+                at_us: 950,
+                client: 12,
+                width: 2,
+            },
+            TraceEvent::ClientShed {
+                at_us: 960,
+                arrival: 13,
+                live: 8,
+            },
+            TraceEvent::ClientDeparted {
+                at_us: 970,
+                client: 12,
+                turnaround_us: 20,
             },
             TraceEvent::StageDecision {
                 at_us: 1000,
