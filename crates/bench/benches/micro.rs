@@ -130,6 +130,50 @@ fn bench_estimators(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_prof(c: &mut Criterion) {
+    use busbw_sim::{solve_lambda, Phase, PhaseTimer};
+
+    let mut g = c.benchmark_group("prof");
+    // The cost the engine pays per phase when profiling is off: this must
+    // stay at one predicted branch (single-digit ns for the whole
+    // begin/end pair), because every production tick pays it eight times.
+    g.bench_function("phase_timer_disabled_pair", |b| {
+        let mut t = PhaseTimer::new();
+        b.iter(|| {
+            let tok = t.begin();
+            t.end(black_box(Phase::Solve), tok);
+        })
+    });
+    // The enabled cost: two clock reads plus a histogram bucket — the
+    // constant every attributed phase carries, reported so profile tables
+    // can be read with the skew in mind.
+    g.bench_function("phase_timer_enabled_pair", |b| {
+        let mut t = PhaseTimer::new();
+        t.set_enabled(true);
+        b.iter(|| {
+            let tok = t.begin();
+            t.end(black_box(Phase::Solve), tok);
+        })
+    });
+    // The Newton Λ kernel alone (no bus wrapper, no memo): the floor under
+    // every saturated tick the request memo cannot absorb. Cold start
+    // (warm = NaN is never accepted) at the lane counts the tick engine
+    // actually sees.
+    for n in [2usize, 4, 8, 16] {
+        let r = reqs(n);
+        let cap: f64 = r.iter().map(|q| q.rate).sum::<f64>() * 0.6;
+        g.bench_with_input(BenchmarkId::new("solve_lambda_cold", n), &r, |b, r| {
+            b.iter(|| black_box(solve_lambda(black_box(r), black_box(cap), f64::NAN)))
+        });
+        // Warm-started from its own root: the one-eval acceptance path.
+        let root = solve_lambda(&r, cap, f64::NAN);
+        g.bench_with_input(BenchmarkId::new("solve_lambda_warm", n), &r, |b, r| {
+            b.iter(|| black_box(solve_lambda(black_box(r), black_box(cap), black_box(root))))
+        });
+    }
+    g.finish();
+}
+
 fn bench_machine(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine");
     g.sample_size(20);
@@ -195,6 +239,7 @@ criterion_group!(
     bench_selection,
     bench_cache,
     bench_estimators,
+    bench_prof,
     bench_machine,
     bench_manager
 );

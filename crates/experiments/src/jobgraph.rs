@@ -18,6 +18,16 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use busbw_sim::{BatchSolver, MachineConfig, StepEvent};
+
+/// Below this many pending Λ solves in a lockstep round, the batched
+/// engine bypasses the [`BatchSolver`] and calls
+/// [`busbw_sim::solve_lambda`] directly: the SoA stream's content hashing
+/// and memo upkeep only pay for themselves once enough cells share the
+/// round (measured crossover ≈ a handful of lanes; small plans like the
+/// four-run tick benchmark were paying the full round-trip for nothing).
+/// Either path produces the same bits — a solver lane reproduces
+/// `solve_lambda` exactly.
+const ADAPTIVE_BATCH_MIN_LANES: usize = 8;
 use busbw_workloads::mix::WorkloadSpec;
 use busbw_workloads::paper::PaperApp;
 
@@ -494,10 +504,10 @@ impl Engine {
             .collect();
 
         let mut solver = BatchSolver::new();
+        let mut pending: Vec<(usize, busbw_sim::SolveJob)> = Vec::new();
         let mut lanes: Vec<(usize, usize)> = Vec::new();
         loop {
-            solver.clear(); // keeps the cross-batch warm-start memo
-            lanes.clear();
+            pending.clear();
             for (j, run) in live.iter_mut().enumerate() {
                 if run.out.is_some() {
                     continue;
@@ -509,14 +519,34 @@ impl Engine {
                     ..
                 } = prep;
                 match machine.run_step(&mut **sched, cur, None) {
-                    StepEvent::NeedSolve(job) => {
-                        lanes.push((j, solver.push_lane(cur.pending_requests(), job)));
-                    }
+                    StepEvent::NeedSolve(job) => pending.push((j, job)),
                     StepEvent::Done(o) => *out = Some(o),
                 }
             }
-            if lanes.is_empty() {
+            if pending.is_empty() {
                 break; // every live run reached Done
+            }
+            if pending.len() < ADAPTIVE_BATCH_MIN_LANES {
+                // Adaptive cutover: with only a few pending solves the SoA
+                // machinery (content hashing, memo upkeep, lane bookkeeping)
+                // costs more per solve than it amortizes, so solve inline.
+                // `solve_lambda` is the reference the batch lanes reproduce,
+                // so either path yields the same bits.
+                for &(j, job) in &pending {
+                    let run = &mut live[j];
+                    let lambda =
+                        busbw_sim::solve_lambda(run.cur.pending_requests(), job.cap, job.warm);
+                    run.prep
+                        .machine
+                        .run_step_complete(&mut run.cur, lambda, None);
+                }
+                continue;
+            }
+            solver.clear(); // keeps the cross-batch warm-start memo
+            lanes.clear();
+            for &(j, job) in &pending {
+                let reqs = live[j].cur.pending_requests();
+                lanes.push((j, solver.push_lane(reqs, job)));
             }
             solver.solve_all();
             for &(j, lane) in &lanes {

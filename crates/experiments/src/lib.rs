@@ -64,8 +64,9 @@ pub use policy::{AdmissionKind, EstimatorKind, PlacerKind, SelectorKind, StackSp
 pub use pool::{steal_map, StealStats};
 pub use robustness::robustness;
 pub use runner::{
-    collect_metrics, effective_workers, merge_traces, par_map, run_spec, solo_turnaround_us,
-    PolicyKind, RunCompletion, RunResult, RunnerConfig, TraceMode, UnfinishedApp,
+    collect_metrics, effective_workers, merge_traces, par_map, run_spec, run_spec_profiled,
+    solo_turnaround_us, PolicyKind, RunCompletion, RunResult, RunnerConfig, TraceMode,
+    UnfinishedApp,
 };
 pub use suite::{fold_suite, plan_suite, SuiteCells, SuiteFigure};
 pub use validate::{render as render_validation, validate, Claim};

@@ -363,6 +363,29 @@ pub fn run_spec_hooked(
     finalize_run(p, out)
 }
 
+/// [`run_spec`] with the machine's phase profiler switched on: returns
+/// the run result plus the per-phase wall-time profile (see
+/// `busbw_sim::prof`). Profiling is observational only — the returned
+/// result is byte-identical under the run codec to what [`run_spec`]
+/// produces, which a proptest pins.
+pub fn run_spec_profiled(
+    spec: &WorkloadSpec,
+    policy: PolicyKind,
+    rc: &RunnerConfig,
+) -> (RunResult, busbw_sim::PhaseSet) {
+    let mut p = prepare_run(spec, policy, rc);
+    p.machine.set_profiling(true);
+    let stop = p.stop_condition();
+    let PreparedRun {
+        ref mut machine,
+        ref mut sched,
+        ..
+    } = p;
+    let out = machine.run_audited(&mut **sched, stop, None);
+    let profile = p.machine.take_phase_profile();
+    (finalize_run(p, out), profile)
+}
+
 /// A run built and wired (machine, workload, tracer, scheduler) but not
 /// yet driven: the unit the batched sweep engine advances in lockstep
 /// through the machine's stepped API ([`busbw_sim::Machine::run_begin`]).

@@ -210,25 +210,68 @@ pub struct SolveJob {
 /// a [`BatchSolver`] lane running the same op sequence reproduces this
 /// function bit-for-bit.
 pub fn solve_lambda(reqs: &[BusRequest], cap: f64, warm: f64) -> f64 {
-    // f(λ) = Σ dᵢ/(aᵢ + bᵢλ) − cap and its derivative.
-    let f_and_slope = |lambda: f64| -> (f64, f64) {
-        let mut f = -cap;
-        let mut fp = 0.0;
-        for r in reqs {
-            let denom = (1.0 - r.mu) + r.mu * lambda;
-            let term = r.rate / denom;
-            f += term;
-            fp -= term * r.mu / denom;
+    let n = reqs.len();
+    if n <= SOLVE_INLINE_LANES {
+        // Hot sizes (one request per cpu) are unpacked once into dense
+        // stack lanes with the `1 − µ` term hoisted out of the Newton
+        // evaluations. Bit-identical to the general path: the same
+        // subtraction, performed once instead of once per evaluation.
+        let mut rate = [0.0f64; SOLVE_INLINE_LANES];
+        let mut mu = [0.0f64; SOLVE_INLINE_LANES];
+        let mut one_minus_mu = [0.0f64; SOLVE_INLINE_LANES];
+        for (i, r) in reqs.iter().enumerate() {
+            rate[i] = r.rate;
+            mu[i] = r.mu;
+            one_minus_mu[i] = 1.0 - r.mu;
         }
-        (f, fp)
-    };
-    let mut lambda = if warm > 1.0 && warm.is_finite() && f_and_slope(warm).0 > 0.0 {
-        warm
+        newton(
+            |lambda| lanes_f_and_slope(&rate[..n], &mu[..n], &one_minus_mu[..n], cap, lambda),
+            warm,
+        )
     } else {
-        1.0
-    };
+        newton(
+            |lambda| {
+                let mut f = -cap;
+                let mut fp = 0.0;
+                for r in reqs {
+                    let denom = (1.0 - r.mu) + r.mu * lambda;
+                    let term = r.rate / denom;
+                    f += term;
+                    fp -= term * r.mu / denom;
+                }
+                (f, fp)
+            },
+            warm,
+        )
+    }
+}
+
+/// Request sets up to this size solve over stack-allocated SoA lanes; one
+/// request per cpu means real machines sit far below it.
+const SOLVE_INLINE_LANES: usize = 16;
+
+/// The shared Newton iteration of [`solve_lambda`] and (lane by lane)
+/// [`BatchSolver::solve_all`]: `eval` returns `(f, f')` at a trial λ.
+///
+/// The accepted-warm-start evaluation is reused for the first iteration —
+/// the values are the ones the first loop pass would recompute at the same
+/// λ, so the iterate sequence (and thus the result) is unchanged while the
+/// hot path saves one full evaluation per warm-started solve.
+fn newton(mut eval: impl FnMut(f64) -> (f64, f64), warm: f64) -> f64 {
+    let mut lambda = 1.0;
+    let mut cached = None;
+    if warm > 1.0 && warm.is_finite() {
+        let e = eval(warm);
+        if e.0 > 0.0 {
+            lambda = warm;
+            cached = Some(e);
+        }
+    }
     for _ in 0..64 {
-        let (f, fp) = f_and_slope(lambda);
+        let (f, fp) = match cached.take() {
+            Some(e) => e,
+            None => eval(lambda),
+        };
         if f <= 0.0 {
             // At (or an ulp past) the root.
             break;
@@ -276,6 +319,12 @@ pub struct FsbBus {
     memo: FsbMemo,
     memo_hits: u64,
     memo_misses: u64,
+    // Memoized queueing power: `powf` costs as much as a whole Newton
+    // evaluation and every saturated miss computes it at utilization
+    // exactly 1.0 (ρ is clamped), so one (input, output) pair answers
+    // nearly every call on the hot path.
+    pow_u: f64,
+    pow_v: f64,
 }
 
 impl FsbBus {
@@ -286,6 +335,8 @@ impl FsbBus {
             memo: FsbMemo::default(),
             memo_hits: 0,
             memo_misses: 0,
+            pow_u: f64::NAN,
+            pow_v: f64::NAN,
         }
     }
 
@@ -311,8 +362,15 @@ impl FsbBus {
         // convex) contention penalty; at deep saturation λ_sat
         // dominates and taking the max keeps aggregate issued traffic
         // exactly at capacity instead of wasting it.
-        let queueing =
-            self.cfg.queueing_coeff * self.memo.utilization.powf(self.cfg.queueing_exponent);
+        let u = self.memo.utilization;
+        if u != self.pow_u {
+            // Miss: compute and remember. The exponent is fixed per bus,
+            // so the pair keys on utilization alone; the reused value is
+            // the exact `powf` result, keeping the fold bit-identical.
+            self.pow_u = u;
+            self.pow_v = u.powf(self.cfg.queueing_exponent);
+        }
+        let queueing = self.cfg.queueing_coeff * self.pow_v;
         self.memo.lambda = lambda_sat.max(1.0 + queueing);
         self.memo.valid = true;
         self.fill_outcome(reqs, out);
@@ -360,14 +418,19 @@ impl BusModel for FsbBus {
             self.fill_outcome(reqs, out);
             return None;
         }
-        // Full solve; remember everything for the next tick.
+        // Full solve; remember everything for the next tick. One fused
+        // pass counts active masters and sums demand (the sum's addition
+        // order is the request order either way).
         self.memo_misses += 1;
-        let n_masters = reqs
-            .iter()
-            .filter(|r| r.rate > self.cfg.active_master_threshold)
-            .count();
+        let mut n_masters = 0usize;
+        let mut total_demand = 0.0f64;
+        for r in reqs {
+            if r.rate > self.cfg.active_master_threshold {
+                n_masters += 1;
+            }
+            total_demand += r.rate;
+        }
         let cap = self.cfg.effective_capacity(n_masters);
-        let total_demand: f64 = reqs.iter().map(|r| r.rate).sum();
         let utilization = (total_demand / cap).min(1.0);
         let saturated = total_demand > cap;
         // The warm start is the *previous* solution; read it before the
@@ -401,14 +464,23 @@ impl BusModel for FsbBus {
 }
 
 /// Evaluate f(λ) = Σ dᵢ/(aᵢ + bᵢλ) − cap and its derivative over one SoA
-/// lane. Same iteration order and op sequence as the closure inside
-/// [`solve_lambda`], so the two are bit-identical.
+/// lane whose `1 − µ` terms are precomputed. Same iteration order and op
+/// sequence as the general path inside [`solve_lambda`] (the hoisted
+/// subtraction yields the identical value), so the two are bit-identical.
+/// Dense `f64` lanes with no per-element branches keep the loop open to
+/// autovectorization.
 #[inline]
-fn lane_f_and_slope(rate: &[f64], mu: &[f64], cap: f64, lambda: f64) -> (f64, f64) {
+fn lanes_f_and_slope(
+    rate: &[f64],
+    mu: &[f64],
+    one_minus_mu: &[f64],
+    cap: f64,
+    lambda: f64,
+) -> (f64, f64) {
     let mut f = -cap;
     let mut fp = 0.0;
-    for (d, m) in rate.iter().zip(mu.iter()) {
-        let denom = (1.0 - m) + m * lambda;
+    for ((d, m), a) in rate.iter().zip(mu.iter()).zip(one_minus_mu.iter()) {
+        let denom = a + m * lambda;
         let term = d / denom;
         f += term;
         fp -= term * m / denom;
@@ -450,6 +522,9 @@ pub struct BatchSolver {
     /// All lanes' memory-boundness values, concatenated (parallel to
     /// `rate`).
     mu: Vec<f64>,
+    /// All lanes' `1 − µ` terms, concatenated (parallel to `rate`),
+    /// hoisted out of the Newton evaluations.
+    one_minus_mu: Vec<f64>,
     /// Per-lane offset into the flat arrays.
     off: Vec<usize>,
     /// Per-lane request count.
@@ -485,6 +560,7 @@ impl BatchSolver {
     pub fn clear(&mut self) {
         self.rate.clear();
         self.mu.clear();
+        self.one_minus_mu.clear();
         self.off.clear();
         self.len.clear();
         self.cap.clear();
@@ -524,6 +600,7 @@ impl BatchSolver {
         for r in reqs {
             self.rate.push(r.rate);
             self.mu.push(r.mu);
+            self.one_minus_mu.push(1.0 - r.mu);
         }
         self.cap.push(job.cap);
         self.warm.push(job.warm);
@@ -559,11 +636,11 @@ impl BatchSolver {
             }
             pending.insert(self.key[i], i);
             self.solves += 1;
-            let (rate, mu) = self.lane(i);
+            let (rate, mu, a) = self.lane(i);
             let warm = self.warm[i];
             self.lambda[i] = if warm > 1.0
                 && warm.is_finite()
-                && lane_f_and_slope(rate, mu, self.cap[i], warm).0 > 0.0
+                && lanes_f_and_slope(rate, mu, a, self.cap[i], warm).0 > 0.0
             {
                 warm
             } else {
@@ -579,11 +656,14 @@ impl BatchSolver {
                 if !self.active[i] {
                     continue;
                 }
-                let (rate, mu) = (
-                    &self.rate[self.off[i]..self.off[i] + self.len[i]],
-                    &self.mu[self.off[i]..self.off[i] + self.len[i]],
+                let (o, l) = (self.off[i], self.len[i]);
+                let (f, fp) = lanes_f_and_slope(
+                    &self.rate[o..o + l],
+                    &self.mu[o..o + l],
+                    &self.one_minus_mu[o..o + l],
+                    self.cap[i],
+                    self.lambda[i],
                 );
-                let (f, fp) = lane_f_and_slope(rate, mu, self.cap[i], self.lambda[i]);
                 if f <= 0.0 {
                     self.active[i] = false;
                     continue;
@@ -623,9 +703,13 @@ impl BatchSolver {
         self.lambda[lane]
     }
 
-    fn lane(&self, i: usize) -> (&[f64], &[f64]) {
+    fn lane(&self, i: usize) -> (&[f64], &[f64], &[f64]) {
         let (o, l) = (self.off[i], self.len[i]);
-        (&self.rate[o..o + l], &self.mu[o..o + l])
+        (
+            &self.rate[o..o + l],
+            &self.mu[o..o + l],
+            &self.one_minus_mu[o..o + l],
+        )
     }
 }
 

@@ -43,6 +43,7 @@ pub mod config;
 pub mod demand;
 pub mod ids;
 pub mod machine;
+pub mod prof;
 pub mod stage;
 pub mod stats;
 pub mod testkit;
@@ -61,6 +62,7 @@ pub use machine::{
     AppDescriptor, AppInfo, AppReport, Assignment, AuditHook, Decision, ExecMode, Machine,
     MachineView, RunCursor, RunOutcome, Scheduler, StepEvent, StopCondition, ThreadInfo,
 };
+pub use prof::{Phase, PhaseSet, PhaseStat, PhaseTimer, PHASE_BUCKET_BOUNDS_NS};
 pub use stage::{StageSnapshot, StageTiming, StageTimings, STAGE_BUCKET_BOUNDS_NS, STAGE_NAMES};
 pub use stats::{BusPressureStats, RunStats, TickDtHist};
 pub use thread::{ThreadSpec, ThreadState};

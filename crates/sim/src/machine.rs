@@ -27,6 +27,7 @@ use crate::bus::{BusModel, BusOutcome, BusRequest, SolveJob};
 use crate::cache::CacheState;
 use crate::config::MachineConfig;
 use crate::ids::{AppId, CpuId, SimTime, ThreadId};
+use crate::prof::{Phase, PhaseSet, PhaseTimer};
 use crate::stage::StageSnapshot;
 use crate::stats::RunStats;
 use crate::thread::{SimThread, ThreadSpec, ThreadState};
@@ -563,7 +564,7 @@ impl RunCursor {
 /// A prepared tick parked while its Λ solve runs out-of-line.
 #[derive(Debug)]
 struct PendingTick {
-    s: TickScratch,
+    s: Box<TickScratch>,
     dt_limit: u64,
 }
 
@@ -598,7 +599,13 @@ pub struct Machine {
     /// user-level manager estimate how much the bus dilated memory
     /// phases over an interval (Λ̄ = Δintegral / Δt).
     dilation_integral: f64,
-    scratch: TickScratch,
+    /// Reusable per-tick buffers, boxed so moving them in and out of a
+    /// tick (or a parked [`PendingTick`]) is a pointer swap rather than a
+    /// structural copy. `None` only while a tick is in flight.
+    scratch: Option<Box<TickScratch>>,
+    /// Indices into `apps` of applications with a barrier interval — the
+    /// only ones the per-tick barrier-cap pass must visit.
+    barrier_apps: Vec<usize>,
     /// Inner-loop execution mode (event-driven by default).
     exec: ExecMode,
     /// Event-driven replay snapshot (see [`ReplayCache`]).
@@ -614,6 +621,10 @@ pub struct Machine {
     traced_demand: Vec<(f64, f64)>,
     /// Last dilation Λ emitted as a `BusSolve` event.
     traced_dilation: f64,
+    /// Phase-attribution profiler (disabled by default; one branch per
+    /// phase boundary when off). Observational only — never part of the
+    /// run codec, so profiled runs stay byte-identical.
+    prof: PhaseTimer,
 }
 
 impl Machine {
@@ -638,14 +649,34 @@ impl Machine {
             now: 0,
             hard_cap_us: 1_000_000_000, // 1000 simulated seconds
             dilation_integral: 0.0,
-            scratch: TickScratch::default(),
+            scratch: Some(Box::default()),
+            barrier_apps: Vec::new(),
             exec: ExecMode::default(),
             replay: ReplayCache::default(),
             replay_ticks: 0,
             tracer: EventBus::off(),
             traced_demand: Vec::new(),
             traced_dilation: 0.0,
+            prof: PhaseTimer::new(),
         }
+    }
+
+    /// Switch phase-attribution profiling on or off (see [`crate::prof`]).
+    /// Purely observational: toggling it cannot change any simulated
+    /// quantity (a proptest in the experiments crate pins byte identity).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.prof.set_enabled(on);
+    }
+
+    /// The per-phase wall-time profile recorded so far.
+    pub fn phase_profile(&self) -> &PhaseSet {
+        self.prof.set()
+    }
+
+    /// Take the recorded phase profile, leaving an empty one (the enable
+    /// flag is preserved).
+    pub fn take_phase_profile(&mut self) -> PhaseSet {
+        self.prof.take()
     }
 
     /// Attach a structured-trace bus. Placements, phase edges,
@@ -718,6 +749,9 @@ impl Machine {
             self.registry.register(tid.key());
             self.threads.push(SimThread::new(tid, app_id, spec));
             tids.push(tid);
+        }
+        if desc.barrier_interval_us.is_some() {
+            self.barrier_apps.push(self.apps.len());
         }
         self.apps.push(AppRecord {
             name: desc.name,
@@ -820,8 +854,10 @@ impl Machine {
         loop {
             match self.run_step(sched, &mut cur, hook.as_deref_mut()) {
                 StepEvent::NeedSolve(job) => {
+                    let tok = self.prof.begin();
                     let lambda =
                         crate::bus::solve_lambda(cur.pending_requests(), job.cap, job.warm);
+                    self.prof.end(Phase::Solve, tok);
                     self.run_step_complete(&mut cur, lambda, hook.as_deref_mut());
                 }
                 StepEvent::Done(out) => return out,
@@ -894,6 +930,7 @@ impl Machine {
             }
 
             if self.now >= cur.next_resched || cur.resched_requested {
+                let tok = self.prof.begin();
                 let decision = sched.schedule(&self.view());
                 assert!(
                     decision.next_resched_in_us > 0,
@@ -903,6 +940,7 @@ impl Machine {
                     h.on_decision(&self.view(), &decision, sched.stage_snapshot());
                 }
                 self.apply(&decision, &mut cur.stats);
+                self.prof.end(Phase::Schedule, tok);
                 cur.stats.schedule_calls += 1;
                 cur.next_resched = self.now + decision.next_resched_in_us;
                 cur.sample_period = decision.sample_period_us;
@@ -926,8 +964,9 @@ impl Machine {
             dt_limit = dt_limit.min(cur.cap_at.saturating_sub(self.now).max(1));
 
             // The scratch is moved out for the duration of the tick so the
-            // borrow checker sees the buffers and `self` as disjoint.
-            let mut s = std::mem::take(&mut self.scratch);
+            // borrow checker sees the buffers and `self` as disjoint; the
+            // box makes the move a pointer swap.
+            let mut s = self.scratch.take().expect("tick scratch in flight");
             match self.tick_prepare(dt_limit, &mut cur.stats, &mut s) {
                 Some(job) => {
                     cur.pending = Some(PendingTick { s, dt_limit });
@@ -936,7 +975,7 @@ impl Machine {
                 None => {
                     let app_finished =
                         self.tick_commit(dt_limit, &mut cur.stats, &mut s, hook.as_deref_mut());
-                    self.scratch = s;
+                    self.scratch = Some(s);
                     if app_finished {
                         cur.resched_requested = true;
                     }
@@ -959,7 +998,7 @@ impl Machine {
         self.bus
             .finish_solve(&p.s.reqs, lambda_sat, &mut p.s.outcome);
         let app_finished = self.tick_commit(p.dt_limit, &mut cur.stats, &mut p.s, hook);
-        self.scratch = p.s;
+        self.scratch = Some(p.s);
         if app_finished {
             cur.resched_requested = true;
         }
@@ -1081,35 +1120,57 @@ impl Machine {
         // Threads at their cap spin-wait: they hold the cpu but demand no
         // bus bandwidth and make no progress. (Computed before the replay
         // attempt — the spin guards need fresh caps.)
-        s.barrier_cap.clear();
-        s.barrier_cap.resize(n_threads, f64::INFINITY);
-        for rec in &self.apps {
-            let Some(interval) = rec.barrier_interval_us else {
-                continue;
-            };
-            let min_progress = rec
-                .threads
-                .iter()
-                .map(|t| &self.threads[t.0 as usize])
-                .filter(|t| t.state != ThreadState::Finished)
-                .map(|t| t.progress_us)
-                .fold(f64::INFINITY, f64::min);
-            if min_progress.is_finite() {
-                for t in &rec.threads {
-                    s.barrier_cap[t.0 as usize] = min_progress + interval;
+        let tok = self.prof.begin();
+        if self.barrier_apps.is_empty() {
+            // No app has barriers: the caps are all-INFINITY and only the
+            // vector's length can go stale.
+            if s.barrier_cap.len() != n_threads {
+                s.barrier_cap.clear();
+                s.barrier_cap.resize(n_threads, f64::INFINITY);
+            }
+        } else {
+            s.barrier_cap.clear();
+            s.barrier_cap.resize(n_threads, f64::INFINITY);
+            for &ai in &self.barrier_apps {
+                let rec = &self.apps[ai];
+                let interval = rec
+                    .barrier_interval_us
+                    .expect("barrier_apps holds only apps with an interval");
+                let min_progress = rec
+                    .threads
+                    .iter()
+                    .map(|t| &self.threads[t.0 as usize])
+                    .filter(|t| t.state != ThreadState::Finished)
+                    .map(|t| t.progress_us)
+                    .fold(f64::INFINITY, f64::min);
+                if min_progress.is_finite() {
+                    for t in &rec.threads {
+                        s.barrier_cap[t.0 as usize] = min_progress + interval;
+                    }
                 }
             }
         }
 
+        self.prof.end(Phase::Barrier, tok);
+
         // Event-driven fast path: if every cached request is still inside
         // its predicted-constant region, rebuild the request vector from
         // the snapshot without touching placement scans or demand models.
-        if self.exec == ExecMode::EventDriven && self.replay.valid && self.try_replay(dt_limit, s) {
-            self.replay_ticks += 1;
-            return self.bus.begin(&s.reqs, &mut s.outcome);
+        if self.exec == ExecMode::EventDriven && self.replay.valid {
+            let tok = self.prof.begin();
+            let replayed = self.try_replay(dt_limit, s);
+            self.prof.end(Phase::Replay, tok);
+            if replayed {
+                self.replay_ticks += 1;
+                let tok = self.prof.begin();
+                let job = self.bus.begin(&s.reqs, &mut s.outcome);
+                self.prof.end(Phase::Solve, tok);
+                return job;
+            }
         }
 
         // Current placement.
+        let tok = self.prof.begin();
         s.placement.clear();
         s.placement.resize(self.cfg.num_cpus, None);
         for t in &self.threads {
@@ -1129,9 +1190,12 @@ impl Machine {
             }
         }
 
+        self.prof.end(Phase::Placement, tok);
+
         // Collect demands (with cache-cold boosts) plus the per-request
         // metadata the coarsening gate needs, re-arming the replay
         // snapshot as we go (event-driven mode only).
+        let tok = self.prof.begin();
         let record = self.exec == ExecMode::EventDriven;
         self.replay.clear();
         s.reqs.clear();
@@ -1146,21 +1210,25 @@ impl Machine {
             let cpu = CpuId(cpu_idx);
             let ti = tid.0 as usize;
             let spinning = self.threads[ti].progress_us >= s.barrier_cap[ti];
-            let boost = if spinning {
-                1.0
-            } else {
-                self.cache.demand_multiplier(cpu, *tid)
-            };
             let smt = self
                 .cfg
                 .smt_speed_factor(s.busy_per_core[self.cfg.core_of(cpu_idx)]);
-            if !spinning && self.cache.warmth(cpu, *tid) != 1.0 {
-                // Warmth below its fixed point still moves every tick, so
-                // demand boosts and cache speeds are not static.
-                all_warm = false;
-            }
+            let sens = self.threads[ti].cache_sensitivity;
+            let (boost, spd) = if spinning {
+                (1.0, 0.0)
+            } else {
+                // One fused warmth lookup feeds the boost, the speed
+                // factor, and the staticness check (identical expressions
+                // to the separate accessors).
+                let (w, boost, spd) = self.cache.factors(cpu, *tid, sens);
+                if w != 1.0 {
+                    // Warmth below its fixed point still moves every tick,
+                    // so demand boosts and cache speeds are not static.
+                    all_warm = false;
+                }
+                (boost, spd)
+            };
             let t = &mut self.threads[ti];
-            let sens = t.cache_sensitivity;
             let (d, cs, virt_h, wall_h, edge_v, edge_w) = if spinning {
                 // Spin-wait on a cached flag: no bus traffic, no progress.
                 // The demand model is never queried while spinning, so the
@@ -1178,8 +1246,7 @@ impl Machine {
                 let d = t.model.demand_at(t.progress_us, self.now);
                 let (virt_h, wall_h) = t.model.constant_for(t.progress_us, self.now);
                 let (edge_v, edge_w) = t.model.next_change(t.progress_us, self.now);
-                let cs = self.cache.speed_multiplier(cpu, *tid, sens) * smt;
-                (d, cs, virt_h, wall_h, edge_v, edge_w)
+                (d, spd * smt, virt_h, wall_h, edge_v, edge_w)
             };
             if trace_on && !spinning {
                 let cur = (d.rate, d.mu);
@@ -1216,19 +1283,27 @@ impl Machine {
         }
         s.all_warm = all_warm;
         self.replay.valid = record;
+        self.prof.end(Phase::Demand, tok);
 
-        self.bus.begin(&s.reqs, &mut s.outcome)
+        let tok = self.prof.begin();
+        let job = self.bus.begin(&s.reqs, &mut s.outcome);
+        self.prof.end(Phase::Solve, tok);
+        job
     }
 
-    /// Attempt the event-driven fast path: verify every snapshot guard,
-    /// then rebuild `s.reqs`/`s.req_spin`/`s.cache_speed` bit-identically
-    /// to what the full build would produce. Returns false (leaving the
-    /// scratch untouched beyond the barrier caps) when any guard fails —
-    /// the caller then takes the full rebuild, which is always safe.
+    /// Attempt the event-driven fast path: verify each snapshot guard and
+    /// rebuild `s.reqs`/`s.req_spin`/`s.cache_speed` bit-identically to
+    /// what the full build would produce, in a single fused pass (one
+    /// warmth lookup per request feeds the guard and both multipliers).
+    /// Returns false when any guard fails; the scratch may then hold a
+    /// partial rebuild, which is safe because the full path clears and
+    /// rewrites every buffer it reads.
     fn try_replay(&mut self, dt_limit: u64, s: &mut TickScratch) -> bool {
         let r = &self.replay;
         let n = r.cpu.len();
         let mut all_warm = true;
+        s.reqs.clear();
+        s.req_spin.clear();
         for i in 0..n {
             let ti = r.tid[i];
             let t = &self.threads[ti];
@@ -1237,15 +1312,37 @@ impl Machine {
             if spin_now != r.spin[i] {
                 return false;
             }
-            if !spin_now {
+            if spin_now {
+                // Identical to the full path's spin request: ZERO demand,
+                // unit boost (0.0 · 1.0 = 0.0 exactly), zero cache speed.
+                s.reqs.push(BusRequest {
+                    thread: ThreadId(ti as u64),
+                    rate: 0.0,
+                    mu: 0.0,
+                });
+                s.req_spin.push(true);
+                s.cache_speed[ti] = 0.0;
+            } else {
                 // Strictly inside the guarded-constant region in both
                 // dimensions, else the demand model must be re-queried.
                 if !(t.progress_us < r.vt_guard[i] && (self.now as f64) < r.wall_guard[i]) {
                     return false;
                 }
-                if self.cache.warmth(CpuId(r.cpu[i]), ThreadId(ti as u64)) != 1.0 {
+                // Warmth-dependent factors are recomputed with the exact
+                // expressions of the full path; only the demand query and
+                // placement scan are skipped.
+                let tid = ThreadId(ti as u64);
+                let (w, boost, spd) = self.cache.factors(CpuId(r.cpu[i]), tid, r.sens[i]);
+                if w != 1.0 {
                     all_warm = false;
                 }
+                s.reqs.push(BusRequest {
+                    thread: tid,
+                    rate: r.rate[i] * boost,
+                    mu: r.mu[i],
+                });
+                s.req_spin.push(false);
+                s.cache_speed[ti] = spd * r.smt[i];
             }
         }
         // The coarsening window scan in the commit phase reads the
@@ -1255,37 +1352,6 @@ impl Machine {
         // amortizes the rebuild anyway).
         if n > 0 && all_warm && dt_limit > 2 * self.cfg.tick_us {
             return false;
-        }
-        s.reqs.clear();
-        s.req_spin.clear();
-        for i in 0..n {
-            let cpu = CpuId(r.cpu[i]);
-            let ti = r.tid[i];
-            let tid = ThreadId(ti as u64);
-            if r.spin[i] {
-                // Identical to the full path's spin request: ZERO demand,
-                // unit boost (0.0 · 1.0 = 0.0 exactly), zero cache speed.
-                s.reqs.push(BusRequest {
-                    thread: tid,
-                    rate: 0.0,
-                    mu: 0.0,
-                });
-                s.req_spin.push(true);
-                s.cache_speed[ti] = 0.0;
-            } else {
-                // Warmth-dependent factors are recomputed with the exact
-                // expressions of the full path; only the demand query and
-                // placement scan are skipped.
-                let boost = self.cache.demand_multiplier(cpu, tid);
-                let cs = self.cache.speed_multiplier(cpu, tid, r.sens[i]) * r.smt[i];
-                s.reqs.push(BusRequest {
-                    thread: tid,
-                    rate: r.rate[i] * boost,
-                    mu: r.mu[i],
-                });
-                s.req_spin.push(false);
-                s.cache_speed[ti] = cs;
-            }
         }
         s.all_warm = all_warm;
         true
@@ -1302,6 +1368,7 @@ impl Machine {
         s: &mut TickScratch,
         hook: Option<&mut (dyn AuditHook + '_)>,
     ) -> bool {
+        let commit_tok = self.prof.begin();
         let trace_on = self.tracer.emits();
         let tick_started_at = self.now;
         let bus_capacity = self.bus.nominal_capacity();
@@ -1310,6 +1377,7 @@ impl Machine {
             // Emitted on Λ change only: memoized re-solves that reuse the
             // previous dilation stay silent, keeping trace volume
             // proportional to decisions rather than ticks.
+            let tt = self.prof.begin();
             self.traced_dilation = s.outcome.dilation;
             self.tracer.emit(TraceEvent::BusSolve {
                 at_us: self.now,
@@ -1318,6 +1386,7 @@ impl Machine {
                 saturated: s.outcome.saturated,
                 requesters: s.reqs.len(),
             });
+            self.prof.end(Phase::Trace, tt);
         }
         let outcome = &s.outcome;
 
@@ -1417,11 +1486,14 @@ impl Machine {
             t.progress_us = (t.progress_us + speed * used).min(t.work_us);
             let key = share.thread.key();
             issued_this_tick += issue * used;
-            self.registry
-                .add(key, EventKind::BusTransactions, issue * used);
-            self.registry.add(key, EventKind::CyclesOnCpu, used);
-            self.registry
-                .add(key, EventKind::VirtualProgress, speed * used);
+            // One slot lookup feeds all three event counters.
+            let counters = self
+                .registry
+                .counters_mut(key)
+                .unwrap_or_else(|| panic!("thread {key:?} not registered with perfmon"));
+            counters.add(EventKind::BusTransactions, issue * used);
+            counters.add(EventKind::CyclesOnCpu, used);
+            counters.add(EventKind::VirtualProgress, speed * used);
             if t.progress_us >= t.work_us {
                 t.state = ThreadState::Finished;
                 t.finished_at = Some(self.now + used.ceil() as u64);
@@ -1447,7 +1519,9 @@ impl Machine {
         }
         self.dilation_integral += outcome.dilation.max(1.0) * dt_f;
         if let Some(h) = hook {
+            let tt = self.prof.begin();
             h.on_tick(tick_started_at, dt, issued_this_tick, bus_capacity);
+            self.prof.end(Phase::Trace, tt);
         }
 
         self.now += dt;
@@ -1483,6 +1557,7 @@ impl Machine {
                 }
             }
         }
+        self.prof.end(Phase::Commit, commit_tok);
         any_app_finished
     }
 }
