@@ -10,7 +10,7 @@ use busbw_core::estimator::{
     BandwidthEstimator, EwmaEstimator, LatestQuantumEstimator, QuantaWindowEstimator,
 };
 use busbw_core::manager::{AppRuntime, ArenaSnapshot, CpuManager, ManagerConfig, SeqlockArena};
-use busbw_sim::{AppId, Decision, MachineView, SimTime, StageSnapshot};
+use busbw_sim::{AppId, Decision, LevelOutcome, MachineView, SimTime, StageSnapshot};
 use busbw_trace::{validate_stream, TraceEvent};
 use rand::{Rng, SeedableRng};
 
@@ -35,6 +35,7 @@ pub fn builtin_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(ManagerLifecycle),
         Box::new(CacheConsistency),
         Box::new(ExecPathEquivalence),
+        Box::new(TopologyCapacity),
     ]
 }
 
@@ -642,6 +643,57 @@ impl Invariant for ExecPathEquivalence {
     }
 }
 
+/// Per-level capacity conservation on hierarchical bus topologies: in
+/// every tick, no bus level (socket-local bus or cross-socket
+/// interconnect) issues more traffic than its own derated effective
+/// capacity, and never more than was demanded of it. Flat single-bus
+/// machines report no levels, so the check passes vacuously there (the
+/// flat ceiling is [`BusCapacity`]'s job).
+pub struct TopologyCapacity;
+
+impl Invariant for TopologyCapacity {
+    fn name(&self) -> &'static str {
+        "topology-capacity"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "topology model (DESIGN §16): every bus level enforces its own Λ ceiling"
+    }
+
+    fn check_levels(
+        &mut self,
+        now: SimTime,
+        _dt_us: u64,
+        levels: &[LevelOutcome],
+        out: &mut Vec<Violation>,
+    ) {
+        for (k, l) in levels.iter().enumerate() {
+            if l.effective_capacity.is_finite()
+                && l.issued > l.effective_capacity * (1.0 + CAPACITY_REL_TOL) + CAPACITY_REL_TOL
+            {
+                out.push(Violation {
+                    invariant: self.name(),
+                    at_us: now,
+                    detail: format!(
+                        "level {k}: issued {:.3} tx/µs exceeds effective capacity {:.3} tx/µs",
+                        l.issued, l.effective_capacity
+                    ),
+                });
+            }
+            if l.issued > l.demand * (1.0 + CAPACITY_REL_TOL) + CAPACITY_REL_TOL {
+                out.push(Violation {
+                    invariant: self.name(),
+                    at_us: now,
+                    detail: format!(
+                        "level {k}: issued {:.3} tx/µs exceeds the {:.3} tx/µs demanded of it",
+                        l.issued, l.demand
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Per-decision repetition guard used by negative tests: counts how many
 /// decisions each invariant flagged, keyed by invariant name.
 pub fn count_by_invariant(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
@@ -925,10 +977,90 @@ mod tests {
             "manager-arena-coherence",
             "manager-lifecycle",
             "cache-consistency",
+            "exec-path-equivalence",
+            "topology-capacity",
         ] {
             assert!(names.contains(&n), "missing invariant {n}");
         }
-        assert!(names.len() >= 10);
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn oversubscribed_level_fires_topology_capacity() {
+        let mut aud = Auditor::with_builtins();
+        let levels = [
+            LevelOutcome {
+                demand: 40.0,
+                issued: 30.0, // over the 28.0 ceiling
+                effective_capacity: 28.0,
+                dilation: 40.0 / 28.0,
+                utilization: 1.0,
+                saturated: true,
+            },
+            LevelOutcome {
+                demand: 5.0,
+                issued: 6.0, // issued more than was demanded
+                effective_capacity: 44.25,
+                dilation: 1.0,
+                utilization: 0.14,
+                saturated: false,
+            },
+        ];
+        aud.on_levels(700, 100, &levels);
+        let counts = count_by_invariant(aud.violations());
+        assert_eq!(counts.get("topology-capacity"), Some(&2));
+        assert!(aud.violations()[0].detail.contains("level 0"));
+    }
+
+    #[test]
+    fn conserving_levels_pass_topology_capacity() {
+        let mut aud = Auditor::with_builtins();
+        let levels = [LevelOutcome {
+            demand: 40.0,
+            issued: 28.0,
+            effective_capacity: 28.0,
+            dilation: 40.0 / 28.0,
+            utilization: 1.0,
+            saturated: true,
+        }];
+        aud.on_levels(700, 100, &levels);
+        // Empty level slices (flat buses) are vacuously clean too.
+        aud.on_levels(800, 100, &[]);
+        assert!(aud.is_clean(), "{:?}", aud.violations());
+    }
+
+    #[test]
+    fn live_multi_socket_run_passes_topology_capacity() {
+        // Drive a real 2-socket machine hot enough to saturate a local
+        // bus; the per-level accounting must still conserve capacity.
+        use busbw_sim::TopologyConfig;
+        let mut m = Machine::new(busbw_sim::MachineConfig {
+            num_cpus: 8,
+            topology: TopologyConfig::multi(2),
+            ..XEON_4WAY
+        });
+        m.add_app(AppDescriptor::new(
+            "hot",
+            (0..4)
+                .map(|_| ThreadSpec::new(400_000.0, Box::new(ConstantDemand::new(12.0, 0.9))))
+                .collect(),
+        ));
+        let mut sched = busbw_sim::testkit::Replay::new(Decision {
+            assignments: (0..4).map(|t| assign(t, t as usize)).collect(),
+            next_resched_in_us: 1_000_000,
+            sample_period_us: None,
+        });
+        let mut aud = Auditor::with_builtins();
+        let out = m.run_audited(
+            &mut sched,
+            busbw_sim::StopCondition::At(100_000),
+            Some(&mut aud),
+        );
+        assert!(
+            out.stats.n_levels > 0,
+            "hierarchical bus must report levels"
+        );
+        assert!(aud.is_clean(), "{:?}", aud.violations());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | `manager-lifecycle` | post-run events | open-serve departures match admitted arrivals, turnarounds consistent |
 //! | `cache-consistency` | differential runs | equal run keys ⇒ byte-equal results |
 //! | `exec-path-equivalence` | differential runs | per-tick, event-driven, and batched executions byte-agree |
+//! | `topology-capacity` | every tick (per level) | no bus level issues past its effective capacity (DESIGN §16) |
 //!
 //! The decision hook fires *before* the machine applies the decision, so
 //! a violating schedule is recorded as a structured [`Violation`] even
@@ -37,7 +38,7 @@ pub mod invariants;
 
 pub use invariants::{builtin_invariants, check_arena_coherence, check_estimator_range};
 
-use busbw_sim::{AuditHook, Decision, MachineView, SimTime, StageSnapshot};
+use busbw_sim::{AuditHook, Decision, LevelOutcome, MachineView, SimTime, StageSnapshot};
 use busbw_trace::TraceEvent;
 
 /// One observed invariant violation.
@@ -96,6 +97,18 @@ pub trait Invariant: Send {
         out: &mut Vec<Violation>,
     ) {
         let _ = (now, dt_us, issued_tx, capacity_tx_per_us, out);
+    }
+
+    /// Check one tick's per-level bus accounting (hierarchical
+    /// topologies only; flat buses report no levels).
+    fn check_levels(
+        &mut self,
+        now: SimTime,
+        dt_us: u64,
+        levels: &[LevelOutcome],
+        out: &mut Vec<Violation>,
+    ) {
+        let _ = (now, dt_us, levels, out);
     }
 
     /// Check a completed run's collected trace stream.
@@ -231,6 +244,12 @@ impl AuditHook for Auditor {
                 capacity_tx_per_us,
                 &mut self.violations,
             );
+        }
+    }
+
+    fn on_levels(&mut self, now: SimTime, dt_us: u64, levels: &[LevelOutcome]) {
+        for inv in &mut self.invariants {
+            inv.check_levels(now, dt_us, levels, &mut self.violations);
         }
     }
 }

@@ -22,6 +22,8 @@ fn reqs(n: usize) -> Vec<BusRequest> {
             thread: ThreadId(i as u64),
             rate: 3.0 + (i as f64) * 2.5,
             mu: 0.1 + 0.8 * (i as f64 / n as f64),
+            socket: 0,
+            remote: 0.0,
         })
         .collect()
 }
@@ -47,6 +49,8 @@ fn bench_bus(c: &mut Criterion) {
                 thread: q.thread,
                 rate: q.rate * 1.07,
                 mu: q.mu,
+                socket: 0,
+                remote: 0.0,
             })
             .collect();
         g.bench_with_input(BenchmarkId::new("fsb_full_solve", n), &r, |b, r| {

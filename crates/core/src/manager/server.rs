@@ -46,7 +46,7 @@ impl Default for ManagerConfig {
     fn default() -> Self {
         Self {
             num_cpus: 4,
-            bus_total_tx_per_us: 29.5,
+            bus_total_tx_per_us: busbw_sim::PAPER_BUS_TX_PER_US,
             quantum_us: 200_000,
             samples_per_quantum: 2,
         }

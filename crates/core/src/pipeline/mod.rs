@@ -12,7 +12,9 @@
 //!    fitness maximization, random/greedy comparators, a model-driven
 //!    lookahead, or a pinned non-gang schedule (the Linux baselines);
 //! 4. [`Placer`] — map admitted gangs onto cpus (packed affinity,
-//!    scatter, SMT-aware).
+//!    scatter, SMT-aware, plus the socket-aware `pack_local`,
+//!    `spread_sockets`, and `migrate` placers for multi-socket
+//!    topologies).
 //!
 //! [`PolicyStack`] composes one of each into a [`Scheduler`]. The named
 //! presets (`bus_aware`, `linux_like`, `linux_o1`, `round_robin_gang`,
@@ -32,7 +34,10 @@ pub mod selectors;
 
 pub use admission::{Fcfs, HeadOfList, Open, StrictHead, WidestFirst};
 pub use estimators::{NullEstimator, RawRateEstimator, ReconstructingEstimator};
-pub use placers::{place_packed, PackedPlacer, ScatterPlacer, SmtAwarePlacer};
+pub use placers::{
+    place_packed, MigrateOnSaturationPlacer, PackLocalPlacer, PackedPlacer, ScatterPlacer,
+    SmtAwarePlacer, SpreadSocketsPlacer,
+};
 pub use selectors::{
     FitnessSelector, GreedySelector, LookaheadSelector, NullSelector, RandomSelector,
 };

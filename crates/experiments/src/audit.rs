@@ -46,6 +46,9 @@ pub struct FuzzCell {
     pub seed: u64,
     /// Work-volume scale.
     pub scale: f64,
+    /// Socket count for the machine topology (1 = the flat default bus;
+    /// >1 runs the hierarchical bus with per-level Λ solves).
+    pub sockets: usize,
 }
 
 /// Build a workload mix from paper application names; `None` if any name
@@ -95,6 +98,9 @@ pub fn spec_string(s: &StackSpec) -> String {
         PlacerKind::Packed => "packed",
         PlacerKind::Scatter => "scatter",
         PlacerKind::Smt => "smt",
+        PlacerKind::PackLocal => "pack_local",
+        PlacerKind::SpreadSockets => "spread_sockets",
+        PlacerKind::Migrate => "migrate",
     };
     format!(
         "estimator={est},admission={adm},selector={sel},placer={plc},quantum={}",
@@ -116,12 +122,16 @@ pub fn csv_line(r: &RunResult) -> String {
 }
 
 fn runner_config(cell: &FuzzCell, trace: TraceMode) -> RunnerConfig {
-    RunnerConfig {
+    let mut rc = RunnerConfig {
         scale: cell.scale,
         seed: cell.seed,
         trace,
         ..RunnerConfig::default()
+    };
+    if cell.sockets > 1 {
+        rc.machine.topology = busbw_sim::TopologyConfig::multi(cell.sockets);
     }
+    rc
 }
 
 /// Run one cell serially under the full invariant catalog and return
@@ -269,10 +279,13 @@ fn random_stack(rng: &mut StdRng) -> StackSpec {
         3 => SelectorKind::Lookahead,
         _ => SelectorKind::None,
     };
-    let placer = match rng.gen_range(0..3u32) {
+    let placer = match rng.gen_range(0..6u32) {
         0 => PlacerKind::Packed,
         1 => PlacerKind::Scatter,
-        _ => PlacerKind::Smt,
+        2 => PlacerKind::Smt,
+        3 => PlacerKind::PackLocal,
+        4 => PlacerKind::SpreadSockets,
+        _ => PlacerKind::Migrate,
     };
     StackSpec {
         estimator,
@@ -300,6 +313,9 @@ pub fn fuzz_cell(campaign_seed: u64, i: u64, scale: f64) -> FuzzCell {
         mix: random_mix(&mut rng),
         seed: rng.gen_range(0..1_000_000u64),
         scale,
+        // Half the cells stay on the flat default bus, half exercise the
+        // hierarchical topology path (2- or 4-socket).
+        sockets: [1, 1, 2, 4][rng.gen_range(0..4usize)],
     }
 }
 
@@ -361,6 +377,17 @@ pub fn shrink(
                 improved = true;
             }
         }
+        // Topology minimization: collapse to the flat single-socket bus.
+        if best.sockets != 1 {
+            let mut cand = best.clone();
+            cand.sockets = 1;
+            let v = check(&cand);
+            if !v.is_empty() {
+                best = cand;
+                best_violations = v;
+                improved = true;
+            }
+        }
         if !improved {
             return (best, best_violations);
         }
@@ -395,6 +422,7 @@ fn audit_repro() {{
         mix: vec![{mix}],
         seed: {seed},
         scale: {scale:?},
+        sockets: {sockets},
     }};
     let violations = check_cell_differential(&cell, 4);
     assert!(violations.is_empty(), "{{violations:?}}");
@@ -409,6 +437,7 @@ fn audit_repro() {{
             .join(", "),
         seed = cell.seed,
         scale = cell.scale,
+        sockets = cell.sockets,
     )
 }
 
@@ -431,6 +460,7 @@ pub fn repro_json(cell: &FuzzCell, violations: &[Violation]) -> String {
     );
     let _ = writeln!(out, "  \"seed\": {},", cell.seed);
     let _ = writeln!(out, "  \"scale\": {:?},", cell.scale);
+    let _ = writeln!(out, "  \"sockets\": {},", cell.sockets);
     let _ = writeln!(out, "  \"violations\": [");
     for (i, v) in violations.iter().enumerate() {
         let comma = if i + 1 < violations.len() { "," } else { "" };
@@ -647,6 +677,21 @@ mod tests {
         assert!(violations.is_empty(), "{violations:?}");
     }
 
+    #[test]
+    fn multi_socket_cell_is_clean_under_full_differential_check() {
+        // Pin a hierarchical-topology cell with a socket-aware placer so
+        // the five-way differential always covers the per-level Λ path.
+        let cell = FuzzCell {
+            stack: StackSpec::parse("placer=pack_local").unwrap(),
+            mix: vec!["CG", "SP"],
+            seed: 7,
+            scale: 0.05,
+            sockets: 2,
+        };
+        let violations = check_cell_differential(&cell, 4);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
     /// The seeded fault: a placer that books every admitted thread onto
     /// cpu 0.
     struct DoubleBookPlacer;
@@ -728,11 +773,13 @@ mod tests {
             mix: vec!["SP", "CG", "Raytrace", "LU CB"],
             seed: 99,
             scale: 0.1,
+            sockets: 4,
         };
         let dir = std::env::temp_dir().join(format!("busbw-audit-repro-{}", std::process::id()));
         let shrunk = shrink_and_write_repro(&dir, &noisy, &mut check).expect("write repro");
         assert_eq!(shrunk.mix, vec!["CG"], "mix fully minimized");
         assert!(matches!(shrunk.stack.selector, SelectorKind::Greedy));
+        assert_eq!(shrunk.sockets, 1, "topology collapsed to the flat bus");
         // Every other stage reset to the paper default.
         let default = StackSpec::default();
         assert_eq!(shrunk.stack.estimator, default.estimator);

@@ -40,7 +40,11 @@ use crate::runner::{PolicyKind, RunCompletion, RunResult, TraceMode, UnfinishedA
 /// v3: the open-system manager runs joined — `RunShape::Open` in the key
 /// encoding, `ClientArrived`/`ClientShed`/`ClientDeparted` in the event
 /// codec, and [`RunResult`] grew optional [`OpenStats`].
-pub const RUN_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: hierarchical bus topologies joined — [`MachineConfig::topology`]
+/// in the machine encoding, the three socket-aware placer kinds in the
+/// stack encoding, and `LevelSaturated` in the event codec.
+pub const RUN_SCHEMA_VERSION: u32 = 4;
 
 /// Magic bytes prefixing every on-disk cache entry.
 const MAGIC: &[u8; 8] = b"BBWRUN\x00\x01";
@@ -352,6 +356,9 @@ pub(crate) fn encode_stack_spec(e: &mut Enc, s: &StackSpec) {
         PlacerKind::Packed => 0,
         PlacerKind::Scatter => 1,
         PlacerKind::Smt => 2,
+        PlacerKind::PackLocal => 3,
+        PlacerKind::SpreadSockets => 4,
+        PlacerKind::Migrate => 5,
     });
     e.u64(s.quantum_us);
 }
@@ -373,6 +380,9 @@ pub(crate) fn encode_machine(e: &mut Enc, m: &MachineConfig) {
     e.f64(m.cache.decay_tau_us);
     e.f64(m.cache.cold_demand_boost);
     e.f64(m.cache.min_tracked_warmth);
+    e.usize(m.topology.sockets);
+    e.f64(m.topology.interconnect_tx_per_us);
+    e.f64(m.topology.remote_fraction);
 }
 
 /// Encode the trace wiring — collected traces are part of the result, so
@@ -565,6 +575,18 @@ fn encode_event(e: &mut Enc, ev: &TraceEvent) {
             e.u64(*client);
             e.u64(*turnaround_us);
         }
+        TraceEvent::LevelSaturated {
+            at_us,
+            level,
+            utilization,
+            dilation,
+        } => {
+            e.u8(17);
+            e.u64(*at_us);
+            e.u64(*level);
+            e.f64(*utilization);
+            e.f64(*dilation);
+        }
     }
 }
 
@@ -665,6 +687,12 @@ fn decode_event(d: &mut Dec) -> Result<TraceEvent, String> {
             client: d.u64()?,
             turnaround_us: d.u64()?,
         },
+        17 => TraceEvent::LevelSaturated {
+            at_us: d.u64()?,
+            level: d.u64()?,
+            utilization: d.f64()?,
+            dilation: d.f64()?,
+        },
         t => return Err(format!("unknown event tag {t}")),
     })
 }
@@ -729,6 +757,13 @@ pub fn encode_result(r: &RunResult) -> Vec<u8> {
             e.u64(o.overhead_us);
             e.f64(o.mean_slowdown);
         }
+    }
+    e.usize(r.n_levels);
+    for &u in &r.level_utilization {
+        e.f64(u);
+    }
+    for &s in &r.level_saturated {
+        e.f64(s);
     }
     e.into_bytes()
 }
@@ -802,6 +837,18 @@ pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
         }),
         t => return Err(format!("unknown open-stats tag {t}")),
     };
+    let n_levels = d.usize()?;
+    if n_levels > busbw_sim::MAX_BUS_LEVELS {
+        return Err(format!("level count {n_levels} out of range"));
+    }
+    let mut level_utilization = [0.0; busbw_sim::MAX_BUS_LEVELS];
+    for u in level_utilization.iter_mut() {
+        *u = d.f64()?;
+    }
+    let mut level_saturated = [0.0; busbw_sim::MAX_BUS_LEVELS];
+    for s in level_saturated.iter_mut() {
+        *s = d.f64()?;
+    }
     d.done()?;
     Ok(RunResult {
         turnarounds_us,
@@ -818,6 +865,9 @@ pub fn decode_result(bytes: &[u8]) -> Result<RunResult, String> {
         memo_misses,
         stage_timings,
         open,
+        n_levels,
+        level_utilization,
+        level_saturated,
     })
 }
 
@@ -1023,6 +1073,12 @@ mod tests {
                     client: 4,
                     turnaround_us: 20,
                 },
+                TraceEvent::LevelSaturated {
+                    at_us: 730,
+                    level: 2,
+                    utilization: 1.0,
+                    dilation: 1.4,
+                },
             ],
             tick_dt_hist: hist,
             memo_hits: 7,
@@ -1041,6 +1097,19 @@ mod tests {
                 overhead_us: 31_415,
                 mean_slowdown: f64::consts_hack(),
             }),
+            n_levels: 3,
+            level_utilization: {
+                let mut u = [0.0; busbw_sim::MAX_BUS_LEVELS];
+                u[0] = 1.0;
+                u[1] = 0.42;
+                u[2] = f64::consts_hack();
+                u
+            },
+            level_saturated: {
+                let mut s = [0.0; busbw_sim::MAX_BUS_LEVELS];
+                s[0] = 0.97;
+                s
+            },
         }
     }
 

@@ -68,6 +68,12 @@ pub fn staggered_run(
     let t1 = machine.turnaround_us(first).expect("first finished") as f64;
     let t2 = machine.turnaround_us(second).expect("second finished") as f64;
     let (memo_hits, memo_misses) = machine.bus_memo_stats().unwrap_or((0, 0));
+    let mut level_utilization = [0.0; busbw_sim::MAX_BUS_LEVELS];
+    let mut level_saturated = [0.0; busbw_sim::MAX_BUS_LEVELS];
+    for (k, l) in out.stats.levels[..out.stats.n_levels].iter().enumerate() {
+        level_utilization[k] = l.mean_utilization(out.stats.elapsed_us);
+        level_saturated[k] = l.saturated_fraction(out.stats.elapsed_us);
+    }
     RunResult {
         mean_turnaround_us: (t1 + t2) / 2.0,
         turnarounds_us: vec![t1, t2],
@@ -83,6 +89,9 @@ pub fn staggered_run(
         memo_misses,
         stage_timings: sched.stage_timings().cloned(),
         open: None,
+        n_levels: out.stats.n_levels,
+        level_utilization,
+        level_saturated,
     }
 }
 

@@ -779,6 +779,17 @@ mod tests {
                     ..rc
                 },
             ),
+            RunRequest::spec(
+                fig2_set_b(PaperApp::Cg),
+                PolicyKind::Linux,
+                &RunnerConfig {
+                    machine: busbw_sim::MachineConfig {
+                        topology: busbw_sim::TopologyConfig::multi(2),
+                        ..rc.machine
+                    },
+                    ..rc
+                },
+            ),
             RunRequest::staggered(PaperApp::Cg, 100_000, PolicyKind::Linux, &rc),
             RunRequest::open(
                 crate::open::OpenSpec {
@@ -807,7 +818,7 @@ mod tests {
                 (0usize..5, 1usize..16),
                 0usize..5,
                 (0usize..5, 0u64..(1 << 48)),
-                0usize..3,
+                0usize..6,
                 1u64..1_000_000,
             )
                 .prop_map(|((e, n), a, (s, seed), p, quantum_us)| StackSpec {
@@ -832,7 +843,14 @@ mod tests {
                         3 => SelectorKind::Lookahead,
                         _ => SelectorKind::None,
                     },
-                    placer: [PlacerKind::Packed, PlacerKind::Scatter, PlacerKind::Smt][p],
+                    placer: [
+                        PlacerKind::Packed,
+                        PlacerKind::Scatter,
+                        PlacerKind::Smt,
+                        PlacerKind::PackLocal,
+                        PlacerKind::SpreadSockets,
+                        PlacerKind::Migrate,
+                    ][p],
                     quantum_us,
                 })
         }

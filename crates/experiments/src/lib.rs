@@ -16,6 +16,7 @@
 //! | `dynamic` | open-system extension — staggered job arrivals |
 //! | `open` | open-system managerd serve — turnaround tails (p50/p99/p999), shed rate, manager overhead vs offered load |
 //! | `robustness` | random job populations — win-rate of each policy over Linux |
+//! | `topo` | DESIGN §16 — socket-aware placers on 1/2/4-socket shapes, per-level bus utilisation |
 //! | `baselines` | Linux 2.4-like vs O(1)-like vs the policies vs model-driven |
 //! | `validate` | the reproduction gate: every EXPERIMENTS.md claim, PASS/FAIL |
 //! | `variance` | seed-sensitivity of Fig. 2B (the error bars the paper lacks) |
@@ -40,6 +41,7 @@ pub mod pool;
 pub mod robustness;
 pub mod runner;
 pub mod suite;
+pub mod topo;
 pub mod validate;
 pub mod variance;
 
@@ -69,5 +71,6 @@ pub use runner::{
     UnfinishedApp,
 };
 pub use suite::{fold_suite, plan_suite, SuiteCells, SuiteFigure};
+pub use topo::{fold_topo, plan_topo, topo_panel, TopoCells, TopoShape, TOPO_SHAPES};
 pub use validate::{render as render_validation, validate, Claim};
 pub use variance::fig2b_variance;

@@ -14,6 +14,7 @@
 //!   bench profile                             phase-attributed tick-engine breakdown
 //!   audit [--fuzz N]                         invariant catalog + differential fuzzer
 //!   open [--arrivals SPEC] [--duration S]    open-system managerd tail-latency figure
+//!   topo                                      socket-aware placers on 1/2/4-socket shapes
 //!   all                                      everything above
 //! ```
 //!
@@ -58,6 +59,7 @@ use busbw_experiments::dynamic::{fold_dynamic, plan_dynamic};
 use busbw_experiments::fig1::{fig1_results, fold_fig1a, fold_fig1b, plan_fig1};
 use busbw_experiments::fig2::{fig2_results, fold_fig2, plan_fig2};
 use busbw_experiments::robustness::{fold_robustness, plan_robustness};
+use busbw_experiments::topo::{fold_topo, plan_topo};
 use busbw_experiments::validate::{fold_validate, plan_validate};
 use busbw_experiments::variance::{fold_variance, plan_variance};
 use busbw_experiments::{
@@ -71,7 +73,7 @@ use busbw_trace::{fnv1a64, git_describe, json, ArtifactSum, Manifest, TraceInfo}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|open|baselines|robustness|validate|variance|bench tick-rate|bench profile|bench sweep|audit|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT] [--fuzz N] [--arrivals SPEC] [--duration S]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly\n  --fuzz N (audit) sets the number of random differential cells; audit\n  defaults to --scale 0.1 and writes <out>/repro.json on failure\n  --arrivals SPEC (open) picks the arrival process:\n  poisson:<rate|small> | pareto:<rate|small>[:alpha] |\n  diurnal:<rate|small>[:period_s] | trace:diurnal (rates in clients/s)\n  --duration S (open) sets the unscaled horizon in seconds (or `short`)"
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|open|baselines|robustness|topo|validate|variance|bench tick-rate|bench profile|bench sweep|audit|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT] [--fuzz N] [--arrivals SPEC] [--duration S]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt|pack_local|spread_sockets|migrate, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly\n  --fuzz N (audit) sets the number of random differential cells; audit\n  defaults to --scale 0.1 and writes <out>/repro.json on failure\n  --arrivals SPEC (open) picks the arrival process:\n  poisson:<rate|small> | pareto:<rate|small>[:alpha] |\n  diurnal:<rate|small>[:period_s] | trace:diurnal (rates in clients/s)\n  --duration S (open) sets the unscaled horizon in seconds (or `short`)"
     );
     std::process::exit(2);
 }
@@ -304,22 +306,41 @@ fn bench_field(json: &str, key: &str) -> Option<f64> {
 
 /// The committed `BENCH_tick.json` baseline: `git show HEAD:BENCH_tick.json`
 /// when available (so a dirty working copy — including the file this very
-/// run is about to overwrite — cannot masquerade as the baseline), falling
-/// back to the working-copy file outside a git checkout.
+/// run is about to overwrite — cannot masquerade as the baseline). Inside a
+/// git checkout whose HEAD has no `BENCH_tick.json` — a fresh branch or a
+/// shallow CI clone — the gate is skipped with a logged reason rather than
+/// silently trusting whatever file a previous run left behind; the
+/// working-copy fallback applies only outside a git checkout entirely.
 fn committed_baseline() -> Option<(String, &'static str)> {
-    if let Ok(o) = std::process::Command::new("git")
+    match std::process::Command::new("git")
         .args(["show", "HEAD:BENCH_tick.json"])
         .output()
     {
-        if o.status.success() {
+        Ok(o) if o.status.success() => {
             if let Ok(s) = String::from_utf8(o.stdout) {
                 return Some((s, "git HEAD"));
             }
+            None
         }
+        Ok(_) => {
+            let in_checkout = std::process::Command::new("git")
+                .args(["rev-parse", "--is-inside-work-tree"])
+                .output()
+                .is_ok_and(|o| o.status.success());
+            if in_checkout {
+                println!(
+                    "\n   no BENCH_tick.json in git HEAD (fresh branch?); regression gate skipped"
+                );
+                return None;
+            }
+            std::fs::read_to_string("BENCH_tick.json")
+                .ok()
+                .map(|s| (s, "working copy"))
+        }
+        Err(_) => std::fs::read_to_string("BENCH_tick.json")
+            .ok()
+            .map(|s| (s, "working copy")),
     }
-    std::fs::read_to_string("BENCH_tick.json")
-        .ok()
-        .map(|s| (s, "working copy"))
 }
 
 /// Measurement repetitions for `bench tick-rate`. The best wall time is
@@ -1222,6 +1243,18 @@ fn main() {
             |p| plan_robustness(p, 10, 5, &rc),
             fold_robustness,
         ),
+        "topo" => {
+            for shape in busbw_experiments::TOPO_SHAPES {
+                emit_figure(
+                    &mut engine,
+                    &mut ctx,
+                    out,
+                    &rc,
+                    |p| plan_topo(p, shape, &rc),
+                    fold_topo,
+                );
+            }
+        }
         "variance" => {
             for p in [PolicyKind::Latest, PolicyKind::Window] {
                 emit_figure(

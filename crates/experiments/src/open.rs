@@ -160,6 +160,9 @@ pub fn open_run(spec: &OpenSpec, rc: &RunnerConfig) -> RunResult {
             overhead_us: out.overhead_us,
             mean_slowdown: out.mean_slowdown(),
         }),
+        n_levels: 0,
+        level_utilization: [0.0; busbw_sim::MAX_BUS_LEVELS],
+        level_saturated: [0.0; busbw_sim::MAX_BUS_LEVELS],
     }
 }
 

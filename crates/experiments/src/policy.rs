@@ -10,16 +10,17 @@
 //! estimator=latest | window[:N] | ewma[:N] | raw | null
 //! admission=head | strict | fcfs | widest | open
 //! selector=fitness | random[:SEED] | greedy | lookahead | none
-//! placer=packed | scatter | smt
+//! placer=packed | scatter | smt | pack_local | spread_sockets | migrate
 //! quantum=<ms>
 //! ```
 
 use busbw_core::estimator::{EwmaEstimator, LatestQuantumEstimator, QuantaWindowEstimator};
 use busbw_core::pipeline::{
     Admission, Estimator, Fcfs, FitnessSelector, GreedySelector, HeadOfList, LookaheadSelector,
-    NullEstimator, NullSelector, Open, PackedPlacer, Placer, RandomSelector, RawRateEstimator,
-    ReconstructingEstimator, ScatterPlacer, Selector, SmtAwarePlacer, StrictHead, WidestFirst,
-    PAPER_QUANTUM_US, PAPER_WINDOW_SAMPLES,
+    MigrateOnSaturationPlacer, NullEstimator, NullSelector, Open, PackLocalPlacer, PackedPlacer,
+    Placer, RandomSelector, RawRateEstimator, ReconstructingEstimator, ScatterPlacer, Selector,
+    SmtAwarePlacer, SpreadSocketsPlacer, StrictHead, WidestFirst, PAPER_QUANTUM_US,
+    PAPER_WINDOW_SAMPLES,
 };
 use busbw_core::PolicyStack;
 
@@ -77,6 +78,13 @@ pub enum PlacerKind {
     Scatter,
     /// Affinity first, then fully idle cores before sibling sharing.
     Smt,
+    /// Socket-aware: keep each gang whole on one socket.
+    PackLocal,
+    /// Socket-aware: balance threads across sockets' local buses.
+    SpreadSockets,
+    /// Socket-aware: keep affinity until the local bus saturates, then
+    /// migrate to the least-utilized socket.
+    Migrate,
 }
 
 /// A fully-resolved four-stage stack choice, CLI- and cache-addressable.
@@ -157,6 +165,9 @@ impl StackSpec {
                 ("placer", "packed") => spec.placer = PlacerKind::Packed,
                 ("placer", "scatter") => spec.placer = PlacerKind::Scatter,
                 ("placer", "smt") => spec.placer = PlacerKind::Smt,
+                ("placer", "pack_local") => spec.placer = PlacerKind::PackLocal,
+                ("placer", "spread_sockets") => spec.placer = PlacerKind::SpreadSockets,
+                ("placer", "migrate") => spec.placer = PlacerKind::Migrate,
                 ("quantum", ms) => {
                     let ms: u64 = ms.parse().map_err(|_| format!("bad quantum (ms) {ms:?}"))?;
                     if ms == 0 {
@@ -197,6 +208,9 @@ impl StackSpec {
             PlacerKind::Packed => "packed",
             PlacerKind::Scatter => "scatter",
             PlacerKind::Smt => "smt",
+            PlacerKind::PackLocal => "pack_local",
+            PlacerKind::SpreadSockets => "spread_sockets",
+            PlacerKind::Migrate => "migrate",
         };
         let mut s = format!("{est}+{adm}+{sel}+{pl}");
         if self.quantum_us != PAPER_QUANTUM_US {
@@ -239,6 +253,9 @@ impl StackSpec {
             PlacerKind::Packed => Box::new(PackedPlacer),
             PlacerKind::Scatter => Box::new(ScatterPlacer),
             PlacerKind::Smt => Box::new(SmtAwarePlacer),
+            PlacerKind::PackLocal => Box::new(PackLocalPlacer),
+            PlacerKind::SpreadSockets => Box::new(SpreadSocketsPlacer),
+            PlacerKind::Migrate => Box::new(MigrateOnSaturationPlacer),
         };
         PolicyStack::new(
             self.label(),
@@ -274,6 +291,19 @@ mod tests {
         assert_eq!(s.placer, PlacerKind::Smt);
         assert_eq!(s.quantum_us, 100_000);
         assert_eq!(s.label(), "window7+fcfs+random9+smt@100ms");
+    }
+
+    #[test]
+    fn socket_aware_placers_round_trip() {
+        for (text, kind) in [
+            ("pack_local", PlacerKind::PackLocal),
+            ("spread_sockets", PlacerKind::SpreadSockets),
+            ("migrate", PlacerKind::Migrate),
+        ] {
+            let s = StackSpec::parse(&format!("placer={text}")).unwrap();
+            assert_eq!(s.placer, kind);
+            assert_eq!(s.label(), format!("latest+head+fitness+{text}"));
+        }
     }
 
     #[test]
@@ -321,7 +351,14 @@ mod tests {
             SelectorKind::Lookahead,
             SelectorKind::None,
         ];
-        let pls = [PlacerKind::Packed, PlacerKind::Scatter, PlacerKind::Smt];
+        let pls = [
+            PlacerKind::Packed,
+            PlacerKind::Scatter,
+            PlacerKind::Smt,
+            PlacerKind::PackLocal,
+            PlacerKind::SpreadSockets,
+            PlacerKind::Migrate,
+        ];
         let m = busbw_sim::Machine::new(busbw_sim::XEON_4WAY);
         for e in ests {
             for a in adms {

@@ -284,6 +284,15 @@ pub struct RunResult {
     /// Open-system accounting when the run was an open managerd serve
     /// (`None` for the closed-batch workloads).
     pub open: Option<OpenStats>,
+    /// Number of bus levels the machine reported (0 = flat single bus;
+    /// hierarchical topologies report one per socket plus the
+    /// interconnect).
+    pub n_levels: usize,
+    /// Per-level mean utilization over the run (first `n_levels` slots).
+    pub level_utilization: [f64; busbw_sim::MAX_BUS_LEVELS],
+    /// Per-level fraction of wall time spent saturated (first `n_levels`
+    /// slots).
+    pub level_saturated: [f64; busbw_sim::MAX_BUS_LEVELS],
 }
 
 /// Accounting of one open-system managerd run (see `busbw_managerd`):
@@ -498,6 +507,12 @@ pub(crate) fn finalize_run(p: PreparedRun, out: busbw_sim::RunOutcome) -> RunRes
         RunCompletion::HardCap { unfinished }
     };
     let (memo_hits, memo_misses) = machine.bus_memo_stats().unwrap_or((0, 0));
+    let mut level_utilization = [0.0; busbw_sim::MAX_BUS_LEVELS];
+    let mut level_saturated = [0.0; busbw_sim::MAX_BUS_LEVELS];
+    for (k, l) in out.stats.levels[..out.stats.n_levels].iter().enumerate() {
+        level_utilization[k] = l.mean_utilization(out.stats.elapsed_us);
+        level_saturated[k] = l.saturated_fraction(out.stats.elapsed_us);
+    }
     RunResult {
         mean_turnaround_us: busbw_metrics::mean(&turnarounds).unwrap_or(0.0),
         turnarounds_us: turnarounds,
@@ -513,6 +528,9 @@ pub(crate) fn finalize_run(p: PreparedRun, out: busbw_sim::RunOutcome) -> RunRes
         memo_misses,
         stage_timings,
         open: None,
+        n_levels: out.stats.n_levels,
+        level_utilization,
+        level_saturated,
     }
 }
 

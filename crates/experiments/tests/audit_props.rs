@@ -58,7 +58,7 @@ fn arb_stack() -> impl Strategy<Value = StackSpec> {
         (0usize..5, 1usize..8),
         0usize..5,
         (0usize..5, 0u64..1000),
-        0usize..3,
+        0usize..6,
         0usize..5,
     )
         .prop_map(|((e, n), a, (s, seed), p, q)| StackSpec {
@@ -83,7 +83,14 @@ fn arb_stack() -> impl Strategy<Value = StackSpec> {
                 3 => SelectorKind::Lookahead,
                 _ => SelectorKind::None,
             },
-            placer: [PlacerKind::Packed, PlacerKind::Scatter, PlacerKind::Smt][p],
+            placer: [
+                PlacerKind::Packed,
+                PlacerKind::Scatter,
+                PlacerKind::Smt,
+                PlacerKind::PackLocal,
+                PlacerKind::SpreadSockets,
+                PlacerKind::Migrate,
+            ][p],
             quantum_us: [20_000, 50_000, 100_000, 200_000, 400_000][q],
         })
 }
@@ -100,9 +107,11 @@ proptest! {
         stack in arb_stack(),
         app_idxs in proptest::collection::vec(0..PaperApp::ALL.len(), 2..4),
         seed in 0u64..10_000,
+        sockets_idx in 0usize..3,
     ) {
         let mix: Vec<&str> = app_idxs.iter().map(|&i| PaperApp::ALL[i].name()).collect();
-        let cell = FuzzCell { stack, mix, seed, scale: 0.05 };
+        let sockets = [1, 2, 4][sockets_idx];
+        let cell = FuzzCell { stack, mix, seed, scale: 0.05, sockets };
         let violations = check_cell_differential(&cell, 2);
         prop_assert!(violations.is_empty(), "{cell:?}: {violations:?}");
     }

@@ -496,6 +496,30 @@ mod tests {
     }
 
     #[test]
+    fn quantile_at_bucket_boundary_interpolates_exactly() {
+        // Two equally-filled buckets: the target rank of the median falls
+        // exactly on the shared bucket edge, so interpolation must land
+        // on the boundary itself (frac = 1.0 of the first bucket), and
+        // any q beyond it must move into the second bucket starting from
+        // that same edge — no double-counting, no discontinuity.
+        let mut h = Histogram::new(vec![10.0, 20.0]);
+        h.record_n(5.0, 10); // bucket 0: (min .. 10]
+        h.record_n(15.0, 10); // bucket 1: (10 .. 20]
+        assert_eq!(h.quantile(0.5), Some(10.0), "median on the bucket edge");
+        // Mid-bucket ranks interpolate linearly from the clamped ends:
+        // q = 0.25 → rank 5 of 10 in [min = 5, 10] → 7.5,
+        // q = 0.75 → rank 5 of 10 in [10, max = 15] → 12.5.
+        assert_eq!(h.quantile(0.25), Some(7.5));
+        assert_eq!(h.quantile(0.75), Some(12.5));
+        // Just past the edge: continuous from the boundary, not from 0.
+        let just_past = h.quantile(0.5 + 1e-9).unwrap();
+        assert!(
+            (10.0..10.1).contains(&just_past),
+            "q ε past the median must leave the edge continuously: {just_past}"
+        );
+    }
+
+    #[test]
     fn quantile_of_overflow_heavy_stream_stays_within_samples() {
         let mut h = Histogram::new(vec![1.0]);
         h.record_n(1e6, 1000); // everything in the overflow bucket

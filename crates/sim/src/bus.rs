@@ -29,7 +29,7 @@
 //! Two alternative arbiters ([`MaxMinFairBus`], [`ProportionalBus`]) and a
 //! null model ([`UnlimitedBus`]) exist for ablations and testing.
 
-use crate::config::BusConfig;
+use crate::config::{BusConfig, TopologyConfig};
 use crate::ids::ThreadId;
 
 /// One thread's demand presented to the bus for a tick.
@@ -46,6 +46,15 @@ pub struct BusRequest {
     pub rate: f64,
     /// Memory-boundness in `[0, 1]`.
     pub mu: f64,
+    /// The socket the thread is executing on this tick. Single-level
+    /// models ([`FsbBus`] and the ablation arbiters) ignore it; a
+    /// [`HierarchicalBus`] charges this socket's local bus.
+    pub socket: usize,
+    /// Fraction of this thread's traffic that also crosses the
+    /// cross-socket interconnect (see
+    /// [`crate::config::TopologyConfig::remote_share`]). 0 on a
+    /// single-socket machine.
+    pub remote: f64,
 }
 
 /// The bus's answer for one thread.
@@ -104,6 +113,33 @@ impl BusOutcome {
     }
 }
 
+/// The state of one topology level (a socket's local bus, or the
+/// cross-socket interconnect) after an arbitration. Exposed by
+/// [`BusModel::levels`] so the machine can account per-level pressure
+/// without downcasting the boxed model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LevelOutcome {
+    /// Σ demand charged to this level, tx/µs (interconnect demand is
+    /// already scaled by each request's remote fraction).
+    pub demand: f64,
+    /// Σ traffic actually issued through this level, tx/µs.
+    pub issued: f64,
+    /// Effective capacity of this level for this request set, tx/µs.
+    pub effective_capacity: f64,
+    /// The dilation Λ this level imposes on the requests crossing it.
+    pub dilation: f64,
+    /// Utilization ρ = min(demand / effective_capacity, 1).
+    pub utilization: f64,
+    /// Whether demand charged to this level exceeded its capacity.
+    pub saturated: bool,
+}
+
+/// The largest number of topology levels tracked per-level in fixed-size
+/// accounting ([`crate::stats::RunStats`] arrays): 4 sockets + the
+/// interconnect. Wider topologies still simulate correctly; levels past
+/// this many fold into the last accounting slot.
+pub const MAX_BUS_LEVELS: usize = 5;
+
 /// A bus arbitration model.
 ///
 /// `&mut self` lets models keep scratch buffers and memoized solver state
@@ -159,6 +195,14 @@ pub trait BusModel: Send {
     /// `Box<dyn BusModel>`.
     fn memo_stats(&self) -> Option<(u64, u64)> {
         None
+    }
+
+    /// Per-level outcomes of the most recent arbitration, in a fixed
+    /// order (sockets 0.., then the interconnect last). Single-level
+    /// models return the empty slice, which the machine reads as "no
+    /// per-level accounting".
+    fn levels(&self) -> &[LevelOutcome] {
+        &[]
     }
 }
 
@@ -738,6 +782,196 @@ fn lane_key(reqs: &[BusRequest], job: SolveJob) -> (u64, u64) {
     (a, b)
 }
 
+/// A multi-socket bus topology: N sockets, each with its own local bus
+/// (parameterized by the same [`BusConfig`] as [`FsbBus`]), joined by a
+/// shared cross-socket interconnect.
+///
+/// A request charges every level it crosses: its full rate on the local
+/// bus of the socket it executes on, and `remote × rate` on the
+/// interconnect. Λ is solved **per level** — each level is literally an
+/// [`FsbBus`] (same arbitration derate, saturated [`solve_lambda`] root
+/// with a per-level warm-start memo, sub-saturation queueing penalty; the
+/// interconnect level zeroes the per-master derate, a point-to-point link
+/// does not re-arbitrate per master) — and a thread's grant is the min
+/// across the levels it touches: its effective dilation is
+/// `max(Λ_local(socket), Λ_interconnect if remote > 0)`.
+///
+/// **Degenerate case**: at one socket every request is local (the machine
+/// derives `remote = 0`), level 0 receives exactly the request sequence a
+/// bare [`FsbBus`] would, and the final per-thread speeds re-run the same
+/// `dilated_speed` fold — so the outcome is bit-identical to [`FsbBus`],
+/// memo behaviour included. A differential test below pins this; the
+/// machine still instantiates the bare [`FsbBus`] for single-socket
+/// configs, so the equivalence is a proven invariant rather than a
+/// load-bearing path.
+#[derive(Debug)]
+pub struct HierarchicalBus {
+    cfg: BusConfig,
+    topo: TopologyConfig,
+    /// One solver per level: sockets `0..N`, then the interconnect.
+    level_bus: Vec<FsbBus>,
+    /// Per-socket request scratch, rebuilt each arbitration.
+    local: Vec<Vec<BusRequest>>,
+    /// Interconnect request scratch (rates pre-scaled by `remote`).
+    inter: Vec<BusRequest>,
+    /// Per-level outcome scratch.
+    level_out: Vec<BusOutcome>,
+    /// Per-level summaries of the last arbitration (sockets, then
+    /// interconnect), exposed through [`BusModel::levels`].
+    levels: Vec<LevelOutcome>,
+}
+
+impl HierarchicalBus {
+    /// A hierarchical bus over `topo` whose per-socket local buses use
+    /// `cfg` (the interconnect inherits the queueing shape but uses the
+    /// topology's capacity and no per-master derate).
+    pub fn new(cfg: BusConfig, topo: TopologyConfig) -> Self {
+        let sockets = topo.sockets.max(1);
+        let inter_cfg = BusConfig {
+            capacity_tx_per_us: topo.interconnect_tx_per_us,
+            arbitration_per_master: 0.0,
+            ..cfg
+        };
+        let mut level_bus: Vec<FsbBus> = (0..sockets).map(|_| FsbBus::new(cfg)).collect();
+        level_bus.push(FsbBus::new(inter_cfg));
+        let n_levels = sockets + 1;
+        Self {
+            cfg,
+            topo,
+            level_bus,
+            local: vec![Vec::new(); sockets],
+            inter: Vec::new(),
+            level_out: (0..n_levels)
+                .map(|_| BusOutcome::empty(cfg.capacity_tx_per_us))
+                .collect(),
+            levels: vec![LevelOutcome::default(); n_levels],
+        }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &TopologyConfig {
+        &self.topo
+    }
+
+    /// Number of levels: sockets + 1 (interconnect last).
+    pub fn n_levels(&self) -> usize {
+        self.level_bus.len()
+    }
+}
+
+impl BusModel for HierarchicalBus {
+    fn arbitrate_into(&mut self, reqs: &[BusRequest], out: &mut BusOutcome) {
+        let sockets = self.local.len();
+        for l in &mut self.local {
+            l.clear();
+        }
+        self.inter.clear();
+        for r in reqs {
+            self.local[r.socket.min(sockets - 1)].push(*r);
+            if r.remote > 0.0 {
+                self.inter.push(BusRequest {
+                    rate: r.rate * r.remote,
+                    ..*r
+                });
+            }
+        }
+        // Solve each level independently (sockets in index order, then
+        // the interconnect) — fixed iteration order keeps the model
+        // deterministic and each level's FsbBus memo coherent.
+        for k in 0..sockets {
+            let (bus, slot) = (&mut self.level_bus[k], &mut self.level_out[k]);
+            bus.arbitrate_into(&self.local[k], slot);
+            self.levels[k] = LevelOutcome {
+                demand: slot.total_demand,
+                issued: 0.0, // re-folded below at the final per-thread speeds
+                effective_capacity: slot.effective_capacity,
+                dilation: slot.dilation,
+                utilization: slot.utilization,
+                saturated: slot.saturated,
+            };
+        }
+        {
+            let (bus, slot) = (&mut self.level_bus[sockets], &mut self.level_out[sockets]);
+            bus.arbitrate_into(&self.inter, slot);
+            self.levels[sockets] = LevelOutcome {
+                demand: slot.total_demand,
+                issued: 0.0,
+                effective_capacity: slot.effective_capacity,
+                dilation: slot.dilation,
+                utilization: slot.utilization,
+                saturated: slot.saturated,
+            };
+        }
+        let lambda_inter = self.levels[sockets].dilation;
+        // Final fold, in request order: each thread is dilated by the
+        // worst level it touches, and issued traffic is re-attributed to
+        // every level it crosses at that final speed.
+        out.shares.clear();
+        let mut total_demand = 0.0;
+        let mut total_issued = 0.0;
+        for r in reqs {
+            let socket = r.socket.min(sockets - 1);
+            let mut lambda = self.levels[socket].dilation;
+            if r.remote > 0.0 && lambda_inter > lambda {
+                lambda = lambda_inter;
+            }
+            let speed = dilated_speed(r.mu, lambda);
+            let issue_rate = r.rate * speed;
+            total_demand += r.rate;
+            total_issued += issue_rate;
+            self.levels[socket].issued += issue_rate;
+            if r.remote > 0.0 {
+                self.levels[sockets].issued += issue_rate * r.remote;
+            }
+            out.shares.push(BusShare {
+                thread: r.thread,
+                speed,
+                issue_rate,
+            });
+        }
+        // Whole-machine summary: capacity is the sum of the local-bus
+        // ceilings (the interconnect constrains a subset, it adds no
+        // issue capacity); dilation/utilization/saturation report the
+        // bottleneck level.
+        let mut cap = 0.0;
+        let mut dilation = 1.0f64;
+        let mut utilization = 0.0f64;
+        let mut saturated = false;
+        for (k, lvl) in self.levels.iter().enumerate() {
+            if k < sockets {
+                cap += lvl.effective_capacity;
+            }
+            dilation = dilation.max(lvl.dilation);
+            utilization = utilization.max(lvl.utilization);
+            saturated |= lvl.saturated;
+        }
+        out.total_demand = total_demand;
+        out.total_issued = total_issued;
+        out.effective_capacity = cap;
+        out.dilation = dilation;
+        out.utilization = utilization;
+        out.saturated = saturated;
+    }
+
+    fn nominal_capacity(&self) -> f64 {
+        self.cfg.capacity_tx_per_us * self.local.len() as f64
+    }
+
+    fn memo_stats(&self) -> Option<(u64, u64)> {
+        let mut hits = 0;
+        let mut misses = 0;
+        for b in &self.level_bus {
+            hits += b.memo_hits();
+            misses += b.memo_misses();
+        }
+        Some((hits, misses))
+    }
+
+    fn levels(&self) -> &[LevelOutcome] {
+        &self.levels
+    }
+}
+
 /// Classic max-min fair arbitration (ablation alternative).
 ///
 /// Small demands are fully satisfied; the surplus is split equally among
@@ -919,12 +1153,15 @@ impl BusModel for UnlimitedBus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PAPER_BUS_TX_PER_US;
 
     fn req(id: u64, rate: f64, mu: f64) -> BusRequest {
         BusRequest {
             thread: ThreadId(id),
             rate,
             mu,
+            socket: 0,
+            remote: 0.0,
         }
     }
 
@@ -1052,14 +1289,14 @@ mod tests {
     #[test]
     fn max_min_allocation_properties() {
         let demands = vec![1.0, 5.0, 20.0, 30.0];
-        let grants = MaxMinFairBus::max_min(&demands, 29.5);
+        let grants = MaxMinFairBus::max_min(&demands, PAPER_BUS_TX_PER_US);
         // Grants never exceed demands.
         for (g, d) in grants.iter().zip(&demands) {
             assert!(g <= d);
         }
         // Capacity fully used when total demand exceeds it.
         let total: f64 = grants.iter().sum();
-        assert!((total - 29.5).abs() < 1e-9);
+        assert!((total - PAPER_BUS_TX_PER_US).abs() < 1e-9);
         // Small demand fully satisfied.
         assert!((grants[0] - 1.0).abs() < 1e-9);
         // The two large demands get equal shares.
@@ -1069,7 +1306,7 @@ mod tests {
     #[test]
     fn max_min_under_capacity_grants_everything() {
         let demands = vec![3.0, 4.0];
-        let grants = MaxMinFairBus::max_min(&demands, 29.5);
+        let grants = MaxMinFairBus::max_min(&demands, PAPER_BUS_TX_PER_US);
         assert_eq!(grants, demands);
     }
 
@@ -1141,10 +1378,16 @@ mod tests {
 
     #[test]
     fn solve_lambda_empty_and_zero_rate_requests_stay_at_unity() {
-        assert_eq!(solve_lambda(&[], 29.5, 0.0), 1.0);
-        assert_eq!(solve_lambda(&[req(0, 0.0, 0.7)], 29.5, 0.0), 1.0);
+        assert_eq!(solve_lambda(&[], PAPER_BUS_TX_PER_US, 0.0), 1.0);
+        assert_eq!(
+            solve_lambda(&[req(0, 0.0, 0.7)], PAPER_BUS_TX_PER_US, 0.0),
+            1.0
+        );
         // A stale warm start must not leak through: f(warm) ≤ 0 rejects it.
-        assert_eq!(solve_lambda(&[req(0, 0.0, 0.7)], 29.5, 5.0), 1.0);
+        assert_eq!(
+            solve_lambda(&[req(0, 0.0, 0.7)], PAPER_BUS_TX_PER_US, 5.0),
+            1.0
+        );
     }
 
     #[test]
@@ -1153,9 +1396,9 @@ mod tests {
         // must give up at the ceiling instead of looping or dividing by a
         // zero slope.
         let reqs = [req(0, 20.0, 0.0), req(1, 15.0, 0.0)];
-        assert_eq!(solve_lambda(&reqs, 29.5, 0.0), 1e9);
+        assert_eq!(solve_lambda(&reqs, PAPER_BUS_TX_PER_US, 0.0), 1e9);
         // Same with a (useless) warm start.
-        assert_eq!(solve_lambda(&reqs, 29.5, 3.0), 1e9);
+        assert_eq!(solve_lambda(&reqs, PAPER_BUS_TX_PER_US, 3.0), 1e9);
         // Below capacity the same requests are trivially unsaturated.
         assert_eq!(solve_lambda(&reqs, 40.0, 0.0), 1.0);
     }
@@ -1165,7 +1408,7 @@ mod tests {
         // Σ dᵢ at λ = 1 equals capacity exactly: f(1) = 0, so the solver
         // must return 1.0 without stepping (stepping would overshoot and
         // under-issue).
-        let cap = 29.5;
+        let cap = PAPER_BUS_TX_PER_US;
         assert_eq!(solve_lambda(&[req(0, cap, 0.5)], cap, 0.0), 1.0);
         let half = cap / 2.0;
         assert_eq!(
@@ -1180,7 +1423,7 @@ mod tests {
         // λ = d/cap. Newton on f(λ) = d/λ − cap from the left converges to
         // it; the residual at the returned λ must be ≤ 0 (never
         // over-issues).
-        let cap = 29.5;
+        let cap = PAPER_BUS_TX_PER_US;
         for k in [1.5, 2.0, 7.0, 250.0] {
             let reqs = [req(0, k * cap, 1.0)];
             let lambda = solve_lambda(&reqs, cap, 0.0);
@@ -1252,14 +1495,14 @@ mod tests {
             (
                 vec![req(0, 35.0, 0.0)], // λ-insensitive: hits LAMBDA_MAX
                 SolveJob {
-                    cap: 29.5,
+                    cap: PAPER_BUS_TX_PER_US,
                     warm: 0.0,
                 },
             ),
             (
                 vec![req(0, 59.0, 1.0)], // degenerate single-thread root
                 SolveJob {
-                    cap: 29.5,
+                    cap: PAPER_BUS_TX_PER_US,
                     warm: 1.7,
                 },
             ),
@@ -1317,6 +1560,133 @@ mod tests {
         assert_eq!(batch.solves(), 2);
     }
 
+    // --- HierarchicalBus --------------------------------------------
+
+    fn hreq(id: u64, rate: f64, mu: f64, socket: usize, remote: f64) -> BusRequest {
+        BusRequest {
+            thread: ThreadId(id),
+            rate,
+            mu,
+            socket,
+            remote,
+        }
+    }
+
+    #[test]
+    fn hierarchical_single_socket_is_bit_identical_to_fsb() {
+        // The degenerate 1-socket topology must reproduce FsbBus
+        // byte-for-byte across a history exercising every path: a
+        // saturated solve, a memo hit, an unsaturated set, an empty
+        // tick, and a warm-started re-solve.
+        let mut fsb = default_fsb();
+        let mut hier = HierarchicalBus::new(BusConfig::default(), SINGLE_SOCKET_TOPO);
+        let sat: Vec<_> = (0..4).map(|i| req(i, 15.0, 0.9)).collect();
+        let light = [req(0, 1.0, 0.2)];
+        let sat2: Vec<_> = (0..4).map(|i| req(i, 16.0, 0.95)).collect();
+        for set in [&sat[..], &sat[..], &light[..], &[][..], &sat2[..]] {
+            let a = fsb.arbitrate(set);
+            let b = hier.arbitrate(set);
+            assert_eq!(a.dilation.to_bits(), b.dilation.to_bits());
+            assert_eq!(a.total_demand.to_bits(), b.total_demand.to_bits());
+            assert_eq!(a.total_issued.to_bits(), b.total_issued.to_bits());
+            assert_eq!(
+                a.effective_capacity.to_bits(),
+                b.effective_capacity.to_bits()
+            );
+            assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+            assert_eq!(a.saturated, b.saturated);
+            assert_eq!(a.shares.len(), b.shares.len());
+            for (x, y) in a.shares.iter().zip(&b.shares) {
+                assert_eq!(x.thread, y.thread);
+                assert_eq!(x.speed.to_bits(), y.speed.to_bits());
+                assert_eq!(x.issue_rate.to_bits(), y.issue_rate.to_bits());
+            }
+        }
+        assert_eq!(fsb.memo_stats(), hier.memo_stats());
+        // 2 levels reported (socket 0 + idle interconnect).
+        assert_eq!(hier.levels().len(), 2);
+    }
+
+    const SINGLE_SOCKET_TOPO: TopologyConfig = crate::config::SINGLE_SOCKET;
+
+    #[test]
+    fn hierarchical_isolates_sockets_without_remote_traffic() {
+        // Streamers saturate socket 0's local bus; a light thread on
+        // socket 1 with no remote traffic is untouched by them.
+        let mut bus = HierarchicalBus::new(BusConfig::default(), TopologyConfig::multi(2));
+        let out = bus.arbitrate(&[
+            hreq(0, 23.6, 0.98, 0, 0.0),
+            hreq(1, 23.6, 0.98, 0, 0.0),
+            hreq(2, 1.0, 0.2, 1, 0.0),
+        ]);
+        let lv = bus.levels();
+        assert_eq!(lv.len(), 3);
+        assert!(lv[0].saturated, "socket 0 must saturate: {lv:?}");
+        assert!(!lv[1].saturated);
+        assert!(!lv[2].saturated);
+        assert_eq!(lv[2].demand, 0.0);
+        assert!(out.shares[0].speed < 0.7, "streamer dilated");
+        assert!(out.shares[2].speed > 0.99, "remote socket isolated");
+        // Aggregate capacity spans both local buses.
+        assert!(out.effective_capacity > PAPER_BUS_TX_PER_US);
+    }
+
+    #[test]
+    fn hierarchical_interconnect_constrains_remote_traffic() {
+        // Both sockets are below local capacity, but every thread sends
+        // all of its traffic across the interconnect (migrated off-home):
+        // the interconnect is the bottleneck and dilates everyone.
+        let topo = TopologyConfig::multi(2);
+        let mut bus = HierarchicalBus::new(BusConfig::default(), topo);
+        let all_remote: Vec<_> = (0..4)
+            .map(|i| hreq(i, 13.0, 0.9, (i as usize) % 2, 1.0))
+            .collect();
+        let out = bus.arbitrate(&all_remote);
+        let lv = bus.levels();
+        assert!(!lv[0].saturated && !lv[1].saturated, "{lv:?}");
+        assert!(lv[2].saturated, "interconnect must saturate: {lv:?}");
+        assert!(out.saturated);
+        assert!(out.dilation > 1.05);
+        for s in &out.shares {
+            assert!(s.speed < 0.95, "remote thread dilated: {}", s.speed);
+        }
+        // The same demands kept home (remote fraction 0.25) clear the
+        // interconnect and run faster.
+        let mut home_bus = HierarchicalBus::new(BusConfig::default(), topo);
+        let home: Vec<_> = (0..4)
+            .map(|i| hreq(i, 13.0, 0.9, (i as usize) % 2, topo.remote_fraction))
+            .collect();
+        let home_out = home_bus.arbitrate(&home);
+        assert!(!home_bus.levels()[2].saturated);
+        for (h, r) in home_out.shares.iter().zip(&out.shares) {
+            assert!(h.speed > r.speed, "home {} vs remote {}", h.speed, r.speed);
+        }
+    }
+
+    #[test]
+    fn hierarchical_levels_conserve_capacity() {
+        // Per-level issued traffic never exceeds that level's effective
+        // capacity, even with mixed home/remote saturating demand.
+        let mut bus = HierarchicalBus::new(BusConfig::default(), TopologyConfig::multi(2));
+        let reqs: Vec<_> = (0..8)
+            .map(|i| {
+                let sock = (i as usize) / 4;
+                let remote = if i % 3 == 0 { 1.0 } else { 0.25 };
+                hreq(i, 14.0, 0.9, sock, remote)
+            })
+            .collect();
+        let out = bus.arbitrate(&reqs);
+        for (k, lv) in bus.levels().iter().enumerate() {
+            assert!(
+                lv.issued <= lv.effective_capacity * (1.0 + 1e-6),
+                "level {k}: issued {} vs cap {}",
+                lv.issued,
+                lv.effective_capacity
+            );
+        }
+        assert!(out.total_issued <= out.effective_capacity * (1.0 + 1e-6));
+    }
+
     mod props {
         use super::*;
         use proptest::prelude::*;
@@ -1329,6 +1699,8 @@ mod tests {
                         thread: ThreadId(i as u64),
                         rate,
                         mu,
+                        socket: 0,
+                        remote: 0.0,
                     })
                     .collect()
             })
@@ -1385,10 +1757,10 @@ mod tests {
                 let mut bus = FsbBus::new(BusConfig::default());
                 let mu_hi = (mu_lo + extra).min(1.0);
                 let heavy = [
-                    BusRequest { thread: ThreadId(0), rate, mu: mu_lo },
-                    BusRequest { thread: ThreadId(1), rate, mu: mu_hi },
-                    BusRequest { thread: ThreadId(2), rate: 25.0, mu: 1.0 },
-                    BusRequest { thread: ThreadId(3), rate: 25.0, mu: 1.0 },
+                    BusRequest { thread: ThreadId(0), rate, mu: mu_lo, socket: 0, remote: 0.0 },
+                    BusRequest { thread: ThreadId(1), rate, mu: mu_hi, socket: 0, remote: 0.0 },
+                    BusRequest { thread: ThreadId(2), rate: 25.0, mu: 1.0, socket: 0, remote: 0.0 },
+                    BusRequest { thread: ThreadId(3), rate: 25.0, mu: 1.0, socket: 0, remote: 0.0 },
                 ];
                 let out = bus.arbitrate(&heavy);
                 prop_assert!(out.shares[0].speed >= out.shares[1].speed - 1e-12);

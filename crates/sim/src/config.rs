@@ -4,6 +4,13 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::CacheConfig;
 
+/// The paper's measured sustained front-side-bus capacity: 29.5 bus
+/// transactions per µs (1797 MB/s at 64 B/tx, STREAM on all four
+/// processors). Single-sourced here — workloads, invariants, and tests
+/// that reason about "the paper's bus" reference this constant rather
+/// than re-hardcoding the literal.
+pub const PAPER_BUS_TX_PER_US: f64 = 29.5;
+
 /// Front-side-bus parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct BusConfig {
@@ -32,7 +39,7 @@ pub struct BusConfig {
 impl Default for BusConfig {
     fn default() -> Self {
         Self {
-            capacity_tx_per_us: 29.5,
+            capacity_tx_per_us: PAPER_BUS_TX_PER_US,
             bytes_per_tx: 64.0,
             arbitration_per_master: 0.03,
             active_master_threshold: 0.5,
@@ -57,6 +64,69 @@ impl BusConfig {
     }
 }
 
+/// Bus topology: N sockets, each with its own local bus (parameterized
+/// by [`BusConfig`]), joined by a shared cross-socket interconnect. A
+/// memory transaction charges every level it crosses: the full rate on
+/// the local bus of the socket it executes on, plus its remote fraction
+/// on the interconnect. `sockets == 1` is the paper's machine — one
+/// shared FSB, no interconnect traffic at all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of sockets. Logical cpus are striped contiguously:
+    /// socket `k` hosts cpus `k·(num_cpus/sockets) ..`.
+    pub sockets: usize,
+    /// Capacity of the cross-socket interconnect in tx/µs. Inert when
+    /// `sockets == 1` (no transaction ever crosses).
+    pub interconnect_tx_per_us: f64,
+    /// Fraction of a thread's traffic that crosses the interconnect when
+    /// it runs on its *home* socket (remote pages, coherence). A thread
+    /// migrated off its home socket sends **all** of its traffic across.
+    pub remote_fraction: f64,
+}
+
+/// The degenerate single-socket topology: the paper's machine. The
+/// interconnect fields are inert at one socket but hold the same sane
+/// values [`TopologyConfig::multi`] uses, so raising `sockets` alone
+/// yields a working machine.
+pub const SINGLE_SOCKET: TopologyConfig = TopologyConfig {
+    sockets: 1,
+    interconnect_tx_per_us: 44.25,
+    remote_fraction: 0.25,
+};
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        SINGLE_SOCKET
+    }
+}
+
+impl TopologyConfig {
+    /// A multi-socket topology with the default interconnect: 1.5× the
+    /// paper's bus (44.25 tx/µs — cross-socket links carry more than one
+    /// local bus but far less than the sum of all of them) and a 25 %
+    /// home-socket remote-traffic fraction.
+    pub const fn multi(sockets: usize) -> Self {
+        TopologyConfig {
+            sockets,
+            ..SINGLE_SOCKET
+        }
+    }
+
+    /// The remote-traffic fraction for a thread whose home socket is
+    /// `home`, executing on `exec`. Zero on a single-socket machine
+    /// (nothing to cross), the configured fraction at home, and 1.0 when
+    /// migrated off-home (every access crosses back).
+    pub fn remote_share(&self, home: usize, exec: usize) -> f64 {
+        if self.sockets <= 1 {
+            0.0
+        } else if home == exec {
+            self.remote_fraction
+        } else {
+            1.0
+        }
+    }
+}
+
 /// Whole-machine configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MachineConfig {
@@ -78,8 +148,14 @@ pub struct MachineConfig {
     /// ~1.25: each of two busy siblings runs at ~0.625×). Ignored when
     /// `smt_threads_per_core` is 1.
     pub smt_core_speedup: f64,
-    /// Bus parameters.
+    /// Bus parameters. On a multi-socket topology these describe each
+    /// *local* (per-socket) bus.
     pub bus: BusConfig,
+    /// Bus topology (sockets + interconnect). Defaults to the paper's
+    /// single shared FSB; absent in serialized configs from before the
+    /// topology existed.
+    #[serde(default)]
+    pub topology: TopologyConfig,
     /// Cache/affinity parameters.
     pub cache: CacheConfig,
 }
@@ -88,6 +164,16 @@ impl MachineConfig {
     /// The physical core hosting a logical cpu index.
     pub fn core_of(&self, cpu: usize) -> usize {
         cpu / self.smt_threads_per_core.max(1)
+    }
+
+    /// Logical cpus per socket (cpus are striped contiguously).
+    pub fn cpus_per_socket(&self) -> usize {
+        self.num_cpus.div_ceil(self.topology.sockets.max(1)).max(1)
+    }
+
+    /// The socket hosting a logical cpu index.
+    pub fn socket_of(&self, cpu: usize) -> usize {
+        (cpu / self.cpus_per_socket()).min(self.topology.sockets.max(1) - 1)
     }
 
     /// Per-thread speed factor when `busy` hardware threads share a core.
@@ -119,13 +205,14 @@ pub const XEON_4WAY: MachineConfig = MachineConfig {
     smt_threads_per_core: 1,
     smt_core_speedup: 1.0,
     bus: BusConfig {
-        capacity_tx_per_us: 29.5,
+        capacity_tx_per_us: PAPER_BUS_TX_PER_US,
         bytes_per_tx: 64.0,
         arbitration_per_master: 0.03,
         active_master_threshold: 0.5,
         queueing_coeff: 0.35,
         queueing_exponent: 3.0,
     },
+    topology: SINGLE_SOCKET,
     cache: CacheConfig {
         warmup_tau_us: 20_000.0,
         decay_tau_us: 10_000.0,
@@ -185,6 +272,35 @@ mod tests {
         assert!((ht.smt_speed_factor(2) - 0.625).abs() < 1e-12);
         // Non-SMT machine never derates.
         assert_eq!(XEON_4WAY.smt_speed_factor(2), 1.0);
+    }
+
+    #[test]
+    fn socket_mapping_stripes_contiguously() {
+        let mut c = XEON_4WAY;
+        assert_eq!(c.topology.sockets, 1);
+        assert_eq!(c.cpus_per_socket(), 4);
+        for cpu in 0..4 {
+            assert_eq!(c.socket_of(cpu), 0);
+        }
+        c.num_cpus = 8;
+        c.topology = TopologyConfig::multi(2);
+        assert_eq!(c.cpus_per_socket(), 4);
+        assert_eq!(c.socket_of(0), 0);
+        assert_eq!(c.socket_of(3), 0);
+        assert_eq!(c.socket_of(4), 1);
+        assert_eq!(c.socket_of(7), 1);
+        // Out-of-range cpus clamp to the last socket rather than panic.
+        assert_eq!(c.socket_of(99), 1);
+    }
+
+    #[test]
+    fn remote_share_degenerates_at_one_socket() {
+        let single = SINGLE_SOCKET;
+        assert_eq!(single.remote_share(0, 0), 0.0);
+        let multi = TopologyConfig::multi(2);
+        assert!((multi.remote_share(0, 0) - multi.remote_fraction).abs() < 1e-15);
+        assert_eq!(multi.remote_share(0, 1), 1.0);
+        assert!((multi.interconnect_tx_per_us - 1.5 * PAPER_BUS_TX_PER_US).abs() < 1e-12);
     }
 
     #[test]

@@ -51,11 +51,14 @@ pub mod thread;
 pub mod trace;
 
 pub use bus::{
-    solve_lambda, BatchSolver, BusModel, BusOutcome, BusRequest, BusShare, FsbBus, MaxMinFairBus,
-    ProportionalBus, SolveJob, UnlimitedBus,
+    solve_lambda, BatchSolver, BusModel, BusOutcome, BusRequest, BusShare, FsbBus, HierarchicalBus,
+    LevelOutcome, MaxMinFairBus, ProportionalBus, SolveJob, UnlimitedBus, MAX_BUS_LEVELS,
 };
 pub use cache::{CacheConfig, CacheState};
-pub use config::{BusConfig, MachineConfig, XEON_4WAY, XEON_4WAY_HT};
+pub use config::{
+    BusConfig, MachineConfig, TopologyConfig, PAPER_BUS_TX_PER_US, SINGLE_SOCKET, XEON_4WAY,
+    XEON_4WAY_HT,
+};
 pub use demand::{ConstantDemand, Demand, DemandModel};
 pub use ids::{AppId, CpuId, SimTime, ThreadId};
 pub use machine::{
@@ -64,6 +67,6 @@ pub use machine::{
 };
 pub use prof::{Phase, PhaseSet, PhaseStat, PhaseTimer, PHASE_BUCKET_BOUNDS_NS};
 pub use stage::{StageSnapshot, StageTiming, StageTimings, STAGE_BUCKET_BOUNDS_NS, STAGE_NAMES};
-pub use stats::{BusPressureStats, RunStats, TickDtHist};
+pub use stats::{BusPressureStats, LevelPressureStats, RunStats, TickDtHist};
 pub use thread::{ThreadSpec, ThreadState};
 pub use trace::{QuantumRecord, ScheduleTrace, Traced};

@@ -23,7 +23,7 @@
 use busbw_perfmon::{EventKind, Registry};
 use busbw_trace::{EventBus, TraceEvent};
 
-use crate::bus::{BusModel, BusOutcome, BusRequest, SolveJob};
+use crate::bus::{BusModel, BusOutcome, BusRequest, LevelOutcome, SolveJob, MAX_BUS_LEVELS};
 use crate::cache::CacheState;
 use crate::config::MachineConfig;
 use crate::ids::{AppId, CpuId, SimTime, ThreadId};
@@ -176,6 +176,15 @@ pub struct MachineView<'a> {
     /// Hardware threads per physical core (1 = no SMT). Placement stages
     /// need this to prefer spreading gangs across idle cores.
     pub smt_threads_per_core: usize,
+    /// Number of sockets in the bus topology (1 = one shared bus).
+    pub sockets: usize,
+    /// Logical cpus per socket (contiguous blocks, cpu 0 on socket 0).
+    pub cpus_per_socket: usize,
+    /// Per-level bus state from the most recent arbitration — sockets
+    /// first, the cross-socket interconnect last. Empty for single-level
+    /// bus models; socket-aware placement stages read it to find
+    /// saturated local buses.
+    pub bus_levels: &'a [LevelOutcome],
     /// Time-integral of bus dilation (µs·Λ) — the simulated IOQ-occupancy
     /// PMU reading; see [`Machine`] internals.
     pub dilation_integral: f64,
@@ -222,6 +231,19 @@ impl<'a> MachineView<'a> {
     /// The physical core a cpu (hardware thread) belongs to.
     pub fn core_of(&self, cpu: CpuId) -> usize {
         cpu.0 / self.smt_threads_per_core.max(1)
+    }
+
+    /// The socket a cpu belongs to.
+    pub fn socket_of(&self, cpu: CpuId) -> usize {
+        (cpu.0 / self.cpus_per_socket.max(1)).min(self.sockets.max(1) - 1)
+    }
+
+    /// The socket where `thread`'s memory lives (first-touch), if it has
+    /// ever been placed.
+    pub fn home_socket(&self, thread: ThreadId) -> Option<usize> {
+        self.threads
+            .get(thread.0 as usize)
+            .and_then(|t| t.home_socket)
     }
 
     /// All applications that still have runnable work, in id order.
@@ -321,6 +343,14 @@ pub trait AuditHook {
     /// issued over `dt_us` starting at `now`, against a bus whose nominal
     /// sustained capacity is `capacity_tx_per_us`.
     fn on_tick(&mut self, now: SimTime, dt_us: u64, issued_tx: f64, capacity_tx_per_us: f64);
+
+    /// Per-level topology pressure for the tick (sockets first, the
+    /// cross-socket interconnect last). Fires only for hierarchical bus
+    /// models — the default ignores it, so hooks written against the
+    /// single-bus machine need no changes.
+    fn on_levels(&mut self, now: SimTime, dt_us: u64, levels: &[LevelOutcome]) {
+        let _ = (now, dt_us, levels);
+    }
 }
 
 /// When a [`Machine::run`] should stop.
@@ -499,6 +529,12 @@ struct ReplayCache {
     sens: Vec<f64>,
     /// SMT speed factor per request (placement-static).
     smt: Vec<f64>,
+    /// Executing socket per request (placement-static).
+    socket: Vec<usize>,
+    /// Interconnect traffic fraction per request (placement-static:
+    /// depends only on the home socket, fixed at first placement, and
+    /// the executing socket).
+    remote: Vec<f64>,
 }
 
 impl ReplayCache {
@@ -513,6 +549,8 @@ impl ReplayCache {
         self.spin.clear();
         self.sens.clear();
         self.smt.clear();
+        self.socket.clear();
+        self.remote.clear();
     }
 }
 
@@ -569,6 +607,12 @@ struct PendingTick {
 }
 
 /// Why [`Machine::run_step`] returned control.
+//
+// `Done` carries the whole `RunOutcome` (whose `RunStats` now embeds the
+// fixed per-level arrays) by value: exactly one `StepEvent` is live per
+// stepped run, so the size gap to `NeedSolve` costs nothing, while boxing
+// would put an allocation on every run completion.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum StepEvent {
     /// The run hit a saturated-bus tick whose Λ the bus model memo could
@@ -621,6 +665,9 @@ pub struct Machine {
     traced_demand: Vec<(f64, f64)>,
     /// Last dilation Λ emitted as a `BusSolve` event.
     traced_dilation: f64,
+    /// Last per-level saturation state emitted as `LevelSaturated`
+    /// events — edge detection, maintained only while tracing.
+    traced_level_sat: [bool; MAX_BUS_LEVELS],
     /// Phase-attribution profiler (disabled by default; one branch per
     /// phase boundary when off). Observational only — never part of the
     /// run codec, so profiled runs stay byte-identical.
@@ -628,10 +675,18 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// A machine with the given configuration and the default
-    /// [`crate::bus::FsbBus`] model.
+    /// A machine with the given configuration: the default
+    /// [`crate::bus::FsbBus`] model for single-socket topologies, a
+    /// [`crate::bus::HierarchicalBus`] when the topology has more than
+    /// one socket. (The single-socket hierarchical bus is bit-identical
+    /// to `FsbBus` — a differential test pins it — but the flat model
+    /// stays the default so the committed artifact corpus is untouched.)
     pub fn new(cfg: MachineConfig) -> Self {
-        let bus = Box::new(crate::bus::FsbBus::new(cfg.bus));
+        let bus: Box<dyn BusModel> = if cfg.topology.sockets > 1 {
+            Box::new(crate::bus::HierarchicalBus::new(cfg.bus, cfg.topology))
+        } else {
+            Box::new(crate::bus::FsbBus::new(cfg.bus))
+        };
         Self::with_bus(cfg, bus)
     }
 
@@ -639,6 +694,7 @@ impl Machine {
     pub fn with_bus(cfg: MachineConfig, bus: Box<dyn BusModel>) -> Self {
         assert!(cfg.num_cpus > 0, "need at least one cpu");
         assert!(cfg.tick_us > 0, "tick must be positive");
+        assert!(cfg.topology.sockets >= 1, "need at least one socket");
         Self {
             cache: CacheState::new(cfg.num_cpus, cfg.cache),
             cfg,
@@ -657,6 +713,7 @@ impl Machine {
             tracer: EventBus::off(),
             traced_demand: Vec::new(),
             traced_dilation: 0.0,
+            traced_level_sat: [false; MAX_BUS_LEVELS],
             prof: PhaseTimer::new(),
         }
     }
@@ -686,6 +743,7 @@ impl Machine {
         self.tracer = tracer;
         self.traced_demand.clear();
         self.traced_dilation = 0.0;
+        self.traced_level_sat = [false; MAX_BUS_LEVELS];
         // Phase-edge detection restarts from NaN sentinels; the next tick
         // must take the full path so re-observed demands emit.
         self.replay.valid = false;
@@ -772,6 +830,9 @@ impl Machine {
             bus_capacity: self.bus.nominal_capacity(),
             registry: &self.registry,
             smt_threads_per_core: self.cfg.smt_threads_per_core,
+            sockets: self.cfg.topology.sockets.max(1),
+            cpus_per_socket: self.cfg.cpus_per_socket(),
+            bus_levels: self.bus.levels(),
             dilation_integral: self.dilation_integral,
             threads: &self.threads,
             apps: &self.apps,
@@ -1065,12 +1126,17 @@ impl Machine {
         }
         for a in &d.assignments {
             let warmth = self.cache.warmth(a.cpu, a.thread);
+            let socket = self.cfg.socket_of(a.cpu.0);
             let t = self
                 .threads
                 .get_mut(a.thread.0 as usize)
                 .expect("validated above");
             let app = t.app;
             t.state = ThreadState::Running(a.cpu);
+            if t.home_socket.is_none() {
+                // First-touch: the thread's memory lives where it first ran.
+                t.home_socket = Some(socket);
+            }
             stats.placements += 1;
             if warmth < 0.5 {
                 stats.cold_placements += 1;
@@ -1260,10 +1326,22 @@ impl Machine {
                     });
                 }
             }
+            let socket = self.cfg.socket_of(cpu_idx);
+            // Spinners issue no traffic, so they are charged to no
+            // interconnect; placed threads cross it by the topology's
+            // remote share (0.0 on single-socket machines).
+            let remote = if spinning {
+                0.0
+            } else {
+                let home = self.threads[ti].home_socket.unwrap_or(socket);
+                self.cfg.topology.remote_share(home, socket)
+            };
             s.reqs.push(BusRequest {
                 thread: *tid,
                 rate: d.rate * boost,
                 mu: d.mu,
+                socket,
+                remote,
             });
             s.req_spin.push(spinning);
             s.req_virt_h.push(virt_h);
@@ -1279,6 +1357,8 @@ impl Machine {
                 self.replay.spin.push(spinning);
                 self.replay.sens.push(sens);
                 self.replay.smt.push(smt);
+                self.replay.socket.push(socket);
+                self.replay.remote.push(remote);
             }
         }
         s.all_warm = all_warm;
@@ -1314,11 +1394,14 @@ impl Machine {
             }
             if spin_now {
                 // Identical to the full path's spin request: ZERO demand,
-                // unit boost (0.0 · 1.0 = 0.0 exactly), zero cache speed.
+                // unit boost (0.0 · 1.0 = 0.0 exactly), zero cache speed,
+                // no interconnect share.
                 s.reqs.push(BusRequest {
                     thread: ThreadId(ti as u64),
                     rate: 0.0,
                     mu: 0.0,
+                    socket: r.socket[i],
+                    remote: 0.0,
                 });
                 s.req_spin.push(true);
                 s.cache_speed[ti] = 0.0;
@@ -1340,6 +1423,8 @@ impl Machine {
                     thread: tid,
                     rate: r.rate[i] * boost,
                     mu: r.mu[i],
+                    socket: r.socket[i],
+                    remote: r.remote[i],
                 });
                 s.req_spin.push(false);
                 s.cache_speed[ti] = spd * r.smt[i];
@@ -1518,9 +1603,59 @@ impl Machine {
             stats.bus.peak_dilation = outcome.dilation;
         }
         self.dilation_integral += outcome.dilation.max(1.0) * dt_f;
+
+        // Per-level topology accounting. Single-level bus models report
+        // no levels, so the flat default machine's stats (and run codec)
+        // are untouched. The snapshot is copied out of the bus model
+        // first; levels beyond the array cap fold into the last slot.
+        let mut level_buf = [LevelOutcome::default(); MAX_BUS_LEVELS];
+        let mut n_levels = 0usize;
+        for (k, l) in self.bus.levels().iter().enumerate() {
+            let slot = k.min(MAX_BUS_LEVELS - 1);
+            let b = &mut level_buf[slot];
+            b.demand += l.demand;
+            b.issued += l.issued;
+            b.effective_capacity += l.effective_capacity;
+            b.utilization = b.utilization.max(l.utilization);
+            b.dilation = b.dilation.max(l.dilation);
+            b.saturated |= l.saturated;
+            n_levels = slot + 1;
+        }
+        if n_levels > 0 {
+            stats.n_levels = n_levels;
+            for (k, l) in level_buf[..n_levels].iter().enumerate() {
+                let st = &mut stats.levels[k];
+                st.total_issued += l.issued * dt_f;
+                st.total_demanded += l.demand * dt_f;
+                st.utilization_integral += l.utilization * dt_f;
+                if l.saturated {
+                    st.saturated_us += dt_f;
+                }
+                if l.dilation > st.peak_dilation {
+                    st.peak_dilation = l.dilation;
+                }
+                if trace_on && l.saturated != self.traced_level_sat[k] {
+                    // Edge-triggered, like `BusSolve`: one event per
+                    // entry into saturation keeps trace volume bounded.
+                    self.traced_level_sat[k] = l.saturated;
+                    if l.saturated {
+                        self.tracer.emit(TraceEvent::LevelSaturated {
+                            at_us: tick_started_at,
+                            level: k as u64,
+                            utilization: l.utilization,
+                            dilation: l.dilation,
+                        });
+                    }
+                }
+            }
+        }
+
         if let Some(h) = hook {
             let tt = self.prof.begin();
             h.on_tick(tick_started_at, dt, issued_this_tick, bus_capacity);
+            if n_levels > 0 {
+                h.on_levels(tick_started_at, dt, &level_buf[..n_levels]);
+            }
             self.prof.end(Phase::Trace, tt);
         }
 
@@ -1958,7 +2093,11 @@ mod tests {
     /// wall-clock switches, a barrier gang that spins, saturated and
     /// unsaturated bus regimes, cache warm-up and coarsened jumps.
     fn mixed_machine() -> Machine {
-        let mut m = Machine::new(XEON_4WAY);
+        mixed_machine_with(XEON_4WAY)
+    }
+
+    fn mixed_machine_with(cfg: crate::config::MachineConfig) -> Machine {
+        let mut m = Machine::new(cfg);
         m.add_app(AppDescriptor::new(
             "phase",
             vec![ThreadSpec::new(900_000.0, Box::new(TwoPhase))],
@@ -1993,6 +2132,131 @@ mod tests {
                 .collect();
             // Debug formatting of f64 round-trips the exact value, so a
             // string compare of the stats is a bit compare.
+            (format!("{out:?}"), progress, m.bus_memo_stats())
+        };
+        let ed = run(ExecMode::EventDriven);
+        let pt = run(ExecMode::PerTick);
+        assert_eq!(ed.0, pt.0, "run stats diverged between exec modes");
+        assert_eq!(ed.1, pt.1, "thread progress diverged between exec modes");
+        assert_eq!(ed.2, pt.2, "bus memo behaviour diverged between exec modes");
+    }
+
+    /// Two sockets of four cpus each over the paper's bus parameters.
+    fn two_socket_cfg() -> crate::config::MachineConfig {
+        crate::config::MachineConfig {
+            num_cpus: 8,
+            topology: crate::config::TopologyConfig::multi(2),
+            ..XEON_4WAY
+        }
+    }
+
+    #[test]
+    fn single_socket_machine_reports_no_levels() {
+        let m = Machine::new(XEON_4WAY);
+        let v = m.view();
+        assert_eq!(v.sockets, 1);
+        assert_eq!(v.cpus_per_socket, 4);
+        assert_eq!(v.socket_of(CpuId(3)), 0);
+        assert!(v.bus_levels.is_empty());
+    }
+
+    #[test]
+    fn multi_socket_machine_populates_level_stats() {
+        let mut m = Machine::new(two_socket_cfg());
+        for _ in 0..4 {
+            m.add_app(AppDescriptor::new(
+                "stream",
+                vec![ThreadSpec::new(
+                    300_000.0,
+                    Box::new(ConstantDemand::new(12.0, 0.9)),
+                )],
+            ));
+        }
+        {
+            let v = m.view();
+            assert_eq!(v.sockets, 2);
+            assert_eq!(v.cpus_per_socket, 4);
+            assert_eq!(v.socket_of(CpuId(5)), 1);
+        }
+        let mut s = GreedyScheduler { quantum: 100_000 };
+        let out = m.run(&mut s, StopCondition::AllFiniteAppsFinished);
+        assert!(out.condition_met);
+        // Sockets 0 and 1 plus the interconnect.
+        assert_eq!(out.stats.n_levels, 3);
+        // Greedy packs all four streamers onto socket 0: 48 tx/µs of
+        // demand against a ~26 tx/µs local bus saturates it, while
+        // socket 1's bus sees nothing. The interconnect carries the
+        // coherence share (25%) of everything, staying clear.
+        assert!(out.stats.levels[0].saturated_us > 0.0);
+        assert_eq!(out.stats.levels[1].total_demanded, 0.0);
+        assert!(out.stats.levels[2].total_demanded > 0.0);
+        assert_eq!(out.stats.levels[2].saturated_us, 0.0);
+        assert!(out.stats.levels[0].peak_dilation > 1.0);
+        let elapsed = out.stats.elapsed_us;
+        assert!(out.stats.levels[0].mean_utilization(elapsed) > 0.5);
+        // The post-run view exposes the last arbitration's levels.
+        assert_eq!(m.view().bus_levels.len(), 3);
+    }
+
+    #[test]
+    fn migration_off_home_socket_charges_full_interconnect_traffic() {
+        // One streamer homed on socket 0 (first touch at cpu 0), then
+        // migrated to socket 1 halfway: all its traffic must cross the
+        // interconnect after the move, not just the coherence share.
+        struct MigrateAt {
+            at: SimTime,
+        }
+        impl Scheduler for MigrateAt {
+            fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+                let cpu = if view.now >= self.at {
+                    CpuId(4)
+                } else {
+                    CpuId(0)
+                };
+                let assignments = view
+                    .threads()
+                    .filter(|t| t.is_runnable())
+                    .map(|t| Assignment { thread: t.id, cpu })
+                    .collect();
+                Decision {
+                    assignments,
+                    next_resched_in_us: 50_000,
+                    sample_period_us: None,
+                }
+            }
+        }
+        let mut m = Machine::new(two_socket_cfg());
+        m.add_app(AppDescriptor::new(
+            "roam",
+            vec![ThreadSpec::new(
+                f64::INFINITY,
+                Box::new(ConstantDemand::new(10.0, 0.9)),
+            )],
+        ));
+        let out = m.run(&mut MigrateAt { at: 200_000 }, StopCondition::At(400_000));
+        assert!(out.condition_met);
+        assert_eq!(m.view().home_socket(ThreadId(0)), Some(0));
+        let local = out.stats.levels[0].total_demanded + out.stats.levels[1].total_demanded;
+        let inter = out.stats.levels[2].total_demanded;
+        // Half the run at the 25% coherence share, half at 100% remote:
+        // the interconnect carries ≈ 62.5% of the local demand — far
+        // above the never-migrated 25%.
+        assert!(inter > 0.5 * local, "interconnect {inter} vs local {local}");
+        assert!(out.stats.levels[1].total_demanded > 0.0);
+    }
+
+    #[test]
+    fn multi_socket_exec_modes_are_bit_identical() {
+        let run = |exec: ExecMode| {
+            let mut m = mixed_machine_with(two_socket_cfg());
+            m.set_exec_mode(exec);
+            let mut s = GreedyScheduler { quantum: 30_000 };
+            let out = m.run(&mut s, StopCondition::At(1_500_000));
+            let progress: Vec<u64> = m
+                .view()
+                .threads()
+                .map(|t| t.progress_us.to_bits())
+                .collect();
             (format!("{out:?}"), progress, m.bus_memo_stats())
         };
         let ed = run(ExecMode::EventDriven);

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bus::MAX_BUS_LEVELS;
 use crate::ids::SimTime;
 
 /// Time-weighted statistics about bus pressure over a run.
@@ -18,6 +19,43 @@ pub struct BusPressureStats {
     pub peak_dilation: f64,
     /// Time-integral of utilization (divide by elapsed for the mean).
     pub utilization_integral: f64,
+}
+
+/// Time-weighted pressure of one topology level (a socket's local bus or
+/// the cross-socket interconnect). All-zero for levels that do not exist
+/// on the configured machine.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LevelPressureStats {
+    /// Integral of traffic issued through this level (tx).
+    pub total_issued: f64,
+    /// Integral of demand charged to this level (tx).
+    pub total_demanded: f64,
+    /// Wall µs during which this level's demand exceeded its capacity.
+    pub saturated_us: f64,
+    /// Time-integral of this level's utilization.
+    pub utilization_integral: f64,
+    /// Peak instantaneous dilation this level imposed.
+    pub peak_dilation: f64,
+}
+
+impl LevelPressureStats {
+    /// Mean utilization of this level over `elapsed_us` of wall time.
+    pub fn mean_utilization(&self, elapsed_us: SimTime) -> f64 {
+        if elapsed_us == 0 {
+            0.0
+        } else {
+            self.utilization_integral / elapsed_us as f64
+        }
+    }
+
+    /// Fraction of `elapsed_us` this level spent saturated.
+    pub fn saturated_fraction(&self, elapsed_us: SimTime) -> f64 {
+        if elapsed_us == 0 {
+            0.0
+        } else {
+            self.saturated_us / elapsed_us as f64
+        }
+    }
 }
 
 /// Histogram of per-iteration time advances, in nominal ticks — the
@@ -74,8 +112,15 @@ pub struct RunStats {
     pub cold_placements: u64,
     /// Number of placements total.
     pub placements: u64,
-    /// Bus pressure accounting.
+    /// Bus pressure accounting (whole-machine aggregate).
     pub bus: BusPressureStats,
+    /// Topology levels with live per-level accounting: 0 for
+    /// single-level bus models, sockets + 1 for a hierarchical bus
+    /// (capped at [`MAX_BUS_LEVELS`]).
+    pub n_levels: usize,
+    /// Per-level pressure, sockets first and the interconnect last;
+    /// levels past [`MAX_BUS_LEVELS`] fold into the final slot.
+    pub levels: [LevelPressureStats; MAX_BUS_LEVELS],
     /// Distribution of per-iteration advances (tick-time histogram).
     pub tick_dt_hist: TickDtHist,
 }
@@ -148,6 +193,24 @@ mod tests {
         m.merge(&h);
         assert_eq!(m.total(), 8);
         assert_eq!(TickDtHist::bucket_lo(3), 8);
+    }
+
+    #[test]
+    fn level_pressure_derived_rates() {
+        let lv = LevelPressureStats {
+            total_issued: 100.0,
+            total_demanded: 150.0,
+            saturated_us: 500.0,
+            utilization_integral: 750.0,
+            peak_dilation: 2.0,
+        };
+        assert_eq!(lv.mean_utilization(0), 0.0);
+        assert_eq!(lv.saturated_fraction(0), 0.0);
+        assert!((lv.mean_utilization(1000) - 0.75).abs() < 1e-12);
+        assert!((lv.saturated_fraction(1000) - 0.5).abs() < 1e-12);
+        let s = RunStats::default();
+        assert_eq!(s.n_levels, 0);
+        assert_eq!(s.levels.len(), MAX_BUS_LEVELS);
     }
 
     #[test]

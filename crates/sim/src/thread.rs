@@ -76,6 +76,11 @@ pub(crate) struct SimThread {
     pub state: ThreadState,
     /// Last cpu the thread ran on (affinity hint).
     pub last_cpu: Option<CpuId>,
+    /// The socket this thread's memory lives on: fixed at first
+    /// placement (first-touch allocation). Traffic from other sockets
+    /// crosses the interconnect in full; even at home a configured
+    /// fraction does (see [`crate::config::TopologyConfig`]).
+    pub home_socket: Option<usize>,
     /// Wall time at which the thread finished, if it has.
     pub finished_at: Option<SimTime>,
 }
@@ -92,6 +97,7 @@ impl SimThread {
             progress_us: 0.0,
             state: ThreadState::Ready,
             last_cpu: None,
+            home_socket: None,
             finished_at: None,
         }
     }

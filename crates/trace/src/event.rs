@@ -241,6 +241,19 @@ pub enum TraceEvent {
         /// Turnaround (departure − arrival), µs.
         turnaround_us: u64,
     },
+    /// Simulator: one level of a hierarchical bus topology (a socket's
+    /// local bus or the cross-socket interconnect) entered saturation.
+    /// Emitted on the transition only, like [`TraceEvent::BusSolve`].
+    LevelSaturated {
+        /// Simulated time, µs.
+        at_us: u64,
+        /// Level index: sockets first, the interconnect last.
+        level: u64,
+        /// The level's utilization at the transition.
+        utilization: f64,
+        /// The dilation the level imposes on its requesters.
+        dilation: f64,
+    },
     /// Scheduler: one pipeline stage completed during a reschedule. The
     /// payload is deliberately deterministic (no wall-clock readings) so
     /// merged traces stay invariant under worker counts; stage wall times
@@ -276,6 +289,7 @@ impl TraceEvent {
             TraceEvent::ClientArrived { .. } => "client_arrived",
             TraceEvent::ClientShed { .. } => "client_shed",
             TraceEvent::ClientDeparted { .. } => "client_departed",
+            TraceEvent::LevelSaturated { .. } => "level_saturated",
             TraceEvent::StageDecision { .. } => "stage_decision",
         }
     }
@@ -296,6 +310,7 @@ impl TraceEvent {
             | TraceEvent::ClientArrived { at_us, .. }
             | TraceEvent::ClientShed { at_us, .. }
             | TraceEvent::ClientDeparted { at_us, .. }
+            | TraceEvent::LevelSaturated { at_us, .. }
             | TraceEvent::StageDecision { at_us, .. } => at_us,
             TraceEvent::MgrConnect { .. }
             | TraceEvent::MgrDisconnect { .. }
@@ -437,6 +452,17 @@ impl TraceEvent {
                     ",\"client\":{client},\"turnaround_us\":{turnaround_us}"
                 );
             }
+            TraceEvent::LevelSaturated {
+                level,
+                utilization,
+                dilation,
+                ..
+            } => {
+                let _ = write!(out, ",\"level\":{level},\"rho\":");
+                push_f64(out, *utilization);
+                out.push_str(",\"lambda\":");
+                push_f64(out, *dilation);
+            }
             TraceEvent::StageDecision { stage, items, .. } => {
                 let _ = write!(out, ",\"stage\":\"{}\",\"items\":{items}", stage.as_str());
             }
@@ -544,6 +570,12 @@ mod tests {
                 at_us: 970,
                 client: 12,
                 turnaround_us: 20,
+            },
+            TraceEvent::LevelSaturated {
+                at_us: 980,
+                level: 2,
+                utilization: 1.0,
+                dilation: 1.4,
             },
             TraceEvent::StageDecision {
                 at_us: 1000,

@@ -51,9 +51,9 @@ mod tests {
         let n = nbbma();
         assert!(n.rate_per_thread < 0.01);
         assert!(n.mu < 0.05);
-        // Two BBMA instances nearly saturate a 29.5-capacity bus on their
+        // Two BBMA instances nearly saturate the paper's bus on their
         // own; two nBBMA instances do not register.
-        assert!(2.0 * bbma().rate_per_thread > 29.5 * 1.5);
+        assert!(2.0 * bbma().rate_per_thread > busbw_sim::PAPER_BUS_TX_PER_US * 1.5);
         assert!(2.0 * n.rate_per_thread < 0.01);
     }
 }

@@ -180,16 +180,21 @@ mod tests {
 
     #[test]
     fn top_four_saturate_when_doubled() {
+        use busbw_sim::PAPER_BUS_TX_PER_US;
         // §3: two instances of SP, MG, Raytrace, CG push the bus (29.5
         // tx/µs sustained) to or past capacity.
         for a in [PaperApp::Sp, PaperApp::Mg, PaperApp::Raytrace, PaperApp::Cg] {
             let double = 2.0 * paper_app(a).cumulative_rate();
-            assert!(double > 29.5 * 1.25, "{}: {double}", a.name());
+            assert!(
+                double > PAPER_BUS_TX_PER_US * 1.25,
+                "{}: {double}",
+                a.name()
+            );
         }
         // While the others do not.
         for a in [PaperApp::Radiosity, PaperApp::Volrend, PaperApp::Fmm] {
             let double = 2.0 * paper_app(a).cumulative_rate();
-            assert!(double < 29.5, "{}: {double}", a.name());
+            assert!(double < PAPER_BUS_TX_PER_US, "{}: {double}", a.name());
         }
     }
 

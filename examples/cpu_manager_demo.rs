@@ -30,7 +30,7 @@ use busbw::core::manager::{AppRuntime, CpuManager, ManagerConfig};
 fn main() {
     let cfg = ManagerConfig {
         num_cpus: 2,
-        bus_total_tx_per_us: 29.5,
+        bus_total_tx_per_us: busbw::sim::PAPER_BUS_TX_PER_US,
         quantum_us: 200_000,
         samples_per_quantum: 2,
     };

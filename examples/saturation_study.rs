@@ -69,6 +69,8 @@ fn main() {
                 thread: ThreadId(i),
                 rate: total / 4.0,
                 mu: 0.9,
+                socket: 0,
+                remote: 0.0,
             })
             .collect();
         let out = bus.arbitrate(&reqs);
