@@ -36,6 +36,7 @@ pub fn builtin_invariants() -> Vec<Box<dyn Invariant>> {
         Box::new(CacheConsistency),
         Box::new(ExecPathEquivalence),
         Box::new(TopologyCapacity),
+        Box::new(OracleAdmissibility),
     ]
 }
 
@@ -694,6 +695,26 @@ impl Invariant for TopologyCapacity {
     }
 }
 
+/// Offline-optimal admissibility: the branch-and-bound oracle
+/// (`busbw_core::oracle::offline_optimal`) must never report a cost
+/// worse than any heuristic stack evaluated on the same cell, and its
+/// root lower bound must never exceed the cost it achieves. Like
+/// [`CacheConsistency`] this invariant has no live hook — the
+/// experiments audit command drives it differentially, replaying tiny
+/// cells through the oracle and every preset and comparing turnarounds.
+/// Installed in the catalog so audits report it alongside the others.
+pub struct OracleAdmissibility;
+
+impl Invariant for OracleAdmissibility {
+    fn name(&self) -> &'static str {
+        "oracle-admissibility"
+    }
+
+    fn paper_ref(&self) -> &'static str {
+        "offline-optimal oracle (DESIGN §17): optimal ≤ every heuristic, bound ≤ achieved cost"
+    }
+}
+
 /// Per-decision repetition guard used by negative tests: counts how many
 /// decisions each invariant flagged, keyed by invariant name.
 pub fn count_by_invariant(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
@@ -979,10 +1000,11 @@ mod tests {
             "cache-consistency",
             "exec-path-equivalence",
             "topology-capacity",
+            "oracle-admissibility",
         ] {
             assert!(names.contains(&n), "missing invariant {n}");
         }
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 13);
     }
 
     #[test]

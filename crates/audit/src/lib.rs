@@ -26,6 +26,7 @@
 //! | `cache-consistency` | differential runs | equal run keys ⇒ byte-equal results |
 //! | `exec-path-equivalence` | differential runs | per-tick, event-driven, and batched executions byte-agree |
 //! | `topology-capacity` | every tick (per level) | no bus level issues past its effective capacity (DESIGN §16) |
+//! | `oracle-admissibility` | differential runs | offline optimal ≤ every heuristic on the same cell, bound ≤ achieved cost (DESIGN §17) |
 //!
 //! The decision hook fires *before* the machine applies the decision, so
 //! a violating schedule is recorded as a structured [`Violation`] even

@@ -30,7 +30,9 @@
 //! newer O(1) scheduler). [`oracle`] has further comparators (random gang,
 //! round-robin gang, greedy) for ablations — all presets over the same
 //! stages, so any estimator/admission/selector/placer combination can
-//! also be composed directly.
+//! also be composed directly — plus [`oracle::offline_optimal`], a
+//! branch-and-bound search for the clairvoyant-optimal gang schedule on
+//! small instances, against which every preset can be scored by regret.
 //!
 //! [`manager`] reproduces the paper's **user-level CPU manager** as real
 //! concurrent code: connection protocol, shared arena, block/unblock
@@ -61,7 +63,12 @@ pub use fitness::{available_bbw_per_proc, fitness};
 pub use linux::{linux_like, linux_like_with_config, LinuxConfig, LinuxEpochSelector};
 pub use linux26::{linux_o1, linux_o1_with_config, LinuxO1Selector, O1Config};
 pub use model::{predict_set_value, ModelDrivenScheduler};
-pub use oracle::{greedy_pack, random_gang, round_robin_gang, round_robin_gang_with_quantum};
+pub use oracle::{
+    brute_force_optimal, greedy_pack, offline_optimal, random_gang, round_robin_gang,
+    round_robin_gang_with_quantum, simulate as oracle_simulate, BranchState, FixedPlanScheduler,
+    GangState, OracleReport, OracleSearchConfig, RecordingScheduler, SimNode, ThreadSlot,
+    ORACLE_IDLE_SENTINEL_US,
+};
 pub use pipeline::{PolicyStack, SoloSelector};
 pub use reconstruct::{DemandTracker, Reconstruction};
 pub use sched::{bus_aware, bus_aware_with_config, PolicyConfig};

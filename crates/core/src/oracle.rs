@@ -1,10 +1,12 @@
-//! Ablation comparators: gang schedulers with the same admission
-//! machinery as the paper policies but *different selection rules*. They
-//! isolate how much of the paper's win comes from the fitness heuristic
-//! itself versus from gang scheduling or mere rotation. Each is a
-//! [`PolicyStack`] preset over the [`crate::pipeline`] stages, sharing the
-//! [`RawRateEstimator`] measurement path the monolithic comparators used
-//! to carry inline.
+//! Ablation comparators and the offline-optimal oracle.
+//!
+//! The first half of this module holds gang schedulers with the same
+//! admission machinery as the paper policies but *different selection
+//! rules*. They isolate how much of the paper's win comes from the
+//! fitness heuristic itself versus from gang scheduling or mere
+//! rotation. Each is a [`PolicyStack`] preset over the
+//! [`crate::pipeline`] stages, sharing the [`RawRateEstimator`]
+//! measurement path the monolithic comparators used to carry inline.
 //!
 //! * [`round_robin_gang`] — gang scheduling + rotation only: admit jobs in
 //!   list order while they fit. (What you get if you delete Equation (1).)
@@ -14,6 +16,25 @@
 //!   plausible-but-wrong heuristic that maximizes measured bus utilization
 //!   and therefore saturates; shows why "fill the bus" must mean
 //!   "approach, don't exceed".
+//!
+//! The second half is [`offline_optimal`]: a branch-and-bound search over
+//! gang *sequences* that treats the simulator itself — `FsbBus` or
+//! `HierarchicalBus`, cache warmth, SMT, everything — as the exact cost
+//! evaluator. It answers the question the heuristics cannot: what is the
+//! best turnaround any clairvoyant schedule could have achieved on this
+//! instance? Every preset stack can then be scored by *regret* against
+//! that ceiling (see `experiments regret`). The search replays candidate
+//! decision prefixes from t = 0 through [`FixedPlanScheduler`] (the
+//! machine is deterministic, so replay is exact), prunes with an
+//! admissible no-contention lower bound, and skips permutations of
+//! caller-declared symmetric gangs. Heuristic decision logs recorded with
+//! [`RecordingScheduler`] seed the incumbent, which makes the reported
+//! optimum structurally ≤ every seeded heuristic.
+
+use busbw_sim::{
+    AppId, Assignment, CpuId, Decision, Machine, MachineView, Scheduler, SimTime, StopCondition,
+    ThreadId,
+};
 
 use crate::pipeline::{
     Fcfs, GreedySelector, NullSelector, PackedPlacer, PolicyStack, RandomSelector,
@@ -63,6 +84,607 @@ pub fn greedy_pack() -> PolicyStack {
         Box::new(GreedySelector),
         Box::new(PackedPlacer),
     )
+}
+
+// ---------------------------------------------------------------------------
+// Offline-optimal search
+// ---------------------------------------------------------------------------
+
+/// Idle quantum the oracle's replay scheduler returns once its plan is
+/// exhausted: far beyond any search horizon, so the machine's idle fast
+/// path mega-ticks straight to the hard cap without overflow.
+pub const ORACLE_IDLE_SENTINEL_US: u64 = 1 << 40;
+
+/// Tuning knobs for [`offline_optimal`] / [`brute_force_optimal`].
+#[derive(Debug, Clone, Copy)]
+pub struct OracleSearchConfig {
+    /// Reschedule interval each appended decision runs for, µs. The
+    /// machine also reschedules on gang completion, so one decision may
+    /// end early — the search therefore considers completion-time
+    /// boundaries for free.
+    pub quantum_us: u64,
+    /// Hard cap on simulated time per candidate schedule, µs. Costs are
+    /// censored at the horizon exactly like the experiment harness
+    /// censors heuristic runs at the cap, so oracle and heuristic costs
+    /// share one objective.
+    pub horizon_us: u64,
+    /// Maximum number of candidate simulations before the search gives
+    /// up and reports `complete = false` with the best incumbent so far.
+    pub node_budget: u64,
+    /// Slack subtracted from the no-contention lower bound, µs, to keep
+    /// it admissible against float rounding in progress accounting.
+    pub lb_slack_us: f64,
+}
+
+impl OracleSearchConfig {
+    /// A config with the given quantum and horizon, a 2000-node budget,
+    /// and 1 µs of lower-bound slack.
+    pub fn new(quantum_us: u64, horizon_us: u64) -> Self {
+        Self {
+            quantum_us,
+            horizon_us,
+            node_budget: 2000,
+            lb_slack_us: 1.0,
+        }
+    }
+}
+
+/// Frozen per-thread state at a branch point of the search tree.
+#[derive(Debug, Clone)]
+pub struct ThreadSlot {
+    /// The thread.
+    pub id: ThreadId,
+    /// Whether it still wants cpu time.
+    pub runnable: bool,
+    /// Affinity hint from the prefix schedule.
+    pub last_cpu: Option<CpuId>,
+    /// Virtual µs of work left (`INFINITY` for run-forever threads).
+    pub remaining_us: f64,
+    /// Whether the thread has ever run under the prefix schedule.
+    pub started: bool,
+}
+
+/// Frozen per-gang state at a branch point of the search tree.
+#[derive(Debug, Clone)]
+pub struct GangState {
+    /// The application.
+    pub app: AppId,
+    /// Arrival time, µs.
+    pub arrived_at: SimTime,
+    /// Completion time under the prefix schedule, if finished.
+    pub finished_at: Option<SimTime>,
+    /// The gang's threads.
+    pub threads: Vec<ThreadSlot>,
+}
+
+impl GangState {
+    /// Number of threads that still want cpu time.
+    pub fn runnable_width(&self) -> usize {
+        self.threads.iter().filter(|t| t.runnable).count()
+    }
+
+    /// Whether no thread of the gang has ever run — the window in which
+    /// bit-identical gangs are interchangeable (symmetry pruning).
+    pub fn is_unstarted(&self) -> bool {
+        self.threads.iter().all(|t| !t.started)
+    }
+
+    /// Wall time needed to finish the slowest thread at the best possible
+    /// progress rate (1 virtual µs per wall µs).
+    pub fn max_remaining_us(&self) -> f64 {
+        self.threads
+            .iter()
+            .map(|t| t.remaining_us)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Machine state at the moment a replayed plan ran out of decisions —
+/// the branch point from which the search extends the schedule.
+#[derive(Debug, Clone)]
+pub struct BranchState {
+    /// Simulated time at exhaustion, µs.
+    pub now: SimTime,
+    /// Number of processors.
+    pub num_cpus: usize,
+    /// Every application's frozen state, in id order.
+    pub gangs: Vec<GangState>,
+}
+
+impl BranchState {
+    /// Capture the branch state from a scheduler's view.
+    pub fn capture(view: &MachineView<'_>) -> Self {
+        let gangs = view
+            .apps()
+            .map(|app| {
+                let threads = app
+                    .threads
+                    .iter()
+                    .map(|&tid| {
+                        let t = view.thread(tid).expect("gang thread exists");
+                        ThreadSlot {
+                            id: tid,
+                            runnable: t.is_runnable(),
+                            last_cpu: t.last_cpu,
+                            remaining_us: (t.work_us - t.progress_us).max(0.0),
+                            started: t.progress_us > 0.0 || t.last_cpu.is_some(),
+                        }
+                    })
+                    .collect();
+                GangState {
+                    app: app.id,
+                    arrived_at: app.arrived_at,
+                    finished_at: app.finished_at,
+                    threads,
+                }
+            })
+            .collect();
+        Self {
+            now: view.now,
+            num_cpus: view.num_cpus,
+            gangs,
+        }
+    }
+}
+
+/// Replays a fixed list of [`Decision`]s verbatim, then idles.
+///
+/// The machine is deterministic, so replaying a recorded decision prefix
+/// from t = 0 reproduces the exact same trajectory — this is how the
+/// search evaluates candidate schedules without cloning machines. When
+/// the plan runs out mid-run the scheduler snapshots a [`BranchState`]
+/// (available via [`FixedPlanScheduler::take_branch_state`]) and returns
+/// an idle decision of [`ORACLE_IDLE_SENTINEL_US`], letting the machine
+/// fast-forward to its hard cap.
+pub struct FixedPlanScheduler {
+    plan: Vec<Decision>,
+    next: usize,
+    branch: Option<BranchState>,
+}
+
+impl FixedPlanScheduler {
+    /// A scheduler that will replay `plan` in order.
+    pub fn new(plan: Vec<Decision>) -> Self {
+        Self {
+            plan,
+            next: 0,
+            branch: None,
+        }
+    }
+
+    /// Whether every planned decision has been handed out.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.plan.len()
+    }
+
+    /// The state captured when the plan ran out mid-run, if it did.
+    pub fn take_branch_state(&mut self) -> Option<BranchState> {
+        self.branch.take()
+    }
+}
+
+impl Scheduler for FixedPlanScheduler {
+    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+        if let Some(d) = self.plan.get(self.next) {
+            self.next += 1;
+            d.clone()
+        } else {
+            if self.branch.is_none() {
+                self.branch = Some(BranchState::capture(view));
+            }
+            Decision::idle(ORACLE_IDLE_SENTINEL_US)
+        }
+    }
+
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+}
+
+/// Wraps any scheduler and records every decision it makes, so a
+/// heuristic's full run can later be replayed bit-identically through
+/// [`FixedPlanScheduler`] — the mechanism behind seeding the oracle's
+/// incumbent with the preset stacks.
+pub struct RecordingScheduler<'a> {
+    inner: &'a mut dyn Scheduler,
+    log: Vec<Decision>,
+}
+
+impl<'a> RecordingScheduler<'a> {
+    /// Record `inner`'s decisions.
+    pub fn new(inner: &'a mut dyn Scheduler) -> Self {
+        Self {
+            inner,
+            log: Vec::new(),
+        }
+    }
+
+    /// The recorded decision log, in schedule order.
+    pub fn into_log(self) -> Vec<Decision> {
+        self.log
+    }
+}
+
+impl Scheduler for RecordingScheduler<'_> {
+    fn schedule(&mut self, view: &MachineView<'_>) -> Decision {
+        let d = self.inner.schedule(view);
+        self.log.push(d.clone());
+        d
+    }
+
+    fn on_sample(&mut self, view: &MachineView<'_>) {
+        self.inner.on_sample(view);
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Outcome of simulating one candidate plan.
+#[derive(Debug, Clone)]
+pub enum SimNode {
+    /// Every measured app finished: exact total turnaround, µs.
+    Leaf {
+        /// Σ turnaround over the measured apps, µs.
+        cost_us: u64,
+    },
+    /// The horizon fired while the plan still covered the timeline; the
+    /// schedule cannot be extended, and the cost is censored at the
+    /// horizon exactly as the harness censors heuristics at the cap.
+    Censored {
+        /// Σ censored turnaround over the measured apps, µs.
+        cost_us: u64,
+    },
+    /// The plan ran out before the horizon: an interior search node.
+    Branch {
+        /// Machine state at exhaustion, for generating child decisions.
+        state: BranchState,
+        /// Admissible lower bound on any completion of this prefix, µs.
+        lower_bound_us: u64,
+    },
+}
+
+/// Total (possibly censored) turnaround over `measured`, µs, saturating.
+fn censored_cost_us(machine: &Machine, measured: &[AppId], stopped_at: SimTime) -> u64 {
+    let view = machine.view();
+    measured
+        .iter()
+        .map(|&id| {
+            let a = view.app(id).expect("measured app exists");
+            match a.finished_at {
+                Some(f) => f.saturating_sub(a.arrived_at),
+                None => stopped_at.saturating_sub(a.arrived_at),
+            }
+        })
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Admissible lower bound on the censored total turnaround of any
+/// schedule extending this branch: progress accrues at most 1 virtual µs
+/// per wall µs per thread, so an unfinished gang cannot finish before
+/// `now + max-thread-remaining` — clamped to the horizon because costs
+/// are censored there. `lb_slack_us` absorbs float rounding in the
+/// progress accounting.
+fn lower_bound_us(state: &BranchState, measured: &[AppId], cfg: &OracleSearchConfig) -> u64 {
+    let mut lb = 0u64;
+    for &id in measured {
+        let Some(g) = state.gangs.iter().find(|g| g.app == id) else {
+            continue;
+        };
+        let contrib = match g.finished_at {
+            Some(f) => f.saturating_sub(g.arrived_at),
+            None => {
+                let rem = (g.max_remaining_us() - cfg.lb_slack_us).max(0.0);
+                let est = if rem.is_finite() {
+                    state.now.saturating_add(rem as u64)
+                } else {
+                    u64::MAX
+                };
+                est.min(cfg.horizon_us).saturating_sub(g.arrived_at)
+            }
+        };
+        lb = lb.saturating_add(contrib);
+    }
+    lb
+}
+
+/// Evaluate one candidate plan on a fresh machine: replay it from t = 0,
+/// classify the outcome. Sets the machine's hard cap to the horizon.
+pub fn simulate(
+    mut machine: Machine,
+    measured: &[AppId],
+    plan: &[Decision],
+    cfg: &OracleSearchConfig,
+) -> SimNode {
+    machine.set_hard_cap_us(cfg.horizon_us);
+    let mut sched = FixedPlanScheduler::new(plan.to_vec());
+    let out = machine.run(&mut sched, StopCondition::AppsFinished(measured.to_vec()));
+    if out.condition_met {
+        SimNode::Leaf {
+            cost_us: censored_cost_us(&machine, measured, out.stopped_at),
+        }
+    } else if let Some(state) = sched.take_branch_state() {
+        let lb = lower_bound_us(&state, measured, cfg);
+        SimNode::Branch {
+            state,
+            lower_bound_us: lb,
+        }
+    } else {
+        SimNode::Censored {
+            cost_us: censored_cost_us(&machine, measured, out.stopped_at),
+        }
+    }
+}
+
+/// Whether a chosen gang subset respects the declared symmetry classes:
+/// within each class, the *unstarted* members chosen must form a prefix
+/// of the class order. Bit-identical gangs are interchangeable until one
+/// of them runs (after which cache warmth and progress differentiate
+/// them), so exploring only the prefix-ordered subsets visits one
+/// representative per permutation class without losing any distinct
+/// schedule.
+fn sym_ok(chosen: &[&GangState], live: &[&GangState], classes: &[Vec<AppId>]) -> bool {
+    for class in classes {
+        let mut seen_gap = false;
+        for &id in class {
+            let Some(g) = live.iter().find(|g| g.app == id) else {
+                continue;
+            };
+            if !g.is_unstarted() {
+                continue;
+            }
+            let in_chosen = chosen.iter().any(|c| c.app == id);
+            if in_chosen && seen_gap {
+                return false;
+            }
+            if !in_chosen {
+                seen_gap = true;
+            }
+        }
+    }
+    true
+}
+
+/// Canonical placement for a chosen gang subset: gangs in app-id order,
+/// runnable threads only, each thread on its `last_cpu` when free, else
+/// the lowest free cpu.
+fn place(chosen: &[&GangState], num_cpus: usize, quantum_us: u64) -> Decision {
+    let mut free = vec![true; num_cpus];
+    let mut assignments = Vec::new();
+    for g in chosen {
+        for t in &g.threads {
+            if !t.runnable {
+                continue;
+            }
+            let cpu = match t.last_cpu {
+                Some(c) if c.0 < num_cpus && free[c.0] => c,
+                _ => CpuId(free.iter().position(|&f| f).expect("width was checked")),
+            };
+            free[cpu.0] = false;
+            assignments.push(Assignment {
+                thread: t.id,
+                cpu,
+            });
+        }
+    }
+    Decision {
+        assignments,
+        next_resched_in_us: quantum_us,
+        sample_period_us: None,
+    }
+}
+
+/// All child decisions from a branch state: every non-empty subset of
+/// live gangs whose runnable width fits the machine, in ascending-bitmask
+/// order (deterministic), minus subsets eliminated by symmetry. Idling is
+/// never generated — nothing in the model rewards an empty quantum.
+fn branch_decisions(
+    state: &BranchState,
+    cfg: &OracleSearchConfig,
+    sym_classes: &[Vec<AppId>],
+    sym_prunes: &mut u64,
+) -> Vec<Decision> {
+    let live: Vec<&GangState> = state
+        .gangs
+        .iter()
+        .filter(|g| g.finished_at.is_none() && g.runnable_width() > 0)
+        .collect();
+    let n = live.len();
+    assert!(
+        n <= 16,
+        "oracle branching supports at most 16 live gangs, got {n}"
+    );
+    let mut out = Vec::new();
+    for mask in 1u32..(1u32 << n) {
+        let chosen: Vec<&GangState> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| live[i])
+            .collect();
+        let width: usize = chosen.iter().map(|g| g.runnable_width()).sum();
+        if width > state.num_cpus {
+            continue;
+        }
+        if !sym_ok(&chosen, &live, sym_classes) {
+            *sym_prunes += 1;
+            continue;
+        }
+        out.push(place(&chosen, state.num_cpus, cfg.quantum_us));
+    }
+    out
+}
+
+/// What an offline-optimal search found.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Best (censored) total turnaround found, µs. `u64::MAX` only if the
+    /// search saw no leaf at all (node budget of 0).
+    pub best_cost_us: u64,
+    /// The decision sequence achieving `best_cost_us`.
+    pub best_plan: Vec<Decision>,
+    /// Candidate simulations performed (seeds + tree nodes).
+    pub nodes: u64,
+    /// Simulations that terminated (leaf or censored).
+    pub leaves: u64,
+    /// Interior nodes discarded because their lower bound met the
+    /// incumbent.
+    pub bound_prunes: u64,
+    /// Subsets skipped by symmetry-class prefix filtering.
+    pub sym_prunes: u64,
+    /// Admissible lower bound at the root (≤ `best_cost_us` always).
+    pub root_lower_bound_us: u64,
+    /// Whether the tree was exhausted (false = node budget hit; the
+    /// incumbent is then an upper bound on the optimum, not the optimum).
+    pub complete: bool,
+    /// Index of the seed plan that holds the incumbent, if no searched
+    /// schedule beat every seed.
+    pub best_from_seed: Option<usize>,
+}
+
+fn search(
+    build: &mut dyn FnMut() -> Machine,
+    measured: &[AppId],
+    cfg: &OracleSearchConfig,
+    seeds: &[Vec<Decision>],
+    sym_classes: &[Vec<AppId>],
+    prune: bool,
+) -> OracleReport {
+    let mut report = OracleReport {
+        best_cost_us: u64::MAX,
+        best_plan: Vec::new(),
+        nodes: 0,
+        leaves: 0,
+        bound_prunes: 0,
+        sym_prunes: 0,
+        root_lower_bound_us: 0,
+        complete: true,
+        best_from_seed: None,
+    };
+
+    // Seed the incumbent with the recorded heuristic runs. Evaluating
+    // them through the same simulate() makes "oracle ≤ every seeded
+    // heuristic" structural rather than numerical.
+    for (i, seed) in seeds.iter().enumerate() {
+        if report.nodes >= cfg.node_budget {
+            report.complete = false;
+            return report;
+        }
+        report.nodes += 1;
+        match simulate(build(), measured, seed, cfg) {
+            SimNode::Leaf { cost_us } | SimNode::Censored { cost_us } => {
+                report.leaves += 1;
+                if cost_us < report.best_cost_us {
+                    report.best_cost_us = cost_us;
+                    report.best_plan = seed.clone();
+                    report.best_from_seed = Some(i);
+                }
+            }
+            // A seed that runs out before the horizon has no defined
+            // cost; it cannot serve as an incumbent.
+            SimNode::Branch { .. } => {}
+        }
+    }
+
+    let mut stack: Vec<(Vec<Decision>, BranchState)> = Vec::new();
+    if report.nodes >= cfg.node_budget {
+        report.complete = false;
+        return report;
+    }
+    report.nodes += 1;
+    match simulate(build(), measured, &[], cfg) {
+        SimNode::Leaf { cost_us } | SimNode::Censored { cost_us } => {
+            report.leaves += 1;
+            report.root_lower_bound_us = cost_us;
+            if cost_us < report.best_cost_us {
+                report.best_cost_us = cost_us;
+                report.best_plan = Vec::new();
+                report.best_from_seed = None;
+            }
+        }
+        SimNode::Branch {
+            state,
+            lower_bound_us,
+        } => {
+            report.root_lower_bound_us = lower_bound_us;
+            stack.push((Vec::new(), state));
+        }
+    }
+
+    'dfs: while let Some((plan, state)) = stack.pop() {
+        let kids = branch_decisions(&state, cfg, sym_classes, &mut report.sym_prunes);
+        let mut pending = Vec::new();
+        for d in kids {
+            if report.nodes >= cfg.node_budget {
+                report.complete = false;
+                break 'dfs;
+            }
+            report.nodes += 1;
+            let mut child_plan = plan.clone();
+            child_plan.push(d);
+            match simulate(build(), measured, &child_plan, cfg) {
+                SimNode::Leaf { cost_us } | SimNode::Censored { cost_us } => {
+                    report.leaves += 1;
+                    if cost_us < report.best_cost_us {
+                        report.best_cost_us = cost_us;
+                        report.best_plan = child_plan;
+                        report.best_from_seed = None;
+                    }
+                }
+                SimNode::Branch {
+                    state,
+                    lower_bound_us,
+                } => {
+                    if prune && lower_bound_us >= report.best_cost_us {
+                        report.bound_prunes += 1;
+                    } else {
+                        pending.push((child_plan, state));
+                    }
+                }
+            }
+        }
+        // Reverse so the lowest-bitmask child is explored first — the
+        // same DFS order as brute force, which keeps tie-breaking (and
+        // hence the reported plan) identical between the two searches.
+        for node in pending.into_iter().rev() {
+            stack.push(node);
+        }
+    }
+    report
+}
+
+/// Branch-and-bound search for the offline-optimal gang schedule.
+///
+/// `build` must construct the *same* machine every call (the search
+/// replays candidate prefixes on fresh instances); `measured` lists the
+/// apps whose total turnaround is the objective; `seeds` are recorded
+/// heuristic decision logs (see [`RecordingScheduler`]) evaluated first
+/// as incumbents; `sym_classes` lists groups of gangs the caller asserts
+/// are bit-identical at t = 0 — the search then explores only one
+/// representative of each permutation while the gangs are unstarted.
+///
+/// With infinite-work *measured* gangs every path is censored at the
+/// horizon and the tree is deep; provide seeds so bound pruning can bite,
+/// or rely on `node_budget` as the backstop.
+pub fn offline_optimal(
+    build: &mut dyn FnMut() -> Machine,
+    measured: &[AppId],
+    cfg: &OracleSearchConfig,
+    seeds: &[Vec<Decision>],
+    sym_classes: &[Vec<AppId>],
+) -> OracleReport {
+    search(build, measured, cfg, seeds, sym_classes, true)
+}
+
+/// Exhaustive enumeration over the same tree as [`offline_optimal`] with
+/// no seeds, no symmetry filtering, and no bound pruning — the ground
+/// truth the branch-and-bound search is cross-checked against. Respects
+/// `node_budget` purely as a runaway backstop.
+pub fn brute_force_optimal(
+    build: &mut dyn FnMut() -> Machine,
+    measured: &[AppId],
+    cfg: &OracleSearchConfig,
+) -> OracleReport {
+    search(build, measured, cfg, &[], &[], false)
 }
 
 #[cfg(test)]
@@ -182,5 +804,178 @@ mod tests {
             greedy_pack().stage_labels(),
             ["RawRate", "strict-head", "greedy", "packed"]
         );
+    }
+
+    // -- offline-optimal search ------------------------------------------
+
+    fn add_finite(m: &mut Machine, name: &str, n: usize, rate: f64, work_us: f64) -> AppId {
+        let threads = (0..n)
+            .map(|_| ThreadSpec::new(work_us, Box::new(ConstantDemand::new(rate, 0.8))))
+            .collect();
+        m.add_app(AppDescriptor::new(name, threads))
+    }
+
+    /// Three finite 2-thread gangs on the 4-way machine: small enough to
+    /// enumerate exhaustively, big enough that schedules differ.
+    fn small_instance() -> (Machine, Vec<AppId>) {
+        let mut m = Machine::new(XEON_4WAY);
+        let a = add_finite(&mut m, "a", 2, 6.0, 120_000.0);
+        let b = add_finite(&mut m, "b", 2, 6.0, 120_000.0);
+        let c = add_finite(&mut m, "c", 2, 1.0, 120_000.0);
+        (m, vec![a, b, c])
+    }
+
+    fn small_cfg() -> OracleSearchConfig {
+        let mut cfg = OracleSearchConfig::new(100_000, 2_000_000);
+        cfg.node_budget = 50_000;
+        cfg
+    }
+
+    #[test]
+    fn oracle_matches_brute_force_on_small_instances() {
+        let cfg = small_cfg();
+        let measured = small_instance().1;
+        let bf = brute_force_optimal(&mut || small_instance().0, &measured, &cfg);
+        let bb = offline_optimal(&mut || small_instance().0, &measured, &cfg, &[], &[]);
+        assert!(bf.complete && bb.complete);
+        assert_eq!(bb.best_cost_us, bf.best_cost_us);
+        // Same DFS order + strict incumbent updates ⇒ same winning plan.
+        assert_eq!(bb.best_plan.len(), bf.best_plan.len());
+        for (x, y) in bb.best_plan.iter().zip(&bf.best_plan) {
+            let xa: Vec<_> = x.assignments.iter().map(|a| (a.thread, a.cpu)).collect();
+            let ya: Vec<_> = y.assignments.iter().map(|a| (a.thread, a.cpu)).collect();
+            assert_eq!(xa, ya);
+        }
+        assert!(bb.nodes <= bf.nodes, "pruning should not add work");
+    }
+
+    #[test]
+    fn root_lower_bound_is_admissible() {
+        let cfg = small_cfg();
+        let measured = small_instance().1;
+        let r = offline_optimal(&mut || small_instance().0, &measured, &cfg, &[], &[]);
+        assert!(r.complete);
+        assert!(
+            r.root_lower_bound_us <= r.best_cost_us,
+            "root LB {} exceeds achieved optimum {}",
+            r.root_lower_bound_us,
+            r.best_cost_us
+        );
+        // Three gangs of 120 ms work each can't beat 3 × 120 ms total.
+        assert!(r.best_cost_us >= 360_000);
+    }
+
+    #[test]
+    fn symmetry_pruning_preserves_the_optimum() {
+        // Two literally identical gangs (same width, rate, work) plus one
+        // distinct gang: permuting the twins yields the same cost.
+        let build = || {
+            let mut m = Machine::new(XEON_4WAY);
+            let a = add_finite(&mut m, "twin0", 2, 6.0, 120_000.0);
+            let b = add_finite(&mut m, "twin1", 2, 6.0, 120_000.0);
+            let c = add_finite(&mut m, "other", 2, 1.0, 150_000.0);
+            (m, vec![a, b, c])
+        };
+        let cfg = small_cfg();
+        let measured = build().1;
+        let bf = brute_force_optimal(&mut || build().0, &measured, &cfg);
+        let sym = vec![vec![measured[0], measured[1]]];
+        let bb = offline_optimal(&mut || build().0, &measured, &cfg, &[], &sym);
+        assert!(bf.complete && bb.complete);
+        assert_eq!(bb.best_cost_us, bf.best_cost_us);
+        assert!(bb.sym_prunes > 0, "twins never triggered symmetry pruning");
+        assert!(bb.nodes < bf.nodes);
+    }
+
+    #[test]
+    fn heuristic_seed_bounds_the_incumbent() {
+        let cfg = small_cfg();
+        let (mut m, measured) = small_instance();
+        m.set_hard_cap_us(cfg.horizon_us);
+        let mut heuristic = round_robin_gang_with_quantum(cfg.quantum_us);
+        let mut rec = RecordingScheduler::new(&mut heuristic);
+        let out = m.run(&mut rec, StopCondition::AppsFinished(measured.clone()));
+        assert!(out.condition_met);
+        let seed = rec.into_log();
+        let view = m.view();
+        let seed_cost: u64 = measured
+            .iter()
+            .map(|&a| {
+                let app = view.app(a).unwrap();
+                app.finished_at.unwrap() - app.arrived_at
+            })
+            .sum();
+
+        let r = offline_optimal(
+            &mut || small_instance().0,
+            &measured,
+            &cfg,
+            &[seed],
+            &[],
+        );
+        assert!(
+            r.best_cost_us <= seed_cost,
+            "oracle {} worse than its own seed {}",
+            r.best_cost_us,
+            seed_cost
+        );
+    }
+
+    #[test]
+    fn replayed_plan_reproduces_the_recorded_cost() {
+        let cfg = small_cfg();
+        let (mut m, measured) = small_instance();
+        m.set_hard_cap_us(cfg.horizon_us);
+        let mut heuristic = round_robin_gang_with_quantum(cfg.quantum_us);
+        let mut rec = RecordingScheduler::new(&mut heuristic);
+        let live = m.run(&mut rec, StopCondition::AppsFinished(measured.clone()));
+        assert!(live.condition_met);
+        let plan = rec.into_log();
+
+        match simulate(small_instance().0, &measured, &plan, &cfg) {
+            SimNode::Leaf { cost_us } => {
+                let view = m.view();
+                let live_cost: u64 = measured
+                    .iter()
+                    .map(|&a| {
+                        let app = view.app(a).unwrap();
+                        app.finished_at.unwrap() - app.arrived_at
+                    })
+                    .sum();
+                assert_eq!(cost_us, live_cost, "replay diverged from live run");
+            }
+            other => panic!("replay of a completed run must be a Leaf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_background_gang_does_not_hang_the_search() {
+        // A run-forever gang shares the machine; only the finite gang is
+        // measured, so leaves still exist and the search terminates.
+        let build = || {
+            let mut m = Machine::new(XEON_4WAY);
+            let fg = add_finite(&mut m, "fg", 2, 1.0, 120_000.0);
+            let _bg = add(&mut m, "bg", 2, 6.0);
+            (m, vec![fg])
+        };
+        let mut cfg = OracleSearchConfig::new(100_000, 1_000_000);
+        cfg.node_budget = 3_000;
+        let measured = build().1;
+        let r = offline_optimal(&mut || build().0, &measured, &cfg, &[], &[]);
+        assert!(r.leaves > 0);
+        assert!(r.best_cost_us >= 120_000 && r.best_cost_us < u64::MAX);
+        assert!(r.root_lower_bound_us <= r.best_cost_us);
+    }
+
+    #[test]
+    fn node_budget_reports_incomplete() {
+        let cfg = OracleSearchConfig {
+            node_budget: 5,
+            ..small_cfg()
+        };
+        let measured = small_instance().1;
+        let r = offline_optimal(&mut || small_instance().0, &measured, &cfg, &[], &[]);
+        assert!(!r.complete);
+        assert!(r.nodes <= 5);
     }
 }

@@ -32,7 +32,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use crate::cache::encode_result;
 use crate::jobgraph::{Engine, Plan, RunRequest};
 use crate::policy::{AdmissionKind, EstimatorKind, PlacerKind, SelectorKind, StackSpec};
-use crate::runner::{run_spec_hooked, PolicyKind, RunResult, RunnerConfig, TraceMode};
+use crate::runner::{run_spec, run_spec_hooked, PolicyKind, RunResult, RunnerConfig, TraceMode};
 
 /// One fuzz cell: a policy stack over a workload mix with a seed.
 #[derive(Debug, Clone, PartialEq)]
@@ -547,6 +547,54 @@ pub fn preset_suite(scale: f64, seed: u64) -> Vec<(String, Vec<Violation>)> {
     out
 }
 
+/// Oracle-admissibility differential: draw the `i`-th tiny cell of a
+/// seeded campaign (first two mix names, scale capped at 0.05 so the
+/// branch-and-bound search stays small), solve it with the
+/// offline-optimal oracle, and check both halves of the
+/// `oracle-admissibility` invariant — the optimal mean turnaround is at
+/// most every preset's on the same cell, and the search's root lower
+/// bound never exceeds the cost it achieves.
+pub fn check_oracle_admissibility(campaign_seed: u64, i: u64, scale: f64) -> Vec<Violation> {
+    let cell = fuzz_cell(campaign_seed, i, scale.min(0.05));
+    let names: Vec<&'static str> = cell.mix.iter().copied().take(2).collect();
+    let spec = mix_from_names(&names).expect("fuzz mixes use paper names");
+    let rc = RunnerConfig {
+        scale: cell.scale,
+        seed: cell.seed,
+        trace: TraceMode::Off,
+        ..RunnerConfig::default()
+    };
+    let oracle = crate::regret::oracle_outcome(&spec, &rc);
+    let mut out = Vec::new();
+    if oracle.report.root_lower_bound_us > oracle.report.best_cost_us {
+        out.push(Violation {
+            invariant: "oracle-admissibility",
+            at_us: 0,
+            detail: format!(
+                "root lower bound {} µs exceeds achieved cost {} µs on {}",
+                oracle.report.root_lower_bound_us, oracle.report.best_cost_us, spec.name
+            ),
+        });
+    }
+    for policy in crate::regret::REGRET_PRESETS {
+        let heuristic = run_spec(&spec, policy, &rc);
+        if oracle.result.mean_turnaround_us > heuristic.mean_turnaround_us + 1e-6 {
+            out.push(Violation {
+                invariant: "oracle-admissibility",
+                at_us: 0,
+                detail: format!(
+                    "oracle mean turnaround {:.3} µs exceeds {} ({:.3} µs) on {}",
+                    oracle.result.mean_turnaround_us,
+                    policy.label(),
+                    heuristic.mean_turnaround_us,
+                    spec.name
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// Run the full audit; returns the process exit code (0 = clean).
 pub fn run_audit(cfg: &AuditConfig) -> i32 {
     let mut dirty = 0usize;
@@ -588,6 +636,30 @@ pub fn run_audit(cfg: &AuditConfig) -> i32 {
     }
 
     if cfg.fuzz > 0 {
+        let oracle_cells = cfg.fuzz.min(3) as u64;
+        println!("\noracle-admissibility differential: {oracle_cells} tiny cells");
+        for i in 0..oracle_cells {
+            let mix: Vec<_> = fuzz_cell(cfg.seed, i, cfg.scale)
+                .mix
+                .into_iter()
+                .take(2)
+                .collect();
+            let violations = check_oracle_admissibility(cfg.seed, i, cfg.scale);
+            if violations.is_empty() {
+                println!("  ok   oracle cell {i}: {}", mix.join("+"));
+            } else {
+                dirty += violations.len();
+                println!(
+                    "  FAIL oracle cell {i}: {} ({} violations)",
+                    mix.join("+"),
+                    violations.len()
+                );
+                for violation in &violations {
+                    println!("       {violation}");
+                }
+            }
+        }
+
         println!(
             "\ndifferential fuzz: {} cells (campaign seed {}, {} workers)",
             cfg.fuzz, cfg.seed, cfg.workers
@@ -662,6 +734,11 @@ mod tests {
             let reparsed = StackSpec::parse(&spec_string(&stack)).expect("valid grammar");
             assert_eq!(reparsed, stack, "grammar {}", spec_string(&stack));
         }
+    }
+
+    #[test]
+    fn oracle_differential_is_clean_on_a_tiny_cell() {
+        assert_eq!(check_oracle_admissibility(42, 0, 0.04), Vec::new());
     }
 
     #[test]

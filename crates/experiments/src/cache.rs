@@ -44,7 +44,11 @@ use crate::runner::{PolicyKind, RunCompletion, RunResult, TraceMode, UnfinishedA
 /// v4: hierarchical bus topologies joined — [`MachineConfig::topology`]
 /// in the machine encoding, the three socket-aware placer kinds in the
 /// stack encoding, and `LevelSaturated` in the event codec.
-pub const RUN_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: the offline-optimal oracle joined — `PolicyKind::OfflineOptimal`
+/// in the policy encoding and `RunShape::Oracle` in the key encoding
+/// (`experiments regret`).
+pub const RUN_SCHEMA_VERSION: u32 = 5;
 
 /// Magic bytes prefixing every on-disk cache entry.
 const MAGIC: &[u8; 8] = b"BBWRUN\x00\x01";
@@ -316,6 +320,7 @@ pub(crate) fn encode_policy(e: &mut Enc, p: &PolicyKind) {
             e.u8(10);
             encode_stack_spec(e, &spec);
         }
+        PolicyKind::OfflineOptimal => e.u8(11),
     }
 }
 

@@ -64,6 +64,10 @@ pub enum RunShape {
     /// A fully open managerd serve: live arrivals through the real
     /// `core::manager` stack ([`crate::open::open_run`] semantics).
     Open(crate::open::OpenSpec),
+    /// An offline-optimal oracle run: branch-and-bound search for the
+    /// best gang schedule of a closed workload, seeded by the preset
+    /// heuristics ([`crate::regret::oracle_run`] semantics).
+    Oracle(WorkloadSpec),
 }
 
 /// One fully-resolved run: shape + policy + every [`RunnerConfig`] field
@@ -129,6 +133,23 @@ impl RunRequest {
         }
     }
 
+    /// An offline-optimal oracle cell (the `regret` figure). The search
+    /// owns policy selection end to end, so the policy slot is pinned to
+    /// [`PolicyKind::OfflineOptimal`] — the request stays uniform and the
+    /// key still separates oracle cells from every heuristic on the same
+    /// workload.
+    pub fn oracle(spec: WorkloadSpec, rc: &RunnerConfig) -> Self {
+        Self {
+            shape: RunShape::Oracle(spec),
+            policy: PolicyKind::OfflineOptimal,
+            machine: rc.machine,
+            scale: rc.scale,
+            seed: rc.seed,
+            trace: rc.trace,
+            hard_cap_factor: rc.hard_cap_factor,
+        }
+    }
+
     /// The content-addressed identity of this run: FNV-1a over the
     /// canonical encoding of every field above, salted with
     /// [`RUN_SCHEMA_VERSION`].
@@ -148,6 +169,10 @@ impl RunRequest {
             RunShape::Open(spec) => {
                 e.u8(2);
                 spec.encode(&mut e);
+            }
+            RunShape::Oracle(spec) => {
+                e.u8(3);
+                encode_workload(&mut e, spec);
             }
         }
         encode_policy(&mut e, &self.policy);
@@ -184,6 +209,7 @@ impl RunRequest {
                 crate::dynamic::staggered_run(*app, self.policy, *stagger_us, &rc)
             }
             RunShape::Open(spec) => crate::open::open_run(spec, &rc),
+            RunShape::Oracle(spec) => crate::regret::oracle_run(spec, &rc),
         }
     }
 }
@@ -473,7 +499,9 @@ impl Engine {
                     self.stats.cache_misses += 1;
                     match plan.requests[i].shape {
                         RunShape::Spec(_) => spec_missing.push(i),
-                        RunShape::Staggered { .. } | RunShape::Open(_) => other_missing.push(i),
+                        RunShape::Staggered { .. } | RunShape::Open(_) | RunShape::Oracle(_) => {
+                            other_missing.push(i)
+                        }
                     }
                 }
             }
@@ -791,6 +819,7 @@ mod tests {
                 },
             ),
             RunRequest::staggered(PaperApp::Cg, 100_000, PolicyKind::Linux, &rc),
+            RunRequest::oracle(fig2_set_b(PaperApp::Cg), &rc),
             RunRequest::open(
                 crate::open::OpenSpec {
                     arrivals: busbw_managerd::ArrivalProcess::Poisson { rate_per_s: 30.0 },

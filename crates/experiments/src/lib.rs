@@ -17,6 +17,7 @@
 //! | `open` | open-system managerd serve — turnaround tails (p50/p99/p999), shed rate, manager overhead vs offered load |
 //! | `robustness` | random job populations — win-rate of each policy over Linux |
 //! | `topo` | DESIGN §16 — socket-aware placers on 1/2/4-socket shapes, per-level bus utilisation |
+//! | `regret` | DESIGN §17 — presets + sampled stacks ranked by regret vs the offline-optimal oracle |
 //! | `baselines` | Linux 2.4-like vs O(1)-like vs the policies vs model-driven |
 //! | `validate` | the reproduction gate: every EXPERIMENTS.md claim, PASS/FAIL |
 //! | `variance` | seed-sensitivity of Fig. 2B (the error bars the paper lacks) |
@@ -38,6 +39,7 @@ pub mod jobgraph;
 pub mod open;
 pub mod policy;
 pub mod pool;
+pub mod regret;
 pub mod robustness;
 pub mod runner;
 pub mod suite;
@@ -64,6 +66,10 @@ pub use open::{
 };
 pub use policy::{AdmissionKind, EstimatorKind, PlacerKind, SelectorKind, StackSpec};
 pub use pool::{steal_map, StealStats};
+pub use regret::{
+    fold_regret, oracle_outcome, oracle_run, plan_regret, regret_mixes, regret_panel,
+    sampled_stacks, OracleOutcome, RegretCells, REGRET_PRESETS, REGRET_SAMPLED_STACKS,
+};
 pub use robustness::robustness;
 pub use runner::{
     collect_metrics, effective_workers, merge_traces, par_map, run_spec, run_spec_profiled,

@@ -15,6 +15,7 @@
 //!   audit [--fuzz N]                         invariant catalog + differential fuzzer
 //!   open [--arrivals SPEC] [--duration S]    open-system managerd tail-latency figure
 //!   topo                                      socket-aware placers on 1/2/4-socket shapes
+//!   regret                                    presets + sampled stacks vs the offline optimum
 //!   all                                      everything above
 //! ```
 //!
@@ -59,6 +60,7 @@ use busbw_experiments::dynamic::{fold_dynamic, plan_dynamic};
 use busbw_experiments::fig1::{fig1_results, fold_fig1a, fold_fig1b, plan_fig1};
 use busbw_experiments::fig2::{fig2_results, fold_fig2, plan_fig2};
 use busbw_experiments::robustness::{fold_robustness, plan_robustness};
+use busbw_experiments::regret::{fold_regret, plan_regret};
 use busbw_experiments::topo::{fold_topo, plan_topo};
 use busbw_experiments::validate::{fold_validate, plan_validate};
 use busbw_experiments::variance::{fold_variance, plan_variance};
@@ -73,7 +75,7 @@ use busbw_trace::{fnv1a64, git_describe, json, ArtifactSum, Manifest, TraceInfo}
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|open|baselines|robustness|topo|validate|variance|bench tick-rate|bench profile|bench sweep|audit|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT] [--fuzz N] [--arrivals SPEC] [--duration S]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt|pack_local|spread_sockets|migrate, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly\n  --fuzz N (audit) sets the number of random differential cells; audit\n  defaults to --scale 0.1 and writes <out>/repro.json on failure\n  --arrivals SPEC (open) picks the arrival process:\n  poisson:<rate|small> | pareto:<rate|small>[:alpha] |\n  diurnal:<rate|small>[:period_s] | trace:diurnal (rates in clients/s)\n  --duration S (open) sets the unscaled horizon in seconds (or `short`)"
+        "usage: experiments <fig1a|fig1b|fig2a|fig2b|fig2c|trace <figure>|summary|ablate-window|ablate-quantum|ablate-fitness|ablate-smt|ablate-stages|ablate --stages|dynamic|open|baselines|robustness|topo|regret|validate|variance|bench tick-rate|bench profile|bench sweep|audit|all> [--scale X] [--seed N] [--workers N] [--out DIR] [--trace-out PATH] [--cache-dir DIR] [--no-cache] [--policy SPEC] [--guard PCT] [--fuzz N] [--arrivals SPEC] [--duration S]\n\n  --policy composes a scheduler from pipeline stages for the fig2 panels\n  and summary, e.g. --policy estimator=window:5,selector=fitness,placer=packed\n  (stages: estimator=latest|window[:n]|ewma[:n]|raw|null,\n   admission=head|strict|fcfs|widest|open,\n   selector=fitness|random[:seed]|greedy|lookahead|none,\n   placer=packed|scatter|smt|pack_local|spread_sockets|migrate, quantum=<ms>)\n  --guard PCT (bench tick-rate) asserts the policy-pipeline indirection\n  costs < PCT %% versus driving the same selector directly\n  --fuzz N (audit) sets the number of random differential cells; audit\n  defaults to --scale 0.1 and writes <out>/repro.json on failure\n  --arrivals SPEC (open) picks the arrival process:\n  poisson:<rate|small> | pareto:<rate|small>[:alpha] |\n  diurnal:<rate|small>[:period_s] | trace:diurnal (rates in clients/s)\n  --duration S (open) sets the unscaled horizon in seconds (or `short`)"
     );
     std::process::exit(2);
 }
@@ -1254,6 +1256,16 @@ fn main() {
                     fold_topo,
                 );
             }
+        }
+        "regret" => {
+            emit_figure(
+                &mut engine,
+                &mut ctx,
+                out,
+                &rc,
+                |p| plan_regret(p, &rc),
+                fold_regret,
+            );
         }
         "variance" => {
             for p in [PolicyKind::Latest, PolicyKind::Window] {

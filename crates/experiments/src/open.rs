@@ -94,7 +94,10 @@ impl OpenSpec {
     /// can change the serve must land here (the schema-version salt and
     /// seed/scale/trace fields are appended by the caller).
     pub(crate) fn encode(&self, e: &mut Enc) {
-        match self.arrivals {
+        // Normalize first: processes that draw identical arrival streams
+        // (e.g. Pareto shapes below the admissible floor) must encode to
+        // the same key, or equal behavior would fragment the run cache.
+        match self.arrivals.normalized() {
             ArrivalProcess::Poisson { rate_per_s } => {
                 e.u8(0);
                 e.f64(rate_per_s);
@@ -417,6 +420,39 @@ mod tests {
         let first = engine.execute(&plan, 1);
         let again = engine.execute(&plan, 1);
         assert!(std::sync::Arc::ptr_eq(&first.get_arc(a), &again.get_arc(a)));
+    }
+
+    #[test]
+    fn subcritical_pareto_alpha_keys_like_the_floor_it_samples_as() {
+        // The sampler clamps Pareto shapes to MIN_PARETO_ALPHA, so a raw
+        // subcritical alpha and the clamped constructor draw identical
+        // arrival streams. Their cell keys — and results — must agree,
+        // while a genuinely different shape must key differently.
+        let rc = quick_rc();
+        let spec_of = |arrivals| OpenSpec {
+            arrivals,
+            duration_us: 10_000_000,
+            stack: OpenStack::Latest,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        };
+        let raw = spec_of(ArrivalProcess::Pareto {
+            rate_per_s: 30.0,
+            alpha: 0.5,
+        });
+        let canon = spec_of(ArrivalProcess::pareto(30.0, 0.5));
+        let mut plan = Plan::new();
+        let a = plan.cell(RunRequest::open(raw, &rc));
+        let b = plan.cell(RunRequest::open(canon, &rc));
+        assert_eq!(a, b, "raw subcritical alpha keys like the clamped floor");
+        let c = plan.cell(RunRequest::open(
+            spec_of(ArrivalProcess::pareto(30.0, 1.5)),
+            &rc,
+        ));
+        assert_ne!(a, c, "a supercritical shape is a different cell");
+        assert_eq!(
+            crate::cache::encode_result(&open_run(&raw, &rc)),
+            crate::cache::encode_result(&open_run(&canon, &rc))
+        );
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub enum PolicyKind {
     /// An arbitrary four-stage stack composed from the CLI
     /// (`--policy estimator=…,selector=…,placer=…`) or the stage ablation.
     Stack(crate::policy::StackSpec),
+    /// The offline-optimal oracle (`busbw_core::oracle::offline_optimal`).
+    /// Not a live scheduler: `build()` yields an empty-plan replayer that
+    /// idles — real oracle runs go through [`crate::regret::oracle_run`],
+    /// which searches for the optimal plan first and replays it. The
+    /// variant exists so oracle cells share the run-cache/job-graph
+    /// plumbing of every other policy.
+    OfflineOptimal,
 }
 
 impl PolicyKind {
@@ -66,6 +73,7 @@ impl PolicyKind {
             PolicyKind::LinuxO1 => "LinuxO1".into(),
             PolicyKind::ModelDriven => "ModelDriven".into(),
             PolicyKind::Stack(spec) => spec.label(),
+            PolicyKind::OfflineOptimal => "Oracle".into(),
         }
     }
 
@@ -92,6 +100,9 @@ impl PolicyKind {
             PolicyKind::LinuxO1 => Box::new(linux_o1()),
             PolicyKind::ModelDriven => Box::new(ModelDrivenScheduler::new()),
             PolicyKind::Stack(spec) => Box::new(spec.build()),
+            PolicyKind::OfflineOptimal => {
+                Box::new(busbw_core::FixedPlanScheduler::new(Vec::new()))
+            }
         }
     }
 }
@@ -411,6 +422,19 @@ impl PreparedRun {
     /// The stop condition of this run (all measured instances finished).
     pub(crate) fn stop_condition(&self) -> StopCondition {
         StopCondition::AppsFinished(self.measured_ids.clone())
+    }
+
+    /// The measured application ids, spec order — the oracle's objective
+    /// set (see [`crate::regret`]).
+    pub(crate) fn measured_ids(&self) -> &[busbw_sim::AppId] {
+        &self.measured_ids
+    }
+
+    /// Consume the prepared run, yielding just its machine — how the
+    /// oracle search builds fresh instances for prefix replay (see
+    /// [`crate::regret`]).
+    pub(crate) fn into_machine(self) -> busbw_sim::Machine {
+        self.machine
     }
 }
 
@@ -758,6 +782,7 @@ mod tests {
             PolicyKind::LinuxO1,
             PolicyKind::ModelDriven,
             PolicyKind::Stack(crate::policy::StackSpec::default()),
+            PolicyKind::OfflineOptimal,
         ] {
             let s = p.build();
             assert!(!s.name().is_empty());

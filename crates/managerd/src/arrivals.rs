@@ -54,6 +54,13 @@ impl Rng64 {
 /// evening peak). Mean is 1.0 so the configured rate is the daily mean.
 pub const DIURNAL_PROFILE: [f64; 8] = [0.30, 0.45, 0.85, 1.45, 1.90, 1.45, 1.00, 0.60];
 
+/// Smallest admissible Pareto shape parameter. Below this the
+/// distribution's mean diverges, so the sampler has always clamped to
+/// it — and every edge that derives identity from the process (labels,
+/// encoded run keys) must clamp the same way, or two processes that
+/// sample identically would carry different keys.
+pub const MIN_PARETO_ALPHA: f64 = 1.0 + 1e-6;
+
 /// An open-system inter-arrival process.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ArrivalProcess {
@@ -84,9 +91,34 @@ pub enum ArrivalProcess {
 }
 
 impl ArrivalProcess {
+    /// Heavy-tailed arrivals with the shape already validated: `alpha`
+    /// is clamped to [`MIN_PARETO_ALPHA`] at construction, so the stored
+    /// parameter is exactly the one the sampler will use.
+    pub fn pareto(rate_per_s: f64, alpha: f64) -> Self {
+        ArrivalProcess::Pareto {
+            rate_per_s,
+            alpha: alpha.max(MIN_PARETO_ALPHA),
+        }
+    }
+
+    /// The same process with every parameter in canonical form
+    /// (currently: Pareto `alpha` clamped to [`MIN_PARETO_ALPHA`], the
+    /// value the sampler actually uses). Anything that names or encodes
+    /// a process must go through this, so that processes with identical
+    /// arrival streams carry identical labels and run keys.
+    pub fn normalized(self) -> Self {
+        match self {
+            ArrivalProcess::Pareto { rate_per_s, alpha } => ArrivalProcess::Pareto {
+                rate_per_s,
+                alpha: alpha.max(MIN_PARETO_ALPHA),
+            },
+            other => other,
+        }
+    }
+
     /// Short stable label (figure column headers, cache diagnostics).
     pub fn label(&self) -> String {
-        match self {
+        match self.normalized() {
             ArrivalProcess::Poisson { rate_per_s } => format!("poisson:{rate_per_s}"),
             ArrivalProcess::Pareto { rate_per_s, alpha } => {
                 format!("pareto:{rate_per_s}:{alpha}")
@@ -121,7 +153,7 @@ impl ArrivalProcess {
         let gap = match *self {
             ArrivalProcess::Poisson { rate_per_s } => exp_gap_us(1e6 / rate_per_s.max(1e-9), rng),
             ArrivalProcess::Pareto { rate_per_s, alpha } => {
-                let alpha = alpha.max(1.0 + 1e-6);
+                let alpha = alpha.max(MIN_PARETO_ALPHA);
                 let mean_us = 1e6 / rate_per_s.max(1e-9);
                 // Scale x_m so the Pareto mean x_m·α/(α−1) equals mean_us.
                 let xm = mean_us * (alpha - 1.0) / alpha;
@@ -150,6 +182,43 @@ fn exp_gap_us(mean_us: f64, rng: &mut Rng64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pareto_label_and_stream_agree_for_subcritical_alpha() {
+        // A shape below the admissible floor samples exactly like the
+        // floor — so it must also label (and therefore key) like it.
+        let raw = ArrivalProcess::Pareto {
+            rate_per_s: 20.0,
+            alpha: 0.5,
+        };
+        let canon = ArrivalProcess::pareto(20.0, 0.5);
+        assert_eq!(
+            canon,
+            ArrivalProcess::Pareto {
+                rate_per_s: 20.0,
+                alpha: MIN_PARETO_ALPHA,
+            }
+        );
+        assert_eq!(raw.label(), canon.label());
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        let ga: Vec<u64> = (0..64).map(|i| raw.next_gap_us(i * 1000, &mut a)).collect();
+        let gb: Vec<u64> = (0..64)
+            .map(|i| canon.next_gap_us(i * 1000, &mut b))
+            .collect();
+        assert_eq!(ga, gb);
+        // Above the floor the shape passes through untouched.
+        let hot = ArrivalProcess::pareto(20.0, 1.5);
+        assert_eq!(
+            hot,
+            ArrivalProcess::Pareto {
+                rate_per_s: 20.0,
+                alpha: 1.5,
+            }
+        );
+        assert_eq!(hot.normalized(), hot);
+        assert_eq!(hot.label(), "pareto:20:1.5");
+    }
 
     #[test]
     fn rng_stream_is_stable_and_seed_sensitive() {

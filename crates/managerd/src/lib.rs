@@ -35,7 +35,7 @@
 
 pub mod arrivals;
 
-pub use arrivals::{ArrivalProcess, Rng64, DIURNAL_PROFILE};
+pub use arrivals::{ArrivalProcess, Rng64, DIURNAL_PROFILE, MIN_PARETO_ALPHA};
 
 use busbw_core::estimator::BandwidthEstimator;
 use busbw_core::manager::{AppRuntime, CpuManager, ManagerConfig, ThreadHandle};

@@ -432,6 +432,27 @@ mod tests {
     }
 
     #[test]
+    fn interpolated_quantiles_never_leave_the_observed_range() {
+        // Regression: the tail bucket's upper bound is far above the
+        // largest sample, so interpolating inside it used to report a
+        // p99 past the observed maximum. The clamp pins every quantile
+        // to [min, max].
+        let mut h = Histogram::new(vec![100.0, 1_000.0, 100_000.0]);
+        for v in [120.0, 450.0, 800.0, 1_050.0, 1_100.0] {
+            h.record(v);
+        }
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 <= 1_100.0, "p99 {p99} exceeds the observed max");
+        assert!(p99 >= 120.0);
+        for q in [0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((120.0..=1_100.0).contains(&v), "q{q} = {v} out of range");
+        }
+        assert_eq!(h.quantile(1.0), Some(1_100.0));
+        assert_eq!(h.quantile(0.0), Some(120.0));
+    }
+
+    #[test]
     fn empty_histogram_mean_is_none() {
         let h = Histogram::new(vec![1.0]);
         assert_eq!(h.mean(), None);

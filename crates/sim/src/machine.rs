@@ -2246,6 +2246,51 @@ mod tests {
     }
 
     #[test]
+    fn zero_demand_gang_stays_homeless_and_off_the_interconnect() {
+        // A zero-demand gang placed on a remote socket, next to a thread
+        // that is never placed at all: the never-placed thread keeps
+        // `home_socket = None` (first touch never happens), the homeless
+        // fallback charges the current socket (remote share 0), and no
+        // bus level sees any traffic.
+        struct PinFirst;
+        impl Scheduler for PinFirst {
+            fn schedule(&mut self, _view: &MachineView<'_>) -> Decision {
+                Decision {
+                    assignments: vec![Assignment {
+                        thread: ThreadId(0),
+                        cpu: CpuId(4),
+                    }],
+                    next_resched_in_us: 50_000,
+                    sample_period_us: None,
+                }
+            }
+        }
+        let mut m = Machine::new(two_socket_cfg());
+        m.add_app(AppDescriptor::new(
+            "idle",
+            vec![ThreadSpec::new(
+                f64::INFINITY,
+                Box::new(ConstantDemand::new(0.0, 0.9)),
+            )],
+        ));
+        m.add_app(AppDescriptor::new(
+            "benched",
+            vec![ThreadSpec::new(
+                f64::INFINITY,
+                Box::new(ConstantDemand::new(0.0, 0.9)),
+            )],
+        ));
+        let out = m.run(&mut PinFirst, StopCondition::At(400_000));
+        assert!(out.condition_met);
+        assert_eq!(m.view().home_socket(ThreadId(0)), Some(1));
+        assert_eq!(m.view().home_socket(ThreadId(1)), None);
+        for (k, level) in out.stats.levels.iter().enumerate() {
+            assert_eq!(level.total_demanded, 0.0, "level {k} saw traffic");
+            assert_eq!(level.total_issued, 0.0, "level {k} issued traffic");
+        }
+    }
+
+    #[test]
     fn multi_socket_exec_modes_are_bit_identical() {
         let run = |exec: ExecMode| {
             let mut m = mixed_machine_with(two_socket_cfg());
